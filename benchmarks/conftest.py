@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  By
+default a *quick* configuration is used (smaller circuit-size grids and
+fewer random targets) so that ``pytest benchmarks/ --benchmark-only``
+finishes on a laptop in minutes; set ``REPRO_FULL=1`` to run the paper's
+full grids.
+
+The regenerated rows/series are printed to stderr (visible with ``-s``)
+and attached to each benchmark's ``extra_info`` so they also appear in
+``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def emit():
+    """Fixture: print a regenerated table/series and attach it to the benchmark."""
+
+    def _emit(benchmark, title: str, payload) -> None:
+        text = (
+            payload
+            if isinstance(payload, str)
+            else json.dumps(payload, indent=2, default=str)
+        )
+        print(f"\n===== {title} =====\n{text}\n", file=sys.stderr)
+        if isinstance(payload, (str, int, float)):
+            benchmark.extra_info[title] = payload
+        else:
+            benchmark.extra_info[title] = json.loads(json.dumps(payload, default=str))
+
+    return _emit
+
+
+@pytest.fixture
+def run_once():
+    """Fixture: run a callable exactly once inside the benchmark timer."""
+
+    def runner(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

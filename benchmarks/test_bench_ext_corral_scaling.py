@@ -1,0 +1,24 @@
+"""Extension benchmark: scaling the Corral ring (paper future work).
+
+Not a paper figure — this quantifies the conclusion's open question of how
+ring-scaled Corrals compare against same-size hypercubes, using both graph
+structure and Quantum Volume routing cost.
+"""
+
+import os
+
+from repro.experiments.corral_scaling import corral_scaling_study, format_corral_scaling
+
+
+def test_bench_ext_corral_scaling(benchmark, run_once, emit):
+    post_counts = (8, 12, 16, 24) if os.environ.get("REPRO_FULL") == "1" else (8, 12, 16)
+    rows = run_once(benchmark, corral_scaling_study, post_counts=post_counts, seed=13)
+    emit(benchmark, "Corral scaling study", format_corral_scaling(rows))
+    # The corral keeps its degree bounded (a SNAIL constraint) while its
+    # diameter grows with the ring; the hypercube's diameter grows only
+    # logarithmically in the qubit count, so the gap narrows as posts are added.
+    assert all(abs(row.corral_avg_connectivity - 6.0) < 0.1 for row in rows)
+    corral_diameters = [row.corral_diameter for row in rows]
+    assert corral_diameters == sorted(corral_diameters)
+    gaps = [row.corral_diameter - row.hypercube_diameter for row in rows]
+    assert gaps[-1] >= gaps[0]

@@ -1,0 +1,36 @@
+"""Extension benchmark: frequency-crowding feasibility per (topology, modulator).
+
+Quantifies the paper's Section 2.4 / 4.1 argument that rich topologies are
+only wireable with the SNAIL's wide pump band: the CR and fSim budgets fail
+to allocate collision-free tones on the Tree / Corral / hypercube graphs.
+"""
+
+import os
+
+from repro.experiments.frequency_study import (
+    feasible_modulators,
+    format_frequency_report,
+    frequency_crowding_study,
+)
+
+
+def test_bench_ext_frequency(benchmark, run_once, emit):
+    scales = ("small", "large") if os.environ.get("REPRO_FULL") == "1" else ("small",)
+
+    def study():
+        return {scale: frequency_crowding_study(scale=scale) for scale in scales}
+
+    results = run_once(benchmark, study)
+    for scale, rows in results.items():
+        emit(benchmark, f"Frequency crowding ({scale})", format_frequency_report(rows))
+
+    small_rows = results["small"]
+    mapping = feasible_modulators(small_rows)
+    # Every SNAIL-enabled topology is allocatable by the SNAIL budget...
+    for topology in ("Tree", "Tree-RR", "Corral1,1", "Corral1,2"):
+        assert "SNAIL" in mapping[topology], topology
+    # ...but the degree-6 corral defeats the CR budget (the paper's motivation
+    # for co-designing topology and modulator together).
+    assert "CR" not in mapping["Corral1,2"]
+    # Heavy-Hex exists precisely because it dodges crowding for everyone.
+    assert set(mapping["Heavy-Hex"]) == {"CR", "FSIM", "SNAIL"}

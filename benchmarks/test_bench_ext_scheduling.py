@@ -1,0 +1,43 @@
+"""Extension benchmark: wall-clock (scheduled) co-design comparison.
+
+The paper's Figs. 13-14 count normalised pulses; this benchmark schedules
+the same design points with representative physical gate durations per
+modulator and reports makespan and estimated success probability.
+"""
+
+import os
+
+from repro.experiments.scheduling_study import (
+    duration_series,
+    format_scheduling_report,
+    scheduling_study,
+)
+
+
+def test_bench_ext_scheduling(benchmark, run_once, emit):
+    sizes = (8, 12, 16) if os.environ.get("REPRO_FULL") == "1" else (8, 12)
+    rows = run_once(
+        benchmark,
+        scheduling_study,
+        scale="small",
+        workloads=("QuantumVolume", "GHZ"),
+        sizes=sizes,
+        seed=5,
+    )
+    emit(benchmark, "Duration-aware co-design study", format_scheduling_report(rows))
+
+    qv_durations = {
+        (row.design_point, row.circuit_qubits): row.duration_ns
+        for row in rows
+        if row.workload == "QuantumVolume"
+    }
+    largest = max(size for _, size in qv_durations)
+    # With physical pulse lengths the SNAIL corral still beats the CR
+    # Heavy-Hex machine in wall-clock time (fewer, shorter pulses).
+    assert qv_durations[("Corral1,1-siswap", largest)] < qv_durations[("Heavy-Hex-CX", largest)]
+    # Durations grow with circuit size for every design point.
+    for label in {point for point, _ in qv_durations}:
+        series = sorted((size, qv_durations[(label, size)]) for point, size in qv_durations if point == label)
+        assert series[-1][1] > series[0][1]
+    # The series helper produces one line per design point.
+    assert len(duration_series(rows, "QuantumVolume")) == len({row.design_point for row in rows})

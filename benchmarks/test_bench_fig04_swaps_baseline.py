@@ -1,0 +1,26 @@
+"""Benchmark: paper Fig. 4 — SWAP counts on the baseline 84-qubit topologies.
+
+Regenerates, for each workload, the total and critical-path SWAP series
+over circuit size for Heavy-Hex, Hex-Lattice, Square-Lattice,
+Lattice+AltDiagonals and Hypercube.
+"""
+
+from repro.experiments import figure4_study, format_swap_report, swap_series
+
+
+def test_bench_fig04(benchmark, run_once, emit):
+    result = run_once(benchmark, figure4_study, seed=11)
+    emit(benchmark, "Fig. 4 (top): total SWAPs", format_swap_report(result, "total_swaps"))
+    emit(
+        benchmark,
+        "Fig. 4 (bottom): critical-path SWAPs",
+        format_swap_report(result, "critical_swaps"),
+    )
+    # Shape check: for the connectivity-hungry QAOA workload the hypercube
+    # must induce fewer SWAPs than Heavy-Hex at the largest size measured.
+    series = swap_series(result, "QAOAVanilla", "total_swaps")
+    largest = max(size for size, _ in series["Heavy-Hex"])
+    heavy = dict(series["Heavy-Hex"])[largest]
+    cube = dict(series["Hypercube"])[largest]
+    assert cube < heavy
+    benchmark.extra_info["qaoa_heavyhex_over_hypercube_total_swaps"] = heavy / max(cube, 1)

@@ -1,0 +1,16 @@
+"""Benchmark: paper Fig. 6 — parametrically driven exchange chevron."""
+
+import numpy as np
+
+from repro.experiments import chevron_summary, figure6_study
+from repro.snailsim import render_ascii_chevron
+
+
+def test_bench_fig06(benchmark, run_once, emit):
+    data = run_once(benchmark, figure6_study)
+    emit(benchmark, "Fig. 6 summary", chevron_summary(data))
+    emit(benchmark, "Fig. 6 chevron (target-qubit excitation)", render_ascii_chevron(data))
+    # Shape checks: full on-resonance exchange, reduced off-resonance contrast.
+    source, target = data.on_resonance_slice()
+    assert np.max(1.0 - target) > 0.9
+    assert np.max(1.0 - data.target_population[0]) < np.max(1.0 - target)

@@ -1,0 +1,20 @@
+"""Benchmark: paper Fig. 11 — SWAP counts on the 16-20 qubit SNAIL topologies."""
+
+from repro.experiments import figure11_study, format_swap_report, swap_series
+
+
+def test_bench_fig11(benchmark, run_once, emit):
+    result = run_once(benchmark, figure11_study, seed=11)
+    emit(benchmark, "Fig. 11 (top): total SWAPs", format_swap_report(result, "total_swaps"))
+    emit(
+        benchmark,
+        "Fig. 11 (bottom): critical-path SWAPs",
+        format_swap_report(result, "critical_swaps"),
+    )
+    # Shape check: the corral topologies beat the square lattice for QV at
+    # the largest size in the grid (paper Section 6.1).
+    series = swap_series(result, "QuantumVolume", "total_swaps")
+    largest = max(size for size, _ in series["Square-Lattice"])
+    lattice = dict(series["Square-Lattice"])[largest]
+    corral = dict(series["Corral1,2"])[largest]
+    assert corral <= lattice

@@ -1,0 +1,24 @@
+"""Benchmark: paper Fig. 12 — SWAP counts, SNAIL vs baseline at 84 qubits."""
+
+from repro.experiments import figure12_study, format_swap_report, swap_series
+
+
+def test_bench_fig12(benchmark, run_once, emit):
+    result = run_once(benchmark, figure12_study, seed=11)
+    emit(benchmark, "Fig. 12 (top): total SWAPs", format_swap_report(result, "total_swaps"))
+    emit(
+        benchmark,
+        "Fig. 12 (bottom): critical-path SWAPs",
+        format_swap_report(result, "critical_swaps"),
+    )
+    # Shape checks from Section 6.1: Tree improves on Heavy-Hex, Hypercube
+    # improves on Tree, for Quantum Volume at the largest measured size.
+    series = swap_series(result, "QuantumVolume", "total_swaps")
+    largest = max(size for size, _ in series["Heavy-Hex"])
+    heavy = dict(series["Heavy-Hex"])[largest]
+    tree = dict(series["Tree"])[largest]
+    cube = dict(series["Hypercube"])[largest]
+    assert tree < heavy
+    assert cube <= tree
+    benchmark.extra_info["qv_tree_vs_heavyhex_reduction"] = 1.0 - tree / heavy
+    benchmark.extra_info["qv_hypercube_vs_tree_reduction"] = 1.0 - cube / max(tree, 1)

@@ -1,0 +1,23 @@
+"""Benchmark: paper Fig. 13 — co-designed 2Q gate counts at 16-20 qubits."""
+
+from repro.experiments import figure13_study, format_gate_report, gate_series
+
+
+def test_bench_fig13(benchmark, run_once, emit):
+    result = run_once(benchmark, figure13_study, seed=11)
+    emit(benchmark, "Fig. 13 (top): total 2Q gates", format_gate_report(result, "total_2q"))
+    emit(
+        benchmark,
+        "Fig. 13 (bottom): critical-path 2Q gates (pulse duration)",
+        format_gate_report(result, "critical_2q"),
+    )
+    emit(
+        benchmark,
+        "Fig. 13 (pulse-length weighted duration)",
+        format_gate_report(result, "weighted_duration"),
+    )
+    # Shape check (paper Section 6.2): the Corral + sqrt(iSWAP) co-design
+    # consistently outperforms Heavy-Hex + CNOT.
+    series = gate_series(result, "QuantumVolume", "total_2q")
+    largest = max(size for size, _ in series["Heavy-Hex-CX"])
+    assert dict(series["Corral1,1-siswap"])[largest] < dict(series["Heavy-Hex-CX"])[largest]

@@ -1,0 +1,22 @@
+"""Benchmark: paper Fig. 14 — co-designed 2Q gate counts at 84 qubits."""
+
+from repro.experiments import figure14_study, format_gate_report, gate_series
+
+
+def test_bench_fig14(benchmark, run_once, emit):
+    result = run_once(benchmark, figure14_study, seed=11)
+    emit(benchmark, "Fig. 14 (top): total 2Q gates", format_gate_report(result, "total_2q"))
+    emit(
+        benchmark,
+        "Fig. 14 (bottom): critical-path 2Q gates (pulse duration)",
+        format_gate_report(result, "critical_2q"),
+    )
+    # Shape check: the SNAIL hypercube design beats Heavy-Hex + CNOT on QV
+    # at the largest measured size, for both totals and critical path.
+    for metric in ("total_2q", "critical_2q"):
+        series = gate_series(result, "QuantumVolume", metric)
+        largest = max(size for size, _ in series["Heavy-Hex-CX"])
+        heavy = dict(series["Heavy-Hex-CX"])[largest]
+        cube = dict(series["Hypercube-siswap"])[largest]
+        assert cube < heavy
+        benchmark.extra_info[f"qv_heavyhex_over_hypercube_{metric}"] = heavy / max(cube, 1)

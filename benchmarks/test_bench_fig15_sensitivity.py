@@ -1,0 +1,29 @@
+"""Benchmark: paper Fig. 15 — n-th-root iSWAP pulse-duration sensitivity study."""
+
+from repro.core.sensitivity import format_sensitivity_report
+from repro.experiments import figure15_study, reduction_comparison
+
+
+def test_bench_fig15(benchmark, run_once, emit):
+    result = run_once(benchmark, figure15_study, seed=2022)
+    emit(benchmark, "Fig. 15 report", format_sensitivity_report(result))
+    comparison = reduction_comparison(result)
+    emit(
+        benchmark,
+        "n-root infidelity reduction vs sqrt(iSWAP) at Fb=0.99 (measured vs paper)",
+        {
+            f"n={root}": {
+                "measured_percent": round(100 * values["measured"], 1),
+                "paper_percent": round(100 * values["paper"], 1),
+            }
+            for root, values in comparison.items()
+        },
+    )
+    # Shape checks (paper Section 6.3): deeper fractions reduce the total
+    # pulse duration, and at a 99% iSWAP fidelity the 3rd/4th roots reduce
+    # the total infidelity relative to sqrt(iSWAP).
+    durations = {root: result.root_results[root].pulse_duration for root in result.roots}
+    assert durations[max(result.roots)] <= durations[2] + 1e-9
+    reductions = result.infidelity_reduction_vs_sqiswap(0.99)
+    assert reductions[3] > 0.0
+    assert reductions[4] > 0.0

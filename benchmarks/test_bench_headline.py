@@ -1,0 +1,18 @@
+"""Benchmark: the paper's headline QV ratios (abstract / Section 6.1).
+
+Hypercube + sqrt(iSWAP) versus Heavy-Hex + CNOT, averaged over Quantum
+Volume circuit sizes: total SWAPs (paper 2.57x), critical-path SWAPs
+(5.63x), total 2Q gates (3.16x) and critical-path 2Q gates (6.11x).
+"""
+
+from repro.experiments import format_headline_report, headline_study
+
+
+def test_bench_headline(benchmark, run_once, emit):
+    ratios = run_once(benchmark, headline_study, seed=11)
+    emit(benchmark, "Headline ratios (measured vs paper)", format_headline_report(ratios))
+    emit(benchmark, "Headline ratios raw", ratios.compared_to_paper())
+    # Shape check: every headline aggregate shows a clear (>1.5x) advantage
+    # for the co-designed machine, as in the paper.
+    for value in ratios.as_dict().values():
+        assert value > 1.5

@@ -1,0 +1,17 @@
+"""Benchmarks: paper Table 1 and Table 2 (topology properties)."""
+
+from repro.experiments import format_table_comparison, table1, table2
+
+
+def test_bench_table1(benchmark, run_once, emit):
+    """Table 1 — 16-20 qubit topology properties (measured vs paper)."""
+    rows = run_once(benchmark, table1)
+    emit(benchmark, "Table 1", format_table_comparison(rows, "Table 1 (measured | paper)"))
+    assert len(rows) == 8
+
+
+def test_bench_table2(benchmark, run_once, emit):
+    """Table 2 — 84-qubit topology properties (measured vs paper)."""
+    rows = run_once(benchmark, table2)
+    emit(benchmark, "Table 2", format_table_comparison(rows, "Table 2 (measured | paper)"))
+    assert len(rows) == 7

@@ -1,0 +1,38 @@
+"""Co-design comparison: a miniature version of paper Figs. 11 and 13.
+
+Transpiles the paper's workloads at two prototype-scale sizes onto every
+small-machine design point (topology + basis pairing), and prints
+
+* the routing-induced SWAP counts (topology efficiency, Fig. 11), and
+* the translated 2Q gate counts and critical-path pulse counts (the full
+  co-design comparison, Fig. 13).
+
+Run with:  python examples/codesign_comparison.py
+(set REPRO_FULL=1 for the full size sweep of the paper)
+"""
+
+from repro.experiments import (
+    figure11_study,
+    figure13_study,
+    format_gate_report,
+    format_swap_report,
+)
+
+
+def main() -> None:
+    sizes = [8, 12, 16]
+    workloads = ["QuantumVolume", "QAOAVanilla", "GHZ"]
+
+    print("== Topology study (routing-induced SWAPs, cf. paper Fig. 11) ==\n")
+    swap_result = figure11_study(sizes=sizes, workloads=workloads, seed=11)
+    print(format_swap_report(swap_result, "total_swaps"))
+    print(format_swap_report(swap_result, "critical_swaps"))
+
+    print("== Co-design study (native 2Q gates, cf. paper Fig. 13) ==\n")
+    gate_result = figure13_study(sizes=sizes, workloads=workloads, seed=11)
+    print(format_gate_report(gate_result, "total_2q"))
+    print(format_gate_report(gate_result, "critical_2q"))
+
+
+if __name__ == "__main__":
+    main()

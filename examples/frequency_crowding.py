@@ -1,0 +1,30 @@
+"""Frequency-crowding report: which modulators can wire up which topologies.
+
+Reproduces, quantitatively, the paper's Section 2.4 / 4.1 argument: the
+cross-resonance and tunable-coupler frequency budgets cannot allocate
+collision-free pump tones for the rich SNAIL topologies (Tree, Corral),
+while the SNAIL's wide difference-frequency band can.
+
+Run with:  python examples/frequency_crowding.py
+"""
+
+from repro.experiments.frequency_study import (
+    feasible_modulators,
+    format_frequency_report,
+    frequency_crowding_study,
+)
+
+
+def main() -> None:
+    for scale in ("small", "large"):
+        rows = frequency_crowding_study(scale=scale)
+        print(f"\n=== {scale} machines ===")
+        print(format_frequency_report(rows))
+        print("\nCollision-free modulators per topology:")
+        for topology, modulators in sorted(feasible_modulators(rows).items()):
+            supported = ", ".join(modulators) if modulators else "(none)"
+            print(f"  {topology:<22} {supported}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""SNAIL device model: regenerate a Fig.-6-style chevron and gate calibration.
+
+Sweeps the parametrically driven qubit-qubit exchange over pulse length and
+pump detuning (the paper's Fig. 6 axes), renders the chevron as ASCII art,
+and reports the pulse lengths that calibrate each n-th-root iSWAP gate —
+the linear pulse-length scaling behind the paper's sensitivity study.
+
+Run with:  python examples/snail_chevron.py
+"""
+
+from repro.experiments import chevron_summary, figure6_study
+from repro.snailsim import SnailExchangeModel, render_ascii_chevron
+
+
+def main() -> None:
+    model = SnailExchangeModel(coupling_mhz=0.5, t1_us=30.0)
+    data = figure6_study(coupling_mhz=0.5, t1_us=30.0)
+
+    print("Parametrically driven exchange between two module qubits (cf. paper Fig. 6)")
+    print(chevron_summary(data))
+    print()
+    print(render_ascii_chevron(data))
+    print()
+
+    print("Calibrated n-th-root iSWAP pulse lengths (g/2pi = 0.5 MHz):")
+    for root in (1, 2, 3, 4, 5):
+        pulse = model.pulse_length_for_root(root)
+        fidelity = model.gate_fidelity_estimate(pulse)
+        print(
+            f"  n={root}:  pulse = {pulse:7.1f} ns   "
+            f"coherence-limited fidelity ~ {fidelity:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Simultaneous drives on one SNAIL module: parallel gates and 3-mode gates.
+
+Paper Section 4.1 claims that (a) multiple two-qubit gates can run in
+parallel inside one SNAIL neighbourhood because third-order parametric
+drives have tiny static cross-talk, and (b) applying several pumps at once
+creates three-or-more-mode gates.  This example exercises both claims on
+the Hamiltonian-level module simulator.
+
+Run with:  python examples/snail_module_gates.py
+"""
+
+from repro.snailsim import PumpTone, SnailModule
+
+
+def main() -> None:
+    module = SnailModule()
+    print("Four-qubit SNAIL module")
+    print(f"  qubit frequencies (GHz): {tuple(module.qubit_frequencies_ghz)}")
+    print(
+        "  minimum difference-frequency separation: "
+        f"{module.minimum_difference_separation_mhz():.0f} MHz"
+    )
+
+    print("\nPulse calibration (0.5 MHz exchange strength):")
+    for root in (1, 2, 3, 4):
+        print(f"  {root}-root iSWAP pulse length: {module.pulse_length_for_root(root):7.1f} ns")
+
+    print("\nParallel gates in one module (sqrt(iSWAP) on (0,1) and (2,3) at once):")
+    fidelity = module.parallel_gate_fidelity([(0, 1), (2, 3)], root=2)
+    print(f"  fidelity vs ideal simultaneous gates: {fidelity:.5f}")
+
+    crowded = SnailModule(qubit_frequencies_ghz=(4.5, 5.0, 5.504, 6.006))
+    crowded_fidelity = crowded.parallel_gate_fidelity([(0, 1), (2, 3)], root=2)
+    print(
+        "  same drive on a frequency-crowded module "
+        f"(differences 2 MHz apart): {crowded_fidelity:.5f}"
+    )
+    print("  -> the SNAIL's GHz-scale difference frequencies are what make")
+    print("     parallel in-module gates possible (paper Section 4.1).")
+
+    print("\nThree-mode gate (two pumps sharing qubit 0):")
+    spread = module.three_mode_excitation_spread(0, (1, 2))
+    for qubit, probability in spread.items():
+        print(f"  excitation probability on qubit {qubit}: {probability:.3f}")
+    print("  one pulse distributes the hub excitation over both partners —")
+    print("  the >=3-mode interaction the paper attributes to simultaneous drives.")
+
+    print("\nSpurious couplings induced by a single pump on (0,1):")
+    for pair, strength in sorted(module.effective_couplings([PumpTone(pair=(0, 1))]).items()):
+        print(f"  {pair}: {strength:.4f} MHz")
+
+
+if __name__ == "__main__":
+    main()

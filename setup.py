@@ -1,0 +1,19 @@
+"""Setup script (legacy path kept so that offline editable installs work
+without the ``wheel`` package being available)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Co-Designed Architectures for Modular "
+        "Superconducting Quantum Computers' (HPCA 2023)"
+    ),
+    author="Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,81 @@
+"""repro — reproduction of "Co-Designed Architectures for Modular
+Superconducting Quantum Computers" (McKinney et al., HPCA 2023).
+
+The library is organised bottom-up:
+
+* :mod:`repro.linalg` — two-qubit unitary analysis (Weyl chamber, KAK).
+* :mod:`repro.circuits`, :mod:`repro.gates` — circuit IR and gate library.
+* :mod:`repro.simulator` — state-vector / unitary validation simulators.
+* :mod:`repro.topology` — coupling graphs: lattices, hypercubes and the
+  SNAIL-enabled Tree / Corral topologies.
+* :mod:`repro.transpiler` — layout, routing, basis translation, scheduling,
+  metrics.
+* :mod:`repro.decomposition` — coverage rules and (approximate) synthesis.
+* :mod:`repro.workloads` — the six parameterised benchmarks of the paper
+  plus extension workloads.
+* :mod:`repro.noise` — Kraus channels, density-matrix simulation, circuit
+  noise models.
+* :mod:`repro.frequency` — modulator frequency budgets and pump-tone
+  allocation (frequency crowding).
+* :mod:`repro.qasm` — OpenQASM 2 export / import.
+* :mod:`repro.snailsim` — device-level SNAIL exchange model (Fig. 6).
+* :mod:`repro.core` — backends, co-design points, fidelity and reliability
+  models, sweeps.
+* :mod:`repro.experiments` — one entry point per paper table / figure plus
+  the extension studies.
+
+Quick start::
+
+    from repro import Backend, get_basis
+    from repro.topology import corral_topology
+    from repro.workloads import quantum_volume_circuit
+
+    backend = Backend(corral_topology(8, (1, 1)), get_basis("siswap"))
+    result = backend.transpile(quantum_volume_circuit(12, seed=1))
+    print(result.metrics.total_2q, result.metrics.critical_2q)
+"""
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    Backend,
+    CodesignPoint,
+    FidelityModel,
+    SweepResult,
+    design_backends,
+    design_points,
+    make_backend,
+    pulse_duration_sensitivity_study,
+    run_point,
+    run_sweep,
+)
+from repro.decomposition import TemplateDecomposer, get_basis
+from repro.topology import CouplingMap, get_topology, large_topologies, small_topologies
+from repro.transpiler import TranspileMetrics, TranspileResult, transpile
+from repro.workloads import build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "Backend",
+    "CodesignPoint",
+    "FidelityModel",
+    "SweepResult",
+    "design_backends",
+    "design_points",
+    "make_backend",
+    "pulse_duration_sensitivity_study",
+    "run_point",
+    "run_sweep",
+    "TemplateDecomposer",
+    "get_basis",
+    "CouplingMap",
+    "get_topology",
+    "large_topologies",
+    "small_topologies",
+    "TranspileMetrics",
+    "TranspileResult",
+    "transpile",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Circuit intermediate representation: gates, instructions, circuits, DAGs."""
+
+from repro.circuits.gate import Barrier, Gate, UnitaryGate
+from repro.circuits.instruction import Instruction
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DAGCircuit, DAGNode
+
+__all__ = [
+    "Barrier",
+    "Gate",
+    "UnitaryGate",
+    "Instruction",
+    "QuantumCircuit",
+    "DAGCircuit",
+    "DAGNode",
+]

@@ -1,0 +1,366 @@
+"""A lightweight quantum circuit container.
+
+The :class:`QuantumCircuit` stores an ordered list of
+:class:`~repro.circuits.instruction.Instruction` objects and provides the
+counting / depth machinery the paper's evaluation is built on: total gate
+counts, two-qubit gate counts, and *critical-path* counts (the longest
+dependency chain through the circuit, weighting only the instructions a
+predicate selects — e.g. only SWAPs, or only two-qubit basis gates).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gate import Barrier, Gate, UnitaryGate
+from repro.circuits.instruction import Instruction
+
+
+class QuantumCircuit:
+    """An ordered sequence of gate applications on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: Optional[str] = None):
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._name = name or f"circuit_{num_qubits}q"
+        self._instructions: List[Instruction] = []
+        self.metadata: Dict[str, object] = {}
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the circuit register."""
+        return self._num_qubits
+
+    @property
+    def name(self) -> str:
+        """Circuit name (used in reports and benchmark tables)."""
+        return self._name
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """The instruction list as an immutable tuple."""
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit(name={self._name!r}, qubits={self._num_qubits}, "
+            f"instructions={len(self._instructions)})"
+        )
+
+    # -- construction --------------------------------------------------------
+
+    def append(
+        self,
+        gate: Gate,
+        qubits: Sequence[int],
+        induced: bool = False,
+    ) -> "QuantumCircuit":
+        """Append ``gate`` on ``qubits``; returns ``self`` for chaining."""
+        qubits = tuple(int(q) for q in qubits)
+        for qubit in qubits:
+            if qubit < 0 or qubit >= self._num_qubits:
+                raise ValueError(
+                    f"qubit index {qubit} out of range for {self._num_qubits}-qubit circuit"
+                )
+        self._instructions.append(Instruction(gate, qubits, induced=induced))
+        return self
+
+    def extend(self, instructions: Iterable[Instruction]) -> "QuantumCircuit":
+        """Append pre-built instructions (validated against this circuit)."""
+        for instruction in instructions:
+            self.append(instruction.gate, instruction.qubits, induced=instruction.induced)
+        return self
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Shallow copy (instructions are immutable so sharing is safe)."""
+        other = QuantumCircuit(self._num_qubits, name or self._name)
+        other._instructions = list(self._instructions)
+        other.metadata = dict(self.metadata)
+        return other
+
+    def compose(self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None) -> "QuantumCircuit":
+        """Append another circuit onto this one (optionally remapped)."""
+        if qubits is None:
+            if other.num_qubits > self._num_qubits:
+                raise ValueError("composed circuit does not fit")
+            qubits = range(other.num_qubits)
+        mapping = {i: int(q) for i, q in enumerate(qubits)}
+        for instruction in other:
+            self.append(
+                instruction.gate,
+                tuple(mapping[q] for q in instruction.qubits),
+                induced=instruction.induced,
+            )
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (reversed order, inverted gates)."""
+        inverted = QuantumCircuit(self._num_qubits, f"{self._name}_dg")
+        for instruction in reversed(self._instructions):
+            inverted.append(instruction.gate.inverse(), instruction.qubits)
+        return inverted
+
+    def remove_idle_qubits(self) -> "QuantumCircuit":
+        """Return a copy restricted to the qubits that are actually used.
+
+        Transpiled circuits live on the full device register even when the
+        algorithm only touches a few physical qubits; this compaction makes
+        them small enough for state-vector / density-matrix validation.
+        The old-index -> new-index mapping is stored in
+        ``metadata["idle_qubit_mapping"]``.
+        """
+        used = sorted({q for inst in self._instructions for q in inst.qubits})
+        if not used:
+            used = [0]
+        mapping = {old: new for new, old in enumerate(used)}
+        compact = QuantumCircuit(len(used), name=self._name)
+        compact.metadata = dict(self.metadata)
+        compact.metadata["idle_qubit_mapping"] = dict(mapping)
+        for instruction in self._instructions:
+            compact.append(
+                instruction.gate,
+                tuple(mapping[q] for q in instruction.qubits),
+                induced=instruction.induced,
+            )
+        return compact
+
+    # -- convenience gate builders -------------------------------------------
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard."""
+        from repro.gates import HGate
+
+        return self.append(HGate(), (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli X."""
+        from repro.gates import XGate
+
+        return self.append(XGate(), (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli Y."""
+        from repro.gates import YGate
+
+        return self.append(YGate(), (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli Z."""
+        from repro.gates import ZGate
+
+        return self.append(ZGate(), (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """S gate."""
+        from repro.gates import SGate
+
+        return self.append(SGate(), (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        from repro.gates import TGate
+
+        return self.append(TGate(), (qubit,))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """T-dagger gate."""
+        from repro.gates import TdgGate
+
+        return self.append(TdgGate(), (qubit,))
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """X rotation."""
+        from repro.gates import RXGate
+
+        return self.append(RXGate(theta), (qubit,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Y rotation."""
+        from repro.gates import RYGate
+
+        return self.append(RYGate(theta), (qubit,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Z rotation."""
+        from repro.gates import RZGate
+
+        return self.append(RZGate(theta), (qubit,))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """Generic single-qubit gate."""
+        from repro.gates import U3Gate
+
+        return self.append(U3Gate(theta, phi, lam), (qubit,))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT."""
+        from repro.gates import CXGate
+
+        return self.append(CXGate(), (control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        from repro.gates import CZGate
+
+        return self.append(CZGate(), (control, target))
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-phase."""
+        from repro.gates import CPhaseGate
+
+        return self.append(CPhaseGate(lam), (control, target))
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """ZZ rotation."""
+        from repro.gates import RZZGate
+
+        return self.append(RZZGate(theta), (qubit_a, qubit_b))
+
+    def rxx(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """XX rotation."""
+        from repro.gates import RXXGate
+
+        return self.append(RXXGate(theta), (qubit_a, qubit_b))
+
+    def swap(self, qubit_a: int, qubit_b: int, induced: bool = False) -> "QuantumCircuit":
+        """SWAP two qubits."""
+        from repro.gates import SwapGate
+
+        return self.append(SwapGate(), (qubit_a, qubit_b), induced=induced)
+
+    def iswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """iSWAP."""
+        from repro.gates import ISwapGate
+
+        return self.append(ISwapGate(), (qubit_a, qubit_b))
+
+    def siswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Square-root iSWAP (the SNAIL basis gate)."""
+        from repro.gates import SqrtISwapGate
+
+        return self.append(SqrtISwapGate(), (qubit_a, qubit_b))
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        """Toffoli."""
+        from repro.gates import CCXGate
+
+        return self.append(CCXGate(), (control_a, control_b, target))
+
+    def unitary(self, matrix: np.ndarray, qubits: Sequence[int], label: str = "unitary") -> "QuantumCircuit":
+        """Append an arbitrary unitary on the given qubits."""
+        return self.append(UnitaryGate(matrix, label=label), tuple(qubits))
+
+    def barrier(self, qubits: Optional[Sequence[int]] = None) -> "QuantumCircuit":
+        """Append a barrier (ignored by all counting metrics)."""
+        if qubits is None:
+            qubits = range(self._num_qubits)
+        return self.append(Barrier(len(tuple(qubits))), tuple(qubits))
+
+    # -- counting and metrics --------------------------------------------------
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        return dict(Counter(inst.name for inst in self._instructions))
+
+    def size(self) -> int:
+        """Total number of instructions (barriers excluded)."""
+        return sum(1 for inst in self._instructions if inst.name != "barrier")
+
+    def num_nonlocal_gates(self) -> int:
+        """Number of instructions acting on two or more qubits."""
+        return sum(
+            1
+            for inst in self._instructions
+            if inst.num_qubits >= 2 and inst.name != "barrier"
+        )
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit instructions."""
+        return sum(1 for inst in self._instructions if inst.is_two_qubit)
+
+    def swap_count(self, induced_only: bool = False) -> int:
+        """Number of SWAP instructions, optionally only transpiler-induced ones."""
+        return sum(
+            1
+            for inst in self._instructions
+            if inst.name == "swap" and (inst.induced or not induced_only)
+        )
+
+    def depth(self, weight: Optional[Callable[[Instruction], float]] = None) -> float:
+        """Longest dependency path through the circuit.
+
+        Args:
+            weight: optional per-instruction weight; defaults to 1 for every
+                non-barrier instruction (ordinary circuit depth).
+        """
+        if weight is None:
+            weight = lambda inst: 0.0 if inst.name == "barrier" else 1.0
+        frontier = [0.0] * self._num_qubits
+        longest = 0.0
+        for instruction in self._instructions:
+            start = max(frontier[q] for q in instruction.qubits)
+            end = start + weight(instruction)
+            for qubit in instruction.qubits:
+                frontier[qubit] = end
+            longest = max(longest, end)
+        return longest
+
+    def critical_path_count(self, predicate: Callable[[Instruction], bool]) -> int:
+        """Maximum number of predicate-selected instructions on any path.
+
+        This is the quantity the paper calls "critical path SWAPs" (with the
+        predicate selecting SWAP gates) and "pulse duration" / "critical path
+        2Q gates" (with the predicate selecting two-qubit basis gates).
+        """
+        return int(self.depth(weight=lambda inst: 1.0 if predicate(inst) else 0.0))
+
+    def critical_path_swaps(self, induced_only: bool = False) -> int:
+        """Critical-path SWAP count (paper Figs. 4, 11, 12 bottom rows)."""
+        return self.critical_path_count(
+            lambda inst: inst.name == "swap" and (inst.induced or not induced_only)
+        )
+
+    def critical_path_two_qubit(self) -> int:
+        """Critical-path two-qubit gate count (paper Figs. 13, 14 bottom rows)."""
+        return self.critical_path_count(lambda inst: inst.is_two_qubit)
+
+    def weighted_duration(self) -> float:
+        """Critical-path duration using each gate's relative pulse duration.
+
+        Single-qubit gates contribute zero (the paper treats them as free);
+        two-qubit gates contribute :meth:`Gate.duration`, so e.g. an
+        ``n``-th-root iSWAP contributes ``1/n``.
+        """
+        return float(self.depth(weight=lambda inst: inst.gate.duration()))
+
+    # -- analysis ---------------------------------------------------------------
+
+    def two_qubit_interactions(self) -> Counter:
+        """Histogram of unordered qubit pairs touched by two-qubit gates."""
+        pairs: Counter = Counter()
+        for instruction in self._instructions:
+            if instruction.is_two_qubit:
+                pairs[tuple(sorted(instruction.qubits))] += 1
+        return pairs
+
+    def to_unitary(self) -> np.ndarray:
+        """Full circuit unitary (little-endian register ordering).
+
+        Intended for verification on small circuits; the cost is
+        ``O(4^n)`` memory.
+        """
+        from repro.simulator.unitary import circuit_unitary
+
+        return circuit_unitary(self)

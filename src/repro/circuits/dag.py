@@ -1,0 +1,108 @@
+"""Directed-acyclic-graph view of a circuit.
+
+The routing passes need the dependency structure of a circuit: which gates
+are currently executable (the *front layer*) and which gates become
+executable once a given gate has been applied.  This module provides a
+minimal DAG built from qubit wire order, plus longest-path utilities used
+to cross-check the critical-path counters of
+:class:`~repro.circuits.circuit.QuantumCircuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+
+
+@dataclass
+class DAGNode:
+    """One instruction in the dependency graph."""
+
+    index: int
+    instruction: Instruction
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+
+class DAGCircuit:
+    """Dependency DAG of a :class:`QuantumCircuit`."""
+
+    def __init__(self, circuit: QuantumCircuit):
+        self._num_qubits = circuit.num_qubits
+        self._nodes: List[DAGNode] = []
+        last_on_wire: Dict[int, int] = {}
+        for index, instruction in enumerate(circuit):
+            node = DAGNode(index=index, instruction=instruction)
+            for qubit in instruction.qubits:
+                if qubit in last_on_wire:
+                    previous = last_on_wire[qubit]
+                    node.predecessors.add(previous)
+                    self._nodes[previous].successors.add(index)
+                last_on_wire[qubit] = index
+            self._nodes.append(node)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of the underlying circuit."""
+        return self._num_qubits
+
+    @property
+    def nodes(self) -> Tuple[DAGNode, ...]:
+        """All DAG nodes, in original instruction order (a topological order)."""
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> DAGNode:
+        """Node accessor by instruction index."""
+        return self._nodes[index]
+
+    def front_layer(self) -> List[int]:
+        """Indices of instructions with no predecessors."""
+        return [node.index for node in self._nodes if not node.predecessors]
+
+    def successors(self, index: int) -> Tuple[int, ...]:
+        """Successor indices of a node."""
+        return tuple(sorted(self._nodes[index].successors))
+
+    def predecessors(self, index: int) -> Tuple[int, ...]:
+        """Predecessor indices of a node."""
+        return tuple(sorted(self._nodes[index].predecessors))
+
+    def topological_order(self) -> List[int]:
+        """A topological order (original instruction order is one)."""
+        return list(range(len(self._nodes)))
+
+    # -- analysis -----------------------------------------------------------
+
+    def longest_path_length(
+        self, weight: Optional[Callable[[Instruction], float]] = None
+    ) -> float:
+        """Length of the longest path under the given per-node weight."""
+        if weight is None:
+            weight = lambda inst: 0.0 if inst.name == "barrier" else 1.0
+        distances = [0.0] * len(self._nodes)
+        best = 0.0
+        for node in self._nodes:  # already topologically ordered
+            incoming = max(
+                (distances[p] for p in node.predecessors), default=0.0
+            )
+            distances[node.index] = incoming + weight(node.instruction)
+            best = max(best, distances[node.index])
+        return best
+
+    def layers(self) -> List[List[int]]:
+        """Partition nodes into ASAP layers (greedy earliest scheduling)."""
+        level: Dict[int, int] = {}
+        layered: Dict[int, List[int]] = {}
+        for node in self._nodes:
+            depth = max((level[p] + 1 for p in node.predecessors), default=0)
+            level[node.index] = depth
+            layered.setdefault(depth, []).append(node.index)
+        return [layered[d] for d in sorted(layered)]

@@ -1,0 +1,152 @@
+"""Gate abstractions for the circuit IR.
+
+A :class:`Gate` is a named unitary operation on a fixed number of qubits.
+Concrete standard gates live in :mod:`repro.gates`; this module defines the
+abstract base plus the generic :class:`UnitaryGate` wrapper used for raw
+matrices (e.g. the Haar-random SU(4) blocks of Quantum Volume circuits).
+
+Matrix convention: a gate matrix is written over the ordered computational
+basis of its *argument list*, most-significant first.  For a two-qubit gate
+applied as ``circuit.append(gate, (a, b))`` the matrix rows/columns are
+ordered ``|ab> = |00>, |01>, |10>, |11>``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Gate:
+    """A named unitary operation acting on ``num_qubits`` qubits."""
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        params: Sequence[float] = (),
+        label: Optional[str] = None,
+    ):
+        if num_qubits < 1:
+            raise ValueError("a gate must act on at least one qubit")
+        self._name = name
+        self._num_qubits = int(num_qubits)
+        self._params = tuple(float(p) for p in params)
+        self._label = label
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Canonical lowercase gate name (e.g. ``"cx"``)."""
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return self._num_qubits
+
+    @property
+    def params(self) -> Tuple[float, ...]:
+        """Numeric gate parameters (angles), possibly empty."""
+        return self._params
+
+    @property
+    def label(self) -> str:
+        """Human-readable label; defaults to the gate name."""
+        return self._label if self._label is not None else self._name
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for gates on exactly two qubits."""
+        return self._num_qubits == 2
+
+    # -- behaviour subclasses must/should provide --------------------------
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate (see module docstring for ordering)."""
+        raise NotImplementedError(f"gate {self._name!r} does not define a matrix")
+
+    def inverse(self) -> "Gate":
+        """Return a gate implementing the adjoint of this gate."""
+        return UnitaryGate(self.matrix().conj().T, label=f"{self.label}_dg")
+
+    def duration(self) -> float:
+        """Relative pulse duration of the gate.
+
+        Single-qubit gates are treated as free (duration 0), matching the
+        paper's normalisation; two-qubit gates default to one pulse unit.
+        Subclasses (e.g. fractional iSWAP gates) override this.
+        """
+        return 0.0 if self._num_qubits == 1 else 1.0
+
+    # -- dunder helpers -----------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._params:
+            params = ", ".join(f"{p:.4g}" for p in self._params)
+            return f"{type(self).__name__}({self._name}, [{params}])"
+        return f"{type(self).__name__}({self._name})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._num_qubits == other._num_qubits
+            and len(self._params) == len(other._params)
+            and all(
+                abs(a - b) < 1e-12 for a, b in zip(self._params, other._params)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._num_qubits, tuple(round(p, 12) for p in self._params)))
+
+
+class UnitaryGate(Gate):
+    """A gate defined directly by its unitary matrix."""
+
+    def __init__(self, matrix: np.ndarray, label: Optional[str] = None):
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("unitary matrix must be square")
+        dim = matrix.shape[0]
+        num_qubits = int(round(np.log2(dim)))
+        if 2 ** num_qubits != dim:
+            raise ValueError("matrix dimension must be a power of two")
+        identity = np.eye(dim)
+        if not np.allclose(matrix @ matrix.conj().T, identity, atol=1e-8):
+            raise ValueError("matrix is not unitary")
+        super().__init__("unitary", num_qubits, (), label=label or "unitary")
+        self._matrix = matrix.copy()
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def inverse(self) -> "UnitaryGate":
+        return UnitaryGate(self._matrix.conj().T, label=f"{self.label}_dg")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnitaryGate):
+            return NotImplemented
+        return self._matrix.shape == other._matrix.shape and bool(
+            np.allclose(self._matrix, other._matrix, atol=1e-12)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._num_qubits, self._matrix.tobytes()))
+
+
+class Barrier(Gate):
+    """A scheduling barrier; not a unitary operation, ignored by metrics."""
+
+    def __init__(self, num_qubits: int):
+        super().__init__("barrier", num_qubits)
+
+    def matrix(self) -> np.ndarray:
+        return np.eye(2 ** self.num_qubits, dtype=complex)
+
+    def duration(self) -> float:
+        return 0.0

@@ -1,0 +1,60 @@
+"""Instruction: a gate bound to specific circuit qubits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.circuits.gate import Gate
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A gate application on concrete qubit indices.
+
+    Attributes:
+        gate: the applied :class:`~repro.circuits.gate.Gate`.
+        qubits: the circuit qubit indices, in gate-argument order.
+        induced: True when the instruction was inserted by the transpiler
+            (e.g. a routing SWAP) rather than being part of the source
+            algorithm.  The paper reports *induced* SWAP counts.
+    """
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+    induced: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.qubits) != self.gate.num_qubits:
+            raise ValueError(
+                f"gate {self.gate.name!r} expects {self.gate.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError("instruction qubits must be distinct")
+
+    @property
+    def name(self) -> str:
+        """Gate name shortcut."""
+        return self.gate.name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the instruction touches."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit instructions (the paper's unit of cost)."""
+        return self.gate.num_qubits == 2 and self.gate.name != "barrier"
+
+    def remap(self, mapping) -> "Instruction":
+        """Return a copy with qubits translated through ``mapping``.
+
+        ``mapping`` may be a dict or a callable taking a qubit index.
+        """
+        if callable(mapping):
+            new_qubits = tuple(mapping(q) for q in self.qubits)
+        else:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        return Instruction(self.gate, new_qubits, induced=self.induced)

@@ -1,0 +1,290 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro tables                    # Tables 1 and 2
+    python -m repro swaps --scale small       # Fig. 11-style SWAP study
+    python -m repro swaps --scale large       # Fig. 4 / 12-style SWAP study
+    python -m repro codesign --scale small    # Fig. 13-style co-design study
+    python -m repro headline                  # abstract's headline ratios
+    python -m repro sensitivity               # Fig. 15 sensitivity study
+    python -m repro chevron                   # Fig. 6 chevron
+    python -m repro frequency --scale small   # frequency-crowding extension study
+    python -m repro schedule --scale small    # duration-aware co-design extension
+    python -m repro reliability QuantumVolume 12   # wall-clock reliability ranking
+    python -m repro qasm GHZ 8                # export a workload as OpenQASM 2
+    python -m repro run QuantumVolume 12 --topology Corral1,1 --basis siswap
+
+Every sub-command prints a text report; ``--csv PATH`` additionally writes
+the raw data for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    ReliabilityModel,
+    design_backends,
+    make_backend,
+    reliability_ranking,
+    run_point,
+)
+from repro.core.reliability import format_reliability_report
+from repro.core.sensitivity import format_sensitivity_report
+from repro.experiments import (
+    chevron_summary,
+    codesign_study,
+    figure6_study,
+    figure15_study,
+    format_frequency_report,
+    format_gate_report,
+    format_headline_report,
+    format_scheduling_report,
+    format_swap_report,
+    format_table_comparison,
+    frequency_crowding_study,
+    headline_study,
+    reduction_comparison,
+    scheduling_study,
+    swap_study,
+    table1,
+    table2,
+)
+from repro.experiments.swap_study import (
+    FIG4_TOPOLOGIES,
+    FIG11_TOPOLOGIES,
+    FIG12_TOPOLOGIES,
+)
+from repro.qasm import circuit_to_qasm
+from repro.snailsim import render_ascii_chevron
+from repro.topology import get_topology
+from repro.transpiler import format_metrics_table
+from repro.visualization import sweep_to_csv
+from repro.workloads import available_workloads, build_workload
+
+
+def _add_common_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("small", "large"), default="small")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--workloads", nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--csv", default=None, help="write the raw sweep data to a CSV file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Co-Designed Architectures for "
+        "Modular Superconducting Quantum Computers' (HPCA 2023).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("tables", help="regenerate Tables 1 and 2")
+
+    swaps = commands.add_parser("swaps", help="SWAP-count study (Figs. 4, 11, 12)")
+    _add_common_sweep_arguments(swaps)
+
+    codesign = commands.add_parser("codesign", help="co-design 2Q study (Figs. 13, 14)")
+    _add_common_sweep_arguments(codesign)
+
+    headline = commands.add_parser("headline", help="headline QV ratios (abstract)")
+    headline.add_argument("--sizes", type=int, nargs="*", default=None)
+    headline.add_argument("--seed", type=int, default=11)
+
+    sensitivity = commands.add_parser("sensitivity", help="n-root iSWAP study (Fig. 15)")
+    sensitivity.add_argument("--seed", type=int, default=2022)
+
+    commands.add_parser("chevron", help="SNAIL exchange chevron (Fig. 6)")
+
+    frequency = commands.add_parser(
+        "frequency", help="frequency-crowding feasibility per (topology, modulator)"
+    )
+    frequency.add_argument("--scale", choices=("small", "large"), default="small")
+
+    schedule = commands.add_parser(
+        "schedule", help="duration-aware co-design study (physical pulse lengths)"
+    )
+    schedule.add_argument("--scale", choices=("small", "large"), default="small")
+    schedule.add_argument("--sizes", type=int, nargs="*", default=(8, 12, 16))
+    schedule.add_argument("--workloads", nargs="*", default=("QuantumVolume", "GHZ"))
+    schedule.add_argument("--seed", type=int, default=5)
+
+    reliability = commands.add_parser(
+        "reliability", help="wall-clock reliability ranking of the design points"
+    )
+    reliability.add_argument("workload", choices=available_workloads())
+    reliability.add_argument("size", type=int)
+    reliability.add_argument("--scale", choices=("small", "large"), default="small")
+    reliability.add_argument("--two-qubit-fidelity", type=float, default=0.995)
+    reliability.add_argument("--t1-us", type=float, default=100.0)
+    reliability.add_argument("--t2-us", type=float, default=100.0)
+    reliability.add_argument("--seed", type=int, default=0)
+
+    qasm = commands.add_parser("qasm", help="export a workload circuit as OpenQASM 2")
+    qasm.add_argument("workload", choices=available_workloads())
+    qasm.add_argument("size", type=int)
+    qasm.add_argument("--seed", type=int, default=0)
+    qasm.add_argument(
+        "--transpile-to",
+        default=None,
+        help="optional topology name; the circuit is transpiled (synthesis mode) before export",
+    )
+    qasm.add_argument("--basis", default="siswap")
+    qasm.add_argument("--scale", choices=("small", "large"), default="small")
+
+    run = commands.add_parser("run", help="transpile one workload on one design point")
+    run.add_argument("workload", choices=available_workloads())
+    run.add_argument("size", type=int)
+    run.add_argument("--topology", default="Corral1,1")
+    run.add_argument("--basis", default="siswap")
+    run.add_argument("--scale", choices=("small", "large"), default="small")
+    run.add_argument("--routing", choices=("sabre", "stochastic", "basic"), default="sabre")
+    run.add_argument("--layout", choices=("dense", "trivial", "interaction", "vf2"), default="dense")
+    run.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_tables(_args: argparse.Namespace) -> str:
+    return "\n\n".join(
+        [
+            format_table_comparison(table1(), "Table 1 (measured | paper)"),
+            format_table_comparison(table2(), "Table 2 (measured | paper)"),
+        ]
+    )
+
+
+def _command_swaps(args: argparse.Namespace) -> str:
+    topologies = FIG11_TOPOLOGIES if args.scale == "small" else FIG12_TOPOLOGIES
+    if args.scale == "large" and args.workloads is None:
+        topologies = FIG4_TOPOLOGIES
+    result = swap_study(
+        args.scale,
+        topologies,
+        workloads=args.workloads,
+        sizes=args.sizes,
+        seed=args.seed,
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(sweep_to_csv(result))
+    return format_swap_report(result, "total_swaps") + "\n" + format_swap_report(
+        result, "critical_swaps"
+    )
+
+
+def _command_codesign(args: argparse.Namespace) -> str:
+    result = codesign_study(
+        args.scale, workloads=args.workloads, sizes=args.sizes, seed=args.seed
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(sweep_to_csv(result))
+    return format_gate_report(result, "total_2q") + "\n" + format_gate_report(
+        result, "critical_2q"
+    )
+
+
+def _command_headline(args: argparse.Namespace) -> str:
+    ratios = headline_study(sizes=args.sizes, seed=args.seed)
+    return format_headline_report(ratios)
+
+
+def _command_sensitivity(args: argparse.Namespace) -> str:
+    result = figure15_study(seed=args.seed)
+    report = [format_sensitivity_report(result), ""]
+    for root, values in sorted(reduction_comparison(result).items()):
+        report.append(
+            f"n={root}: measured reduction {100 * values['measured']:+.1f}% "
+            f"(paper {100 * values['paper']:.0f}%)"
+        )
+    return "\n".join(report)
+
+
+def _command_chevron(_args: argparse.Namespace) -> str:
+    data = figure6_study()
+    return chevron_summary(data) + "\n\n" + render_ascii_chevron(data)
+
+
+def _command_frequency(args: argparse.Namespace) -> str:
+    return format_frequency_report(frequency_crowding_study(scale=args.scale))
+
+
+def _command_schedule(args: argparse.Namespace) -> str:
+    rows = scheduling_study(
+        scale=args.scale,
+        workloads=tuple(args.workloads),
+        sizes=tuple(args.sizes),
+        seed=args.seed,
+    )
+    return format_scheduling_report(rows)
+
+
+def _command_reliability(args: argparse.Namespace) -> str:
+    model = ReliabilityModel(
+        two_qubit_fidelity=args.two_qubit_fidelity, t1_us=args.t1_us, t2_us=args.t2_us
+    )
+    backends = list(design_backends(args.scale).values())
+    ranking = reliability_ranking(
+        backends, args.workload, args.size, model=model, seed=args.seed
+    )
+    return format_reliability_report(ranking)
+
+
+def _command_qasm(args: argparse.Namespace) -> str:
+    circuit = build_workload(args.workload, args.size, seed=args.seed)
+    if args.transpile_to is not None:
+        backend = make_backend(
+            get_topology(args.transpile_to, args.scale),
+            args.basis,
+            name=f"{args.transpile_to}-{args.basis}",
+        )
+        circuit = backend.transpile(circuit, translation_mode="synthesis").circuit
+    return circuit_to_qasm(circuit)
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    backend = make_backend(
+        get_topology(args.topology, args.scale), args.basis, name=f"{args.topology}-{args.basis}"
+    )
+    metrics = run_point(
+        args.workload,
+        args.size,
+        backend,
+        seed=args.seed,
+        layout_method=args.layout,
+        routing_method=args.routing,
+    )
+    return format_metrics_table([metrics])
+
+
+_COMMANDS = {
+    "tables": _command_tables,
+    "swaps": _command_swaps,
+    "codesign": _command_codesign,
+    "headline": _command_headline,
+    "sensitivity": _command_sensitivity,
+    "chevron": _command_chevron,
+    "frequency": _command_frequency,
+    "schedule": _command_schedule,
+    "reliability": _command_reliability,
+    "qasm": _command_qasm,
+    "run": _command_run,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

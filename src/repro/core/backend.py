@@ -1,0 +1,78 @@
+"""Backend: a (topology, native basis gate) machine description.
+
+A backend bundles the two co-designed ingredients the paper studies — the
+coupling topology produced by a modulator's connectivity and the native
+basis gate produced by its physics — together with a transpile entry
+point, so that a design point such as "Corral(1,1) + sqrt(iSWAP)" or
+"Heavy-Hex + CNOT" is a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.decomposition.basis import BasisGateSpec, get_basis
+from repro.topology.coupling import CouplingMap
+from repro.topology.analysis import TopologyProperties, topology_properties
+from repro.transpiler.compile import TranspileResult, transpile
+
+
+@dataclass
+class Backend:
+    """A machine design point: topology + native two-qubit basis."""
+
+    coupling_map: CouplingMap
+    basis: BasisGateSpec
+    name: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.name is None:
+            self.name = f"{self.coupling_map.name}-{self.basis.name}"
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self.coupling_map.num_qubits
+
+    def properties(self) -> TopologyProperties:
+        """Graph-structural properties of the topology (Tables 1-2 row)."""
+        return topology_properties(self.coupling_map)
+
+    # -- compilation -----------------------------------------------------------
+
+    def transpile(
+        self,
+        circuit: QuantumCircuit,
+        layout_method: str = "dense",
+        routing_method: str = "sabre",
+        translation_mode: str = "count",
+        seed: int = 0,
+    ) -> TranspileResult:
+        """Transpile a circuit onto this backend (paper Fig. 10 flow)."""
+        return transpile(
+            circuit,
+            self.coupling_map,
+            basis=self.basis,
+            layout_method=layout_method,
+            routing_method=routing_method,
+            translation_mode=translation_mode,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Backend(name={self.name!r}, qubits={self.num_qubits}, "
+            f"basis={self.basis.name!r})"
+        )
+
+
+def make_backend(
+    coupling_map: CouplingMap, basis_name: str, name: Optional[str] = None
+) -> Backend:
+    """Convenience constructor from a topology and a basis name."""
+    return Backend(coupling_map=coupling_map, basis=get_basis(basis_name), name=name)

@@ -1,0 +1,114 @@
+"""Fidelity models of the paper (Eqs. 12-13) and circuit-level estimates.
+
+Two error regimes motivate the paper's twin metrics (Section 3.1):
+
+* control-imperfection dominated: every executed gate contributes error,
+  so *total gate count* is the figure of merit;
+* decoherence dominated: error accrues with time, so *circuit duration*
+  (critical-path pulse count) is the figure of merit.
+
+For the pulse-duration sensitivity study the paper assumes decoherence
+scales linearly with pulse length (Eq. 12): a basis pulse that is ``1/n``
+as long as an iSWAP has ``1/n`` of its infidelity.  The best achievable
+total fidelity of a decomposition with ``k`` pulses is then the product of
+the approximate-decomposition fidelity and the per-pulse decoherence
+fidelity raised to ``k`` (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.transpiler.metrics import TranspileMetrics
+
+
+def nth_root_pulse_fidelity(iswap_fidelity: float, n: int) -> float:
+    """Paper Eq. 12: ``Fb(n-root iSWAP) = 1 - (1 - Fb(iSWAP)) / n``."""
+    if n < 1:
+        raise ValueError("the root index must be a positive integer")
+    if not 0.0 <= iswap_fidelity <= 1.0:
+        raise ValueError("fidelity must lie in [0, 1]")
+    return 1.0 - (1.0 - iswap_fidelity) / n
+
+
+def decomposition_total_fidelity(
+    decomposition_fidelity: float, pulse_fidelity: float, applications: int
+) -> float:
+    """Paper Eq. 13 integrand: ``F_d * (F_b)^k`` for a k-pulse template."""
+    if applications < 0:
+        raise ValueError("the number of applications cannot be negative")
+    return float(decomposition_fidelity * pulse_fidelity ** applications)
+
+
+def best_total_fidelity(
+    candidates: Iterable[Tuple[int, float]], pulse_fidelity: float
+) -> Tuple[int, float]:
+    """Paper Eq. 13: maximise ``F_d(k) * Fb^k`` over template sizes ``k``.
+
+    Args:
+        candidates: pairs ``(k, decomposition_fidelity_at_k)``.
+        pulse_fidelity: per-pulse decoherence fidelity ``F_b``.
+
+    Returns:
+        ``(best_k, best_total_fidelity)``.
+    """
+    best_k = -1
+    best_value = -np.inf
+    for applications, decomposition_fidelity in candidates:
+        value = decomposition_total_fidelity(
+            decomposition_fidelity, pulse_fidelity, applications
+        )
+        if value > best_value:
+            best_value = value
+            best_k = int(applications)
+    if best_k < 0:
+        raise ValueError("no candidate template sizes were supplied")
+    return best_k, float(best_value)
+
+
+@dataclass(frozen=True)
+class FidelityModel:
+    """Uniform-fidelity machine model used to rank transpiled circuits.
+
+    The paper assumes all gates have uniform fidelity (Section 5) and uses
+    gate counts / durations as reliability surrogates; this model turns
+    those surrogates into explicit success-probability estimates so the
+    examples can report end-to-end numbers.
+
+    Attributes:
+        two_qubit_fidelity: per-two-qubit-gate fidelity (1Q gates are free).
+        decoherence_per_pulse: per-critical-path-pulse fidelity factor
+            capturing idle decoherence along the longest path.
+    """
+
+    two_qubit_fidelity: float = 0.995
+    decoherence_per_pulse: float = 0.999
+
+    def gate_limited(self, metrics: TranspileMetrics) -> float:
+        """Success estimate when control error dominates (count regime)."""
+        return float(self.two_qubit_fidelity ** metrics.total_2q)
+
+    def time_limited(self, metrics: TranspileMetrics) -> float:
+        """Success estimate when decoherence dominates (duration regime)."""
+        return float(self.decoherence_per_pulse ** metrics.weighted_duration
+                     if metrics.weighted_duration
+                     else self.decoherence_per_pulse ** metrics.critical_2q)
+
+    def combined(self, metrics: TranspileMetrics) -> float:
+        """Product of the two regimes (a pessimistic overall estimate)."""
+        return self.gate_limited(metrics) * self.time_limited(metrics)
+
+
+def compare_designs(
+    metrics: Sequence[TranspileMetrics], model: FidelityModel | None = None
+) -> Sequence[Tuple[str, float]]:
+    """Rank design points by the combined fidelity estimate (best first)."""
+    model = model or FidelityModel()
+    ranked = sorted(
+        ((f"{m.topology}+{m.basis}", model.combined(m)) for m in metrics),
+        key=lambda item: -item[1],
+    )
+    return ranked

@@ -1,0 +1,128 @@
+"""Sweep runner: transpile workload grids over backends and collect metrics.
+
+This is the programmatic equivalent of the paper's experimental flow
+(Fig. 10) applied over a grid of circuit sizes, workloads and design
+points; the experiment modules in :mod:`repro.experiments` are thin
+wrappers that pick the grids matching each figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.backend import Backend
+from repro.transpiler.metrics import TranspileMetrics
+from repro.workloads.registry import build_workload
+
+
+@dataclass
+class SweepResult:
+    """A flat collection of per-point metrics with grouping helpers."""
+
+    records: List[TranspileMetrics] = field(default_factory=list)
+
+    def add(self, metrics: TranspileMetrics) -> None:
+        """Append one measurement."""
+        self.records.append(metrics)
+
+    def filter(self, **criteria) -> "SweepResult":
+        """Records whose attributes match all keyword criteria."""
+        selected = [
+            record
+            for record in self.records
+            if all(getattr(record, key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(selected)
+
+    def series(self, group_by: str, x_field: str, y_field: str) -> Dict[str, List[tuple]]:
+        """Build plot-ready series: ``{group: [(x, y), ...]}`` sorted by x."""
+        series: Dict[str, List[tuple]] = {}
+        for record in self.records:
+            data = record.as_dict()
+            series.setdefault(str(data[group_by]), []).append(
+                (data[x_field], data[y_field])
+            )
+        return {key: sorted(values) for key, values in series.items()}
+
+    def average(self, y_field: str, **criteria) -> float:
+        """Mean of a metric over the matching records."""
+        matching = self.filter(**criteria).records
+        if not matching:
+            raise ValueError(f"no records match {criteria!r}")
+        values = [record.as_dict()[y_field] for record in matching]
+        return float(sum(values) / len(values))
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """All records as flat dictionaries."""
+        return [record.as_dict() for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def run_point(
+    workload: str,
+    num_qubits: int,
+    backend: Backend,
+    seed: int = 0,
+    layout_method: str = "dense",
+    routing_method: str = "sabre",
+) -> TranspileMetrics:
+    """Transpile one workload instance onto one backend and return metrics."""
+    circuit = build_workload(workload, num_qubits, seed=seed)
+    result = backend.transpile(
+        circuit,
+        layout_method=layout_method,
+        routing_method=routing_method,
+        seed=seed,
+    )
+    metrics = result.metrics
+    metrics.extra["workload"] = workload
+    metrics.extra["backend"] = backend.name
+    return metrics
+
+
+def run_sweep(
+    workloads: Sequence[str],
+    sizes: Sequence[int],
+    backends: Iterable[Backend],
+    seed: int = 0,
+    layout_method: str = "dense",
+    routing_method: str = "sabre",
+    progress: Optional[callable] = None,
+) -> SweepResult:
+    """Run the full (workload x size x backend) grid.
+
+    Args:
+        workloads: workload names from :mod:`repro.workloads.registry`.
+        sizes: circuit widths; widths larger than a backend are skipped.
+        backends: design points to evaluate.
+        seed: base RNG seed (shared across the grid so that identical
+            circuits are compared across backends).
+        layout_method / routing_method: transpiler configuration.
+        progress: optional callable invoked with a status string per point.
+    """
+    result = SweepResult()
+    backends = list(backends)
+    for workload in workloads:
+        for size in sizes:
+            for backend in backends:
+                if size > backend.num_qubits:
+                    continue
+                if progress is not None:
+                    progress(f"{workload}-{size} on {backend.name}")
+                result.add(
+                    run_point(
+                        workload,
+                        size,
+                        backend,
+                        seed=seed,
+                        layout_method=layout_method,
+                        routing_method=routing_method,
+                    )
+                )
+    return result

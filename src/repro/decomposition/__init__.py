@@ -1,0 +1,63 @@
+"""Two-qubit decomposition machinery: coverage rules, bases, templates."""
+
+from repro.decomposition import coverage
+from repro.decomposition.coverage import (
+    basis_count,
+    cnot_count,
+    expected_haar_average,
+    nth_root_iswap_count,
+    sqiswap_count,
+    syc_count,
+)
+from repro.decomposition.basis import (
+    BasisGateSpec,
+    cx_basis,
+    get_basis,
+    iswap_basis,
+    nth_root_iswap_basis,
+    sqiswap_basis,
+    syc_basis,
+)
+from repro.decomposition.exact import (
+    ccx_to_cx,
+    cphase_to_cx,
+    cz_to_cx,
+    expand_named_gate,
+    iswap_to_cx,
+    rxx_to_cx,
+    rzz_to_cx,
+    swap_to_cx,
+)
+from repro.decomposition.approximate import (
+    ApproximateDecomposition,
+    TemplateDecomposer,
+    decomposition_fidelity_curve,
+)
+
+__all__ = [
+    "coverage",
+    "basis_count",
+    "cnot_count",
+    "expected_haar_average",
+    "nth_root_iswap_count",
+    "sqiswap_count",
+    "syc_count",
+    "BasisGateSpec",
+    "cx_basis",
+    "get_basis",
+    "iswap_basis",
+    "nth_root_iswap_basis",
+    "sqiswap_basis",
+    "syc_basis",
+    "ccx_to_cx",
+    "cphase_to_cx",
+    "cz_to_cx",
+    "expand_named_gate",
+    "iswap_to_cx",
+    "rxx_to_cx",
+    "rzz_to_cx",
+    "swap_to_cx",
+    "ApproximateDecomposition",
+    "TemplateDecomposer",
+    "decomposition_fidelity_curve",
+]

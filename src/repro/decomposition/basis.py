@@ -1,0 +1,135 @@
+"""Basis-gate specifications for the co-design study.
+
+A :class:`BasisGateSpec` bundles everything the transpiler and the fidelity
+models need to know about a hardware-native two-qubit gate:
+
+* the concrete :class:`~repro.circuits.gate.Gate` it instantiates,
+* the coverage rule (how many applications an arbitrary two-qubit unitary
+  requires),
+* its relative pulse duration (an ``n``-th-root iSWAP lasts ``1/n`` of a
+  full iSWAP — paper Eq. 9 and Section 6.3),
+* the modulator that produces it (CR -> CNOT, fSim coupler -> SYC,
+  SNAIL -> n-root iSWAP), for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.decomposition import coverage
+from repro.gates import CXGate, ISwapGate, NthRootISwapGate, SqrtISwapGate, SycamoreGate
+from repro.linalg.weyl import WeylCoordinates
+
+
+@dataclass(frozen=True)
+class BasisGateSpec:
+    """Description of a hardware-native two-qubit basis gate."""
+
+    name: str
+    modulator: str
+    gate_factory: Callable[[], Gate]
+    count_fn: Callable[[WeylCoordinates], int]
+    pulse_duration: float
+
+    def gate(self) -> Gate:
+        """A fresh instance of the basis gate."""
+        return self.gate_factory()
+
+    def matrix(self) -> np.ndarray:
+        """Unitary of the basis gate."""
+        return self.gate_factory().matrix()
+
+    def count(self, target) -> int:
+        """Applications needed for ``target`` (coords or 4x4 unitary)."""
+        return self.count_fn(target)
+
+    def duration_for(self, target) -> float:
+        """Total pulse duration (in iSWAP units) to realise ``target``."""
+        return self.count(target) * self.pulse_duration
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def cx_basis() -> BasisGateSpec:
+    """CNOT basis produced by the CR modulator (IBM machines)."""
+    return BasisGateSpec(
+        name="cx",
+        modulator="CR",
+        gate_factory=CXGate,
+        count_fn=coverage.cnot_count,
+        pulse_duration=1.0,
+    )
+
+
+def sqiswap_basis() -> BasisGateSpec:
+    """sqrt(iSWAP) basis produced by the SNAIL modulator."""
+    return BasisGateSpec(
+        name="siswap",
+        modulator="SNAIL",
+        gate_factory=SqrtISwapGate,
+        count_fn=coverage.sqiswap_count,
+        pulse_duration=0.5,
+    )
+
+
+def syc_basis() -> BasisGateSpec:
+    """SYC (fSim(pi/2, pi/6)) basis produced by Google's tunable coupler."""
+    return BasisGateSpec(
+        name="syc",
+        modulator="FSIM",
+        gate_factory=SycamoreGate,
+        count_fn=coverage.syc_count,
+        pulse_duration=1.0,
+    )
+
+
+def iswap_basis() -> BasisGateSpec:
+    """Full iSWAP basis (n = 1), mostly used by the sensitivity study."""
+    return BasisGateSpec(
+        name="iswap",
+        modulator="SNAIL",
+        gate_factory=ISwapGate,
+        count_fn=lambda target: coverage.nth_root_iswap_count(target, 1),
+        pulse_duration=1.0,
+    )
+
+
+def nth_root_iswap_basis(n: int) -> BasisGateSpec:
+    """``n``-th-root iSWAP basis (SNAIL), pulse duration ``1/n``."""
+    if n < 1:
+        raise ValueError("root index must be positive")
+    if n == 2:
+        return sqiswap_basis()
+    if n == 1:
+        return iswap_basis()
+    return BasisGateSpec(
+        name=f"iswap_root{n}",
+        modulator="SNAIL",
+        gate_factory=lambda: NthRootISwapGate(n),
+        count_fn=lambda target: coverage.nth_root_iswap_count(target, n),
+        pulse_duration=1.0 / n,
+    )
+
+
+def get_basis(name: str) -> BasisGateSpec:
+    """Look up a basis spec by name."""
+    registry: Dict[str, Callable[[], BasisGateSpec]] = {
+        "cx": cx_basis,
+        "cnot": cx_basis,
+        "siswap": sqiswap_basis,
+        "sqiswap": sqiswap_basis,
+        "sqrt_iswap": sqiswap_basis,
+        "syc": syc_basis,
+        "sycamore": syc_basis,
+        "iswap": iswap_basis,
+    }
+    if name in registry:
+        return registry[name]()
+    if name.startswith("iswap_root"):
+        return nth_root_iswap_basis(int(name[len("iswap_root"):]))
+    raise ValueError(f"unknown basis gate {name!r}")

@@ -1,0 +1,160 @@
+"""Basis-gate coverage rules: how many basis applications a 2Q unitary needs.
+
+The paper's evaluation counts, for every two-qubit unitary left after
+routing, the number of native basis-gate pulses required to implement it
+(Section 3.1, Observation 1).  Those counts are functions of the target's
+canonical (Weyl) coordinates only:
+
+* **CNOT / CX** (CR modulator): 3 applications always suffice; 2 suffice
+  exactly when the third coordinate vanishes; 1 when the target is in the
+  CNOT class; 0 when it is local [Vidal & Dawson; Shende et al.].
+* **sqrt(iSWAP)** (SNAIL modulator): 3 always suffice; 2 suffice exactly on
+  the coverage set ``x >= y + |z|`` [Huang et al., "Towards ultra-high
+  fidelity quantum operations: SQiSW gate as a native two-qubit gate"],
+  which contains the CNOT class but not SWAP — the source of the paper's
+  "slight information theoretic advantage" of sqrt(iSWAP) over CNOT.
+* **SYC** (Google fSim(pi/2, pi/6)): the best known analytic decomposition
+  of an arbitrary two-qubit gate uses exactly 4 applications (paper
+  Observation 1, citing Crooks).  For targets cheaper than fully generic we
+  model the cost as one application more than the CNOT cost, capped at 4,
+  which matches the paper's qualitative statement that SYC behaves like
+  CNOT "plus a scaling factor".  The named special cases are checked
+  numerically in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.linalg.weyl import (
+    CNOT_CLASS,
+    SQRT_ISWAP_CLASS,
+    WeylCoordinates,
+    nth_root_iswap_class,
+    weyl_coordinates,
+)
+
+_DEFAULT_ATOL = 1e-6
+
+CoordinatesLike = Union[WeylCoordinates, np.ndarray]
+
+
+def _as_coordinates(target: CoordinatesLike) -> WeylCoordinates:
+    """Accept either canonical coordinates or a 4x4 unitary."""
+    if isinstance(target, WeylCoordinates):
+        return target
+    return weyl_coordinates(np.asarray(target, dtype=complex))
+
+
+def cnot_count(target: CoordinatesLike, atol: float = _DEFAULT_ATOL) -> int:
+    """Number of CNOT applications required for ``target``."""
+    coords = _as_coordinates(target)
+    if coords.is_local(atol):
+        return 0
+    if coords.equals(CNOT_CLASS, atol):
+        return 1
+    if abs(coords.z) <= atol:
+        return 2
+    return 3
+
+
+def sqiswap_count(target: CoordinatesLike, atol: float = _DEFAULT_ATOL) -> int:
+    """Number of sqrt(iSWAP) applications required for ``target``."""
+    coords = _as_coordinates(target)
+    if coords.is_local(atol):
+        return 0
+    if coords.equals(SQRT_ISWAP_CLASS, atol):
+        return 1
+    if coords.x + atol >= coords.y + abs(coords.z):
+        return 2
+    return 3
+
+
+def syc_count(target: CoordinatesLike, atol: float = _DEFAULT_ATOL) -> int:
+    """Number of SYC applications required for ``target`` (modelled).
+
+    See the module docstring: 4 for the generic case, CNOT-count + 1 for
+    cheaper targets, 1 for the SYC class itself, 0 for local targets.
+    """
+    coords = _as_coordinates(target)
+    if coords.is_local(atol):
+        return 0
+    if coords.equals(syc_class(), atol):
+        return 1
+    return min(cnot_count(coords, atol) + 1, 4)
+
+
+def nth_root_iswap_count(
+    target: CoordinatesLike, n: int, atol: float = _DEFAULT_ATOL
+) -> int:
+    """Lower-bound style count for the ``n``-th root of iSWAP (n >= 2).
+
+    For ``n == 2`` this is the exact sqrt(iSWAP) rule.  For ``n > 2`` no
+    analytic decomposition is known (paper Section 6.3); we return the
+    interaction-strength lower bound ``ceil(n * required_iswap_fraction)``
+    where the required fraction comes from the coordinate sum — the
+    approximate template engine in
+    :mod:`repro.decomposition.approximate` then determines the achievable
+    count numerically (typically the bound plus one).
+    """
+    if n < 1:
+        raise ValueError("root index must be a positive integer")
+    coords = _as_coordinates(target)
+    if coords.is_local(atol):
+        return 0
+    if coords.equals(nth_root_iswap_class(n), atol):
+        return 1
+    if n == 2:
+        return sqiswap_count(coords, atol)
+    # Each application contributes at most pi/(4n) to x + y (and nothing to
+    # the reachable |z| beyond what x, y allow), so the total interaction
+    # needed bounds the count from below.
+    per_application = np.pi / (4.0 * n)
+    required = (coords.x + coords.y + abs(coords.z)) / (2.0 * per_application)
+    return max(2, int(np.ceil(required - atol)))
+
+
+_SYC_CLASS_CACHE: WeylCoordinates = None
+
+
+def syc_class() -> WeylCoordinates:
+    """Canonical Weyl class of the SYC gate (computed once from its matrix)."""
+    global _SYC_CLASS_CACHE
+    if _SYC_CLASS_CACHE is None:
+        from repro.gates import SycamoreGate
+
+        _SYC_CLASS_CACHE = weyl_coordinates(SycamoreGate().matrix())
+    return _SYC_CLASS_CACHE
+
+
+def basis_count(target: CoordinatesLike, basis_name: str, atol: float = _DEFAULT_ATOL) -> int:
+    """Dispatch by basis name ('cx', 'siswap', 'syc', 'iswap_root<n>')."""
+    if basis_name in ("cx", "cnot", "cz"):
+        return cnot_count(target, atol)
+    if basis_name in ("siswap", "sqiswap", "sqrt_iswap"):
+        return sqiswap_count(target, atol)
+    if basis_name in ("syc", "sycamore", "fsim"):
+        return syc_count(target, atol)
+    if basis_name.startswith("iswap_root"):
+        return nth_root_iswap_count(target, int(basis_name[len("iswap_root"):]), atol)
+    if basis_name == "iswap":
+        return nth_root_iswap_count(target, 1, atol)
+    raise ValueError(f"unknown basis gate {basis_name!r}")
+
+
+def expected_haar_average(basis_name: str, samples: int = 200, seed: int = 7) -> float:
+    """Average basis count over Haar-random two-qubit unitaries.
+
+    Reproduces the information-theoretic comparison of Observation 1:
+    sqrt(iSWAP) needs 2 applications far more often than CNOT does.
+    """
+    from repro.linalg.random import random_unitary
+
+    rng = np.random.default_rng(seed)
+    total = 0
+    for _ in range(samples):
+        unitary = random_unitary(4, rng)
+        total += basis_count(unitary, basis_name)
+    return total / samples

@@ -1,0 +1,136 @@
+"""Exact translation rules for named gates.
+
+These are the closed-form substitution rules the transpiler's synthesis
+mode uses for the common named gates (the counterpart of the paper's
+"closed-form substitution rules", Section 2.3).  Each rule returns a small
+:class:`~repro.circuits.circuit.QuantumCircuit` on two (or three) qubits
+that implements the source gate exactly — verified by the unitary
+simulator in the test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+
+
+def swap_to_cx() -> QuantumCircuit:
+    """SWAP = 3 alternating CNOTs."""
+    circuit = QuantumCircuit(2, name="swap_to_cx")
+    circuit.cx(0, 1)
+    circuit.cx(1, 0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def cz_to_cx() -> QuantumCircuit:
+    """CZ = H(target) CX H(target)."""
+    circuit = QuantumCircuit(2, name="cz_to_cx")
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.h(1)
+    return circuit
+
+
+def cx_to_cz() -> QuantumCircuit:
+    """CX = H(target) CZ H(target)."""
+    circuit = QuantumCircuit(2, name="cx_to_cz")
+    circuit.h(1)
+    circuit.cz(0, 1)
+    circuit.h(1)
+    return circuit
+
+
+def cphase_to_cx(lam: float) -> QuantumCircuit:
+    """Controlled-phase via two CNOTs and three phase rotations."""
+    circuit = QuantumCircuit(2, name="cp_to_cx")
+    circuit.rz(lam / 2.0, 0)
+    circuit.cx(0, 1)
+    circuit.rz(-lam / 2.0, 1)
+    circuit.cx(0, 1)
+    circuit.rz(lam / 2.0, 1)
+    return circuit
+
+
+def rzz_to_cx(theta: float) -> QuantumCircuit:
+    """exp(-i theta/2 ZZ) via CX - Rz - CX."""
+    circuit = QuantumCircuit(2, name="rzz_to_cx")
+    circuit.cx(0, 1)
+    circuit.rz(theta, 1)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def rxx_to_cx(theta: float) -> QuantumCircuit:
+    """exp(-i theta/2 XX) via Hadamard conjugation of the ZZ rule."""
+    circuit = QuantumCircuit(2, name="rxx_to_cx")
+    circuit.h(0)
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.rz(theta, 1)
+    circuit.cx(0, 1)
+    circuit.h(0)
+    circuit.h(1)
+    return circuit
+
+
+def iswap_to_cx() -> QuantumCircuit:
+    """iSWAP via two CNOTs and Clifford single-qubit gates.
+
+    iSWAP = (S (x) S) (H (x) I) CX(0,1) CX(1,0) (I (x) H).
+    """
+    circuit = QuantumCircuit(2, name="iswap_to_cx")
+    circuit.s(0)
+    circuit.s(1)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 0)
+    circuit.h(1)
+    return circuit
+
+
+def ccx_to_cx() -> QuantumCircuit:
+    """Standard 6-CNOT Toffoli decomposition (qubits: control0, control1, target)."""
+    circuit = QuantumCircuit(3, name="ccx_to_cx")
+    circuit.h(2)
+    circuit.cx(1, 2)
+    circuit.tdg(2)
+    circuit.cx(0, 2)
+    circuit.t(2)
+    circuit.cx(1, 2)
+    circuit.tdg(2)
+    circuit.cx(0, 2)
+    circuit.t(1)
+    circuit.t(2)
+    circuit.h(2)
+    circuit.cx(0, 1)
+    circuit.t(0)
+    circuit.tdg(1)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def expand_named_gate(gate: Gate) -> QuantumCircuit:
+    """Expand a named multi-qubit gate into 1Q + CX gates.
+
+    Used by the pre-routing pass that removes gates on three or more
+    qubits; raises for gates without a registered rule.
+    """
+    name = gate.name
+    if name == "ccx":
+        return ccx_to_cx()
+    if name == "swap":
+        return swap_to_cx()
+    if name == "cz":
+        return cz_to_cx()
+    if name == "cp":
+        return cphase_to_cx(gate.params[0])
+    if name == "rzz":
+        return rzz_to_cx(gate.params[0])
+    if name == "rxx":
+        return rxx_to_cx(gate.params[0])
+    if name == "iswap":
+        return iswap_to_cx()
+    raise ValueError(f"no exact expansion rule registered for gate {name!r}")

@@ -1,0 +1,91 @@
+"""Experiment harness: one module per paper table / figure."""
+
+from repro.experiments.tables import (
+    TableComparison,
+    format_table_comparison,
+    table1,
+    table2,
+)
+from repro.experiments.swap_study import (
+    FIG4_TOPOLOGIES,
+    FIG11_TOPOLOGIES,
+    FIG12_TOPOLOGIES,
+    figure4_study,
+    figure11_study,
+    figure12_study,
+    format_swap_report,
+    swap_series,
+    swap_study,
+)
+from repro.experiments.gate_study import (
+    codesign_study,
+    figure13_study,
+    figure14_study,
+    format_gate_report,
+    gate_series,
+)
+from repro.experiments.headline import (
+    HeadlineRatios,
+    format_headline_report,
+    headline_study,
+)
+from repro.experiments.sensitivity_study import figure15_study, reduction_comparison
+from repro.experiments.chevron_study import chevron_summary, figure6_study
+from repro.experiments.corral_scaling import (
+    CorralScalingRow,
+    corral_scaling_study,
+    format_corral_scaling,
+)
+from repro.experiments.frequency_study import (
+    FrequencyStudyRow,
+    feasible_modulators,
+    format_frequency_report,
+    frequency_crowding_study,
+)
+from repro.experiments.scheduling_study import (
+    SchedulingStudyRow,
+    duration_series,
+    format_scheduling_report,
+    scheduling_study,
+)
+from repro.experiments import paper_values
+
+__all__ = [
+    "TableComparison",
+    "format_table_comparison",
+    "table1",
+    "table2",
+    "FIG4_TOPOLOGIES",
+    "FIG11_TOPOLOGIES",
+    "FIG12_TOPOLOGIES",
+    "figure4_study",
+    "figure11_study",
+    "figure12_study",
+    "format_swap_report",
+    "swap_series",
+    "swap_study",
+    "codesign_study",
+    "figure13_study",
+    "figure14_study",
+    "format_gate_report",
+    "gate_series",
+    "HeadlineRatios",
+    "format_headline_report",
+    "headline_study",
+    "figure15_study",
+    "reduction_comparison",
+    "chevron_summary",
+    "figure6_study",
+    "CorralScalingRow",
+    "corral_scaling_study",
+    "format_corral_scaling",
+    "FrequencyStudyRow",
+    "feasible_modulators",
+    "format_frequency_report",
+    "frequency_crowding_study",
+    "SchedulingStudyRow",
+    "duration_series",
+    "format_scheduling_report",
+    "scheduling_study",
+    "paper_values",
+]

@@ -1,0 +1,107 @@
+"""Extension experiment: scaling the Corral beyond the paper's 16 qubits.
+
+The paper's conclusion lists "exploring methods to scale Corral ... to
+compete with aspirational hypercube topologies for larger qubit numbers"
+as future work.  The Corral construction in this library already scales by
+adding posts to the ring, so this experiment quantifies how the scaled
+Corral compares, structurally and on Quantum Volume routing cost, against
+a hypercube trimmed to the same number of qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.backend import make_backend
+from repro.core.pipeline import run_point
+from repro.topology.analysis import topology_properties
+from repro.topology.lattices import trimmed_hypercube
+from repro.topology.snail import corral_topology
+from repro.workloads.registry import QUANTUM_VOLUME
+
+
+@dataclass(frozen=True)
+class CorralScalingRow:
+    """One ring size of the scaling study."""
+
+    num_posts: int
+    num_qubits: int
+    corral_diameter: float
+    corral_avg_connectivity: float
+    hypercube_diameter: float
+    hypercube_avg_connectivity: float
+    corral_qv_swaps: int
+    hypercube_qv_swaps: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "posts": self.num_posts,
+            "qubits": self.num_qubits,
+            "corral_diameter": self.corral_diameter,
+            "corral_avg_connectivity": self.corral_avg_connectivity,
+            "hypercube_diameter": self.hypercube_diameter,
+            "hypercube_avg_connectivity": self.hypercube_avg_connectivity,
+            "corral_qv_swaps": self.corral_qv_swaps,
+            "hypercube_qv_swaps": self.hypercube_qv_swaps,
+        }
+
+
+def corral_scaling_study(
+    post_counts: Sequence[int] = (8, 12, 16, 20),
+    strides: Tuple[int, int] = (1, 3),
+    qv_fraction: float = 0.75,
+    seed: int = 13,
+) -> List[CorralScalingRow]:
+    """Compare scaled Corrals against equally sized trimmed hypercubes.
+
+    Args:
+        post_counts: ring sizes to evaluate (``2 * posts`` qubits each).
+        strides: corral rail strides (the registry's Corral(1,2) instance).
+        qv_fraction: the QV circuit width as a fraction of the machine size.
+        seed: transpilation seed.
+    """
+    rows: List[CorralScalingRow] = []
+    for posts in post_counts:
+        num_qubits = 2 * posts
+        corral = corral_topology(posts, strides, name=f"Corral-{posts}posts")
+        cube = trimmed_hypercube(num_qubits, name=f"Hypercube-{num_qubits}")
+        corral_props = topology_properties(corral)
+        cube_props = topology_properties(cube)
+        qv_width = max(4, int(round(qv_fraction * num_qubits)))
+        corral_metrics = run_point(
+            QUANTUM_VOLUME, qv_width, make_backend(corral, "siswap"), seed=seed
+        )
+        cube_metrics = run_point(
+            QUANTUM_VOLUME, qv_width, make_backend(cube, "siswap"), seed=seed
+        )
+        rows.append(
+            CorralScalingRow(
+                num_posts=posts,
+                num_qubits=num_qubits,
+                corral_diameter=corral_props.diameter,
+                corral_avg_connectivity=corral_props.average_connectivity,
+                hypercube_diameter=cube_props.diameter,
+                hypercube_avg_connectivity=cube_props.average_connectivity,
+                corral_qv_swaps=corral_metrics.total_swaps,
+                hypercube_qv_swaps=cube_metrics.total_swaps,
+            )
+        )
+    return rows
+
+
+def format_corral_scaling(rows: Sequence[CorralScalingRow]) -> str:
+    """Fixed-width rendering of the scaling study."""
+    header = (
+        f"{'posts':>6}{'qubits':>8}{'corral dia':>12}{'cube dia':>10}"
+        f"{'corral avgC':>13}{'cube avgC':>11}{'corral QV swaps':>17}{'cube QV swaps':>15}"
+    )
+    lines = ["Corral scaling study (future-work extension)", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.num_posts:>6}{row.num_qubits:>8}{row.corral_diameter:>12.1f}"
+            f"{row.hypercube_diameter:>10.1f}{row.corral_avg_connectivity:>13.2f}"
+            f"{row.hypercube_avg_connectivity:>11.2f}{row.corral_qv_swaps:>17}"
+            f"{row.hypercube_qv_swaps:>15}"
+        )
+    return "\n".join(lines)

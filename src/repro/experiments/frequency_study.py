@@ -1,0 +1,97 @@
+"""Frequency-crowding study (extension of paper Sections 2.4 / 4.1).
+
+The paper argues qualitatively that the SNAIL's wide pump band is what
+makes rich topologies (Tree, Corral, hypercube-like connectivity) physically
+allocatable, while the CR and fSim schemes crowd as connectivity grows —
+the reason IBM retreated to Heavy-Hex.  This experiment quantifies that
+argument: for every (topology, modulator) pair it runs the greedy tone
+allocator and reports whether a collision-free frequency plan exists, how
+many couplings collide, and how much of the band is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.frequency.allocation import FrequencyPlan, allocate_frequencies
+from repro.frequency.modulators import ModulatorSpec, get_modulator
+from repro.topology.registry import large_topologies, small_topologies
+
+#: Modulators compared in the study, in paper order.
+STUDY_MODULATORS = ("CR", "FSIM", "SNAIL")
+
+
+@dataclass(frozen=True)
+class FrequencyStudyRow:
+    """One (topology, modulator) cell of the crowding table."""
+
+    topology: str
+    modulator: str
+    num_qubits: int
+    num_edges: int
+    max_degree: int
+    feasible: bool
+    collisions: int
+    collision_fraction: float
+    bandwidth_used: float
+    crowding_score: float
+
+
+def frequency_crowding_study(
+    scale: str = "small",
+    topologies: Optional[Sequence[str]] = None,
+    modulators: Sequence[str] = STUDY_MODULATORS,
+    grid_step: float = 0.01,
+) -> List[FrequencyStudyRow]:
+    """Allocate pump tones for every (topology, modulator) pair at one scale."""
+    registry = small_topologies() if scale == "small" else large_topologies()
+    names = list(topologies or sorted(registry))
+    rows: List[FrequencyStudyRow] = []
+    for name in names:
+        coupling_map = registry[name]
+        max_degree = max(coupling_map.degree(q) for q in range(coupling_map.num_qubits))
+        for modulator_name in modulators:
+            spec: ModulatorSpec = get_modulator(modulator_name)
+            plan = allocate_frequencies(coupling_map, spec, grid_step=grid_step)
+            rows.append(
+                FrequencyStudyRow(
+                    topology=name,
+                    modulator=spec.name,
+                    num_qubits=coupling_map.num_qubits,
+                    num_edges=coupling_map.num_edges(),
+                    max_degree=max_degree,
+                    feasible=plan.is_feasible,
+                    collisions=len(plan.collisions),
+                    collision_fraction=plan.collision_fraction(),
+                    bandwidth_used=plan.bandwidth_used(),
+                    crowding_score=plan.crowding_score(),
+                )
+            )
+    return rows
+
+
+def feasible_modulators(rows: Sequence[FrequencyStudyRow]) -> Dict[str, List[str]]:
+    """Topology -> list of modulators that allocate it without collisions."""
+    result: Dict[str, List[str]] = {}
+    for row in rows:
+        result.setdefault(row.topology, [])
+        if row.feasible:
+            result[row.topology].append(row.modulator)
+    return result
+
+
+def format_frequency_report(rows: Sequence[FrequencyStudyRow]) -> str:
+    """Text table: one row per (topology, modulator)."""
+    header = (
+        f"{'topology':<22}{'modulator':<10}{'qubits':>7}{'edges':>7}{'maxdeg':>7}"
+        f"{'feasible':>10}{'collisions':>12}{'bandwidth':>11}{'crowding':>10}"
+    )
+    lines = ["Frequency-crowding study", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.topology:<22}{row.modulator:<10}{row.num_qubits:>7}{row.num_edges:>7}"
+            f"{row.max_degree:>7}{str(row.feasible):>10}{row.collisions:>12}"
+            f"{row.bandwidth_used:>11.2f}{row.crowding_score:>10.2f}"
+        )
+    return "\n".join(lines)

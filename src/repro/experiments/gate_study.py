@@ -1,0 +1,75 @@
+"""Experiments: co-design 2Q-gate-count studies (paper Figs. 13 and 14).
+
+After routing, every two-qubit unitary (including the induced SWAPs) is
+decomposed into the machine's native basis, and the paper reports total
+2Q basis-gate counts ("total 2Q count") and critical-path 2Q counts
+("pulse duration") as a function of circuit size for each co-designed
+(topology, basis) pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.codesign import LARGE_DESIGN_POINTS, SMALL_DESIGN_POINTS, CodesignPoint
+from repro.core.pipeline import SweepResult, run_sweep
+from repro.experiments.swap_study import default_sizes
+from repro.workloads.registry import PAPER_WORKLOADS
+
+
+def codesign_study(
+    scale: str,
+    design_points: Optional[Sequence[CodesignPoint]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 11,
+    routing_method: str = "sabre",
+) -> SweepResult:
+    """Run the co-design grid at the requested scale."""
+    if design_points is None:
+        design_points = SMALL_DESIGN_POINTS if scale == "small" else LARGE_DESIGN_POINTS
+    backends = [point.backend(scale) for point in design_points]
+    workloads = list(workloads or PAPER_WORKLOADS)
+    sizes = list(sizes or default_sizes(scale))
+    return run_sweep(workloads, sizes, backends, seed=seed, routing_method=routing_method)
+
+
+def figure13_study(**overrides) -> SweepResult:
+    """Paper Fig. 13: 16-20 qubit co-design points."""
+    return codesign_study("small", **overrides)
+
+
+def figure14_study(**overrides) -> SweepResult:
+    """Paper Fig. 14: 84-qubit co-design points."""
+    return codesign_study("large", **overrides)
+
+
+def gate_series(result: SweepResult, workload: str, metric: str) -> Dict[str, List[tuple]]:
+    """Per-design-point series of ``metric`` vs. circuit size for a workload.
+
+    ``metric`` is ``"total_2q"`` (figure top rows), ``"critical_2q"``
+    (bottom rows / pulse duration) or ``"weighted_duration"`` (pulse-length
+    weighted variant).
+    """
+    filtered = SweepResult(
+        [record for record in result if record.extra.get("workload") == workload]
+    )
+    return filtered.series("backend", "circuit_qubits", metric)
+
+
+def format_gate_report(result: SweepResult, metric: str = "total_2q") -> str:
+    """Text rendering: one block per workload, one row per design point."""
+    workloads = sorted({record.extra.get("workload") for record in result})
+    lines = []
+    for workload in workloads:
+        lines.append(f"== {workload} ({metric}) ==")
+        series = gate_series(result, workload, metric)
+        sizes = sorted({x for values in series.values() for x, _ in values})
+        header = f"{'design point':<26}" + "".join(f"{size:>9}" for size in sizes)
+        lines.append(header)
+        for label, values in sorted(series.items()):
+            by_size = dict(values)
+            cells = "".join(f"{by_size.get(size, ''):>9}" for size in sizes)
+            lines.append(f"{label:<26}{cells}")
+        lines.append("")
+    return "\n".join(lines)

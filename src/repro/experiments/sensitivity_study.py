@@ -1,0 +1,55 @@
+"""Experiment: Fig. 15 — n-th-root iSWAP sensitivity study wrapper.
+
+Thin wrapper over :func:`repro.core.sensitivity.pulse_duration_sensitivity_study`
+with the quick/full parameter selection used by the benchmark harness, plus
+the comparison against the paper's reported infidelity reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.sensitivity import (
+    SensitivityStudyResult,
+    pulse_duration_sensitivity_study,
+)
+from repro.experiments.paper_values import NROOT_INFIDELITY_REDUCTION
+from repro.experiments.swap_study import full_runs_enabled
+
+
+def figure15_study(
+    roots: Optional[Sequence[int]] = None,
+    num_targets: Optional[int] = None,
+    k_values: Optional[Sequence[int]] = None,
+    seed: int = 2022,
+) -> SensitivityStudyResult:
+    """Run the Fig.-15 study with quick defaults (full when REPRO_FULL=1).
+
+    The paper uses 50 Haar-random targets and roots 2..7; the quick
+    configuration uses 8 targets and roots 2..5, which is enough to see the
+    same ordering and crossovers in a few minutes of laptop time.
+    """
+    if full_runs_enabled():
+        roots = roots or (2, 3, 4, 5, 6, 7)
+        num_targets = num_targets or 50
+        k_values = k_values or tuple(range(2, 9))
+    else:
+        roots = roots or (2, 3, 4, 5)
+        num_targets = num_targets or 8
+        k_values = k_values or tuple(range(2, 7))
+    return pulse_duration_sensitivity_study(
+        roots=roots,
+        k_values=k_values,
+        num_targets=num_targets,
+        seed=seed,
+    )
+
+
+def reduction_comparison(result: SensitivityStudyResult) -> Dict[int, Dict[str, float]]:
+    """Measured vs. paper infidelity reductions at Fb(iSWAP) = 0.99."""
+    measured = result.infidelity_reduction_vs_sqiswap(0.99)
+    comparison: Dict[int, Dict[str, float]] = {}
+    for root, paper_value in NROOT_INFIDELITY_REDUCTION.items():
+        if root in measured:
+            comparison[root] = {"measured": measured[root], "paper": paper_value}
+    return comparison

@@ -1,0 +1,123 @@
+"""Experiments: SWAP-count studies (paper Figs. 4, 11 and 12).
+
+These studies are *gate-agnostic*: they transpile each workload onto each
+topology with a fixed (CNOT) basis and report only the routing-induced
+SWAP counts, total and critical-path, as a function of circuit size — the
+paper's measure of how efficiently a topology supports data movement.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.backend import make_backend
+from repro.core.pipeline import SweepResult, run_sweep
+from repro.topology.registry import (
+    CORRAL_1_1,
+    CORRAL_1_2,
+    HEAVY_HEX,
+    HEX_LATTICE,
+    HYPERCUBE,
+    LATTICE_ALT_DIAG,
+    SQUARE_LATTICE,
+    TREE,
+    TREE_RR,
+    large_topologies,
+    small_topologies,
+)
+from repro.workloads.registry import PAPER_WORKLOADS
+
+#: Fig. 4 compares the "standard" topologies at the 84-qubit scale.
+FIG4_TOPOLOGIES = [HEAVY_HEX, HEX_LATTICE, SQUARE_LATTICE, LATTICE_ALT_DIAG, HYPERCUBE]
+
+#: Fig. 11 compares the SNAIL-enabled topologies at the 16-qubit scale.
+FIG11_TOPOLOGIES = [SQUARE_LATTICE, HYPERCUBE, TREE, TREE_RR, CORRAL_1_1, CORRAL_1_2]
+
+#: Fig. 12 compares SNAIL topologies against the baselines at 84 qubits.
+FIG12_TOPOLOGIES = [HEAVY_HEX, SQUARE_LATTICE, TREE, TREE_RR, HYPERCUBE]
+
+#: Circuit sizes of the paper's small-machine figures (x-axis 5..16).
+SMALL_SIZES_FULL = tuple(range(5, 17))
+SMALL_SIZES_QUICK = (6, 10, 14, 16)
+
+#: Circuit sizes of the paper's scaled figures (x-axis 25..80).
+LARGE_SIZES_FULL = (16, 25, 35, 45, 55, 65, 75, 80)
+LARGE_SIZES_QUICK = (16, 32)
+
+
+def full_runs_enabled() -> bool:
+    """True when the REPRO_FULL environment variable requests full sweeps."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def default_sizes(scale: str) -> Sequence[int]:
+    """Default circuit-size grid (full when REPRO_FULL=1, quick otherwise)."""
+    if scale == "small":
+        return SMALL_SIZES_FULL if full_runs_enabled() else SMALL_SIZES_QUICK
+    return LARGE_SIZES_FULL if full_runs_enabled() else LARGE_SIZES_QUICK
+
+
+def swap_study(
+    scale: str,
+    topologies: Sequence[str],
+    workloads: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 11,
+    routing_method: str = "sabre",
+) -> SweepResult:
+    """Transpile the workload grid and collect SWAP metrics.
+
+    The basis gate is irrelevant for SWAP counts (routing happens before
+    translation); CX is used as a placeholder.
+    """
+    registry = small_topologies() if scale == "small" else large_topologies()
+    backends = [make_backend(registry[name], "cx", name=name) for name in topologies]
+    workloads = list(workloads or PAPER_WORKLOADS)
+    sizes = list(sizes or default_sizes(scale))
+    return run_sweep(workloads, sizes, backends, seed=seed, routing_method=routing_method)
+
+
+def figure4_study(**overrides) -> SweepResult:
+    """Paper Fig. 4: baseline topologies at the 84-qubit scale."""
+    return swap_study("large", FIG4_TOPOLOGIES, **overrides)
+
+
+def figure11_study(**overrides) -> SweepResult:
+    """Paper Fig. 11: SNAIL topologies at the 16-qubit scale."""
+    return swap_study("small", FIG11_TOPOLOGIES, **overrides)
+
+
+def figure12_study(**overrides) -> SweepResult:
+    """Paper Fig. 12: SNAIL vs. baseline topologies at the 84-qubit scale."""
+    return swap_study("large", FIG12_TOPOLOGIES, **overrides)
+
+
+def swap_series(result: SweepResult, workload: str, metric: str) -> Dict[str, List[tuple]]:
+    """Per-topology series of ``metric`` vs. circuit size for one workload.
+
+    ``metric`` is ``"total_swaps"`` (figure top rows) or
+    ``"critical_swaps"`` (figure bottom rows).
+    """
+    filtered = SweepResult(
+        [record for record in result if record.extra.get("workload") == workload]
+    )
+    return filtered.series("topology", "circuit_qubits", metric)
+
+
+def format_swap_report(result: SweepResult, metric: str = "total_swaps") -> str:
+    """Text rendering: one block per workload, one row per topology."""
+    workloads = sorted({record.extra.get("workload") for record in result})
+    lines = []
+    for workload in workloads:
+        lines.append(f"== {workload} ({metric}) ==")
+        series = swap_series(result, workload, metric)
+        sizes = sorted({x for values in series.values() for x, _ in values})
+        header = f"{'topology':<22}" + "".join(f"{size:>8}" for size in sizes)
+        lines.append(header)
+        for topology, values in sorted(series.items()):
+            by_size = dict(values)
+            cells = "".join(f"{by_size.get(size, ''):>8}" for size in sizes)
+            lines.append(f"{topology:<22}{cells}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Experiment: regenerate paper Tables 1 and 2 (topology properties)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.paper_values import TABLE1, TABLE2
+from repro.topology.analysis import TopologyProperties, topology_properties
+from repro.topology.registry import large_topologies, small_topologies
+
+
+@dataclass(frozen=True)
+class TableComparison:
+    """One topology's measured properties next to the paper's values."""
+
+    name: str
+    measured: TopologyProperties
+    paper: Tuple[int, float, float, float]
+
+    def as_row(self) -> Dict[str, object]:
+        paper_qubits, paper_diameter, paper_avgd, paper_avgc = self.paper
+        return {
+            "name": self.name,
+            "qubits": self.measured.num_qubits,
+            "diameter": self.measured.diameter,
+            "avg_distance": round(self.measured.average_distance, 2),
+            "avg_connectivity": round(self.measured.average_connectivity, 2),
+            "paper_qubits": paper_qubits,
+            "paper_diameter": paper_diameter,
+            "paper_avg_distance": paper_avgd,
+            "paper_avg_connectivity": paper_avgc,
+        }
+
+
+def table1() -> List[TableComparison]:
+    """Measured vs. paper values for the 16-20 qubit machines (Table 1)."""
+    registry = small_topologies()
+    return [
+        TableComparison(name, topology_properties(registry[name]), TABLE1[name])
+        for name in TABLE1
+        if name in registry
+    ]
+
+
+def table2() -> List[TableComparison]:
+    """Measured vs. paper values for the 84-qubit machines (Table 2)."""
+    registry = large_topologies()
+    return [
+        TableComparison(name, topology_properties(registry[name]), TABLE2[name])
+        for name in TABLE2
+        if name in registry
+    ]
+
+
+def format_table_comparison(rows: List[TableComparison], title: str) -> str:
+    """Fixed-width rendering of measured-vs-paper topology properties."""
+    header = (
+        f"{'Topology':<22}{'Qubits':>7}{'Dia.':>7}{'AvgD':>7}{'AvgC':>7}"
+        f"{'| paper:':>10}{'Dia.':>6}{'AvgD':>7}{'AvgC':>7}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        data = row.as_row()
+        lines.append(
+            f"{data['name']:<22}{data['qubits']:>7}{data['diameter']:>7.1f}"
+            f"{data['avg_distance']:>7.2f}{data['avg_connectivity']:>7.2f}"
+            f"{'|':>10}{data['paper_diameter']:>6.1f}"
+            f"{data['paper_avg_distance']:>7.2f}{data['paper_avg_connectivity']:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Drive-frequency allocation and frequency-crowding analysis.
+
+The paper's central hardware argument (Sections 2.4 and 4.1) is that the
+SNAIL modulator selects two-qubit gates purely by *frequency*: each
+coupling in a neighbourhood must own a distinct pump tone, and the SNAIL's
+strong third-order term lets those tones be spread over several GHz,
+whereas the cross-resonance and tunable-coupler schemes confine usable
+tones to a narrow band around the qubit frequencies and therefore crowd as
+connectivity grows.
+
+This package turns that argument into a measurable substrate:
+
+* :mod:`repro.frequency.modulators` — per-modulator frequency budgets
+  (usable pump band, minimum tone separation, maximum coupling degree).
+* :mod:`repro.frequency.allocation` — a greedy tone allocator that assigns
+  a pump frequency to every coupling edge subject to the separation
+  constraint inside every qubit neighbourhood, and reports collisions,
+  bandwidth usage and a crowding score per topology.
+
+The frequency-crowding experiment (:mod:`repro.experiments.frequency_study`)
+uses these to show which (topology, modulator) pairs are physically
+allocatable — the quantitative version of the paper's claim that Corral
+and Tree connectivities need the SNAIL.
+"""
+
+from repro.frequency.allocation import (
+    FrequencyAllocator,
+    FrequencyPlan,
+    allocate_frequencies,
+)
+from repro.frequency.modulators import (
+    ModulatorSpec,
+    cr_modulator,
+    fsim_modulator,
+    get_modulator,
+    snail_modulator,
+)
+
+__all__ = [
+    "ModulatorSpec",
+    "snail_modulator",
+    "cr_modulator",
+    "fsim_modulator",
+    "get_modulator",
+    "FrequencyAllocator",
+    "FrequencyPlan",
+    "allocate_frequencies",
+]

@@ -1,0 +1,115 @@
+"""Frequency budgets of the three modulator families the paper compares.
+
+The numbers are representative of published devices rather than calibrated
+to a specific chip (the paper normalises engineering maturity away, Section
+4.2); what matters for the crowding study is the *structure*:
+
+* the SNAIL pumps at qubit *difference* frequencies, far detuned from the
+  qubits themselves, so its usable band is wide (several GHz) and tones
+  only need moderate separation;
+* the cross-resonance scheme drives one qubit at its neighbour's frequency,
+  so every tone must live inside the narrow transmon band (~4.8-5.4 GHz)
+  and neighbouring qubits must stay 50-300 MHz apart — the frequency
+  collision problem that pushed IBM toward Heavy-Hex;
+* the tunable-coupler (fSim) scheme needs near-resonant qubits plus one
+  flux-tuned coupler per edge, which behaves like a narrow band with
+  moderate separation and a hard limit of four couplers per qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ModulatorSpec:
+    """Frequency-domain budget of one coupling technology.
+
+    Attributes:
+        name: modulator family name ("SNAIL", "CR", "FSIM").
+        band: usable pump band in GHz (low, high).
+        min_separation: minimum spacing in GHz between two pump tones that
+            share a qubit neighbourhood before cross-talk is expected.
+        max_degree: maximum number of couplings one qubit can participate
+            in before the hardware itself gives out (independent of
+            frequency crowding).
+        native_basis: the basis-gate name this modulator produces.
+    """
+
+    name: str
+    band: Tuple[float, float]
+    min_separation: float
+    max_degree: int
+    native_basis: str
+
+    def __post_init__(self) -> None:
+        low, high = self.band
+        if high <= low:
+            raise ValueError("band must be a (low, high) pair with high > low")
+        if self.min_separation <= 0.0:
+            raise ValueError("min_separation must be positive")
+        if self.max_degree < 1:
+            raise ValueError("max_degree must be at least 1")
+
+    @property
+    def bandwidth(self) -> float:
+        """Width of the usable band in GHz."""
+        return self.band[1] - self.band[0]
+
+    @property
+    def tones_per_neighborhood(self) -> int:
+        """How many mutually separated tones fit in the band."""
+        return int(self.bandwidth // self.min_separation) + 1
+
+
+def snail_modulator() -> ModulatorSpec:
+    """SNAIL parametric modulator: wide difference-frequency band (paper Section 4.1).
+
+    One SNAIL addresses up to six modes, but a qubit may participate in two
+    modules (paper Section 4.3 — the Tree's waveguide qubits do exactly
+    this), so the per-qubit wiring limit is two full modules' worth of
+    couplings.
+    """
+    return ModulatorSpec(
+        name="SNAIL",
+        band=(0.5, 8.5),
+        min_separation=0.25,
+        max_degree=12,
+        native_basis="siswap",
+    )
+
+
+def cr_modulator() -> ModulatorSpec:
+    """IBM cross-resonance: tones confined to the transmon band, tight spacing."""
+    return ModulatorSpec(
+        name="CR",
+        band=(4.8, 5.4),
+        min_separation=0.12,
+        max_degree=4,
+        native_basis="cx",
+    )
+
+
+def fsim_modulator() -> ModulatorSpec:
+    """Google tunable coupler: near-resonant qubits, one flux-tuned coupler per edge."""
+    return ModulatorSpec(
+        name="FSIM",
+        band=(5.8, 7.0),
+        min_separation=0.15,
+        max_degree=4,
+        native_basis="syc",
+    )
+
+
+def get_modulator(name: str) -> ModulatorSpec:
+    """Look up a modulator spec by (case-insensitive) name."""
+    registry: Dict[str, ModulatorSpec] = {
+        "snail": snail_modulator(),
+        "cr": cr_modulator(),
+        "fsim": fsim_modulator(),
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown modulator {name!r}; options: {sorted(registry)}")
+    return registry[key]

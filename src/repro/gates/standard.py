@@ -1,0 +1,219 @@
+"""Standard single-qubit gates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.linalg.su2 import rx_matrix, ry_matrix, rz_matrix
+
+
+class IGate(Gate):
+    """Identity gate."""
+
+    def __init__(self):
+        super().__init__("id", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.eye(2, dtype=complex)
+
+    def inverse(self) -> "IGate":
+        return IGate()
+
+
+class XGate(Gate):
+    """Pauli X (bit flip)."""
+
+    def __init__(self):
+        super().__init__("x", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+
+    def inverse(self) -> "XGate":
+        return XGate()
+
+
+class YGate(Gate):
+    """Pauli Y."""
+
+    def __init__(self):
+        super().__init__("y", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+    def inverse(self) -> "YGate":
+        return YGate()
+
+
+class ZGate(Gate):
+    """Pauli Z (phase flip)."""
+
+    def __init__(self):
+        super().__init__("z", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+
+    def inverse(self) -> "ZGate":
+        return ZGate()
+
+
+class HGate(Gate):
+    """Hadamard gate."""
+
+    def __init__(self):
+        super().__init__("h", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+
+    def inverse(self) -> "HGate":
+        return HGate()
+
+
+class SGate(Gate):
+    """Phase gate S = diag(1, i)."""
+
+    def __init__(self):
+        super().__init__("s", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+    def inverse(self) -> "SdgGate":
+        return SdgGate()
+
+
+class SdgGate(Gate):
+    """Adjoint phase gate S† = diag(1, -i)."""
+
+    def __init__(self):
+        super().__init__("sdg", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+    def inverse(self) -> "SGate":
+        return SGate()
+
+
+class TGate(Gate):
+    """T gate = diag(1, exp(i pi/4))."""
+
+    def __init__(self):
+        super().__init__("t", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+    def inverse(self) -> "TdgGate":
+        return TdgGate()
+
+
+class TdgGate(Gate):
+    """Adjoint T gate."""
+
+    def __init__(self):
+        super().__init__("tdg", 1)
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex)
+
+    def inverse(self) -> "TGate":
+        return TGate()
+
+
+class SXGate(Gate):
+    """Square root of X."""
+
+    def __init__(self):
+        super().__init__("sx", 1)
+
+    def matrix(self) -> np.ndarray:
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+
+
+class RXGate(Gate):
+    """Rotation about the X axis by ``theta``."""
+
+    def __init__(self, theta: float):
+        super().__init__("rx", 1, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        return rx_matrix(self.params[0])
+
+    def inverse(self) -> "RXGate":
+        return RXGate(-self.params[0])
+
+
+class RYGate(Gate):
+    """Rotation about the Y axis by ``theta``."""
+
+    def __init__(self, theta: float):
+        super().__init__("ry", 1, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        return ry_matrix(self.params[0])
+
+    def inverse(self) -> "RYGate":
+        return RYGate(-self.params[0])
+
+
+class RZGate(Gate):
+    """Rotation about the Z axis by ``theta``."""
+
+    def __init__(self, theta: float):
+        super().__init__("rz", 1, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        return rz_matrix(self.params[0])
+
+    def inverse(self) -> "RZGate":
+        return RZGate(-self.params[0])
+
+
+class PhaseGate(Gate):
+    """Diagonal phase gate diag(1, exp(i lambda))."""
+
+    def __init__(self, lam: float):
+        super().__init__("p", 1, (lam,))
+
+    def matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, np.exp(1j * self.params[0])]], dtype=complex)
+
+    def inverse(self) -> "PhaseGate":
+        return PhaseGate(-self.params[0])
+
+
+class U3Gate(Gate):
+    """Generic single-qubit gate with three Euler angles (theta, phi, lam).
+
+    ``U3(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam)`` up to global phase,
+    using the standard OpenQASM convention:
+
+        [[cos(t/2),              -exp(i lam) sin(t/2)],
+         [exp(i phi) sin(t/2),    exp(i (phi+lam)) cos(t/2)]]
+    """
+
+    def __init__(self, theta: float, phi: float, lam: float):
+        super().__init__("u3", 1, (theta, phi, lam))
+
+    def matrix(self) -> np.ndarray:
+        theta, phi, lam = self.params
+        cos = np.cos(theta / 2.0)
+        sin = np.sin(theta / 2.0)
+        return np.array(
+            [
+                [cos, -np.exp(1j * lam) * sin],
+                [np.exp(1j * phi) * sin, np.exp(1j * (phi + lam)) * cos],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "U3Gate":
+        theta, phi, lam = self.params
+        return U3Gate(-theta, -lam, -phi)

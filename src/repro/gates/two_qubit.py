@@ -1,0 +1,265 @@
+"""Standard two-qubit gates, including the paper's basis-gate families.
+
+All matrices are given over the basis ``|q_first q_second>`` (see
+:mod:`repro.circuits.gate`).  The two-qubit families relevant to the paper
+are:
+
+* :class:`CXGate` — the CR-modulator basis used by IBM (paper Eq. 1, 5);
+* :class:`FSimGate` / :class:`SycamoreGate` — the tunable-coupler basis used
+  by Google (paper Eq. 6);
+* :class:`NthRootISwapGate` — the ``n``-th root iSWAP family natively
+  produced by the SNAIL modulator (paper Eq. 2, 9), of which
+  :class:`SqrtISwapGate` (n = 2) is the headline basis gate;
+* :class:`ZXGate` — the raw cross-resonance interaction (paper Eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+
+
+class CXGate(Gate):
+    """Controlled-NOT; the first qubit argument is the control."""
+
+    def __init__(self):
+        super().__init__("cx", 2)
+
+    def matrix(self) -> np.ndarray:
+        return np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "CXGate":
+        return CXGate()
+
+
+class CZGate(Gate):
+    """Controlled-Z (symmetric)."""
+
+    def __init__(self):
+        super().__init__("cz", 2)
+
+    def matrix(self) -> np.ndarray:
+        return np.diag([1, 1, 1, -1]).astype(complex)
+
+    def inverse(self) -> "CZGate":
+        return CZGate()
+
+
+class CPhaseGate(Gate):
+    """Controlled phase gate diag(1, 1, 1, exp(i lambda)) (symmetric)."""
+
+    def __init__(self, lam: float):
+        super().__init__("cp", 2, (lam,))
+
+    def matrix(self) -> np.ndarray:
+        return np.diag([1, 1, 1, np.exp(1j * self.params[0])]).astype(complex)
+
+    def inverse(self) -> "CPhaseGate":
+        return CPhaseGate(-self.params[0])
+
+
+class RZZGate(Gate):
+    """Two-qubit ZZ rotation exp(-i theta/2 Z(x)Z) (symmetric)."""
+
+    def __init__(self, theta: float):
+        super().__init__("rzz", 2, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        half = self.params[0] / 2.0
+        return np.diag(
+            [
+                np.exp(-1j * half),
+                np.exp(1j * half),
+                np.exp(1j * half),
+                np.exp(-1j * half),
+            ]
+        ).astype(complex)
+
+    def inverse(self) -> "RZZGate":
+        return RZZGate(-self.params[0])
+
+
+class RXXGate(Gate):
+    """Two-qubit XX rotation exp(-i theta/2 X(x)X) (symmetric)."""
+
+    def __init__(self, theta: float):
+        super().__init__("rxx", 2, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        half = self.params[0] / 2.0
+        cos = np.cos(half)
+        sin = -1j * np.sin(half)
+        return np.array(
+            [
+                [cos, 0, 0, sin],
+                [0, cos, sin, 0],
+                [0, sin, cos, 0],
+                [sin, 0, 0, cos],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "RXXGate":
+        return RXXGate(-self.params[0])
+
+
+class SwapGate(Gate):
+    """SWAP gate; the data-movement primitive counted by the paper."""
+
+    def __init__(self):
+        super().__init__("swap", 2)
+
+    def matrix(self) -> np.ndarray:
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "SwapGate":
+        return SwapGate()
+
+
+class ISwapGate(Gate):
+    """iSWAP gate (full photon exchange with an i phase)."""
+
+    def __init__(self):
+        super().__init__("iswap", 2)
+
+    def matrix(self) -> np.ndarray:
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+
+
+class NthRootISwapGate(Gate):
+    """The ``n``-th root of iSWAP, natively produced by the SNAIL (Eq. 2).
+
+    The matrix is
+
+        [[1, 0, 0, 0],
+         [0, cos(pi/2n), i sin(pi/2n), 0],
+         [0, i sin(pi/2n), cos(pi/2n), 0],
+         [0, 0, 0, 1]]
+
+    and the relative pulse duration is ``1/n`` of a full iSWAP, reflecting
+    the linear relationship between SNAIL drive time and swap angle
+    (paper Eq. 9).
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("the iSWAP root index n must be >= 1")
+        super().__init__(f"iswap_root{n}" if n > 1 else "iswap", 2, ())
+        self._root = int(n)
+
+    @property
+    def root(self) -> int:
+        """The root index ``n``."""
+        return self._root
+
+    def matrix(self) -> np.ndarray:
+        angle = np.pi / (2.0 * self._root)
+        cos = np.cos(angle)
+        sin = 1j * np.sin(angle)
+        return np.array(
+            [[1, 0, 0, 0], [0, cos, sin, 0], [0, sin, cos, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+
+    def duration(self) -> float:
+        return 1.0 / self._root
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NthRootISwapGate):
+            return NotImplemented
+        return self._root == other._root
+
+    def __hash__(self) -> int:
+        return hash(("iswap_root", self._root))
+
+
+class SqrtISwapGate(NthRootISwapGate):
+    """Square root of iSWAP — the SNAIL co-design basis gate of the paper."""
+
+    def __init__(self):
+        super().__init__(2)
+        self._name = "siswap"
+
+
+class FSimGate(Gate):
+    """fSim(theta, phi): photon-exchange angle theta plus |11> phase phi."""
+
+    def __init__(self, theta: float, phi: float):
+        super().__init__("fsim", 2, (theta, phi))
+
+    def matrix(self) -> np.ndarray:
+        theta, phi = self.params
+        cos = np.cos(theta)
+        sin = -1j * np.sin(theta)
+        return np.array(
+            [
+                [1, 0, 0, 0],
+                [0, cos, sin, 0],
+                [0, sin, cos, 0],
+                [0, 0, 0, np.exp(-1j * phi)],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "Gate":
+        theta, phi = self.params
+        return FSimGate(-theta, -phi)
+
+
+class SycamoreGate(FSimGate):
+    """Google's SYC gate: fSim(pi/2, pi/6) (paper Section 2.4.2)."""
+
+    def __init__(self):
+        super().__init__(np.pi / 2.0, np.pi / 6.0)
+        self._name = "syc"
+
+
+class ZXGate(Gate):
+    """Cross-resonance ZX(theta) interaction (paper Eq. 4)."""
+
+    def __init__(self, theta: float):
+        super().__init__("zx", 2, (theta,))
+
+    def matrix(self) -> np.ndarray:
+        half = self.params[0] / 2.0
+        cos = np.cos(half)
+        sin = np.sin(half)
+        return np.array(
+            [
+                [cos, -1j * sin, 0, 0],
+                [-1j * sin, cos, 0, 0],
+                [0, 0, cos, 1j * sin],
+                [0, 0, 1j * sin, cos],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self) -> "ZXGate":
+        return ZXGate(-self.params[0])
+
+
+class CCXGate(Gate):
+    """Toffoli gate (used by the ripple-carry adder workload)."""
+
+    def __init__(self):
+        super().__init__("ccx", 3)
+
+    def matrix(self) -> np.ndarray:
+        matrix = np.eye(8, dtype=complex)
+        matrix[[6, 7], [6, 7]] = 0.0
+        matrix[6, 7] = 1.0
+        matrix[7, 6] = 1.0
+        return matrix
+
+    def inverse(self) -> "CCXGate":
+        return CCXGate()

@@ -1,0 +1,88 @@
+"""Linear-algebra substrate for two-qubit gate analysis.
+
+This package provides the numerical machinery the rest of the library is
+built on:
+
+* :mod:`repro.linalg.matrices` — standard gate matrices, unitary predicates
+  and small helpers (dagger, global-phase removal, Kronecker factoring).
+* :mod:`repro.linalg.random` — Haar-random unitary sampling.
+* :mod:`repro.linalg.su2` — single-qubit (ZYZ) decomposition.
+* :mod:`repro.linalg.weyl` — magic-basis transform, Weyl-chamber
+  coordinates and canonicalization.
+* :mod:`repro.linalg.kak` — full Cartan KAK decomposition of two-qubit
+  unitaries.
+* :mod:`repro.linalg.fidelity` — unitary fidelity measures (Hilbert–Schmidt
+  inner product, average gate fidelity).
+"""
+
+from repro.linalg.matrices import (
+    I2,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    closest_unitary,
+    dagger,
+    decompose_kron,
+    is_hermitian,
+    is_unitary,
+    kron,
+    matrices_equal,
+    remove_global_phase,
+)
+from repro.linalg.random import (
+    random_hermitian,
+    random_statevector,
+    random_su2,
+    random_unitary,
+)
+from repro.linalg.su2 import OneQubitEulerDecomposition, zyz_decomposition
+from repro.linalg.weyl import (
+    MAGIC_BASIS,
+    WeylCoordinates,
+    canonical_gate,
+    canonicalize_coordinates,
+    in_weyl_chamber,
+    magic_transform,
+    weyl_coordinates,
+)
+from repro.linalg.kak import KAKDecomposition, kak_decomposition
+from repro.linalg.fidelity import (
+    average_gate_fidelity,
+    hilbert_schmidt_fidelity,
+    process_fidelity,
+    unitary_infidelity,
+)
+
+__all__ = [
+    "I2",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "closest_unitary",
+    "dagger",
+    "decompose_kron",
+    "is_hermitian",
+    "is_unitary",
+    "kron",
+    "matrices_equal",
+    "remove_global_phase",
+    "random_hermitian",
+    "random_statevector",
+    "random_su2",
+    "random_unitary",
+    "OneQubitEulerDecomposition",
+    "zyz_decomposition",
+    "MAGIC_BASIS",
+    "WeylCoordinates",
+    "canonical_gate",
+    "canonicalize_coordinates",
+    "in_weyl_chamber",
+    "magic_transform",
+    "weyl_coordinates",
+    "KAKDecomposition",
+    "kak_decomposition",
+    "average_gate_fidelity",
+    "hilbert_schmidt_fidelity",
+    "process_fidelity",
+    "unitary_infidelity",
+]

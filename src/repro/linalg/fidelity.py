@@ -1,0 +1,67 @@
+"""Unitary fidelity measures.
+
+The paper's approximate-decomposition study (Section 6.3) measures the
+closeness of a decomposition template to a target unitary with the
+normalised Hilbert–Schmidt inner product (paper Eq. 11):
+
+    F_d(U_d, U_t) = |Tr(U_d^dagger U_t)| / dim
+
+and combines it with a linear decoherence model (paper Eq. 12–13).  This
+module provides the distance measures; the decoherence model lives in
+:mod:`repro.core.fidelity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hilbert_schmidt_fidelity(u_decomp: np.ndarray, u_target: np.ndarray) -> float:
+    """Normalised Hilbert–Schmidt fidelity |Tr(Ud† Ut)| / dim (paper Eq. 11).
+
+    The absolute value makes the measure insensitive to global phase, which
+    is irrelevant for circuit equivalence.
+    """
+    u_decomp = np.asarray(u_decomp, dtype=complex)
+    u_target = np.asarray(u_target, dtype=complex)
+    if u_decomp.shape != u_target.shape:
+        raise ValueError("operands must have identical shapes")
+    dim = u_decomp.shape[0]
+    overlap = np.trace(u_decomp.conj().T @ u_target)
+    return float(abs(overlap) / dim)
+
+
+def process_fidelity(u_decomp: np.ndarray, u_target: np.ndarray) -> float:
+    """Process fidelity |Tr(Ud† Ut)|^2 / dim^2 between two unitaries."""
+    return hilbert_schmidt_fidelity(u_decomp, u_target) ** 2
+
+
+def average_gate_fidelity(u_decomp: np.ndarray, u_target: np.ndarray) -> float:
+    """Average gate fidelity (Horodecki / Nielsen formula) for unitaries.
+
+    F_avg = (d * F_pro + 1) / (d + 1) where ``F_pro`` is the process
+    fidelity and ``d`` the Hilbert-space dimension.
+    """
+    dim = np.asarray(u_target).shape[0]
+    fpro = process_fidelity(u_decomp, u_target)
+    return float((dim * fpro + 1.0) / (dim + 1.0))
+
+
+def unitary_infidelity(u_decomp: np.ndarray, u_target: np.ndarray) -> float:
+    """1 - Hilbert–Schmidt fidelity; the quantity plotted in paper Fig. 15."""
+    return 1.0 - hilbert_schmidt_fidelity(u_decomp, u_target)
+
+
+def trace_distance_bound(u_decomp: np.ndarray, u_target: np.ndarray) -> float:
+    """Phase-insensitive operator-norm distance between two unitaries.
+
+    Computes ``min_phi || Ud - e^{i phi} Ut ||_2`` which upper-bounds the
+    worst-case output state distance.  Used by tests as an alternative,
+    stricter closeness check.
+    """
+    u_decomp = np.asarray(u_decomp, dtype=complex)
+    u_target = np.asarray(u_target, dtype=complex)
+    overlap = np.trace(u_decomp.conj().T @ u_target)
+    phase = 1.0 if abs(overlap) < 1e-12 else np.conj(overlap) / abs(overlap)
+    diff = u_decomp - phase * u_target
+    return float(np.linalg.norm(diff, ord=2))

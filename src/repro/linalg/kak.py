@@ -1,0 +1,204 @@
+"""Cartan (KAK) decomposition of two-qubit unitaries.
+
+Any ``U`` in U(4) can be written as
+
+    U = exp(i * phase) * (K1l (x) K1r) * CAN(x, y, z) * (K2l (x) K2r)
+
+with ``K1l, K1r, K2l, K2r`` single-qubit unitaries and ``CAN`` the canonical
+two-body interaction (see :mod:`repro.linalg.weyl`).  This module computes
+that decomposition with a self-verifying, retrying algorithm:
+
+1. transform into the magic basis, where local gates become real
+   orthogonal matrices;
+2. simultaneously diagonalise the real and imaginary parts of the Gram
+   matrix ``Up^T Up`` with a real orthogonal eigenbasis;
+3. read off the interaction angles from the eigenvalue phases and the local
+   factors from the eigenvectors;
+4. verify the reconstruction; on numerical failure, retry after scrambling
+   the input with random local gates (which leaves the canonical class
+   invariant and generically removes eigenvalue degeneracies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.matrices import (
+    dagger,
+    decompose_kron,
+    is_unitary,
+    kron,
+    su_normalize,
+)
+from repro.linalg.random import random_su2
+from repro.linalg.weyl import (
+    MAGIC_BASIS,
+    WeylCoordinates,
+    canonical_gate,
+    canonicalize_coordinates,
+)
+
+_MAGIC_DAG = dagger(MAGIC_BASIS)
+
+
+class KAKDecompositionError(RuntimeError):
+    """Raised when the decomposition cannot be computed for an input."""
+
+
+@dataclass(frozen=True)
+class KAKDecomposition:
+    """Result of a Cartan decomposition of a two-qubit unitary.
+
+    Attributes:
+        global_phase: scalar phase ``phi`` so that the product below equals
+            the input exactly.
+        k1l, k1r: the *left* (applied last) single-qubit factors on the
+            first and second qubit respectively.
+        k2l, k2r: the *right* (applied first) single-qubit factors.
+        coordinates: the raw (not necessarily canonical) interaction
+            coefficients produced by the algorithm.
+        canonical: the coordinates mapped into the canonical Weyl chamber.
+    """
+
+    global_phase: float
+    k1l: np.ndarray
+    k1r: np.ndarray
+    k2l: np.ndarray
+    k2r: np.ndarray
+    coordinates: Tuple[float, float, float]
+    canonical: WeylCoordinates
+
+    def unitary(self) -> np.ndarray:
+        """Rebuild the two-qubit unitary from the decomposition."""
+        interaction = canonical_gate(*self.coordinates)
+        return (
+            np.exp(1j * self.global_phase)
+            * kron(self.k1l, self.k1r)
+            @ interaction
+            @ kron(self.k2l, self.k2r)
+        )
+
+    def local_factors(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(k1l, k1r, k2l, k2r)``."""
+        return (self.k1l, self.k1r, self.k2l, self.k2r)
+
+
+def _simultaneously_diagonalize(
+    gram: np.ndarray, rng: np.random.Generator, atol: float = 1e-8
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Diagonalise a complex-symmetric unitary with a real orthogonal basis.
+
+    Returns ``(P, d)`` with ``P`` real orthogonal and ``d`` the complex
+    diagonal of ``P.T @ gram @ P``.
+    """
+    real_part = gram.real
+    imag_part = gram.imag
+    weights = [1.0, 0.0, 0.5, -0.7, 1.3]
+    weights.extend(rng.uniform(-2.0, 2.0, size=8).tolist())
+    for weight in weights:
+        _, vectors = np.linalg.eigh(real_part + weight * imag_part)
+        diag_real = vectors.T @ real_part @ vectors
+        diag_imag = vectors.T @ imag_part @ vectors
+        off_real = diag_real - np.diag(np.diag(diag_real))
+        off_imag = diag_imag - np.diag(np.diag(diag_imag))
+        if np.max(np.abs(off_real)) < atol and np.max(np.abs(off_imag)) < atol:
+            diag = np.diag(vectors.T @ gram @ vectors)
+            return vectors, diag
+    raise KAKDecompositionError("simultaneous diagonalization failed")
+
+
+def _kak_core(unitary: np.ndarray, rng: np.random.Generator) -> KAKDecomposition:
+    """One attempt at the Cartan decomposition (no retry, no verification)."""
+    special, phase = su_normalize(unitary)
+    up = _MAGIC_DAG @ special @ MAGIC_BASIS
+    gram = up.T @ up
+    vectors, diag = _simultaneously_diagonalize(gram, rng)
+    if np.linalg.det(vectors) < 0:
+        vectors = vectors.copy()
+        vectors[:, 0] = -vectors[:, 0]
+    angles = np.angle(diag) / 2.0
+    # Choose branches so the diagonal has determinant +1 (sum of angles = 0
+    # modulo 2 pi); flip one branch if required.
+    left_orthogonal = up @ vectors @ np.diag(np.exp(-1j * angles))
+    if np.max(np.abs(left_orthogonal.imag)) > 1e-6:
+        raise KAKDecompositionError("left factor is not real")
+    left_orthogonal = left_orthogonal.real
+    if np.linalg.det(left_orthogonal) < 0:
+        angles = angles.copy()
+        angles[0] += np.pi
+        left_orthogonal = up @ vectors @ np.diag(np.exp(-1j * angles))
+        if np.max(np.abs(left_orthogonal.imag)) > 1e-6:
+            raise KAKDecompositionError("left factor is not real after branch flip")
+        left_orthogonal = left_orthogonal.real
+    right_orthogonal = vectors.T
+    x = (angles[0] + angles[1]) / 2.0
+    y = (angles[1] + angles[3]) / 2.0
+    z = (angles[0] + angles[3]) / 2.0
+    k1_matrix = MAGIC_BASIS @ left_orthogonal @ _MAGIC_DAG
+    k2_matrix = MAGIC_BASIS @ right_orthogonal @ _MAGIC_DAG
+    k1l, k1r, residue1 = decompose_kron(k1_matrix, atol=1e-5)
+    k2l, k2r, residue2 = decompose_kron(k2_matrix, atol=1e-5)
+    global_phase = phase + float(np.angle(residue1 * residue2))
+    canonical = canonicalize_coordinates(x, y, z)
+    return KAKDecomposition(
+        global_phase=global_phase,
+        k1l=k1l,
+        k1r=k1r,
+        k2l=k2l,
+        k2r=k2r,
+        coordinates=(float(x), float(y), float(z)),
+        canonical=canonical,
+    )
+
+
+def kak_decomposition(
+    unitary: np.ndarray, atol: float = 1e-6, max_attempts: int = 12
+) -> KAKDecomposition:
+    """Compute a verified Cartan decomposition of a two-qubit unitary.
+
+    Args:
+        unitary: 4x4 unitary matrix.
+        atol: elementwise tolerance used to verify the reconstruction.
+        max_attempts: number of random-local-scramble retries before giving
+            up (the first attempt uses no scrambling).
+
+    Raises:
+        KAKDecompositionError: if no attempt produces a verified
+            decomposition (does not happen for unitary inputs in practice).
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 matrix, got shape {unitary.shape}")
+    if not is_unitary(unitary, atol=1e-6):
+        raise ValueError("input matrix is not unitary")
+    rng = np.random.default_rng(20230)
+    for attempt in range(max_attempts):
+        if attempt == 0:
+            left_a = left_b = right_a = right_b = np.eye(2, dtype=complex)
+        else:
+            left_a = random_su2(rng)
+            left_b = random_su2(rng)
+            right_a = random_su2(rng)
+            right_b = random_su2(rng)
+        scrambled = kron(left_a, left_b) @ unitary @ kron(right_a, right_b)
+        try:
+            core = _kak_core(scrambled, rng)
+        except KAKDecompositionError:
+            continue
+        candidate = KAKDecomposition(
+            global_phase=core.global_phase,
+            k1l=dagger(left_a) @ core.k1l,
+            k1r=dagger(left_b) @ core.k1r,
+            k2l=core.k2l @ dagger(right_a),
+            k2r=core.k2r @ dagger(right_b),
+            coordinates=core.coordinates,
+            canonical=core.canonical,
+        )
+        if np.allclose(candidate.unitary(), unitary, atol=atol):
+            return candidate
+    raise KAKDecompositionError(
+        "KAK decomposition failed to converge; input may be badly conditioned"
+    )

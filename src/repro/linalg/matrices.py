@@ -1,0 +1,178 @@
+"""Standard matrices, unitary predicates and small matrix helpers.
+
+All matrices in this library use the textbook (big-endian) two-qubit
+convention: a two-qubit gate matrix is written over the ordered basis
+``|q_first q_second>`` = ``|00>, |01>, |10>, |11>`` where ``q_first`` is the
+first qubit argument of the gate (e.g. the control of a CNOT).  The
+state-vector simulator translates between this convention and its internal
+little-endian register layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# -- constants ---------------------------------------------------------------
+
+#: 2x2 identity.
+I2 = np.eye(2, dtype=complex)
+
+#: Pauli X.
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+#: Pauli Y.
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+#: Pauli Z.
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: Default numerical tolerance used by the predicates in this module.
+DEFAULT_ATOL = 1e-9
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+def is_unitary(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` if ``matrix`` is (numerically) unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    ident = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, ident, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` if ``matrix`` is (numerically) Hermitian."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def matrices_equal(
+    a: np.ndarray,
+    b: np.ndarray,
+    up_to_global_phase: bool = False,
+    atol: float = 1e-7,
+) -> bool:
+    """Compare two matrices, optionally ignoring a global phase.
+
+    Args:
+        a, b: matrices of identical shape.
+        up_to_global_phase: if ``True``, ``a`` and ``e^{i phi} b`` are
+            considered equal for any real ``phi``.
+        atol: absolute elementwise tolerance.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    if up_to_global_phase:
+        # Align phases using the largest-magnitude element of b.
+        index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+        if abs(b[index]) < atol:
+            return bool(np.allclose(a, b, atol=atol))
+        phase = a[index] / b[index]
+        if abs(abs(phase) - 1.0) > 1e-4:
+            return False
+        b = b * phase
+    return bool(np.allclose(a, b, atol=atol))
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Return the conjugate transpose of ``matrix``."""
+    return np.asarray(matrix, dtype=complex).conj().T
+
+
+def kron(*matrices: np.ndarray) -> np.ndarray:
+    """Kronecker product of one or more matrices, left to right."""
+    if not matrices:
+        raise ValueError("kron() requires at least one matrix")
+    result = np.asarray(matrices[0], dtype=complex)
+    for matrix in matrices[1:]:
+        result = np.kron(result, np.asarray(matrix, dtype=complex))
+    return result
+
+
+def remove_global_phase(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` rescaled so its largest element is real positive.
+
+    The returned matrix equals the input up to a global phase, which makes
+    it suitable for phase-insensitive comparisons and hashing.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    index = np.unravel_index(np.argmax(np.abs(matrix)), matrix.shape)
+    pivot = matrix[index]
+    if abs(pivot) < 1e-12:
+        return matrix.copy()
+    return matrix * (abs(pivot) / pivot)
+
+
+def closest_unitary(matrix: np.ndarray) -> np.ndarray:
+    """Project a matrix onto the closest unitary (in Frobenius norm).
+
+    Uses the polar decomposition via SVD: for ``M = U S V†`` the closest
+    unitary is ``U V†``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    left, _, right = np.linalg.svd(matrix)
+    return left @ right
+
+
+def su_normalize(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Rescale a unitary to have determinant 1.
+
+    Returns:
+        A tuple ``(special, phase)`` where ``matrix = exp(i*phase)*special``
+        and ``det(special) == 1``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    det = np.linalg.det(matrix)
+    phase = np.angle(det) / dim
+    special = matrix * np.exp(-1j * phase)
+    return special, float(phase)
+
+
+def decompose_kron(
+    matrix: np.ndarray, atol: float = 1e-7
+) -> tuple[np.ndarray, np.ndarray, complex]:
+    """Factor a 4x4 matrix into a Kronecker product of two 2x2 matrices.
+
+    Given ``M`` that is (close to) ``c * A (x) B``, return ``(A, B, c)`` where
+    ``A`` and ``B`` are special unitaries (determinant one) and ``c`` is the
+    residual scalar, so that ``M == c * kron(A, B)``.
+
+    Raises:
+        ValueError: if ``matrix`` is not a Kronecker product to within
+            ``atol``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 matrix, got shape {matrix.shape}")
+    # Rearrange so that M = A (x) B  <=>  R = vec(A) vec(B)^T, then the best
+    # rank-one approximation of R gives the factors.
+    rearranged = (
+        matrix.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    )
+    left, singular_values, right = np.linalg.svd(rearranged)
+    factor_a = left[:, 0].reshape(2, 2) * np.sqrt(singular_values[0])
+    factor_b = right[0, :].reshape(2, 2) * np.sqrt(singular_values[0])
+    reconstructed = np.kron(factor_a, factor_b)
+    if not np.allclose(reconstructed, matrix, atol=atol):
+        raise ValueError("matrix is not a Kronecker product of 2x2 factors")
+    # Normalise both factors to determinant one and collect the residue.
+    det_a = np.linalg.det(factor_a)
+    det_b = np.linalg.det(factor_b)
+    if abs(det_a) < atol or abs(det_b) < atol:
+        raise ValueError("Kronecker factors are singular")
+    scale_a = det_a ** 0.5
+    scale_b = det_b ** 0.5
+    factor_a = factor_a / scale_a
+    factor_b = factor_b / scale_b
+    residual = complex(scale_a * scale_b)
+    return factor_a, factor_b, residual

@@ -1,0 +1,62 @@
+"""Haar-random sampling of unitaries, states and Hermitian matrices."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _as_generator(seed: RngLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_unitary(dim: int, seed: RngLike = None) -> np.ndarray:
+    """Sample a Haar-random unitary of dimension ``dim``.
+
+    Uses the QR decomposition of a complex Ginibre matrix with the phase
+    correction of Mezzadri (2007) so the distribution is exactly Haar.
+    """
+    if dim < 1:
+        raise ValueError("dimension must be a positive integer")
+    rng = _as_generator(seed)
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q_factor, r_factor = np.linalg.qr(ginibre)
+    diag = np.diagonal(r_factor)
+    phases = diag / np.abs(diag)
+    return q_factor * phases
+
+
+def random_su2(seed: RngLike = None) -> np.ndarray:
+    """Sample a Haar-random single-qubit special unitary (det == 1)."""
+    unitary = random_unitary(2, seed)
+    det = np.linalg.det(unitary)
+    return unitary * det ** (-0.5)
+
+
+def random_statevector(dim: int, seed: RngLike = None) -> np.ndarray:
+    """Sample a Haar-random pure state of dimension ``dim``."""
+    if dim < 1:
+        raise ValueError("dimension must be a positive integer")
+    rng = _as_generator(seed)
+    vector = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vector / np.linalg.norm(vector)
+
+
+def random_hermitian(dim: int, seed: RngLike = None, scale: float = 1.0) -> np.ndarray:
+    """Sample a random Hermitian matrix (GUE-distributed, scaled)."""
+    if dim < 1:
+        raise ValueError("dimension must be a positive integer")
+    rng = _as_generator(seed)
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    return scale * (ginibre + ginibre.conj().T) / 2.0
+
+
+def random_two_qubit_unitary(seed: RngLike = None) -> np.ndarray:
+    """Convenience wrapper: Haar-random element of U(4)."""
+    return random_unitary(4, seed)

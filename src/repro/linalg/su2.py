@@ -1,0 +1,118 @@
+"""Single-qubit (ZYZ) Euler decomposition.
+
+Any single-qubit unitary can be written as
+
+    U = exp(i * alpha) * Rz(beta) * Ry(gamma) * Rz(delta)
+
+with ``Rz(t) = diag(exp(-i t/2), exp(i t/2))`` and
+``Ry(t) = [[cos t/2, -sin t/2], [sin t/2, cos t/2]]``.  The paper (and this
+reproduction) treats single-qubit gates as free, but the explicit Euler
+angles are needed to emit concrete circuits from KAK decompositions and the
+approximate-decomposition templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about Z by ``theta``."""
+    half = theta / 2.0
+    return np.array(
+        [[np.exp(-1j * half), 0.0], [0.0, np.exp(1j * half)]], dtype=complex
+    )
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about Y by ``theta``."""
+    half = theta / 2.0
+    return np.array(
+        [[np.cos(half), -np.sin(half)], [np.sin(half), np.cos(half)]],
+        dtype=complex,
+    )
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about X by ``theta``."""
+    half = theta / 2.0
+    return np.array(
+        [[np.cos(half), -1j * np.sin(half)], [-1j * np.sin(half), np.cos(half)]],
+        dtype=complex,
+    )
+
+
+@dataclass(frozen=True)
+class OneQubitEulerDecomposition:
+    """Result of a ZYZ Euler decomposition of a single-qubit unitary."""
+
+    alpha: float
+    beta: float
+    gamma: float
+    delta: float
+
+    def matrix(self) -> np.ndarray:
+        """Rebuild the unitary from the Euler angles."""
+        return (
+            np.exp(1j * self.alpha)
+            * rz_matrix(self.beta)
+            @ ry_matrix(self.gamma)
+            @ rz_matrix(self.delta)
+        )
+
+    def angles(self) -> tuple[float, float, float]:
+        """Return the ``(beta, gamma, delta)`` rotation angles."""
+        return (self.beta, self.gamma, self.delta)
+
+
+def zyz_decomposition(unitary: np.ndarray) -> OneQubitEulerDecomposition:
+    """Decompose a 2x2 unitary into ZYZ Euler angles.
+
+    Args:
+        unitary: a 2x2 (numerically) unitary matrix.
+
+    Returns:
+        The :class:`OneQubitEulerDecomposition` whose :meth:`matrix`
+        reproduces ``unitary`` to numerical precision.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got shape {unitary.shape}")
+    det = np.linalg.det(unitary)
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise ValueError("matrix is not unitary (|det| != 1)")
+    # Remove global phase so the matrix is in SU(2).
+    alpha = np.angle(det) / 2.0
+    special = unitary * np.exp(-1j * alpha)
+    # special = [[cos(g/2) e^{-i(b+d)/2}, -sin(g/2) e^{-i(b-d)/2}],
+    #            [sin(g/2) e^{ i(b-d)/2},  cos(g/2) e^{ i(b+d)/2}]]
+    cos_half = abs(special[0, 0])
+    cos_half = min(1.0, max(0.0, cos_half))
+    gamma = 2.0 * np.arccos(cos_half)
+    if abs(special[0, 0]) > 1e-12 and abs(special[1, 0]) > 1e-12:
+        beta_plus_delta = 2.0 * np.angle(special[1, 1])
+        beta_minus_delta = 2.0 * np.angle(special[1, 0])
+        beta = (beta_plus_delta + beta_minus_delta) / 2.0
+        delta = (beta_plus_delta - beta_minus_delta) / 2.0
+    elif abs(special[0, 0]) > 1e-12:
+        # gamma ~ 0: only the sum beta + delta matters.
+        beta = 2.0 * np.angle(special[1, 1])
+        delta = 0.0
+    else:
+        # gamma ~ pi: only the difference beta - delta matters.
+        beta = 2.0 * np.angle(special[1, 0])
+        delta = 0.0
+    result = OneQubitEulerDecomposition(alpha, float(beta), float(gamma), float(delta))
+    if not np.allclose(result.matrix(), unitary, atol=1e-7):
+        # Resolve the remaining branch ambiguity by a small search.
+        for beta_shift in (0.0, 2 * np.pi):
+            for alpha_shift in (0.0, np.pi):
+                candidate = OneQubitEulerDecomposition(
+                    alpha + alpha_shift, beta + beta_shift, gamma, delta
+                )
+                if np.allclose(candidate.matrix(), unitary, atol=1e-7):
+                    return candidate
+        raise RuntimeError("ZYZ decomposition failed to reproduce the input")
+    return result

@@ -1,0 +1,57 @@
+"""Quantum-channel noise substrate.
+
+The paper's evaluation deliberately keeps noise abstract: it assumes
+uniform gate fidelity and uses gate counts / critical-path pulse duration
+as reliability surrogates (Section 3.1 and 5).  This package provides the
+machinery needed to *check* that abstraction end to end:
+
+* :mod:`repro.noise.channels` — completely-positive trace-preserving
+  (CPTP) channels in Kraus form: depolarising, amplitude damping, phase
+  damping, thermal relaxation, Pauli channels.
+* :mod:`repro.noise.density_matrix` — a dense density-matrix simulator
+  that applies gates and channels to mixed states.
+* :mod:`repro.noise.circuit_noise` — a circuit-level noise model that
+  attaches channels to gates (by error rate) and idle decoherence (by
+  duration), plus helpers that turn a transpiled circuit into a simulated
+  output fidelity.
+
+The density-matrix simulation cost is ``O(4^n)`` memory, so these tools
+are meant for validation at small widths (<= ~8 qubits), which is enough
+to confirm that the count-based surrogates of the main experiments order
+design points the same way a physical noise model does.
+"""
+
+from repro.noise.channels import (
+    QuantumChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from repro.noise.circuit_noise import (
+    CircuitNoiseModel,
+    circuit_output_fidelity,
+    heavy_output_probability,
+)
+from repro.noise.density_matrix import DensityMatrix, DensityMatrixSimulator
+
+__all__ = [
+    "QuantumChannel",
+    "identity_channel",
+    "depolarizing_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "pauli_channel",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "CircuitNoiseModel",
+    "circuit_output_fidelity",
+    "heavy_output_probability",
+]

@@ -1,0 +1,243 @@
+"""Quantum channels in Kraus form.
+
+A channel ``E`` maps density matrices to density matrices through a set of
+Kraus operators ``{K_i}``:
+
+    E(rho) = sum_i  K_i rho K_i^dagger,     sum_i K_i^dagger K_i = I.
+
+All constructors here return :class:`QuantumChannel` objects whose Kraus
+operators satisfy the completeness relation (checked on construction), so
+every channel is completely positive and trace preserving by design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_ATOL = 1e-9
+
+_PAULI_I = np.eye(2, dtype=complex)
+_PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+class QuantumChannel:
+    """A CPTP map described by its Kraus operators."""
+
+    def __init__(self, kraus_operators: Iterable[np.ndarray], name: str = "channel"):
+        operators = [np.asarray(op, dtype=complex) for op in kraus_operators]
+        if not operators:
+            raise ValueError("a channel needs at least one Kraus operator")
+        dim = operators[0].shape[0]
+        for op in operators:
+            if op.ndim != 2 or op.shape != (dim, dim):
+                raise ValueError("all Kraus operators must be square and equally sized")
+        num_qubits = int(round(np.log2(dim)))
+        if 2 ** num_qubits != dim:
+            raise ValueError("Kraus operator dimension must be a power of two")
+        completeness = sum(op.conj().T @ op for op in operators)
+        if not np.allclose(completeness, np.eye(dim), atol=1e-7):
+            raise ValueError("Kraus operators do not satisfy the completeness relation")
+        self._kraus = operators
+        self._dim = dim
+        self._num_qubits = num_qubits
+        self._name = name
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Channel name (used in reports)."""
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the channel acts on."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return self._dim
+
+    @property
+    def kraus_operators(self) -> List[np.ndarray]:
+        """Copies of the Kraus operators."""
+        return [op.copy() for op in self._kraus]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuantumChannel({self._name!r}, qubits={self._num_qubits}, kraus={len(self._kraus)})"
+
+    # -- action -----------------------------------------------------------
+
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the channel to a density matrix of matching dimension."""
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (self._dim, self._dim):
+            raise ValueError(
+                f"density matrix has shape {rho.shape}, expected ({self._dim}, {self._dim})"
+            )
+        result = np.zeros_like(rho)
+        for op in self._kraus:
+            result += op @ rho @ op.conj().T
+        return result
+
+    # -- algebra ------------------------------------------------------------
+
+    def compose(self, other: "QuantumChannel", name: Optional[str] = None) -> "QuantumChannel":
+        """Channel applying ``self`` first, then ``other`` (same qubit count)."""
+        if other.num_qubits != self._num_qubits:
+            raise ValueError("composed channels must act on the same number of qubits")
+        kraus = [b @ a for a in self._kraus for b in other._kraus]
+        return QuantumChannel(kraus, name=name or f"{self._name}*{other._name}")
+
+    def tensor(self, other: "QuantumChannel", name: Optional[str] = None) -> "QuantumChannel":
+        """Channel acting as ``self (x) other`` on a joint register."""
+        kraus = [np.kron(a, b) for a in self._kraus for b in other._kraus]
+        return QuantumChannel(kraus, name=name or f"{self._name}(x){other._name}")
+
+    # -- characterisation -----------------------------------------------------
+
+    def is_unitary(self) -> bool:
+        """True when the channel is a single unitary Kraus operator."""
+        if len(self._kraus) != 1:
+            return False
+        op = self._kraus[0]
+        return bool(np.allclose(op @ op.conj().T, np.eye(self._dim), atol=_ATOL))
+
+    def choi_matrix(self) -> np.ndarray:
+        """The (unnormalised) Choi matrix sum_ij |i><j| (x) E(|i><j|)."""
+        dim = self._dim
+        choi = np.zeros((dim * dim, dim * dim), dtype=complex)
+        for i in range(dim):
+            for j in range(dim):
+                basis = np.zeros((dim, dim), dtype=complex)
+                basis[i, j] = 1.0
+                mapped = np.zeros((dim, dim), dtype=complex)
+                for op in self._kraus:
+                    mapped += op @ basis @ op.conj().T
+                choi += np.kron(basis, mapped)
+        return choi
+
+    def process_fidelity(self, target_unitary: Optional[np.ndarray] = None) -> float:
+        """Process fidelity with respect to a target unitary (identity default).
+
+        Uses ``F_pro = sum_i |Tr(U^dagger K_i)|^2 / d^2``.
+        """
+        dim = self._dim
+        target = np.eye(dim, dtype=complex) if target_unitary is None else np.asarray(target_unitary)
+        total = 0.0
+        for op in self._kraus:
+            total += abs(np.trace(target.conj().T @ op)) ** 2
+        return float(total / dim ** 2)
+
+    def average_gate_fidelity(self, target_unitary: Optional[np.ndarray] = None) -> float:
+        """Average gate fidelity ``(d F_pro + 1) / (d + 1)``."""
+        dim = self._dim
+        f_pro = self.process_fidelity(target_unitary)
+        return float((dim * f_pro + 1.0) / (dim + 1.0))
+
+
+# -- standard single-qubit channels ------------------------------------------
+
+
+def identity_channel(num_qubits: int = 1) -> QuantumChannel:
+    """The do-nothing channel on ``num_qubits`` qubits."""
+    return QuantumChannel([np.eye(2 ** num_qubits, dtype=complex)], name="identity")
+
+
+def depolarizing_channel(error_rate: float, num_qubits: int = 1) -> QuantumChannel:
+    """Depolarising channel with total error probability ``error_rate``.
+
+    With probability ``error_rate`` the state is replaced by one of the
+    ``4^n - 1`` non-identity Pauli operators chosen uniformly; with
+    probability ``1 - error_rate`` it is untouched.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must lie in [0, 1]")
+    paulis_1q = [_PAULI_I, _PAULI_X, _PAULI_Y, _PAULI_Z]
+    paulis: List[np.ndarray] = paulis_1q
+    for _ in range(num_qubits - 1):
+        paulis = [np.kron(a, b) for a in paulis for b in paulis_1q]
+    num_paulis = len(paulis)
+    kraus = [np.sqrt(1.0 - error_rate) * paulis[0]]
+    weight = np.sqrt(error_rate / (num_paulis - 1)) if num_paulis > 1 else 0.0
+    for pauli in paulis[1:]:
+        kraus.append(weight * pauli)
+    return QuantumChannel(kraus, name=f"depolarizing({error_rate:.3g})")
+
+
+def bit_flip_channel(probability: float) -> QuantumChannel:
+    """Applies X with the given probability."""
+    return pauli_channel(p_x=probability, p_y=0.0, p_z=0.0, name=f"bit_flip({probability:.3g})")
+
+
+def phase_flip_channel(probability: float) -> QuantumChannel:
+    """Applies Z with the given probability."""
+    return pauli_channel(p_x=0.0, p_y=0.0, p_z=probability, name=f"phase_flip({probability:.3g})")
+
+
+def pauli_channel(
+    p_x: float, p_y: float, p_z: float, name: Optional[str] = None
+) -> QuantumChannel:
+    """Single-qubit Pauli channel with explicit X / Y / Z probabilities."""
+    for probability in (p_x, p_y, p_z):
+        if probability < 0.0:
+            raise ValueError("Pauli probabilities must be non-negative")
+    total = p_x + p_y + p_z
+    if total > 1.0 + _ATOL:
+        raise ValueError("Pauli probabilities must sum to at most 1")
+    kraus = [np.sqrt(max(1.0 - total, 0.0)) * _PAULI_I]
+    for probability, pauli in ((p_x, _PAULI_X), (p_y, _PAULI_Y), (p_z, _PAULI_Z)):
+        if probability > 0.0:
+            kraus.append(np.sqrt(probability) * pauli)
+    return QuantumChannel(kraus, name=name or "pauli")
+
+
+def amplitude_damping_channel(gamma: float) -> QuantumChannel:
+    """Energy relaxation (T1 decay) with decay probability ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must lie in [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return QuantumChannel([k0, k1], name=f"amplitude_damping({gamma:.3g})")
+
+
+def phase_damping_channel(lam: float) -> QuantumChannel:
+    """Pure dephasing (T_phi) with dephasing probability ``lam``."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must lie in [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(lam)]], dtype=complex)
+    return QuantumChannel([k0, k1], name=f"phase_damping({lam:.3g})")
+
+
+def thermal_relaxation_channel(
+    duration: float, t1: float, t2: float
+) -> QuantumChannel:
+    """Combined T1 / T2 relaxation over ``duration`` (same units as T1, T2).
+
+    Modelled as amplitude damping with ``gamma = 1 - exp(-t/T1)`` composed
+    with pure dephasing chosen so that the total off-diagonal decay matches
+    ``exp(-t/T2)``.  Requires ``T2 <= 2 T1`` (physical constraint).
+    """
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    if t1 <= 0.0 or t2 <= 0.0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2.0 * t1 + _ATOL:
+        raise ValueError("physical relaxation requires T2 <= 2 * T1")
+    gamma = 1.0 - np.exp(-duration / t1)
+    # Off-diagonal decay from amplitude damping alone is sqrt(1 - gamma)
+    # = exp(-t / (2 T1)); the rest must come from pure dephasing.
+    total_coherence = np.exp(-duration / t2)
+    damping_coherence = np.exp(-duration / (2.0 * t1))
+    residual = total_coherence / damping_coherence
+    lam = float(np.clip(1.0 - residual ** 2, 0.0, 1.0))
+    channel = amplitude_damping_channel(gamma).compose(
+        phase_damping_channel(lam), name=f"thermal_relaxation(t={duration:.3g})"
+    )
+    return channel

@@ -1,0 +1,271 @@
+"""Dense density-matrix representation and simulator.
+
+The density matrix is stored over the little-endian register convention
+used by :mod:`repro.simulator.statevector` (qubit 0 is the least
+significant bit of the computational-basis index).  Gate matrices follow
+the argument-order convention of :mod:`repro.circuits.gate` (first gate
+argument = most significant bit of the gate matrix); the index gymnastics
+needed to reconcile the two live here so callers never see them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.noise.channels import QuantumChannel
+
+
+class DensityMatrix:
+    """A mixed quantum state on ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray, num_qubits: Optional[int] = None):
+        matrix = np.asarray(data, dtype=complex)
+        if matrix.ndim == 1:
+            matrix = np.outer(matrix, matrix.conj())
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("density matrix must be square")
+        dim = matrix.shape[0]
+        inferred = int(round(np.log2(dim)))
+        if 2 ** inferred != dim:
+            raise ValueError("density matrix dimension must be a power of two")
+        if num_qubits is not None and num_qubits != inferred:
+            raise ValueError("num_qubits does not match the matrix dimension")
+        self._num_qubits = inferred
+        self._matrix = matrix
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def ground_state(cls, num_qubits: int) -> "DensityMatrix":
+        """|0...0><0...0|."""
+        dim = 2 ** num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        matrix[0, 0] = 1.0
+        return cls(matrix)
+
+    @classmethod
+    def from_statevector(cls, state: np.ndarray) -> "DensityMatrix":
+        """Pure state |psi><psi| from an amplitude vector."""
+        return cls(np.asarray(state, dtype=complex))
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        """I / 2^n."""
+        dim = 2 ** num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim)
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the underlying matrix."""
+        return self._matrix.copy()
+
+    def trace(self) -> float:
+        """Trace (1 for a normalised state)."""
+        return float(np.real(np.trace(self._matrix)))
+
+    def purity(self) -> float:
+        """Tr(rho^2); 1 for pure states, 1/2^n for the maximally mixed state."""
+        return float(np.real(np.trace(self._matrix @ self._matrix)))
+
+    def is_valid(self, atol: float = 1e-7) -> bool:
+        """Hermitian, unit-trace, positive semidefinite (within tolerance)."""
+        if not np.allclose(self._matrix, self._matrix.conj().T, atol=atol):
+            return False
+        if abs(self.trace() - 1.0) > atol:
+            return False
+        eigenvalues = np.linalg.eigvalsh(self._matrix)
+        return bool(np.all(eigenvalues > -atol))
+
+    # -- measurement-level queries -------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis measurement probabilities."""
+        return np.clip(np.real(np.diag(self._matrix)), 0.0, None)
+
+    def expectation(self, observable: np.ndarray) -> float:
+        """Tr(rho O) for a Hermitian observable of full dimension."""
+        observable = np.asarray(observable, dtype=complex)
+        if observable.shape != self._matrix.shape:
+            raise ValueError("observable dimension mismatch")
+        return float(np.real(np.trace(self._matrix @ observable)))
+
+    def fidelity(self, other: "DensityMatrix") -> float:
+        """Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2."""
+        if other.num_qubits != self._num_qubits:
+            raise ValueError("states act on different numbers of qubits")
+        rho = self._matrix
+        sigma = other._matrix
+        # Fast path: either state pure -> F = <psi| sigma |psi>.
+        if self.purity() > 1.0 - 1e-9:
+            return float(np.real(np.trace(rho @ sigma)))
+        if other.purity() > 1.0 - 1e-9:
+            return float(np.real(np.trace(sigma @ rho)))
+        eigenvalues, eigenvectors = np.linalg.eigh(rho)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        sqrt_rho = (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.conj().T
+        inner = sqrt_rho @ sigma @ sqrt_rho
+        inner_eigenvalues = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+        return float(np.sum(np.sqrt(inner_eigenvalues)) ** 2)
+
+    def state_fidelity_with_statevector(self, state: np.ndarray) -> float:
+        """<psi| rho |psi> for a pure reference state."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2 ** self._num_qubits,):
+            raise ValueError("statevector dimension mismatch")
+        return float(np.real(state.conj() @ self._matrix @ state))
+
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Trace out every qubit not in ``keep`` (result reindexed to ``keep`` order)."""
+        keep = list(keep)
+        if len(set(keep)) != len(keep):
+            raise ValueError("keep indices must be distinct")
+        for qubit in keep:
+            if qubit < 0 or qubit >= self._num_qubits:
+                raise ValueError(f"qubit {qubit} out of range")
+        n = self._num_qubits
+        tensor = self._matrix.reshape([2] * (2 * n))
+        # Axis q of the row (column) indices corresponds to qubit n-1-q.
+        keep_axes_row = [n - 1 - q for q in keep]
+        traced_axes = [axis for axis in range(n) if axis not in keep_axes_row]
+        for offset, axis in enumerate(sorted(traced_axes)):
+            tensor = np.trace(
+                tensor, axis1=axis - offset, axis2=axis - offset + n - offset
+            )
+        dim = 2 ** len(keep)
+        result = tensor.reshape(dim, dim)
+        # Reorder the kept qubits so that keep[i] becomes qubit i of the output.
+        current_order = sorted(keep, reverse=True)
+        desired_order = list(reversed(keep))
+        if current_order != desired_order:
+            k = len(keep)
+            tensor = result.reshape([2] * (2 * k))
+            permutation = [current_order.index(q) for q in desired_order]
+            tensor = np.transpose(
+                tensor, permutation + [p + k for p in permutation]
+            )
+            result = tensor.reshape(dim, dim)
+        return DensityMatrix(result)
+
+    # -- evolution -----------------------------------------------------------------
+
+    def evolve_unitary(self, unitary: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a unitary acting on the listed qubits (gate-argument order)."""
+        expanded = _expand_operator(np.asarray(unitary, dtype=complex), qubits, self._num_qubits)
+        return DensityMatrix(expanded @ self._matrix @ expanded.conj().T)
+
+    def evolve_channel(self, channel: QuantumChannel, qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a channel acting on the listed qubits (gate-argument order)."""
+        if channel.num_qubits != len(tuple(qubits)):
+            raise ValueError("channel arity does not match the qubit list")
+        result = np.zeros_like(self._matrix)
+        for op in channel.kraus_operators:
+            expanded = _expand_operator(op, qubits, self._num_qubits)
+            result += expanded @ self._matrix @ expanded.conj().T
+        return DensityMatrix(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DensityMatrix(qubits={self._num_qubits}, purity={self.purity():.4f})"
+
+
+def _expand_operator(operator: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed an operator on ``qubits`` into the full register.
+
+    ``operator`` follows the gate convention (first listed qubit = most
+    significant bit); the returned matrix acts on the little-endian full
+    register.
+    """
+    qubits = [int(q) for q in qubits]
+    arity = len(qubits)
+    if operator.shape != (2 ** arity, 2 ** arity):
+        raise ValueError("operator dimension does not match the qubit list")
+    dim = 2 ** num_qubits
+    op_tensor = operator.reshape([2] * (2 * arity))
+    full = np.eye(dim, dtype=complex).reshape([2] * (2 * num_qubits))
+    # Row axis of full for qubit q is (num_qubits - 1 - q).
+    row_axes = [num_qubits - 1 - q for q in qubits]
+    # Contract the operator's input indices with the identity's row axes:
+    # result(out_1..out_k, remaining row axes..., col axes...) then move the
+    # new output axes back into place.
+    contracted = np.tensordot(
+        op_tensor, full, axes=(list(range(arity, 2 * arity)), row_axes)
+    )
+    moved = np.moveaxis(contracted, range(arity), row_axes)
+    return moved.reshape(dim, dim)
+
+
+class DensityMatrixSimulator:
+    """Runs circuits on density matrices, optionally inserting noise channels."""
+
+    def __init__(self, max_qubits: int = 10):
+        self._max_qubits = int(max_qubits)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[DensityMatrix] = None,
+        noise_model: Optional["object"] = None,
+    ) -> DensityMatrix:
+        """Simulate ``circuit``; ``noise_model`` follows the CircuitNoiseModel protocol.
+
+        The noise model, when given, is asked for a channel after every
+        instruction (``channel_for(instruction)``) and for a per-qubit idle
+        channel at the end (``idle_channel_for(circuit, qubit)``); either
+        hook may return ``None``.
+        """
+        if circuit.num_qubits > self._max_qubits:
+            raise ValueError(
+                f"circuit has {circuit.num_qubits} qubits which exceeds the "
+                f"density-matrix limit of {self._max_qubits}"
+            )
+        state = initial_state or DensityMatrix.ground_state(circuit.num_qubits)
+        if state.num_qubits != circuit.num_qubits:
+            raise ValueError("initial state size does not match the circuit")
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                continue
+            state = state.evolve_unitary(instruction.gate.matrix(), instruction.qubits)
+            if noise_model is not None:
+                channel = noise_model.channel_for(instruction)
+                if channel is not None:
+                    state = state.evolve_channel(channel, instruction.qubits)
+        if noise_model is not None:
+            for qubit in range(circuit.num_qubits):
+                idle = noise_model.idle_channel_for(circuit, qubit)
+                if idle is not None:
+                    state = state.evolve_channel(idle, (qubit,))
+        return state
+
+    def probabilities(
+        self, circuit: QuantumCircuit, noise_model: Optional["object"] = None
+    ) -> np.ndarray:
+        """Final measurement probabilities (little-endian basis ordering)."""
+        return self.run(circuit, noise_model=noise_model).probabilities()
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        noise_model: Optional["object"] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes; keys are little-endian bitstrings."""
+        probabilities = self.probabilities(circuit, noise_model=noise_model)
+        probabilities = probabilities / probabilities.sum()
+        rng = np.random.default_rng(seed)
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: Dict[str, int] = {}
+        width = circuit.num_qubits
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts

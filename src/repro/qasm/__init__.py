@@ -1,0 +1,25 @@
+"""OpenQASM 2 serialisation for the circuit IR.
+
+The exporter and parser speak a small, documented dialect of OpenQASM 2:
+the standard ``qelib1``-style gates plus the two-qubit families this
+library is built around (``iswap``, ``siswap``, ``niswap(n)``, ``fsim``,
+``syc``, ``zx``), emitted as opaque declarations so that the text remains
+valid OpenQASM even for tools that do not know them.
+
+Typical use::
+
+    from repro.qasm import circuit_to_qasm, circuit_from_qasm
+
+    text = circuit_to_qasm(circuit)
+    rebuilt = circuit_from_qasm(text)
+"""
+
+from repro.qasm.exporter import QasmExportError, circuit_to_qasm
+from repro.qasm.parser import QasmParseError, circuit_from_qasm
+
+__all__ = [
+    "circuit_to_qasm",
+    "circuit_from_qasm",
+    "QasmExportError",
+    "QasmParseError",
+]

@@ -1,0 +1,106 @@
+"""Export :class:`~repro.circuits.circuit.QuantumCircuit` objects to OpenQASM 2."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import NthRootISwapGate
+
+#: Gate names emitted verbatim (standard qelib1 vocabulary).
+_STANDARD_NAMES = {
+    "id",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "rx",
+    "ry",
+    "rz",
+    "p",
+    "u3",
+    "cx",
+    "cz",
+    "cp",
+    "rzz",
+    "rxx",
+    "swap",
+    "ccx",
+}
+
+#: Extension gates declared as ``opaque`` so the output stays parseable.
+_OPAQUE_DECLARATIONS = {
+    "iswap": "opaque iswap a,b;",
+    "siswap": "opaque siswap a,b;",
+    "fsim": "opaque fsim(theta,phi) a,b;",
+    "syc": "opaque syc a,b;",
+    "zx": "opaque zx(theta) a,b;",
+    "niswap": "opaque niswap(n) a,b;",
+}
+
+
+class QasmExportError(ValueError):
+    """Raised when a circuit contains something OpenQASM 2 cannot express."""
+
+
+def _format_parameter(value: float) -> str:
+    return f"{value:.12g}"
+
+
+def _instruction_line(instruction: Instruction) -> str:
+    """One QASM statement for an instruction."""
+    gate = instruction.gate
+    qubits = ",".join(f"q[{index}]" for index in instruction.qubits)
+    if gate.name == "barrier":
+        return f"barrier {qubits};"
+    if isinstance(gate, NthRootISwapGate) and gate.name not in ("iswap", "siswap"):
+        return f"niswap({gate.root}) {qubits};"
+    if gate.name == "unitary":
+        raise QasmExportError(
+            "raw unitary gates cannot be expressed in OpenQASM 2; decompose the "
+            "circuit (e.g. transpile it to a basis) before exporting"
+        )
+    name = gate.name
+    if name not in _STANDARD_NAMES and name not in _OPAQUE_DECLARATIONS and name != "niswap":
+        raise QasmExportError(f"gate {name!r} has no OpenQASM 2 spelling")
+    if gate.params:
+        params = ",".join(_format_parameter(p) for p in gate.params)
+        return f"{name}({params}) {qubits};"
+    return f"{name} {qubits};"
+
+
+def circuit_to_qasm(circuit: QuantumCircuit, include_header_comment: bool = True) -> str:
+    """Serialise a circuit to OpenQASM 2 text.
+
+    Extension gates (iSWAP family, fSim, SYC, ZX) are emitted behind
+    ``opaque`` declarations; raw :class:`~repro.circuits.gate.UnitaryGate`
+    instructions are rejected with :class:`QasmExportError` because QASM 2
+    has no way to spell an arbitrary matrix.
+    """
+    lines: List[str] = []
+    if include_header_comment:
+        lines.append(f"// {circuit.name} ({circuit.num_qubits} qubits)")
+    lines.append("OPENQASM 2.0;")
+    lines.append('include "qelib1.inc";')
+    used_opaque = sorted(
+        {
+            "niswap"
+            if isinstance(inst.gate, NthRootISwapGate) and inst.gate.name not in ("iswap", "siswap")
+            else inst.gate.name
+            for inst in circuit
+            if inst.gate.name in _OPAQUE_DECLARATIONS
+            or (isinstance(inst.gate, NthRootISwapGate) and inst.gate.name not in _STANDARD_NAMES)
+        }
+    )
+    for name in used_opaque:
+        lines.append(_OPAQUE_DECLARATIONS[name])
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    for instruction in circuit:
+        lines.append(_instruction_line(instruction))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,11 @@
+"""State-vector and unitary simulators used for validation."""
+
+from repro.simulator.statevector import StatevectorSimulator, statevector
+from repro.simulator.unitary import circuit_unitary, circuits_equivalent
+
+__all__ = [
+    "StatevectorSimulator",
+    "statevector",
+    "circuit_unitary",
+    "circuits_equivalent",
+]

@@ -1,0 +1,108 @@
+"""Dense state-vector simulator.
+
+The simulator uses the little-endian register convention (qubit 0 is the
+least-significant bit of the computational-basis index), while gate matrices
+use the argument-order convention of :mod:`repro.circuits.gate` (first
+argument = most-significant bit of the gate matrix).  The translation
+between the two is handled here so that callers never need to think about
+it.
+
+The simulator is used to *validate* circuit constructions and
+decompositions (GHZ states, adders on basis states, QFT against the DFT
+matrix, transpiled-circuit equivalence); it is not meant to scale past
+~20 qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+
+
+class StatevectorSimulator:
+    """Applies circuits to dense state vectors."""
+
+    def __init__(self, max_qubits: int = 24):
+        self._max_qubits = int(max_qubits)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Simulate ``circuit`` and return the final state vector."""
+        num_qubits = circuit.num_qubits
+        if num_qubits > self._max_qubits:
+            raise ValueError(
+                f"circuit has {num_qubits} qubits which exceeds the simulator "
+                f"limit of {self._max_qubits}"
+            )
+        if initial_state is None:
+            state = np.zeros(2 ** num_qubits, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial_state, dtype=complex).copy()
+            if state.shape != (2 ** num_qubits,):
+                raise ValueError("initial state has the wrong dimension")
+        tensor = state.reshape([2] * num_qubits)
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                continue
+            tensor = _apply_instruction(tensor, instruction, num_qubits)
+        return tensor.reshape(2 ** num_qubits)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Measurement probabilities in the computational basis."""
+        amplitudes = self.run(circuit)
+        return np.abs(amplitudes) ** 2
+
+    def sample_counts(
+        self, circuit: QuantumCircuit, shots: int, seed: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes; keys are little-endian bitstrings."""
+        probabilities = self.probabilities(circuit)
+        rng = np.random.default_rng(seed)
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: Dict[str, int] = {}
+        width = circuit.num_qubits
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation_z(self, circuit: QuantumCircuit, qubits: Sequence[int]) -> float:
+        """Expectation value of the Z-string on ``qubits``."""
+        probabilities = self.probabilities(circuit)
+        total = 0.0
+        for index, probability in enumerate(probabilities):
+            parity = 1.0
+            for qubit in qubits:
+                if (index >> qubit) & 1:
+                    parity = -parity
+            total += parity * probability
+        return float(total)
+
+
+def _apply_instruction(
+    tensor: np.ndarray, instruction: Instruction, num_qubits: int
+) -> np.ndarray:
+    """Apply one instruction to a state tensor of shape ``(2,) * n``."""
+    gate_qubits = instruction.qubits
+    arity = len(gate_qubits)
+    matrix = instruction.gate.matrix()
+    gate_tensor = matrix.reshape([2] * (2 * arity))
+    # Axis of the state tensor that carries qubit ``q``.
+    axes = [num_qubits - 1 - q for q in gate_qubits]
+    moved = np.tensordot(
+        gate_tensor, tensor, axes=(list(range(arity, 2 * arity)), axes)
+    )
+    return np.moveaxis(moved, range(arity), axes)
+
+
+def statevector(circuit: QuantumCircuit) -> np.ndarray:
+    """Convenience function: final state of ``circuit`` from ``|0...0>``."""
+    return StatevectorSimulator().run(circuit)

@@ -1,0 +1,50 @@
+"""Unitary simulator: compute the full matrix implemented by a circuit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulator.statevector import _apply_instruction
+
+
+def circuit_unitary(circuit: QuantumCircuit, max_qubits: int = 12) -> np.ndarray:
+    """Return the unitary of ``circuit`` (little-endian register ordering).
+
+    The cost is ``O(4^n)``; intended for verification of small circuits and
+    decompositions.
+    """
+    num_qubits = circuit.num_qubits
+    if num_qubits > max_qubits:
+        raise ValueError(
+            f"refusing to build a {2 ** num_qubits}-dimensional unitary "
+            f"(limit is {max_qubits} qubits)"
+        )
+    dim = 2 ** num_qubits
+    # Keep the input (column) index as a trailing axis and push every gate
+    # through the row indices only.
+    tensor = np.eye(dim, dtype=complex).reshape([2] * num_qubits + [dim])
+    for instruction in circuit:
+        if instruction.name == "barrier":
+            continue
+        tensor = _apply_instruction(tensor, instruction, num_qubits)
+    return tensor.reshape(dim, dim)
+
+
+def circuits_equivalent(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    up_to_global_phase: bool = True,
+    atol: float = 1e-6,
+) -> bool:
+    """Check whether two small circuits implement the same unitary."""
+    from repro.linalg.matrices import matrices_equal
+
+    if circuit_a.num_qubits != circuit_b.num_qubits:
+        return False
+    return matrices_equal(
+        circuit_unitary(circuit_a),
+        circuit_unitary(circuit_b),
+        up_to_global_phase=up_to_global_phase,
+        atol=atol,
+    )

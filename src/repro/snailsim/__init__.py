@@ -1,0 +1,14 @@
+"""SNAIL device-level model (software twin of the paper's hardware prototype)."""
+
+from repro.snailsim.device import SnailExchangeModel
+from repro.snailsim.chevron import ChevronData, chevron_sweep, render_ascii_chevron
+from repro.snailsim.module import PumpTone, SnailModule
+
+__all__ = [
+    "SnailExchangeModel",
+    "ChevronData",
+    "chevron_sweep",
+    "render_ascii_chevron",
+    "PumpTone",
+    "SnailModule",
+]

@@ -1,0 +1,63 @@
+"""Qubit coupling topologies: baselines, hypercubes and SNAIL machines."""
+
+from repro.topology.coupling import CouplingMap
+from repro.topology.lattices import (
+    heavy_hex_lattice,
+    hex_lattice,
+    hypercube,
+    square_lattice,
+    square_lattice_alt_diagonals,
+    trimmed_hypercube,
+)
+from repro.topology.snail import (
+    SnailModule,
+    corral_modules,
+    corral_topology,
+    modules_to_coupling_map,
+    tree_modules,
+    tree_round_robin_topology,
+    tree_topology,
+)
+from repro.topology.snail_extensions import (
+    corral_lattice_topology,
+    heterogeneous_corral_topology,
+)
+from repro.topology.analysis import (
+    TopologyProperties,
+    format_properties_table,
+    properties_table,
+    topology_properties,
+)
+from repro.topology.registry import (
+    available_topologies,
+    get_topology,
+    large_topologies,
+    small_topologies,
+)
+
+__all__ = [
+    "CouplingMap",
+    "heavy_hex_lattice",
+    "hex_lattice",
+    "hypercube",
+    "square_lattice",
+    "square_lattice_alt_diagonals",
+    "trimmed_hypercube",
+    "SnailModule",
+    "corral_modules",
+    "corral_topology",
+    "corral_lattice_topology",
+    "heterogeneous_corral_topology",
+    "modules_to_coupling_map",
+    "tree_modules",
+    "tree_round_robin_topology",
+    "tree_topology",
+    "TopologyProperties",
+    "format_properties_table",
+    "properties_table",
+    "topology_properties",
+    "available_topologies",
+    "get_topology",
+    "large_topologies",
+    "small_topologies",
+]

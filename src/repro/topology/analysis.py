@@ -1,0 +1,68 @@
+"""Graph-structural analysis of topologies (paper Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from repro.topology.coupling import CouplingMap
+
+
+@dataclass(frozen=True)
+class TopologyProperties:
+    """The row format of the paper's Tables 1 and 2."""
+
+    name: str
+    num_qubits: int
+    diameter: float
+    average_distance: float
+    average_connectivity: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Dictionary row used by the experiment harness and benchmarks."""
+        return {
+            "name": self.name,
+            "qubits": self.num_qubits,
+            "diameter": self.diameter,
+            "avg_distance": round(self.average_distance, 2),
+            "avg_connectivity": round(self.average_connectivity, 2),
+        }
+
+
+def topology_properties(coupling_map: CouplingMap) -> TopologyProperties:
+    """Compute the Table-1/2 row for a topology."""
+    return TopologyProperties(
+        name=coupling_map.name,
+        num_qubits=coupling_map.num_qubits,
+        diameter=coupling_map.diameter(),
+        average_distance=coupling_map.average_distance(),
+        average_connectivity=coupling_map.average_connectivity(),
+    )
+
+
+def properties_table(
+    coupling_maps: Mapping[str, CouplingMap]
+) -> List[TopologyProperties]:
+    """Compute properties for a named family of topologies."""
+    return [
+        TopologyProperties(
+            name=name,
+            num_qubits=cmap.num_qubits,
+            diameter=cmap.diameter(),
+            average_distance=cmap.average_distance(),
+            average_connectivity=cmap.average_connectivity(),
+        )
+        for name, cmap in coupling_maps.items()
+    ]
+
+
+def format_properties_table(rows: Iterable[TopologyProperties]) -> str:
+    """Render a list of topology properties as a fixed-width text table."""
+    header = f"{'Topology':<24}{'Qubits':>8}{'Dia.':>8}{'AvgD':>8}{'AvgC':>8}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<24}{row.num_qubits:>8}{row.diameter:>8.1f}"
+            f"{row.average_distance:>8.2f}{row.average_connectivity:>8.2f}"
+        )
+    return "\n".join(lines)

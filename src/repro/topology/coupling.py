@@ -1,0 +1,219 @@
+"""Coupling map: the qubit-connectivity graph of a quantum computer.
+
+The paper models a machine as a graph ``G = {V, E}`` whose vertices are
+physical qubits and whose edges are pairs that can host a two-qubit gate
+(Section 2.4).  :class:`CouplingMap` wraps a :class:`networkx.Graph` with
+the analysis helpers the evaluation needs (distance matrix, diameter,
+average distance, average connectivity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph with cached distance queries."""
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        num_qubits: Optional[int] = None,
+        name: str = "coupling",
+    ):
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        for a, b in edge_list:
+            if a == b:
+                raise ValueError("self-loops are not valid couplings")
+        if num_qubits is None:
+            num_qubits = max((max(a, b) for a, b in edge_list), default=-1) + 1
+        self._num_qubits = int(num_qubits)
+        self._name = name
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(self._num_qubits))
+        self._graph.add_edges_from(edge_list)
+        self._distance: Optional[np.ndarray] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph, name: str = "coupling") -> "CouplingMap":
+        """Build from an arbitrary networkx graph (nodes are relabelled 0..n-1)."""
+        mapping = {
+            node: index
+            for index, node in enumerate(sorted(graph.nodes(), key=str))
+        }
+        edges = [(mapping[a], mapping[b]) for a, b in graph.edges()]
+        return cls(edges, num_qubits=len(mapping), name=name)
+
+    @classmethod
+    def full(cls, num_qubits: int, name: str = "full") -> "CouplingMap":
+        """All-to-all connectivity (useful as an idealised baseline)."""
+        edges = [
+            (a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)
+        ]
+        return cls(edges, num_qubits=num_qubits, name=name)
+
+    @classmethod
+    def line(cls, num_qubits: int, name: str = "line") -> "CouplingMap":
+        """A 1-D chain of qubits."""
+        edges = [(i, i + 1) for i in range(num_qubits - 1)]
+        return cls(edges, num_qubits=num_qubits, name=name)
+
+    @classmethod
+    def ring(cls, num_qubits: int, name: str = "ring") -> "CouplingMap":
+        """A 1-D ring of qubits."""
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(edges, num_qubits=num_qubits, name=name)
+
+    # -- basic structure -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Topology name used in reports."""
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self._num_qubits
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted list of couplings."""
+        return sorted(tuple(sorted(edge)) for edge in self._graph.edges())
+
+    def num_edges(self) -> int:
+        """Number of couplings."""
+        return self._graph.number_of_edges()
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        """Physical qubits coupled to ``qubit``."""
+        return tuple(sorted(self._graph.neighbors(qubit)))
+
+    def degree(self, qubit: int) -> int:
+        """Number of couplings incident on ``qubit``."""
+        return int(self._graph.degree[qubit])
+
+    def has_edge(self, qubit_a: int, qubit_b: int) -> bool:
+        """True if the two qubits are directly coupled."""
+        return self._graph.has_edge(qubit_a, qubit_b)
+
+    def is_connected(self) -> bool:
+        """True if every qubit can reach every other qubit."""
+        return nx.is_connected(self._graph)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances (hops); cached."""
+        if self._distance is None:
+            n = self._num_qubits
+            matrix = np.full((n, n), np.inf)
+            lengths = dict(nx.all_pairs_shortest_path_length(self._graph))
+            for source, targets in lengths.items():
+                for target, dist in targets.items():
+                    matrix[source, target] = dist
+            self._distance = matrix
+        return self._distance
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Shortest-path distance between two qubits."""
+        return int(self.distance_matrix()[qubit_a, qubit_b])
+
+    def diameter(self) -> float:
+        """Largest shortest-path distance (paper Tables 1-2, "Dia.")."""
+        return float(np.max(self.distance_matrix()))
+
+    def average_distance(self) -> float:
+        """Mean pairwise distance (Tables 1-2, "AvgD").
+
+        Follows the paper's convention of averaging over *all* ordered
+        pairs including a qubit with itself (denominator ``n^2``); with the
+        more common ``n (n - 1)`` denominator the published Table-1 values
+        (e.g. 2.5 for the 4x4 Square-Lattice) are not reproduced.
+        """
+        matrix = self.distance_matrix()
+        n = self._num_qubits
+        if n < 1:
+            return 0.0
+        total = np.sum(matrix) - np.trace(matrix)
+        return float(total / (n * n))
+
+    def average_connectivity(self) -> float:
+        """Mean qubit degree (Tables 1-2, "AvgC")."""
+        degrees = [d for _, d in self._graph.degree()]
+        return float(np.mean(degrees)) if degrees else 0.0
+
+    def shortest_path(self, qubit_a: int, qubit_b: int) -> List[int]:
+        """One shortest path between two qubits (inclusive)."""
+        return nx.shortest_path(self._graph, qubit_a, qubit_b)
+
+    def subgraph(self, qubits: Sequence[int], name: Optional[str] = None) -> "CouplingMap":
+        """Induced subgraph on the given qubits (relabelled 0..k-1)."""
+        qubits = list(qubits)
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self._graph.edges()
+            if a in index and b in index
+        ]
+        return CouplingMap(edges, num_qubits=len(qubits), name=name or f"{self._name}_sub")
+
+    def densest_subset(self, size: int) -> List[int]:
+        """Greedy densest connected subset of ``size`` qubits.
+
+        Used by the dense layout pass: starting from the highest-degree
+        qubit, repeatedly add the frontier qubit with the most neighbours
+        already inside the subset.
+        """
+        if size > self._num_qubits:
+            raise ValueError("requested subset larger than the device")
+        if size == self._num_qubits:
+            return list(range(self._num_qubits))
+        best_subset: List[int] = []
+        best_internal = -1
+        degrees = dict(self._graph.degree())
+        seeds = sorted(degrees, key=lambda q: -degrees[q])[: max(4, self._num_qubits // 8)]
+        for seed in seeds:
+            subset = {seed}
+            while len(subset) < size:
+                frontier = {
+                    neighbor
+                    for node in subset
+                    for neighbor in self._graph.neighbors(node)
+                } - subset
+                if not frontier:
+                    remaining = [q for q in range(self._num_qubits) if q not in subset]
+                    frontier = set(remaining[:1])
+                    if not frontier:
+                        break
+                choice = max(
+                    frontier,
+                    key=lambda q: (
+                        sum(1 for nb in self._graph.neighbors(q) if nb in subset),
+                        degrees[q],
+                        -q,
+                    ),
+                )
+                subset.add(choice)
+            internal = sum(
+                1 for a, b in self._graph.edges() if a in subset and b in subset
+            )
+            if internal > best_internal:
+                best_internal = internal
+                best_subset = sorted(subset)
+        return best_subset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CouplingMap(name={self._name!r}, qubits={self._num_qubits}, "
+            f"edges={self.num_edges()})"
+        )

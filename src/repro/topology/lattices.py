@@ -1,0 +1,176 @@
+"""Planar lattice topologies used by today's commercial machines.
+
+These are the comparison baselines of the paper (Section 2.4.4, Fig. 2):
+
+* Square-Lattice — Google-style nearest-neighbour grid;
+* Hex-Lattice — hexagonal (degree-3) lattice;
+* Heavy-Hex — IBM's current topology: a hexagonal lattice with an extra
+  qubit inserted on every edge;
+* Lattice + alternating diagonals — IBM's early "Penguin"-era attempt at a
+  denser planar lattice.
+
+The 16/20-qubit and 84-qubit instances used in the paper's Tables 1 and 2
+are provided by :mod:`repro.topology.registry`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.topology.coupling import CouplingMap
+
+
+def _grid_index(row: int, col: int, cols: int) -> int:
+    return row * cols + col
+
+
+def square_lattice(rows: int, cols: int, name: Optional[str] = None) -> CouplingMap:
+    """Nearest-neighbour square lattice of ``rows x cols`` qubits."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges: List[Tuple[int, int]] = []
+    for row in range(rows):
+        for col in range(cols):
+            here = _grid_index(row, col, cols)
+            if col + 1 < cols:
+                edges.append((here, _grid_index(row, col + 1, cols)))
+            if row + 1 < rows:
+                edges.append((here, _grid_index(row + 1, col, cols)))
+    return CouplingMap(
+        edges, num_qubits=rows * cols, name=name or f"square-lattice-{rows}x{cols}"
+    )
+
+
+def square_lattice_alt_diagonals(
+    rows: int, cols: int, name: Optional[str] = None
+) -> CouplingMap:
+    """Square lattice with both diagonals added on alternating tiles.
+
+    Mirrors IBM's early "Penguin" layouts (paper Fig. 2c): every other unit
+    cell of the grid (checkerboard pattern) receives its two diagonal
+    couplings.
+    """
+    base = square_lattice(rows, cols)
+    edges = list(base.edges())
+    for row in range(rows - 1):
+        for col in range(cols - 1):
+            if (row + col) % 2 == 0:
+                a = _grid_index(row, col, cols)
+                b = _grid_index(row + 1, col + 1, cols)
+                c = _grid_index(row, col + 1, cols)
+                d = _grid_index(row + 1, col, cols)
+                edges.append((a, b))
+                edges.append((c, d))
+    return CouplingMap(
+        edges,
+        num_qubits=rows * cols,
+        name=name or f"lattice-altdiag-{rows}x{cols}",
+    )
+
+
+def _trim_to_size(graph: nx.Graph, num_qubits: int) -> nx.Graph:
+    """Keep ``num_qubits`` nodes forming a compact connected patch.
+
+    Nodes are taken in BFS order from a graph centre (a node of minimum
+    eccentricity), which yields a roughly round patch instead of a long
+    strip and therefore keeps the trimmed lattice's diameter close to that
+    of an ideally shaped instance.
+    """
+    if graph.number_of_nodes() < num_qubits:
+        raise ValueError(
+            f"parent lattice has only {graph.number_of_nodes()} nodes, "
+            f"cannot trim to {num_qubits}"
+        )
+    eccentricity = nx.eccentricity(graph)
+    start = min(sorted(graph.nodes(), key=str), key=lambda n: eccentricity[n])
+    order = [start] + [v for _, v in nx.bfs_edges(graph, start)]
+    keep = order[:num_qubits]
+    return graph.subgraph(keep).copy()
+
+
+def hex_lattice(num_qubits: int, name: Optional[str] = None) -> CouplingMap:
+    """Hexagonal (degree-<=3) lattice trimmed to ``num_qubits`` qubits."""
+    rows = cols = 1
+    while True:
+        candidate = nx.hexagonal_lattice_graph(rows, cols)
+        if candidate.number_of_nodes() >= num_qubits:
+            break
+        if rows <= cols:
+            rows += 1
+        else:
+            cols += 1
+    trimmed = _trim_to_size(candidate, num_qubits)
+    return CouplingMap.from_graph(trimmed, name=name or f"hex-lattice-{num_qubits}")
+
+
+def heavy_hex_lattice(num_qubits: int, name: Optional[str] = None) -> CouplingMap:
+    """Heavy-hex lattice (hexagonal lattice with edge qubits), trimmed.
+
+    The "heavy" construction inserts one additional qubit on every edge of
+    a hexagonal lattice, which is how IBM describes its current topology
+    [Chamberland et al., PRX 10, 011022 (2020)].
+    """
+    rows = cols = 1
+    while True:
+        base = nx.hexagonal_lattice_graph(rows, cols)
+        heavy = _subdivide_edges(base)
+        if heavy.number_of_nodes() >= num_qubits:
+            break
+        if rows <= cols:
+            rows += 1
+        else:
+            cols += 1
+    trimmed = _trim_to_size(heavy, num_qubits)
+    return CouplingMap.from_graph(trimmed, name=name or f"heavy-hex-{num_qubits}")
+
+
+def _subdivide_edges(graph: nx.Graph) -> nx.Graph:
+    """Insert one new node in the middle of every edge of ``graph``."""
+    heavy = nx.Graph()
+    heavy.add_nodes_from(graph.nodes())
+    for index, (a, b) in enumerate(sorted(graph.edges(), key=str)):
+        middle = ("edge", index)
+        heavy.add_node(middle)
+        heavy.add_edge(a, middle)
+        heavy.add_edge(middle, b)
+    return heavy
+
+
+def hypercube(dimension: int, name: Optional[str] = None) -> CouplingMap:
+    """The ``dimension``-dimensional hypercube of ``2**dimension`` qubits."""
+    if dimension < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    num_qubits = 2 ** dimension
+    edges = []
+    for node in range(num_qubits):
+        for bit in range(dimension):
+            other = node ^ (1 << bit)
+            if other > node:
+                edges.append((node, other))
+    return CouplingMap(edges, num_qubits=num_qubits, name=name or f"hypercube-{dimension}d")
+
+
+def trimmed_hypercube(num_qubits: int, name: Optional[str] = None) -> CouplingMap:
+    """A hypercube reduced to ``num_qubits`` nodes.
+
+    The paper scales the hypercube down to 84 qubits while "maintaining the
+    regular structure".  We keep the ``num_qubits`` smallest binary codes of
+    the enclosing hypercube and the edges between them, which preserves the
+    recursive sub-cube structure (codes 0..2^k-1 always form a full
+    k-dimensional sub-cube) and keeps the graph connected.
+    """
+    dimension = 1
+    while 2 ** dimension < num_qubits:
+        dimension += 1
+    edges = []
+    for node in range(num_qubits):
+        for bit in range(dimension):
+            other = node ^ (1 << bit)
+            if node < other < num_qubits:
+                edges.append((node, other))
+    return CouplingMap(
+        edges, num_qubits=num_qubits, name=name or f"hypercube-{num_qubits}"
+    )

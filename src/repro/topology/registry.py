@@ -1,0 +1,89 @@
+"""Named topology instances used throughout the paper's evaluation.
+
+Two machine scales are studied (paper Section 5):
+
+* the *small* machines of Table 1 (16-20 qubits, the scale of the physical
+  SNAIL prototype), and
+* the *scaled* machines of Table 2 (84 qubits).
+
+The constructors here pin down the concrete instances — grid shapes, trim
+sizes, tree depths — so that every experiment in
+:mod:`repro.experiments` refers to the same graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.topology.coupling import CouplingMap
+from repro.topology.lattices import (
+    heavy_hex_lattice,
+    hex_lattice,
+    hypercube,
+    square_lattice,
+    square_lattice_alt_diagonals,
+    trimmed_hypercube,
+)
+from repro.topology.snail import (
+    corral_topology,
+    tree_round_robin_topology,
+    tree_topology,
+)
+
+#: Canonical topology names (matching the paper's figure legends).
+HEAVY_HEX = "Heavy-Hex"
+HEX_LATTICE = "Hex-Lattice"
+SQUARE_LATTICE = "Square-Lattice"
+LATTICE_ALT_DIAG = "Lattice+AltDiagonals"
+HYPERCUBE = "Hypercube"
+TREE = "Tree"
+TREE_RR = "Tree-RR"
+CORRAL_1_1 = "Corral1,1"
+CORRAL_1_2 = "Corral1,2"
+
+
+def small_topologies() -> Dict[str, CouplingMap]:
+    """The 16-20 qubit machines of paper Table 1 / Figs. 11 and 13."""
+    return {
+        HEAVY_HEX: heavy_hex_lattice(20, name=HEAVY_HEX),
+        HEX_LATTICE: hex_lattice(20, name=HEX_LATTICE),
+        SQUARE_LATTICE: square_lattice(4, 4, name=SQUARE_LATTICE),
+        TREE: tree_topology(levels=2, arity=4, name=TREE),
+        TREE_RR: tree_round_robin_topology(levels=2, arity=4, name=TREE_RR),
+        CORRAL_1_1: corral_topology(8, (1, 1), name=CORRAL_1_1),
+        # The published Corral(1,2) properties (diameter 2, AvgD 1.5,
+        # AvgC 6.0 — paper Table 1) are reproduced when the second rail
+        # spans three posts; a literal stride of two yields diameter 3.
+        CORRAL_1_2: corral_topology(8, (1, 3), name=CORRAL_1_2),
+        HYPERCUBE: hypercube(4, name=HYPERCUBE),
+    }
+
+
+def large_topologies() -> Dict[str, CouplingMap]:
+    """The 84-qubit machines of paper Table 2 / Figs. 4, 12 and 14."""
+    return {
+        HEAVY_HEX: heavy_hex_lattice(84, name=HEAVY_HEX),
+        HEX_LATTICE: hex_lattice(84, name=HEX_LATTICE),
+        SQUARE_LATTICE: square_lattice(7, 12, name=SQUARE_LATTICE),
+        LATTICE_ALT_DIAG: square_lattice_alt_diagonals(7, 12, name=LATTICE_ALT_DIAG),
+        TREE: tree_topology(levels=3, arity=4, name=TREE),
+        TREE_RR: tree_round_robin_topology(levels=3, arity=4, name=TREE_RR),
+        HYPERCUBE: trimmed_hypercube(84, name=HYPERCUBE),
+    }
+
+
+def get_topology(name: str, scale: str = "small") -> CouplingMap:
+    """Look up a named topology at the requested scale ("small" or "large")."""
+    registry = small_topologies() if scale == "small" else large_topologies()
+    if name not in registry:
+        raise KeyError(
+            f"unknown topology {name!r} at scale {scale!r}; "
+            f"available: {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def available_topologies(scale: str = "small") -> List[str]:
+    """Names available at a given scale."""
+    registry = small_topologies() if scale == "small" else large_topologies()
+    return sorted(registry)

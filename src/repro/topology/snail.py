@@ -1,0 +1,236 @@
+"""SNAIL-enabled modular topologies: 4-ary Trees and Corrals.
+
+The construction rule shared by all SNAIL topologies (paper Section 4) is:
+every SNAIL modulator couples a small set of qubits (at most six, to avoid
+frequency crowding), and any pair of qubits sharing a SNAIL can perform a
+two-qubit gate.  In graph terms **each SNAIL contributes a clique over the
+qubits it couples**, and a topology is the union of those cliques.
+
+* :func:`tree_topology` — the modular 4-ary Tree of Fig. 7a / Fig. 8:
+  a router SNAIL couples the four level-1 router qubits; each router qubit
+  is also part of its module's SNAIL together with its four children, and
+  so on for deeper levels.
+* :func:`tree_round_robin_topology` — the Round-Robin Tree of Fig. 7b:
+  module qubits attach to *different* router qubits so no single router
+  qubit becomes a bottleneck.
+* :func:`corral_topology` — the hypercube-inspired Corral of Fig. 9: a ring
+  of SNAIL "fence posts", each coupling the rail qubits that terminate on
+  it; the two rails may use different strides around the ring
+  (Corral(1,1) and Corral(1,2) in the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.topology.coupling import CouplingMap
+
+
+def _clique_edges(qubits: Sequence[int]) -> List[Tuple[int, int]]:
+    """All pairs among ``qubits`` (one SNAIL's contribution)."""
+    return [tuple(sorted(pair)) for pair in itertools.combinations(qubits, 2)]
+
+
+class SnailModule:
+    """One SNAIL modulator and the qubits it couples.
+
+    Exposed so that users can assemble custom modular machines; the
+    prebuilt Tree/Corral constructors below are unions of these modules.
+    """
+
+    def __init__(self, qubits: Sequence[int], label: str = "module"):
+        qubits = tuple(int(q) for q in qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("a SNAIL module cannot couple a qubit to itself")
+        if len(qubits) < 2:
+            raise ValueError("a SNAIL module must couple at least two qubits")
+        if len(qubits) > 6:
+            raise ValueError(
+                "a SNAIL can couple at most six qubits without frequency crowding"
+            )
+        self.qubits = qubits
+        self.label = label
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """The clique of couplings contributed by this SNAIL."""
+        return _clique_edges(self.qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SnailModule({self.label!r}, qubits={self.qubits})"
+
+
+def modules_to_coupling_map(
+    modules: Iterable[SnailModule], name: str = "snail-machine"
+) -> CouplingMap:
+    """Union of SNAIL-module cliques as a :class:`CouplingMap`."""
+    edge_set: Set[Tuple[int, int]] = set()
+    num_qubits = 0
+    for module in modules:
+        edge_set.update(module.edges())
+        num_qubits = max(num_qubits, max(module.qubits) + 1)
+    return CouplingMap(sorted(edge_set), num_qubits=num_qubits, name=name)
+
+
+# -- 4-ary tree -----------------------------------------------------------------
+
+
+def _tree_level_sizes(levels: int, arity: int) -> List[int]:
+    """Number of qubits at each level: arity, arity^2, ... arity^levels."""
+    return [arity ** (level + 1) for level in range(levels)]
+
+
+def tree_modules(levels: int = 2, arity: int = 4) -> List[SnailModule]:
+    """SNAIL modules of a ``levels``-deep ``arity``-ary tree.
+
+    Level-1 holds the ``arity`` router qubits coupled by the root SNAIL;
+    every qubit at level ``k`` owns a module SNAIL coupling it with its
+    ``arity`` children at level ``k + 1`` (for ``k < levels``).
+
+    ``levels=2, arity=4`` gives the 20-qubit Tree of paper Fig. 7a;
+    ``levels=3, arity=4`` gives the 84-qubit Tree of paper Fig. 8.
+    """
+    if levels < 1:
+        raise ValueError("a tree needs at least one level")
+    if arity < 2:
+        raise ValueError("tree arity must be at least two")
+    sizes = _tree_level_sizes(levels, arity)
+    offsets = [0]
+    for size in sizes[:-1]:
+        offsets.append(offsets[-1] + size)
+    modules = [SnailModule(tuple(range(arity)), label="router")]
+    for level in range(levels - 1):
+        parent_offset = offsets[level]
+        child_offset = offsets[level + 1]
+        for parent_index in range(sizes[level]):
+            parent = parent_offset + parent_index
+            children = [
+                child_offset + parent_index * arity + child
+                for child in range(arity)
+            ]
+            modules.append(
+                SnailModule(
+                    (parent, *children), label=f"module-L{level + 1}-{parent_index}"
+                )
+            )
+    return modules
+
+
+def tree_topology(levels: int = 2, arity: int = 4, name: Optional[str] = None) -> CouplingMap:
+    """The modular 4-ary Tree topology (paper Fig. 7a / Fig. 8)."""
+    modules = tree_modules(levels, arity)
+    total = sum(_tree_level_sizes(levels, arity))
+    coupling = modules_to_coupling_map(
+        modules, name=name or f"tree-{arity}ary-{total}q"
+    )
+    return coupling
+
+
+def tree_round_robin_modules(levels: int = 2, arity: int = 4) -> List[SnailModule]:
+    """SNAIL modules of the Round-Robin Tree (paper Fig. 7b).
+
+    The router SNAIL still couples the ``arity`` router qubits, and each
+    group of ``arity`` sibling qubits still shares a module SNAIL, but the
+    ``j``-th qubit of module ``k`` attaches to router qubit ``j`` (not to
+    router qubit ``k``), eliminating the per-module router bottleneck.
+    """
+    if levels < 1:
+        raise ValueError("a tree needs at least one level")
+    if arity < 2:
+        raise ValueError("tree arity must be at least two")
+    sizes = _tree_level_sizes(levels, arity)
+    offsets = [0]
+    for size in sizes[:-1]:
+        offsets.append(offsets[-1] + size)
+    modules = [SnailModule(tuple(range(arity)), label="router")]
+    for level in range(levels - 1):
+        parent_offset = offsets[level]
+        child_offset = offsets[level + 1]
+        for group_index in range(sizes[level]):
+            children = [
+                child_offset + group_index * arity + child for child in range(arity)
+            ]
+            # The sibling group shares one SNAIL...
+            modules.append(
+                SnailModule(tuple(children), label=f"group-L{level + 1}-{group_index}")
+            )
+            # ...and child j attaches round-robin to parent-level qubit j of
+            # its parent's sibling group.
+            parent_group_start = parent_offset + (group_index // arity) * arity
+            for child_position, child in enumerate(children):
+                parent = parent_group_start + child_position
+                if parent >= parent_offset + sizes[level]:
+                    parent = parent_offset + group_index
+                modules.append(
+                    SnailModule(
+                        (parent, child),
+                        label=f"link-L{level + 1}-{group_index}-{child_position}",
+                    )
+                )
+    return modules
+
+
+def tree_round_robin_topology(
+    levels: int = 2, arity: int = 4, name: Optional[str] = None
+) -> CouplingMap:
+    """The Round-Robin 4-ary Tree topology (paper Fig. 7b)."""
+    modules = tree_round_robin_modules(levels, arity)
+    total = sum(_tree_level_sizes(levels, arity))
+    return modules_to_coupling_map(
+        modules, name=name or f"tree-rr-{arity}ary-{total}q"
+    )
+
+
+# -- corral ----------------------------------------------------------------------
+
+
+def corral_modules(
+    num_posts: int = 8, strides: Tuple[int, int] = (1, 1)
+) -> List[SnailModule]:
+    """SNAIL modules of a Corral with ``num_posts`` fence posts.
+
+    Each post ``k`` is a SNAIL.  There are two "rails" of qubits: rail-0
+    qubit ``k`` spans posts ``k`` and ``k + strides[0]`` (mod the ring), and
+    rail-1 qubit ``k`` spans posts ``k`` and ``k + strides[1]``.  Each post
+    couples every rail qubit that terminates on it.
+
+    ``strides=(1, 1)`` gives Corral(1,1) (paper Fig. 9a/b);
+    ``strides=(1, 2)`` gives Corral(1,2) (paper Fig. 9c/d).
+    """
+    if num_posts < 3:
+        raise ValueError("a corral needs at least three posts")
+    stride_a, stride_b = strides
+    if stride_a < 1 or stride_b < 1:
+        raise ValueError("corral strides must be positive")
+    if stride_a >= num_posts or stride_b >= num_posts:
+        raise ValueError("corral strides must be smaller than the number of posts")
+
+    def rail0(k: int) -> int:
+        return k
+
+    def rail1(k: int) -> int:
+        return num_posts + k
+
+    modules = []
+    for post in range(num_posts):
+        coupled = [
+            rail0(post),
+            rail0((post - stride_a) % num_posts),
+            rail1(post),
+            rail1((post - stride_b) % num_posts),
+        ]
+        # Remove duplicates while keeping order (possible for tiny rings).
+        unique = list(dict.fromkeys(coupled))
+        modules.append(SnailModule(tuple(unique), label=f"post-{post}"))
+    return modules
+
+
+def corral_topology(
+    num_posts: int = 8,
+    strides: Tuple[int, int] = (1, 1),
+    name: Optional[str] = None,
+) -> CouplingMap:
+    """Corral topology with ``2 * num_posts`` qubits (paper Fig. 9)."""
+    modules = corral_modules(num_posts, strides)
+    label = name or f"corral{strides[0]},{strides[1]}-{2 * num_posts}q"
+    return modules_to_coupling_map(modules, name=label)

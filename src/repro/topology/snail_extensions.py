@@ -1,0 +1,118 @@
+"""Future-work SNAIL topologies sketched in the paper but not evaluated there.
+
+Paper Section 4.3 and the conclusion list several ways a Corral could be
+scaled beyond a single ring: "create heterogeneous modules where one module
+contains a SNAIL and four qubits, and another contains only a SNAIL that
+forms the boundary between two", and "lay out Corrals in a lattice
+pattern".  These constructors realise both sketches with the same
+clique-per-SNAIL rule as :mod:`repro.topology.snail`, so they can be
+dropped into every experiment (the corral-scaling benchmark and the
+frequency-crowding study accept any :class:`~repro.topology.coupling.CouplingMap`).
+
+* :func:`heterogeneous_corral_topology` — a ring of four-qubit modules
+  whose neighbouring modules are bridged by boundary SNAILs.
+* :func:`corral_lattice_topology` — a 2-D torus of fence posts; every post
+  couples the horizontal and vertical "rail" qubits that terminate on it,
+  which keeps the per-SNAIL mode count at four while the machine grows in
+  two dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.topology.coupling import CouplingMap
+from repro.topology.snail import SnailModule, modules_to_coupling_map
+
+
+def heterogeneous_corral_modules(
+    num_modules: int = 4, qubits_per_module: int = 4, boundary_span: int = 2
+) -> List[SnailModule]:
+    """SNAIL modules of the heterogeneous Corral (paper Section 4.3 sketch).
+
+    ``num_modules`` four-qubit modules sit on a ring.  Each module's own
+    SNAIL couples its ``qubits_per_module`` qubits all-to-all; between every
+    pair of neighbouring modules a *boundary* SNAIL couples the last
+    ``boundary_span`` qubits of one module with the first ``boundary_span``
+    qubits of the next.
+    """
+    if num_modules < 2:
+        raise ValueError("a heterogeneous corral needs at least two modules")
+    if not 2 <= qubits_per_module <= 6:
+        raise ValueError("a SNAIL module couples between two and six qubits")
+    if not 1 <= boundary_span <= qubits_per_module:
+        raise ValueError("boundary_span must be between 1 and qubits_per_module")
+    if 2 * boundary_span > 6:
+        raise ValueError("a boundary SNAIL cannot couple more than six qubits")
+    modules: List[SnailModule] = []
+    for index in range(num_modules):
+        start = index * qubits_per_module
+        qubits = tuple(range(start, start + qubits_per_module))
+        modules.append(SnailModule(qubits, label=f"mod1-{index}"))
+    for index in range(num_modules):
+        neighbor = (index + 1) % num_modules
+        left = [
+            index * qubits_per_module + offset
+            for offset in range(qubits_per_module - boundary_span, qubits_per_module)
+        ]
+        right = [
+            neighbor * qubits_per_module + offset for offset in range(boundary_span)
+        ]
+        modules.append(SnailModule(tuple(left + right), label=f"mod2-{index}"))
+    return modules
+
+
+def heterogeneous_corral_topology(
+    num_modules: int = 4,
+    qubits_per_module: int = 4,
+    boundary_span: int = 2,
+    name: Optional[str] = None,
+) -> CouplingMap:
+    """Heterogeneous Corral: four-qubit modules bridged by boundary SNAILs."""
+    modules = heterogeneous_corral_modules(num_modules, qubits_per_module, boundary_span)
+    total = num_modules * qubits_per_module
+    return modules_to_coupling_map(
+        modules, name=name or f"hetero-corral-{num_modules}x{qubits_per_module}q"
+    )
+
+
+def corral_lattice_modules(rows: int = 3, cols: int = 3) -> List[SnailModule]:
+    """SNAIL modules of a Corral laid out as a 2-D torus of fence posts.
+
+    Post ``(r, c)`` owns two rail qubits: a horizontal one spanning posts
+    ``(r, c)`` and ``(r, c+1)``, and a vertical one spanning ``(r, c)`` and
+    ``(r+1, c)`` (both wrapping around).  Each post's SNAIL couples the
+    four rails that terminate on it, so every SNAIL stays at four modes
+    regardless of machine size — the property that lets the Corral scale.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("a corral lattice needs at least two rows and two columns")
+
+    def horizontal(r: int, c: int) -> int:
+        return (r * cols + c) * 2
+
+    def vertical(r: int, c: int) -> int:
+        return (r * cols + c) * 2 + 1
+
+    modules: List[SnailModule] = []
+    for r in range(rows):
+        for c in range(cols):
+            coupled = (
+                horizontal(r, c),
+                horizontal(r, (c - 1) % cols),
+                vertical(r, c),
+                vertical((r - 1) % rows, c),
+            )
+            unique = tuple(dict.fromkeys(coupled))
+            modules.append(SnailModule(unique, label=f"post-{r},{c}"))
+    return modules
+
+
+def corral_lattice_topology(
+    rows: int = 3, cols: int = 3, name: Optional[str] = None
+) -> CouplingMap:
+    """Corral-in-a-lattice topology with ``2 * rows * cols`` qubits."""
+    modules = corral_lattice_modules(rows, cols)
+    return modules_to_coupling_map(
+        modules, name=name or f"corral-lattice-{rows}x{cols}"
+    )

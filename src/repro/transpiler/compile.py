@@ -1,0 +1,152 @@
+"""Top-level transpilation entry point (paper Fig. 10).
+
+``transpile`` runs the full flow — multi-qubit expansion, layout, routing,
+basis translation — against a coupling map and a basis-gate spec, and
+collects the four counter sets the paper reports:
+
+1. total induced SWAPs and critical-path SWAPs (after routing),
+2. total 2Q basis gates and critical-path 2Q basis gates (after
+   translation), plus the pulse-duration-weighted critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.decomposition.basis import BasisGateSpec, get_basis
+from repro.topology.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.metrics import TranspileMetrics
+from repro.transpiler.passmanager import PassManager, PropertySet
+from repro.transpiler.passes.basis_translation import BasisTranslation
+from repro.transpiler.passes.decompose_multi import DecomposeMultiQubit
+from repro.transpiler.passes.layout_passes import (
+    DenseLayout,
+    InteractionGraphLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.routing import SabreRouting, StochasticRouting
+from repro.transpiler.passes.routing_extra import BasicRouting
+from repro.transpiler.passes.vf2_layout import VF2Layout
+
+
+@dataclass
+class TranspileResult:
+    """Everything produced by one transpilation run."""
+
+    circuit: QuantumCircuit
+    routed_circuit: QuantumCircuit
+    metrics: TranspileMetrics
+    initial_layout: Layout
+    final_layout: Layout
+    properties: PropertySet
+
+
+def build_pass_manager(
+    coupling_map: CouplingMap,
+    basis: BasisGateSpec,
+    layout_method: str = "dense",
+    routing_method: str = "sabre",
+    translation_mode: str = "count",
+    seed: int = 0,
+) -> PassManager:
+    """Assemble the standard pass schedule used by the paper's evaluation."""
+    layout_passes = {
+        "trivial": lambda: TrivialLayout(coupling_map),
+        "dense": lambda: DenseLayout(coupling_map),
+        "interaction": lambda: InteractionGraphLayout(coupling_map, seed=seed),
+        "vf2": lambda: VF2Layout(coupling_map, fallback=DenseLayout(coupling_map)),
+    }
+    routing_passes = {
+        "sabre": lambda: SabreRouting(coupling_map, seed=seed),
+        "stochastic": lambda: StochasticRouting(coupling_map, seed=seed),
+        "basic": lambda: BasicRouting(coupling_map),
+    }
+    if layout_method not in layout_passes:
+        raise ValueError(
+            f"unknown layout method {layout_method!r}; options: {sorted(layout_passes)}"
+        )
+    if routing_method not in routing_passes:
+        raise ValueError(
+            f"unknown routing method {routing_method!r}; options: {sorted(routing_passes)}"
+        )
+    manager = PassManager()
+    manager.append(DecomposeMultiQubit())
+    manager.append(layout_passes[layout_method]())
+    manager.append(routing_passes[routing_method]())
+    manager.append(BasisTranslation(basis, mode=translation_mode))
+    return manager
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    basis: Optional[BasisGateSpec] = None,
+    basis_name: str = "cx",
+    layout_method: str = "dense",
+    routing_method: str = "sabre",
+    translation_mode: str = "count",
+    seed: int = 0,
+) -> TranspileResult:
+    """Transpile ``circuit`` onto a device and collect the paper's metrics.
+
+    Args:
+        circuit: the algorithm circuit (virtual qubits ``0..n-1``).
+        coupling_map: the device topology.
+        basis: the native two-qubit basis; if omitted, looked up from
+            ``basis_name``.
+        basis_name: convenience name when ``basis`` is not given.
+        layout_method: "dense" (paper default), "trivial", "interaction" or
+            "vf2" (SWAP-free embedding search with a dense fallback).
+        routing_method: "sabre" (default), "stochastic" or "basic".
+        translation_mode: "count" (paper default) or "synthesis".
+        seed: routing / layout RNG seed.
+
+    Returns:
+        A :class:`TranspileResult` with the translated circuit, the routed
+        (pre-translation) circuit, both layouts and a
+        :class:`~repro.transpiler.metrics.TranspileMetrics` record.
+    """
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits but topology "
+            f"{coupling_map.name!r} has only {coupling_map.num_qubits}"
+        )
+    basis = basis or get_basis(basis_name)
+    manager = build_pass_manager(
+        coupling_map,
+        basis,
+        layout_method=layout_method,
+        routing_method=routing_method,
+        translation_mode=translation_mode,
+        seed=seed,
+    )
+    properties = PropertySet()
+    final_circuit = manager.run(circuit, properties)
+    routed = properties.require("routed_circuit")
+    metrics = TranspileMetrics(
+        circuit_name=circuit.name,
+        circuit_qubits=circuit.num_qubits,
+        topology=coupling_map.name,
+        basis=basis.name,
+        total_swaps=routed.swap_count(induced_only=True),
+        critical_swaps=routed.critical_path_swaps(induced_only=True),
+        total_2q=final_circuit.two_qubit_gate_count(),
+        critical_2q=final_circuit.critical_path_two_qubit(),
+        weighted_duration=final_circuit.weighted_duration(),
+        total_gates=final_circuit.size(),
+        depth=int(final_circuit.depth()),
+        routing_method=routing_method,
+        layout_method=layout_method,
+        seed=seed,
+    )
+    return TranspileResult(
+        circuit=final_circuit,
+        routed_circuit=routed,
+        metrics=metrics,
+        initial_layout=properties.require("layout"),
+        final_layout=properties.require("final_layout"),
+        properties=properties,
+    )

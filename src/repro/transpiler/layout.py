@@ -1,0 +1,97 @@
+"""Layout: the mapping between virtual (algorithm) and physical qubits."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Layout:
+    """A bijective partial mapping virtual qubit -> physical qubit."""
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None):
+        self._v2p: Dict[int, int] = {}
+        self._p2v: Dict[int, int] = {}
+        if mapping:
+            for virtual, physical in mapping.items():
+                self.assign(virtual, physical)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, num_virtual: int) -> "Layout":
+        """Identity layout on the first ``num_virtual`` physical qubits."""
+        return cls({v: v for v in range(num_virtual)})
+
+    @classmethod
+    def from_physical_list(cls, physical_qubits: Sequence[int]) -> "Layout":
+        """Virtual qubit ``i`` maps to ``physical_qubits[i]``."""
+        return cls({v: p for v, p in enumerate(physical_qubits)})
+
+    def assign(self, virtual: int, physical: int) -> None:
+        """Add or move a virtual -> physical assignment."""
+        if physical in self._p2v and self._p2v[physical] != virtual:
+            raise ValueError(f"physical qubit {physical} is already occupied")
+        if virtual in self._v2p:
+            del self._p2v[self._v2p[virtual]]
+        self._v2p[virtual] = physical
+        self._p2v[physical] = virtual
+
+    def copy(self) -> "Layout":
+        """Independent copy."""
+        return Layout(dict(self._v2p))
+
+    # -- queries ---------------------------------------------------------------
+
+    def physical(self, virtual: int) -> int:
+        """Physical qubit holding ``virtual``."""
+        return self._v2p[virtual]
+
+    def virtual(self, physical: int) -> Optional[int]:
+        """Virtual qubit stored on ``physical`` (None if unoccupied)."""
+        return self._p2v.get(physical)
+
+    def __getitem__(self, virtual: int) -> int:
+        return self._v2p[virtual]
+
+    def __len__(self) -> int:
+        return len(self._v2p)
+
+    def __contains__(self, virtual: int) -> bool:
+        return virtual in self._v2p
+
+    def virtual_qubits(self) -> List[int]:
+        """All mapped virtual qubits."""
+        return sorted(self._v2p)
+
+    def physical_qubits(self) -> List[int]:
+        """All occupied physical qubits."""
+        return sorted(self._p2v)
+
+    def to_dict(self) -> Dict[int, int]:
+        """Plain virtual -> physical dictionary."""
+        return dict(self._v2p)
+
+    # -- updates during routing --------------------------------------------------
+
+    def swap_physical(self, physical_a: int, physical_b: int) -> None:
+        """Exchange whatever virtual qubits live on two physical qubits."""
+        virtual_a = self._p2v.get(physical_a)
+        virtual_b = self._p2v.get(physical_b)
+        if virtual_a is not None:
+            del self._p2v[physical_a]
+        if virtual_b is not None:
+            del self._p2v[physical_b]
+        if virtual_a is not None:
+            self._v2p[virtual_a] = physical_b
+            self._p2v[physical_b] = virtual_a
+        if virtual_b is not None:
+            self._v2p[virtual_b] = physical_a
+            self._p2v[physical_a] = virtual_b
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layout({self._v2p})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._v2p == other._v2p

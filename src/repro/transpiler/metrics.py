@@ -1,0 +1,82 @@
+"""Metric records collected during transpilation (paper Fig. 10 data flow)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class TranspileMetrics:
+    """All counters the paper reports for one (circuit, topology, basis) point.
+
+    Attributes:
+        circuit_name: workload instance name.
+        circuit_qubits: number of algorithm (virtual) qubits.
+        topology: device topology name.
+        basis: native basis-gate name ("cx", "siswap", "syc", ...).
+        total_swaps: SWAP gates present after routing (induced by routing).
+        critical_swaps: SWAPs on the longest dependency path after routing.
+        total_2q: two-qubit basis gates after translation (paper
+            Figs. 13/14 top).
+        critical_2q: two-qubit basis gates on the critical path — the
+            paper's "pulse duration" proxy (Figs. 13/14 bottom).
+        weighted_duration: critical-path duration weighting each basis gate
+            by its relative pulse length (1/n for an n-th-root iSWAP).
+        total_gates: all gates after translation (excluding barriers).
+        depth: plain circuit depth after translation.
+        routing_method / layout_method / seed: provenance of the run.
+    """
+
+    circuit_name: str
+    circuit_qubits: int
+    topology: str
+    basis: str
+    total_swaps: int
+    critical_swaps: int
+    total_2q: int
+    critical_2q: int
+    weighted_duration: float
+    total_gates: int
+    depth: int
+    routing_method: str = "sabre"
+    layout_method: str = "dense"
+    seed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (used by the experiment harness and benchmarks)."""
+        record = asdict(self)
+        extra = record.pop("extra")
+        record.update(extra)
+        return record
+
+
+def format_metrics_table(rows, columns=None) -> str:
+    """Render a list of TranspileMetrics (or dicts) as a text table."""
+    dicts = [row.as_dict() if isinstance(row, TranspileMetrics) else dict(row) for row in rows]
+    if not dicts:
+        return "(no data)"
+    if columns is None:
+        columns = [
+            "circuit_name",
+            "circuit_qubits",
+            "topology",
+            "basis",
+            "total_swaps",
+            "critical_swaps",
+            "total_2q",
+            "critical_2q",
+            "weighted_duration",
+        ]
+    widths = {
+        column: max(len(str(column)), max(len(str(d.get(column, ""))) for d in dicts))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines = [header, "-" * len(header)]
+    for entry in dicts:
+        lines.append(
+            "  ".join(str(entry.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Individual transpiler passes."""
+
+from repro.transpiler.passes.basis_translation import BasisTranslation
+from repro.transpiler.passes.cancellation import CancelAdjacentInverses
+from repro.transpiler.passes.commutation import (
+    CommutativeCancellation,
+    instructions_commute,
+)
+from repro.transpiler.passes.decompose_multi import DecomposeMultiQubit
+from repro.transpiler.passes.layout_passes import (
+    DenseLayout,
+    InteractionGraphLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.noise_aware_routing import NoiseAwareLayout, NoiseAwareRouting
+from repro.transpiler.passes.optimize import Optimize1qGates, RemoveBarriers
+from repro.transpiler.passes.routing import SabreRouting, StochasticRouting
+from repro.transpiler.passes.routing_extra import BasicRouting
+from repro.transpiler.passes.vf2_layout import VF2Layout, interaction_graph
+
+__all__ = [
+    "BasisTranslation",
+    "BasicRouting",
+    "CancelAdjacentInverses",
+    "CommutativeCancellation",
+    "instructions_commute",
+    "DecomposeMultiQubit",
+    "DenseLayout",
+    "InteractionGraphLayout",
+    "TrivialLayout",
+    "NoiseAwareLayout",
+    "NoiseAwareRouting",
+    "Optimize1qGates",
+    "RemoveBarriers",
+    "SabreRouting",
+    "StochasticRouting",
+    "VF2Layout",
+    "interaction_graph",
+]

@@ -1,0 +1,127 @@
+"""Commutation-aware gate cancellation.
+
+:class:`CancelAdjacentInverses` only removes inverse pairs that are
+literally adjacent on all of their qubits.  Routing and basis translation
+frequently leave inverse pairs separated by gates that *commute* with them
+(e.g. two CX gates on the same pair separated by an RZ on the control, or
+back-to-back routing SWAPs separated by a gate on an unrelated qubit pair
+that happens to share one endpoint).  :class:`CommutativeCancellation`
+handles that case: it walks backwards from every instruction over gates
+that commute with it on the shared qubits and cancels the pair when it
+finds an inverse.
+
+Commutation is decided numerically on the joint unitary of the two
+instructions (at most four qubits), so the pass is conservative but exact:
+it never changes the circuit unitary, which the tests verify directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+_ATOL = 1e-9
+
+
+def _joint_unitary(first: Instruction, second: Instruction) -> Tuple[np.ndarray, np.ndarray]:
+    """Matrices of two instructions expanded onto their joint qubit set."""
+    qubits = sorted(set(first.qubits) | set(second.qubits))
+    index = {qubit: position for position, qubit in enumerate(qubits)}
+    dim = 2 ** len(qubits)
+
+    def expand(instruction: Instruction) -> np.ndarray:
+        matrix = np.eye(dim, dtype=complex).reshape([2] * (2 * len(qubits)))
+        gate = instruction.gate.matrix().reshape([2] * (2 * instruction.num_qubits))
+        # Row axis for joint qubit position p is p (most-significant first).
+        axes = [index[q] for q in instruction.qubits]
+        contracted = np.tensordot(
+            gate,
+            matrix,
+            axes=(list(range(instruction.num_qubits, 2 * instruction.num_qubits)), axes),
+        )
+        moved = np.moveaxis(contracted, range(instruction.num_qubits), axes)
+        return moved.reshape(dim, dim)
+
+    return expand(first), expand(second)
+
+
+def instructions_commute(first: Instruction, second: Instruction) -> bool:
+    """True when the two instructions commute (exactly, up to numerical tolerance)."""
+    if not set(first.qubits) & set(second.qubits):
+        return True
+    if first.name == "barrier" or second.name == "barrier":
+        return False
+    matrix_a, matrix_b = _joint_unitary(first, second)
+    return bool(np.allclose(matrix_a @ matrix_b, matrix_b @ matrix_a, atol=_ATOL))
+
+
+def _is_inverse_pair(first: Instruction, second: Instruction) -> bool:
+    """True when applying ``first`` then ``second`` is the identity (up to phase)."""
+    if first.qubits != second.qubits:
+        return False
+    if first.name == "barrier" or second.name == "barrier":
+        return False
+    product = second.gate.matrix() @ first.gate.matrix()
+    phase = product[0, 0]
+    if abs(abs(phase) - 1.0) > _ATOL:
+        return False
+    return bool(np.allclose(product, phase * np.eye(product.shape[0]), atol=_ATOL))
+
+
+class CommutativeCancellation(TranspilerPass):
+    """Cancel inverse pairs separated only by commuting gates.
+
+    The search window per instruction is bounded (``max_lookback``) to keep
+    the pass linear in practice; a window of a few tens of gates captures
+    essentially all cancellations produced by routing.
+    """
+
+    name = "commutative_cancellation"
+
+    def __init__(self, max_lookback: int = 20):
+        self._max_lookback = max(1, int(max_lookback))
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        kept: List[Optional[Instruction]] = []
+        cancelled = 0
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                kept.append(instruction)
+                continue
+            partner = self._find_cancellable_partner(instruction, kept)
+            if partner is not None:
+                kept[partner] = None
+                cancelled += 2
+                continue
+            kept.append(instruction)
+        result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+        for instruction in kept:
+            if instruction is not None:
+                result.append(instruction.gate, instruction.qubits, induced=instruction.induced)
+        properties["commutative_cancelled"] = (
+            properties.get("commutative_cancelled", 0) + cancelled
+        )
+        return result
+
+    def _find_cancellable_partner(
+        self, instruction: Instruction, kept: List[Optional[Instruction]]
+    ) -> Optional[int]:
+        """Index into ``kept`` of an earlier instruction that cancels this one."""
+        seen = 0
+        for index in range(len(kept) - 1, -1, -1):
+            earlier = kept[index]
+            if earlier is None:
+                continue
+            seen += 1
+            if seen > self._max_lookback:
+                return None
+            if _is_inverse_pair(earlier, instruction):
+                return index
+            if not instructions_commute(earlier, instruction):
+                return None
+        return None

@@ -1,0 +1,145 @@
+"""Initial-layout selection passes.
+
+The paper uses Qiskit's ``DenseLayout`` for initial qubit mapping
+(Section 5); :class:`DenseLayout` reproduces its strategy (place the
+algorithm on the densest connected patch of the device).  A trivial layout
+and an interaction-aware greedy layout are also provided for ablation.
+
+Layout passes are *analysis* passes: they do not change the circuit, they
+only record ``properties["layout"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.topology.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+
+class TrivialLayout(TranspilerPass):
+    """Map virtual qubit ``i`` to physical qubit ``i``."""
+
+    name = "trivial_layout"
+
+    def __init__(self, coupling_map: CouplingMap):
+        self._coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        if circuit.num_qubits > self._coupling_map.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"{self._coupling_map.num_qubits}"
+            )
+        properties["layout"] = Layout.trivial(circuit.num_qubits)
+        properties["coupling_map"] = self._coupling_map
+        return circuit
+
+
+class DenseLayout(TranspilerPass):
+    """Place the circuit on the densest connected subset of the device.
+
+    Within the chosen subset, the most-active virtual qubits (by two-qubit
+    interaction count) are assigned to the best-connected physical qubits,
+    mirroring Qiskit's DenseLayout behaviour closely enough for the
+    purposes of the paper's evaluation.
+    """
+
+    name = "dense_layout"
+
+    def __init__(self, coupling_map: CouplingMap):
+        self._coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        device = self._coupling_map
+        if circuit.num_qubits > device.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"{device.num_qubits}"
+            )
+        subset = device.densest_subset(circuit.num_qubits)
+        # Rank physical qubits by connectivity *within* the chosen subset.
+        subset_set = set(subset)
+        internal_degree = {
+            qubit: sum(1 for nb in device.neighbors(qubit) if nb in subset_set)
+            for qubit in subset
+        }
+        physical_ranked = sorted(subset, key=lambda q: (-internal_degree[q], q))
+        # Rank virtual qubits by how often they participate in 2Q gates.
+        activity: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+        for pair, count in circuit.two_qubit_interactions().items():
+            activity[pair[0]] += count
+            activity[pair[1]] += count
+        virtual_ranked = sorted(
+            range(circuit.num_qubits), key=lambda q: (-activity[q], q)
+        )
+        layout = Layout(
+            {virtual: physical for virtual, physical in zip(virtual_ranked, physical_ranked)}
+        )
+        properties["layout"] = layout
+        properties["coupling_map"] = device
+        return circuit
+
+
+class InteractionGraphLayout(TranspilerPass):
+    """Greedy interaction-graph embedding (an alternative to DenseLayout).
+
+    Virtual qubits are placed one at a time in decreasing order of
+    interaction weight; each is assigned to the free physical qubit that
+    minimises the distance-weighted cost to its already-placed partners.
+    """
+
+    name = "interaction_layout"
+
+    def __init__(self, coupling_map: CouplingMap, seed: int = 0):
+        self._coupling_map = coupling_map
+        self._seed = seed
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        device = self._coupling_map
+        if circuit.num_qubits > device.num_qubits:
+            raise ValueError("circuit does not fit on the device")
+        rng = np.random.default_rng(self._seed)
+        distance = device.distance_matrix()
+        interactions = circuit.two_qubit_interactions()
+        weight: Dict[int, Dict[int, int]] = {}
+        for (a, b), count in interactions.items():
+            weight.setdefault(a, {})[b] = count
+            weight.setdefault(b, {})[a] = count
+        order = sorted(
+            range(circuit.num_qubits),
+            key=lambda q: -sum(weight.get(q, {}).values()),
+        )
+        free = set(range(device.num_qubits))
+        placement: Dict[int, int] = {}
+        for virtual in order:
+            partners = [
+                (placement[other], count)
+                for other, count in weight.get(virtual, {}).items()
+                if other in placement
+            ]
+            if not partners:
+                # Seed unconnected (or first) qubits near the device centre.
+                centre = min(
+                    free,
+                    key=lambda q: float(np.sum(distance[q, list(free)]))
+                    + rng.uniform(0, 1e-6),
+                )
+                placement[virtual] = centre
+            else:
+                best = min(
+                    free,
+                    key=lambda q: sum(
+                        distance[q, physical] * count for physical, count in partners
+                    )
+                    + rng.uniform(0, 1e-6),
+                )
+                placement[virtual] = best
+            free.remove(placement[virtual])
+        properties["layout"] = Layout(placement)
+        properties["coupling_map"] = device
+        return circuit

@@ -1,0 +1,72 @@
+"""Post-translation clean-up passes.
+
+The paper treats single-qubit gates as free, so these passes do not change
+any reported metric; they exist to keep synthesised circuits tidy (merging
+runs of adjacent single-qubit gates into one ``U3``) and to drop gates that
+are numerically the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import U3Gate
+from repro.linalg.su2 import zyz_decomposition
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+
+class Optimize1qGates(TranspilerPass):
+    """Merge adjacent single-qubit gates on each wire into a single U3."""
+
+    name = "optimize_1q"
+
+    def __init__(self, drop_identity_atol: float = 1e-9):
+        self._atol = float(drop_identity_atol)
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        optimized = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+        pending: Dict[int, np.ndarray] = {}
+
+        def flush(qubit: int) -> None:
+            matrix = pending.pop(qubit, None)
+            if matrix is None:
+                return
+            if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=self._atol) and abs(
+                abs(matrix[0, 0]) - 1.0
+            ) < self._atol:
+                return  # global-phase-only: drop it
+            euler = zyz_decomposition(matrix)
+            optimized.append(
+                U3Gate(euler.gamma, euler.beta, euler.delta), (qubit,)
+            )
+
+        for instruction in circuit:
+            if instruction.num_qubits == 1 and instruction.name != "barrier":
+                qubit = instruction.qubits[0]
+                current = pending.get(qubit, np.eye(2, dtype=complex))
+                pending[qubit] = instruction.gate.matrix() @ current
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            optimized.append(instruction.gate, instruction.qubits, induced=instruction.induced)
+        for qubit in list(pending):
+            flush(qubit)
+        return optimized
+
+
+class RemoveBarriers(TranspilerPass):
+    """Drop all barrier instructions."""
+
+    name = "remove_barriers"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        stripped = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                continue
+            stripped.append(instruction.gate, instruction.qubits, induced=instruction.induced)
+        return stripped

@@ -1,0 +1,336 @@
+"""Routing passes: insert SWAPs so every 2Q gate acts on coupled qubits.
+
+Two routers are provided:
+
+* :class:`SabreRouting` — a SABRE-style lookahead router (Li, Ding, Xie,
+  ASPLOS 2019): greedily executes every front-layer gate whose mapped
+  qubits are adjacent, otherwise inserts the candidate SWAP minimising a
+  distance heuristic over the front layer plus a discounted extended set,
+  with a decay term that spreads SWAPs across qubits.  This is the default
+  router for all paper experiments.
+* :class:`StochasticRouting` — a randomised router in the spirit of
+  Qiskit's ``StochasticSwap`` (the pass the paper used): for each blocked
+  gate it repeatedly applies a randomly chosen distance-reducing SWAP.
+  Used for the router ablation benchmark.
+
+Both consume a *virtual* circuit plus the initial ``layout`` recorded by a
+layout pass, and produce a *physical* circuit (qubit indices refer to
+device qubits) with routing SWAPs marked ``induced=True`` so that the
+metric collection can separate them from algorithmic SWAPs — the
+quantity reported in paper Figs. 4, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DAGCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import SwapGate
+from repro.topology.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+_EXTENDED_SET_SIZE = 20
+_EXTENDED_SET_WEIGHT = 0.5
+_DECAY_INCREMENT = 0.001
+_DECAY_RESET_INTERVAL = 5
+
+
+class RoutingError(RuntimeError):
+    """Raised when a router cannot make progress."""
+
+
+def _physical_circuit(num_physical: int, name: str) -> QuantumCircuit:
+    return QuantumCircuit(num_physical, name=name)
+
+
+class SabreRouting(TranspilerPass):
+    """SABRE-style lookahead router."""
+
+    name = "sabre_routing"
+
+    def __init__(
+        self,
+        coupling_map: Optional[CouplingMap] = None,
+        seed: int = 0,
+        extended_set_size: int = _EXTENDED_SET_SIZE,
+        extended_set_weight: float = _EXTENDED_SET_WEIGHT,
+        decay_increment: float = _DECAY_INCREMENT,
+    ):
+        self._coupling_map = coupling_map
+        self._seed = int(seed)
+        self._extended_set_size = int(extended_set_size)
+        self._extended_set_weight = float(extended_set_weight)
+        self._decay_increment = float(decay_increment)
+
+    # -- pass entry point -----------------------------------------------------
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = self._coupling_map or properties.require("coupling_map")
+        layout: Layout = properties.require("layout").copy()
+        rng = np.random.default_rng(self._seed)
+        distance = coupling_map.distance_matrix()
+
+        dag = DAGCircuit(circuit)
+        remaining_predecessors = {
+            node.index: len(node.predecessors) for node in dag.nodes
+        }
+        front: List[int] = dag.front_layer()
+        output = _physical_circuit(coupling_map.num_qubits, f"{circuit.name}@{coupling_map.name}")
+        decay = np.ones(coupling_map.num_qubits)
+        swaps_inserted = 0
+        rounds_since_reset = 0
+        stall_counter = 0
+        stall_limit = 10 * max(4, coupling_map.num_qubits)
+
+        def executable(node_index: int) -> bool:
+            instruction = dag.node(node_index).instruction
+            if instruction.num_qubits == 1 or instruction.name == "barrier":
+                return True
+            physical = [layout[q] for q in instruction.qubits]
+            return coupling_map.has_edge(physical[0], physical[1])
+
+        def emit(node_index: int) -> None:
+            instruction = dag.node(node_index).instruction
+            physical = tuple(layout[q] for q in instruction.qubits)
+            output.append(instruction.gate, physical, induced=instruction.induced)
+
+        def advance(executed: Sequence[int]) -> None:
+            for node_index in executed:
+                front.remove(node_index)
+                for successor in dag.successors(node_index):
+                    remaining_predecessors[successor] -= 1
+                    if remaining_predecessors[successor] == 0:
+                        front.append(successor)
+
+        while front:
+            ready = [index for index in front if executable(index)]
+            if ready:
+                for node_index in ready:
+                    emit(node_index)
+                advance(ready)
+                stall_counter = 0
+                continue
+
+            # Every front gate is a blocked two-qubit gate: pick a SWAP.
+            front_pairs = np.array(
+                [
+                    [layout[q] for q in dag.node(index).instruction.qubits]
+                    for index in front
+                ]
+            )
+            extended_pairs = self._extended_set(dag, remaining_predecessors, front, layout)
+            candidates = self._candidate_swaps(front_pairs, coupling_map)
+            if not candidates:  # pragma: no cover - connected devices always have candidates
+                raise RoutingError("no candidate SWAPs available; is the device connected?")
+            best_swap = self._select_swap(
+                candidates, front_pairs, extended_pairs, distance, decay, rng
+            )
+            physical_a, physical_b = best_swap
+            output.append(SwapGate(), (physical_a, physical_b), induced=True)
+            layout.swap_physical(physical_a, physical_b)
+            swaps_inserted += 1
+            stall_counter += 1
+            decay[physical_a] += self._decay_increment
+            decay[physical_b] += self._decay_increment
+            rounds_since_reset += 1
+            if rounds_since_reset >= _DECAY_RESET_INTERVAL:
+                decay[:] = 1.0
+                rounds_since_reset = 0
+            if stall_counter > stall_limit:
+                # Escape pathological stalls by routing the first blocked gate
+                # directly along a shortest path.
+                swaps_inserted += self._force_route(
+                    dag.node(front[0]).instruction, layout, coupling_map, output
+                )
+                decay[:] = 1.0
+                stall_counter = 0
+
+        properties["final_layout"] = layout
+        properties["routing_swaps"] = swaps_inserted
+        properties["routed_circuit"] = output
+        return output
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _extended_set(
+        self,
+        dag: DAGCircuit,
+        remaining_predecessors: Dict[int, int],
+        front: Sequence[int],
+        layout: Layout,
+    ) -> np.ndarray:
+        """Two-qubit gates just behind the front layer (lookahead window)."""
+        pairs: List[List[int]] = []
+        visited: Set[int] = set()
+        queue = list(front)
+        while queue and len(pairs) < self._extended_set_size:
+            node_index = queue.pop(0)
+            for successor in dag.successors(node_index):
+                if successor in visited:
+                    continue
+                visited.add(successor)
+                instruction = dag.node(successor).instruction
+                if instruction.is_two_qubit:
+                    pairs.append([layout[q] for q in instruction.qubits])
+                queue.append(successor)
+                if len(pairs) >= self._extended_set_size:
+                    break
+        return np.array(pairs) if pairs else np.empty((0, 2), dtype=int)
+
+    @staticmethod
+    def _candidate_swaps(
+        front_pairs: np.ndarray, coupling_map: CouplingMap
+    ) -> List[Tuple[int, int]]:
+        """SWAPs on edges incident to any qubit involved in a blocked gate."""
+        involved = set(int(q) for q in front_pairs.ravel())
+        candidates: Set[Tuple[int, int]] = set()
+        for qubit in involved:
+            for neighbor in coupling_map.neighbors(qubit):
+                candidates.add(tuple(sorted((qubit, neighbor))))
+        return sorted(candidates)
+
+    def _select_swap(
+        self,
+        candidates: Sequence[Tuple[int, int]],
+        front_pairs: np.ndarray,
+        extended_pairs: np.ndarray,
+        distance: np.ndarray,
+        decay: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[int, int]:
+        """Score every candidate SWAP and return the best one."""
+        best_score = np.inf
+        best_choices: List[Tuple[int, int]] = []
+        for physical_a, physical_b in candidates:
+            front_cost = self._pair_cost(front_pairs, physical_a, physical_b, distance)
+            score = front_cost / max(len(front_pairs), 1)
+            if len(extended_pairs):
+                extended_cost = self._pair_cost(
+                    extended_pairs, physical_a, physical_b, distance
+                )
+                score += self._extended_set_weight * extended_cost / len(extended_pairs)
+            score *= max(decay[physical_a], decay[physical_b])
+            if score < best_score - 1e-12:
+                best_score = score
+                best_choices = [(physical_a, physical_b)]
+            elif abs(score - best_score) <= 1e-12:
+                best_choices.append((physical_a, physical_b))
+        index = int(rng.integers(len(best_choices)))
+        return best_choices[index]
+
+    @staticmethod
+    def _pair_cost(
+        pairs: np.ndarray, physical_a: int, physical_b: int, distance: np.ndarray
+    ) -> float:
+        """Total distance of ``pairs`` after exchanging two physical qubits."""
+        remapped = pairs.copy()
+        mask_a = remapped == physical_a
+        mask_b = remapped == physical_b
+        remapped[mask_a] = physical_b
+        remapped[mask_b] = physical_a
+        return float(distance[remapped[:, 0], remapped[:, 1]].sum())
+
+    @staticmethod
+    def _force_route(
+        instruction: Instruction,
+        layout: Layout,
+        coupling_map: CouplingMap,
+        output: QuantumCircuit,
+    ) -> int:
+        """Bring the two qubits of ``instruction`` adjacent along a shortest path."""
+        physical_a = layout[instruction.qubits[0]]
+        physical_b = layout[instruction.qubits[1]]
+        path = coupling_map.shortest_path(physical_a, physical_b)
+        inserted = 0
+        for hop in range(len(path) - 2):
+            output.append(SwapGate(), (path[hop], path[hop + 1]), induced=True)
+            layout.swap_physical(path[hop], path[hop + 1])
+            inserted += 1
+        return inserted
+
+
+class StochasticRouting(TranspilerPass):
+    """Randomised distance-reducing router (StochasticSwap-like)."""
+
+    name = "stochastic_routing"
+
+    def __init__(
+        self,
+        coupling_map: Optional[CouplingMap] = None,
+        seed: int = 0,
+        trials: int = 4,
+    ):
+        self._coupling_map = coupling_map
+        self._seed = int(seed)
+        self._trials = max(1, int(trials))
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = self._coupling_map or properties.require("coupling_map")
+        layout: Layout = properties.require("layout")
+        best_output: Optional[QuantumCircuit] = None
+        best_layout: Optional[Layout] = None
+        best_swaps = np.inf
+        for trial in range(self._trials):
+            output, final_layout, swaps = self._route_once(
+                circuit, coupling_map, layout.copy(), self._seed + 7919 * trial
+            )
+            if swaps < best_swaps:
+                best_swaps = swaps
+                best_output = output
+                best_layout = final_layout
+        assert best_output is not None and best_layout is not None
+        properties["final_layout"] = best_layout
+        properties["routing_swaps"] = int(best_swaps)
+        properties["routed_circuit"] = best_output
+        return best_output
+
+    def _route_once(
+        self,
+        circuit: QuantumCircuit,
+        coupling_map: CouplingMap,
+        layout: Layout,
+        seed: int,
+    ) -> Tuple[QuantumCircuit, Layout, int]:
+        rng = np.random.default_rng(seed)
+        distance = coupling_map.distance_matrix()
+        output = _physical_circuit(
+            coupling_map.num_qubits, f"{circuit.name}@{coupling_map.name}"
+        )
+        swaps = 0
+        for instruction in circuit:
+            if instruction.num_qubits == 1 or instruction.name == "barrier":
+                output.append(
+                    instruction.gate,
+                    tuple(layout[q] for q in instruction.qubits),
+                    induced=instruction.induced,
+                )
+                continue
+            virtual_a, virtual_b = instruction.qubits
+            while True:
+                physical_a = layout[virtual_a]
+                physical_b = layout[virtual_b]
+                if coupling_map.has_edge(physical_a, physical_b):
+                    break
+                current = distance[physical_a, physical_b]
+                improving: List[Tuple[int, int]] = []
+                for endpoint, other in ((physical_a, physical_b), (physical_b, physical_a)):
+                    for neighbor in coupling_map.neighbors(endpoint):
+                        if distance[neighbor, other] < current:
+                            improving.append(tuple(sorted((endpoint, neighbor))))
+                if not improving:  # pragma: no cover - connected devices always improve
+                    raise RoutingError("stochastic router cannot reduce distance")
+                choice = improving[int(rng.integers(len(improving)))]
+                output.append(SwapGate(), choice, induced=True)
+                layout.swap_physical(*choice)
+                swaps += 1
+            output.append(
+                instruction.gate,
+                (layout[virtual_a], layout[virtual_b]),
+                induced=instruction.induced,
+            )
+        return output, layout, swaps

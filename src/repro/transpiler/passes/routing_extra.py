@@ -1,0 +1,75 @@
+"""Additional routers beyond the SABRE-style and stochastic defaults.
+
+:class:`BasicRouting` is the textbook shortest-path router: whenever a
+two-qubit gate is blocked it walks the first operand along a shortest path
+until the pair is adjacent.  It makes no lookahead decisions at all, which
+makes it a useful lower bound on router quality for the ablation
+benchmarks — the gap between BasicRouting and SabreRouting measures how
+much of a topology's advantage is realised only with a good router.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates import SwapGate
+from repro.topology.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+
+class BasicRouting(TranspilerPass):
+    """Shortest-path SWAP insertion with no lookahead."""
+
+    name = "basic_routing"
+
+    def __init__(self, coupling_map: Optional[CouplingMap] = None):
+        self._coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = self._coupling_map or properties.require("coupling_map")
+        layout: Layout = properties.require("layout").copy()
+        output = QuantumCircuit(
+            coupling_map.num_qubits, name=f"{circuit.name}@{coupling_map.name}"
+        )
+        swaps = 0
+        for instruction in circuit:
+            if instruction.num_qubits == 1 or instruction.name == "barrier":
+                output.append(
+                    instruction.gate,
+                    tuple(layout[q] for q in instruction.qubits),
+                    induced=instruction.induced,
+                )
+                continue
+            virtual_a, virtual_b = instruction.qubits
+            physical_a, physical_b = layout[virtual_a], layout[virtual_b]
+            if not coupling_map.has_edge(physical_a, physical_b):
+                swaps += self._bring_adjacent(physical_a, physical_b, layout, coupling_map, output)
+            output.append(
+                instruction.gate,
+                (layout[virtual_a], layout[virtual_b]),
+                induced=instruction.induced,
+            )
+        properties["final_layout"] = layout
+        properties["routing_swaps"] = swaps
+        properties["routed_circuit"] = output
+        return output
+
+    @staticmethod
+    def _bring_adjacent(
+        physical_a: int,
+        physical_b: int,
+        layout: Layout,
+        coupling_map: CouplingMap,
+        output: QuantumCircuit,
+    ) -> int:
+        """Swap ``physical_a``'s payload along a shortest path toward ``physical_b``."""
+        path = coupling_map.shortest_path(physical_a, physical_b)
+        inserted = 0
+        for hop in range(len(path) - 2):
+            edge: Tuple[int, int] = (path[hop], path[hop + 1])
+            output.append(SwapGate(), edge, induced=True)
+            layout.swap_physical(*edge)
+            inserted += 1
+        return inserted

@@ -1,0 +1,109 @@
+"""Perfect-layout search via subgraph monomorphism (VF2).
+
+The paper notes (Section 6.1) that on the Corral(1,1) topology the
+transpiler often finds an initial mapping that requires *zero* SWAP gates —
+a direct consequence of its rich connectivity.  This pass makes that search
+explicit: it builds the circuit's two-qubit interaction graph and asks the
+VF2 algorithm for an embedding of that graph into the coupling graph.  When
+an embedding exists, routing needs no SWAPs at all.
+
+When no embedding exists (the common case on sparse lattices), the pass
+falls back to a caller-supplied layout pass (``DenseLayout`` by default) so
+that it can be used as a drop-in ``layout_method`` in
+:func:`repro.transpiler.compile.transpile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.topology.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+from repro.transpiler.passes.layout_passes import DenseLayout
+
+
+def interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """The circuit's two-qubit interaction graph (edge weight = gate count)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    for (a, b), count in circuit.two_qubit_interactions().items():
+        graph.add_edge(a, b, weight=count)
+    return graph
+
+
+class VF2Layout(TranspilerPass):
+    """Find a SWAP-free initial layout when one exists.
+
+    Records ``properties["layout"]`` like any layout pass, plus
+    ``properties["perfect_layout"]`` (True when the VF2 search succeeded)
+    so experiments can report how often each topology admits a perfect
+    embedding.
+    """
+
+    name = "vf2_layout"
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        fallback: Optional[TranspilerPass] = None,
+        strict: bool = False,
+        max_mappings: int = 1,
+    ):
+        self._coupling_map = coupling_map
+        self._fallback = fallback if fallback is not None else DenseLayout(coupling_map)
+        self._strict = bool(strict)
+        self._max_mappings = max(1, int(max_mappings))
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        device = self._coupling_map
+        if circuit.num_qubits > device.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"{device.num_qubits}"
+            )
+        mapping = self._find_embedding(circuit)
+        if mapping is not None:
+            properties["layout"] = Layout(mapping)
+            properties["coupling_map"] = device
+            properties["perfect_layout"] = True
+            return circuit
+        if self._strict:
+            raise RuntimeError(
+                f"no SWAP-free embedding of {circuit.name!r} into {device.name!r} exists"
+            )
+        properties["perfect_layout"] = False
+        result = self._fallback.run(circuit, properties)
+        properties["coupling_map"] = device
+        return result
+
+    # -- embedding search ----------------------------------------------------
+
+    def _find_embedding(self, circuit: QuantumCircuit) -> Optional[Dict[int, int]]:
+        """Virtual -> physical mapping realising every interaction edge, or None."""
+        pattern = interaction_graph(circuit)
+        if pattern.number_of_edges() == 0:
+            # Any assignment works; keep it trivial.
+            return {v: v for v in range(circuit.num_qubits)}
+        matcher = isomorphism.GraphMatcher(self._coupling_map.graph, pattern)
+        best: Optional[Dict[int, int]] = None
+        for count, mapping in enumerate(matcher.subgraph_monomorphisms_iter()):
+            # networkx returns device-node -> pattern-node; invert it.
+            candidate = {virtual: physical for physical, virtual in mapping.items()}
+            best = candidate
+            if count + 1 >= self._max_mappings:
+                break
+        if best is None:
+            return None
+        # Unused virtual qubits (no 2Q interactions) still need seats.
+        free_physical = [
+            q for q in range(self._coupling_map.num_qubits) if q not in set(best.values())
+        ]
+        for virtual in range(circuit.num_qubits):
+            if virtual not in best:
+                best[virtual] = free_physical.pop(0)
+        return best

@@ -1,0 +1,71 @@
+"""Pass infrastructure: property set, base pass, pass manager.
+
+The transpilation flow mirrors paper Fig. 10: a sequence of passes, each
+transforming the circuit and/or recording analysis results (layout, SWAP
+counts, 2Q counts) into a shared :class:`PropertySet`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+class PropertySet(dict):
+    """A dictionary shared by all passes of one compilation."""
+
+    def require(self, key: str):
+        """Fetch a property, raising a clear error when missing."""
+        if key not in self:
+            raise KeyError(
+                f"transpiler property {key!r} is required but has not been set; "
+                "check the pass ordering"
+            )
+        return self[key]
+
+
+class TranspilerPass:
+    """Base class for circuit transformation / analysis passes."""
+
+    #: Subclasses may override for nicer reporting.
+    name: str = "pass"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        """Transform ``circuit`` (or return it unchanged for analysis passes)."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a sequence of passes, recording per-pass wall-clock times."""
+
+    def __init__(self, passes: Optional[Iterable[TranspilerPass]] = None):
+        self._passes: List[TranspilerPass] = list(passes or [])
+
+    def append(self, transpiler_pass: TranspilerPass) -> "PassManager":
+        """Add a pass at the end of the schedule."""
+        self._passes.append(transpiler_pass)
+        return self
+
+    @property
+    def passes(self) -> List[TranspilerPass]:
+        """The scheduled passes."""
+        return list(self._passes)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[PropertySet] = None,
+    ) -> QuantumCircuit:
+        """Run every pass in order and return the final circuit."""
+        properties = properties if properties is not None else PropertySet()
+        timings: Dict[str, float] = properties.setdefault("pass_timings", {})
+        current = circuit
+        for transpiler_pass in self._passes:
+            start = time.perf_counter()
+            current = transpiler_pass.run(current, properties)
+            elapsed = time.perf_counter() - start
+            timings[transpiler_pass.name] = timings.get(transpiler_pass.name, 0.0) + elapsed
+        properties["final_circuit"] = current
+        return current

@@ -1,0 +1,141 @@
+"""Terminal-friendly visualisation helpers.
+
+The paper's figures are line charts of gate counts versus circuit size.
+This module provides dependency-free renderers used by the examples and
+the experiment harness:
+
+* :func:`ascii_line_chart` — a multi-series scatter/line chart on a text
+  canvas (one marker per series), good enough to see orderings and
+  crossovers in a terminal;
+* :func:`ascii_bar_chart` — horizontal bars for single-valued comparisons
+  (e.g. the headline ratios);
+* :func:`series_to_csv` / :func:`sweep_to_csv` — export helpers so the
+  regenerated data can be re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.pipeline import SweepResult
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "circuit size",
+    y_label: str = "count",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as a text chart.
+
+    Each series gets its own marker character; the legend maps markers back
+    to labels.  Axis ranges are computed from the data.
+    """
+    points = [
+        (float(x), float(y)) for values in series.values() for x, y in values
+    ]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in values:
+            column = int(round((float(x) - x_min) / x_span * (width - 1)))
+            row = int(round((float(y) - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][column] = marker
+    buffer = io.StringIO()
+    if title:
+        buffer.write(title + "\n")
+    buffer.write(f"{y_label} (top = {y_max:g}, bottom = {y_min:g})\n")
+    for row in canvas:
+        buffer.write("|" + "".join(row) + "|\n")
+    buffer.write("+" + "-" * width + "+\n")
+    buffer.write(f"{x_label}: {x_min:g} .. {x_max:g}\n")
+    buffer.write("legend: " + ", ".join(legend))
+    return buffer.getvalue()
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float], width: int = 40, title: str = ""
+) -> str:
+    """Render ``{label: value}`` as horizontal bars."""
+    if not values:
+        return "(no data)"
+    maximum = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / maximum * width)))
+        lines.append(f"{str(label):<{label_width}}  {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def ascii_schedule(schedule, width: int = 72, max_rows: int = 40) -> str:
+    """Render a :class:`~repro.transpiler.scheduling.Schedule` as a text Gantt chart.
+
+    One row per qubit; ``#`` marks time occupied by two-qubit pulses, ``-``
+    by single-qubit pulses and spaces are idle time (the decoherence
+    exposure the reliability model charges for).
+    """
+    makespan = schedule.total_duration()
+    num_qubits = schedule.circuit.num_qubits
+    if makespan <= 0.0:
+        return "(empty schedule)"
+    rows = [[" "] * width for _ in range(num_qubits)]
+    for timed in schedule.timed_instructions:
+        if timed.duration <= 0.0:
+            continue
+        start = int(timed.start / makespan * (width - 1))
+        stop = max(start + 1, int(timed.stop / makespan * (width - 1)))
+        marker = "#" if timed.instruction.is_two_qubit else "-"
+        for qubit in timed.instruction.qubits:
+            for column in range(start, min(stop, width)):
+                rows[qubit][column] = marker
+    lines = [
+        f"schedule ({schedule.discipline}), makespan {makespan:.0f} ns, "
+        f"parallelism {schedule.average_parallelism():.2f}"
+    ]
+    for qubit, row in enumerate(rows[:max_rows]):
+        lines.append(f"q{qubit:>3} |{''.join(row)}|")
+    if num_qubits > max_rows:
+        lines.append(f"... ({num_qubits - max_rows} more qubits)")
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Serialise a series mapping to CSV text (label, x, y)."""
+    lines = [f"series,{x_name},{y_name}"]
+    for label, values in series.items():
+        for x, y in values:
+            lines.append(f"{label},{x},{y}")
+    return "\n".join(lines) + "\n"
+
+
+def sweep_to_csv(result: SweepResult, columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise a :class:`SweepResult` to CSV text."""
+    rows = result.as_dicts()
+    if not rows:
+        return ""
+    if columns is None:
+        columns = sorted({key for row in rows for key in row})
+    lines = [",".join(str(column) for column in columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines) + "\n"

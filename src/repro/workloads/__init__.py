@@ -1,0 +1,61 @@
+"""Parameterised NISQ benchmark workloads (paper Section 5)."""
+
+from repro.workloads.adder import (
+    adder_circuit_for_width,
+    adder_register_layout,
+    cdkm_adder_circuit,
+)
+from repro.workloads.bernstein_vazirani import bernstein_vazirani_circuit
+from repro.workloads.ghz import ghz_circuit
+from repro.workloads.hamiltonian import tim_hamiltonian_circuit
+from repro.workloads.qaoa import qaoa_vanilla_circuit, sk_couplings
+from repro.workloads.qft import qft_circuit, qft_unitary
+from repro.workloads.quantum_volume import quantum_volume_circuit
+from repro.workloads.registry import (
+    ADDER,
+    BERNSTEIN_VAZIRANI,
+    EXTENSION_WORKLOADS,
+    GHZ,
+    PAPER_WORKLOADS,
+    QAOA_VANILLA,
+    QFT,
+    QUANTUM_VOLUME,
+    TIM_HAMILTONIAN,
+    VQE_ANSATZ,
+    W_STATE,
+    available_workloads,
+    build_workload,
+    register_workload,
+)
+from repro.workloads.vqe import hardware_efficient_ansatz
+from repro.workloads.wstate import w_state_circuit
+
+__all__ = [
+    "adder_circuit_for_width",
+    "adder_register_layout",
+    "cdkm_adder_circuit",
+    "bernstein_vazirani_circuit",
+    "ghz_circuit",
+    "tim_hamiltonian_circuit",
+    "qaoa_vanilla_circuit",
+    "sk_couplings",
+    "qft_circuit",
+    "qft_unitary",
+    "quantum_volume_circuit",
+    "hardware_efficient_ansatz",
+    "w_state_circuit",
+    "ADDER",
+    "BERNSTEIN_VAZIRANI",
+    "EXTENSION_WORKLOADS",
+    "GHZ",
+    "PAPER_WORKLOADS",
+    "QAOA_VANILLA",
+    "QFT",
+    "QUANTUM_VOLUME",
+    "TIM_HAMILTONIAN",
+    "VQE_ANSATZ",
+    "W_STATE",
+    "available_workloads",
+    "build_workload",
+    "register_workload",
+]

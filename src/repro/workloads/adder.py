@@ -1,0 +1,68 @@
+"""CDKM ripple-carry adder workload.
+
+Implements the Cuccaro-Draper-Kutin-Moulton ripple-carry adder the paper
+takes from Qiskit's circuit library.  The register layout is
+
+    [carry-in, a_0 .. a_{k-1}, b_0 .. b_{k-1}, carry-out]
+
+(``2k + 2`` qubits in total); after the circuit, the ``b`` register holds
+``a + b`` (mod ``2^k``) with the carry-out qubit holding the overflow bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def adder_register_layout(num_state_qubits: int) -> Tuple[int, range, range, int]:
+    """Qubit indices ``(carry_in, a_register, b_register, carry_out)``."""
+    carry_in = 0
+    a_register = range(1, 1 + num_state_qubits)
+    b_register = range(1 + num_state_qubits, 1 + 2 * num_state_qubits)
+    carry_out = 1 + 2 * num_state_qubits
+    return carry_in, a_register, b_register, carry_out
+
+
+def _majority(circuit: QuantumCircuit, carry: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, carry)
+    circuit.ccx(carry, b, a)
+
+
+def _unmajority(circuit: QuantumCircuit, carry: int, b: int, a: int) -> None:
+    circuit.ccx(carry, b, a)
+    circuit.cx(a, carry)
+    circuit.cx(carry, b)
+
+
+def cdkm_adder_circuit(num_state_qubits: int) -> QuantumCircuit:
+    """Full CDKM ripple-carry adder on ``2 * num_state_qubits + 2`` qubits."""
+    if num_state_qubits < 1:
+        raise ValueError("the adder needs at least one state qubit per register")
+    carry_in, a_register, b_register, carry_out = adder_register_layout(num_state_qubits)
+    circuit = QuantumCircuit(
+        2 * num_state_qubits + 2, name=f"Adder-{2 * num_state_qubits + 2}"
+    )
+    a_list = list(a_register)
+    b_list = list(b_register)
+    _majority(circuit, carry_in, b_list[0], a_list[0])
+    for index in range(1, num_state_qubits):
+        _majority(circuit, a_list[index - 1], b_list[index], a_list[index])
+    circuit.cx(a_list[-1], carry_out)
+    for index in range(num_state_qubits - 1, 0, -1):
+        _unmajority(circuit, a_list[index - 1], b_list[index], a_list[index])
+    _unmajority(circuit, carry_in, b_list[0], a_list[0])
+    circuit.metadata.update(
+        {"workload": "Adder", "num_state_qubits": num_state_qubits}
+    )
+    return circuit
+
+
+def adder_circuit_for_width(num_qubits: int) -> QuantumCircuit:
+    """Largest CDKM adder fitting in ``num_qubits`` qubits (width >= 4)."""
+    if num_qubits < 4:
+        raise ValueError("the smallest CDKM adder uses four qubits")
+    num_state_qubits = (num_qubits - 2) // 2
+    return cdkm_adder_circuit(num_state_qubits)

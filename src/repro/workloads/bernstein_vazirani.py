@@ -1,0 +1,60 @@
+"""Bernstein–Vazirani workload (extension beyond the paper's six benchmarks).
+
+The circuit recovers a hidden bit string with a single oracle query.  Its
+interaction pattern is a star centred on the ancilla qubit, which makes it
+a useful stress test for hub-style topologies (the Tree's router qubits)
+and a natural companion to GHZ in the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def bernstein_vazirani_circuit(
+    num_qubits: int,
+    secret: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Bernstein–Vazirani circuit on ``num_qubits`` qubits (data + 1 ancilla).
+
+    Args:
+        num_qubits: total width; the last qubit is the oracle ancilla, the
+            remaining ``num_qubits - 1`` hold the hidden string.
+        secret: explicit hidden bit string (length ``num_qubits - 1``);
+            sampled uniformly from the given ``seed`` when omitted.
+        seed: RNG seed used when ``secret`` is not supplied.
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least two qubits")
+    data_qubits = num_qubits - 1
+    if secret is None:
+        rng = np.random.default_rng(seed)
+        secret = [int(bit) for bit in rng.integers(0, 2, size=data_qubits)]
+    else:
+        secret = [int(bit) for bit in secret]
+        if len(secret) != data_qubits:
+            raise ValueError(
+                f"secret must have length {data_qubits}, got {len(secret)}"
+            )
+        if any(bit not in (0, 1) for bit in secret):
+            raise ValueError("secret must be a bit string")
+    ancilla = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=f"BernsteinVazirani-{num_qubits}")
+    for qubit in range(data_qubits):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit, bit in enumerate(secret):
+        if bit:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(data_qubits):
+        circuit.h(qubit)
+    circuit.metadata.update(
+        {"workload": "BernsteinVazirani", "secret": tuple(secret)}
+    )
+    return circuit

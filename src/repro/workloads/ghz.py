@@ -1,0 +1,31 @@
+"""GHZ-state preparation workload."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ghz_circuit(num_qubits: int, linear: bool = True) -> QuantumCircuit:
+    """Prepare an ``n``-qubit GHZ state.
+
+    Args:
+        num_qubits: state size.
+        linear: use the nearest-neighbour CNOT chain (the SupermarQ / paper
+            construction).  When ``False``, a log-depth fan-out tree of
+            CNOTs is used instead (useful for depth comparisons).
+    """
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"GHZ-{num_qubits}")
+    circuit.h(0)
+    if linear:
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    else:
+        filled = 1
+        while filled < num_qubits:
+            for source in range(min(filled, num_qubits - filled)):
+                circuit.cx(source, filled + source)
+            filled *= 2
+    circuit.metadata.update({"workload": "GHZ", "linear": linear})
+    return circuit

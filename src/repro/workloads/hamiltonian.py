@@ -1,0 +1,52 @@
+"""Transverse-field Ising model (TIM) Hamiltonian-simulation workload.
+
+Follows the SupermarQ ``HamiltonianSimulation`` benchmark the paper uses:
+first-order Trotterised time evolution of a 1-D transverse-field Ising
+chain.  Being a nearest-neighbour chain, it stresses topologies far less
+than QAOA — the paper uses it as the "easy" end of the workload spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def tim_hamiltonian_circuit(
+    num_qubits: int,
+    time_steps: int = 1,
+    total_time: float = 1.0,
+    field_strength: float = 0.2,
+    coupling_strength: float = 1.0,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Trotterised evolution under ``H = J sum Z_i Z_{i+1} + h sum X_i``.
+
+    Args:
+        num_qubits: chain length.
+        time_steps: number of first-order Trotter steps.
+        total_time: total evolution time.
+        field_strength: transverse field ``h``.
+        coupling_strength: Ising coupling ``J``.
+        seed: kept for registry uniformity (the circuit is deterministic).
+    """
+    if num_qubits < 2:
+        raise ValueError("the Ising chain needs at least two qubits")
+    delta = total_time / time_steps
+    circuit = QuantumCircuit(num_qubits, name=f"TIMHamiltonian-{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(time_steps):
+        for qubit in range(num_qubits - 1):
+            circuit.rzz(2.0 * coupling_strength * delta, qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * field_strength * delta, qubit)
+    circuit.metadata.update(
+        {
+            "workload": "TIMHamiltonian",
+            "time_steps": time_steps,
+            "total_time": total_time,
+        }
+    )
+    return circuit

@@ -1,0 +1,63 @@
+"""QAOA "vanilla" proxy workload (Sherrington-Kirkpatrick model).
+
+Follows the SupermarQ ``QAOAVanillaProxy`` benchmark the paper uses: a
+single QAOA layer (p = 1) for the fully connected Sherrington-Kirkpatrick
+Hamiltonian with random +/-1 couplings — every qubit pair interacts, which
+makes the workload extremely sensitive to topology connectivity (it drives
+the largest SWAP counts in paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def sk_couplings(num_qubits: int, seed: int = 0) -> Dict[Tuple[int, int], float]:
+    """Random +/-1 couplings of the fully connected SK model."""
+    rng = np.random.default_rng(seed)
+    couplings: Dict[Tuple[int, int], float] = {}
+    for qubit_a in range(num_qubits):
+        for qubit_b in range(qubit_a + 1, num_qubits):
+            couplings[(qubit_a, qubit_b)] = float(rng.choice((-1.0, 1.0)))
+    return couplings
+
+
+def qaoa_vanilla_circuit(
+    num_qubits: int,
+    layers: int = 1,
+    seed: int = 0,
+    gamma: Optional[float] = None,
+    beta: Optional[float] = None,
+) -> QuantumCircuit:
+    """QAOA ansatz for the SK model.
+
+    Args:
+        num_qubits: problem size.
+        layers: number of QAOA layers ``p`` (the proxy uses 1).
+        seed: controls the random couplings and, when the angles are not
+            given, the variational parameters.
+        gamma, beta: fixed cost / mixer angles (random in ``(0, pi)`` when
+            omitted, one pair per layer).
+    """
+    if num_qubits < 2:
+        raise ValueError("QAOA needs at least two qubits")
+    rng = np.random.default_rng(seed + 1)
+    couplings = sk_couplings(num_qubits, seed)
+    circuit = QuantumCircuit(num_qubits, name=f"QAOAVanilla-{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        layer_gamma = gamma if gamma is not None else float(rng.uniform(0, np.pi))
+        layer_beta = beta if beta is not None else float(rng.uniform(0, np.pi))
+        for (qubit_a, qubit_b), weight in couplings.items():
+            circuit.rzz(2.0 * layer_gamma * weight, qubit_a, qubit_b)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * layer_beta, qubit)
+    circuit.metadata.update(
+        {"workload": "QAOAVanilla", "layers": layers, "seed": seed}
+    )
+    return circuit

@@ -1,0 +1,51 @@
+"""Quantum Fourier Transform circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qft_circuit(
+    num_qubits: int, do_swaps: bool = False, approximation_degree: int = 0
+) -> QuantumCircuit:
+    """Standard QFT: Hadamards plus controlled-phase ladder.
+
+    Args:
+        num_qubits: circuit width.
+        do_swaps: include the final qubit-reversal SWAP network.  The paper
+            counts routing-induced SWAPs, so the default omits the reversal
+            (the reversal can always be absorbed into a relabelling).
+        approximation_degree: drop controlled phases with angle smaller
+            than ``pi / 2**(num_qubits - approximation_degree)`` (0 keeps
+            every rotation, the exact QFT).
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"QFT-{num_qubits}")
+    for target in range(num_qubits - 1, -1, -1):
+        circuit.h(target)
+        for control in range(target - 1, -1, -1):
+            control_offset = target - control
+            if approximation_degree and control_offset > num_qubits - approximation_degree:
+                continue
+            angle = np.pi / (2 ** control_offset)
+            circuit.cp(angle, control, target)
+    if do_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    circuit.metadata.update({"workload": "QFT", "do_swaps": do_swaps})
+    return circuit
+
+
+def qft_unitary(num_qubits: int) -> np.ndarray:
+    """Reference DFT matrix (little-endian, with the qubit-reversal swaps).
+
+    ``qft_circuit(n, do_swaps=True)`` implements this matrix exactly; used
+    by the test-suite to validate the construction.
+    """
+    dim = 2 ** num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    indices = np.arange(dim)
+    return omega ** np.outer(indices, indices) / np.sqrt(dim)

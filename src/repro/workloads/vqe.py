@@ -1,0 +1,64 @@
+"""Hardware-efficient VQE ansatz workload (extension benchmark).
+
+The paper excludes VQE from its headline benchmarks because problem
+instances are hand-coded (Section 5); the hardware-efficient ansatz,
+however, *is* parameterisable by width, so it is included here as an
+extension workload: alternating layers of single-qubit Euler rotations and
+a ring (or line) of entangling gates, the structure used by Kandala et al.
+and by most NISQ-era variational experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int = 2,
+    entangler: str = "cx",
+    ring: bool = True,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Hardware-efficient variational ansatz.
+
+    Args:
+        num_qubits: circuit width.
+        layers: number of (rotation layer, entangling layer) repetitions.
+        entangler: "cx", "cz" or "siswap" — the two-qubit gate used in the
+            entangling layers.
+        ring: close the entangling chain into a ring (adds one long-range
+            gate per layer, which stresses sparse topologies).
+        seed: RNG seed for the rotation angles.
+    """
+    if num_qubits < 2:
+        raise ValueError("the ansatz needs at least two qubits")
+    if layers < 1:
+        raise ValueError("the ansatz needs at least one layer")
+    appenders = {
+        "cx": lambda circuit, a, b: circuit.cx(a, b),
+        "cz": lambda circuit, a, b: circuit.cz(a, b),
+        "siswap": lambda circuit, a, b: circuit.siswap(a, b),
+    }
+    if entangler not in appenders:
+        raise ValueError(f"unknown entangler {entangler!r}; options: {sorted(appenders)}")
+    entangle = appenders[entangler]
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"VQEAnsatz-{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.ry(float(rng.uniform(-np.pi, np.pi)), qubit)
+        circuit.rz(float(rng.uniform(-np.pi, np.pi)), qubit)
+    for _ in range(layers):
+        for qubit in range(num_qubits - 1):
+            entangle(circuit, qubit, qubit + 1)
+        if ring and num_qubits > 2:
+            entangle(circuit, num_qubits - 1, 0)
+        for qubit in range(num_qubits):
+            circuit.ry(float(rng.uniform(-np.pi, np.pi)), qubit)
+            circuit.rz(float(rng.uniform(-np.pi, np.pi)), qubit)
+    circuit.metadata.update(
+        {"workload": "VQEAnsatz", "layers": layers, "entangler": entangler, "ring": ring}
+    )
+    return circuit

@@ -1,0 +1,42 @@
+"""W-state preparation workload (extension benchmark).
+
+The W state ``(|100...0> + |010...0> + ... + |000...1>) / sqrt(n)`` is the
+other canonical multipartite entangled state next to GHZ.  The standard
+linear construction uses a chain of controlled Ry rotations followed by
+CNOTs, giving a nearest-neighbour interaction pattern of depth ``O(n)``
+whose 2Q-gate structure differs from GHZ (two 2Q gates per link instead of
+one), which makes it a useful additional data point for topology studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates import RYGate, UnitaryGate
+
+
+def _controlled_ry(theta: float) -> UnitaryGate:
+    """Controlled-Ry as an explicit 4x4 unitary (control = first qubit)."""
+    ry = RYGate(theta).matrix()
+    matrix = np.eye(4, dtype=complex)
+    matrix[2:, 2:] = ry
+    return UnitaryGate(matrix, label="cry")
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare the ``n``-qubit W state with the linear CRy / CNOT cascade."""
+    if num_qubits < 2:
+        raise ValueError("a W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"WState-{num_qubits}")
+    circuit.x(0)
+    # At step k the excitation is shared between qubit k and qubits k+1..n-1:
+    # rotate a (1/remaining)-sized amplitude onto qubit k+1, then shift the
+    # remainder along with a CNOT.
+    for qubit in range(num_qubits - 1):
+        remaining = num_qubits - qubit
+        theta = 2.0 * np.arccos(np.sqrt(1.0 / remaining))
+        circuit.append(_controlled_ry(theta), (qubit, qubit + 1))
+        circuit.cx(qubit + 1, qubit)
+    circuit.metadata.update({"workload": "WState"})
+    return circuit

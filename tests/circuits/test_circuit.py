@@ -1,0 +1,167 @@
+"""Tests for QuantumCircuit construction and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.gates import CXGate, SwapGate
+from repro.linalg.random import random_unitary
+
+
+class TestConstruction:
+    def test_append_and_len(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        assert len(circuit) == 3
+        assert circuit.num_qubits == 3
+
+    def test_out_of_range_qubit(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.h(5)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_builder_methods_cover_standard_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0).y(1).z(2).s(0).t(1).tdg(2)
+        circuit.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2).u3(0.1, 0.2, 0.3, 0)
+        circuit.cz(0, 1).cp(0.5, 1, 2).rzz(0.7, 0, 2).rxx(0.2, 0, 1)
+        circuit.swap(0, 1).iswap(1, 2).siswap(0, 2).ccx(0, 1, 2)
+        assert circuit.size() == 18
+
+    def test_unitary_append(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, 1), (0, 1), label="block")
+        assert circuit.instructions[0].name == "unitary"
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        clone = circuit.copy()
+        clone.cx(0, 1)
+        assert len(circuit) == 1 and len(clone) == 2
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, qubits=[2, 3])
+        assert outer.instructions[0].qubits == (2, 3)
+
+    def test_compose_too_large(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_inverse_reverses_order(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        inverse = circuit.inverse()
+        assert inverse.instructions[0].name == "cx"
+        assert inverse.instructions[1].name in ("h", "unitary")
+
+    def test_extend_validates(self):
+        circuit = QuantumCircuit(2)
+        other = QuantumCircuit(2)
+        other.cx(0, 1)
+        circuit.extend(other.instructions)
+        assert len(circuit) == 1
+
+
+class TestCounting:
+    def test_count_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).swap(0, 2)
+        counts = circuit.count_ops()
+        assert counts == {"h": 1, "cx": 2, "swap": 1}
+
+    def test_two_qubit_count_excludes_barriers(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).barrier()
+        assert circuit.two_qubit_gate_count() == 1
+        assert circuit.size() == 1
+
+    def test_swap_count_induced_only(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.swap(0, 1, induced=True)
+        assert circuit.swap_count() == 2
+        assert circuit.swap_count(induced_only=True) == 1
+
+    def test_num_nonlocal_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).ccx(0, 1, 2)
+        assert circuit.num_nonlocal_gates() == 2
+
+
+class TestDepthAndCriticalPath:
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)  # parallel
+        circuit.cx(1, 2)  # depends on both
+        assert circuit.depth() == 2
+
+    def test_depth_ignores_barriers(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(0)
+        assert circuit.depth() == 2
+
+    def test_critical_path_two_qubit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        circuit.cx(1, 2)
+        assert circuit.critical_path_two_qubit() == 2
+
+    def test_critical_path_swaps_only_counts_swaps(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1, induced=True)
+        circuit.cx(1, 2)
+        circuit.swap(1, 2, induced=True)
+        assert circuit.critical_path_swaps(induced_only=True) == 2
+        assert circuit.critical_path_two_qubit() == 3
+
+    def test_critical_path_with_parallel_swaps(self):
+        circuit = QuantumCircuit(4)
+        circuit.swap(0, 1, induced=True)
+        circuit.swap(2, 3, induced=True)
+        assert circuit.critical_path_swaps() == 1
+
+    def test_weighted_duration_uses_gate_durations(self):
+        circuit = QuantumCircuit(2)
+        circuit.siswap(0, 1)
+        circuit.siswap(0, 1)
+        # Two sqrt(iSWAP) pulses at half an iSWAP each.
+        assert circuit.weighted_duration() == pytest.approx(1.0)
+
+    def test_cx_weighted_duration(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        assert circuit.weighted_duration() == pytest.approx(1.0)
+
+    def test_depth_matches_dag_longest_path(self):
+        from repro.circuits import DAGCircuit
+
+        rng = np.random.default_rng(3)
+        circuit = QuantumCircuit(5)
+        for _ in range(30):
+            a, b = rng.choice(5, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        assert circuit.depth() == DAGCircuit(circuit).longest_path_length()
+
+
+class TestInteractions:
+    def test_two_qubit_interactions_histogram(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 0).cx(1, 2)
+        interactions = circuit.two_qubit_interactions()
+        assert interactions[(0, 1)] == 2
+        assert interactions[(1, 2)] == 1
+
+    def test_to_unitary_swap(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        assert np.allclose(circuit.to_unitary(), SwapGate().matrix())

@@ -1,0 +1,63 @@
+"""Tests for the circuit dependency DAG."""
+
+from repro.circuits import DAGCircuit, QuantumCircuit
+
+
+class TestDAGStructure:
+    def _chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.h(2)
+        return circuit
+
+    def test_front_layer(self):
+        dag = DAGCircuit(self._chain())
+        assert dag.front_layer() == [0]
+
+    def test_parallel_front_layer(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = DAGCircuit(circuit)
+        assert sorted(dag.front_layer()) == [0, 1]
+
+    def test_successors_and_predecessors(self):
+        dag = DAGCircuit(self._chain())
+        assert dag.successors(0) == (1,)
+        assert dag.predecessors(2) == (1,)
+        assert dag.predecessors(0) == ()
+
+    def test_len_matches_instructions(self):
+        circuit = self._chain()
+        assert len(DAGCircuit(circuit)) == len(circuit)
+
+    def test_layers_partition_all_nodes(self):
+        dag = DAGCircuit(self._chain())
+        layers = dag.layers()
+        flattened = sorted(index for layer in layers for index in layer)
+        assert flattened == list(range(len(dag)))
+
+    def test_layers_respect_dependencies(self):
+        dag = DAGCircuit(self._chain())
+        level = {}
+        for depth, layer in enumerate(dag.layers()):
+            for index in layer:
+                level[index] = depth
+        for node in dag.nodes:
+            for predecessor in node.predecessors:
+                assert level[predecessor] < level[node.index]
+
+    def test_longest_path_with_weights(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        dag = DAGCircuit(circuit)
+        only_2q = dag.longest_path_length(lambda inst: 1.0 if inst.is_two_qubit else 0.0)
+        assert only_2q == 1.0
+
+    def test_topological_order_is_instruction_order(self):
+        dag = DAGCircuit(self._chain())
+        assert dag.topological_order() == [0, 1, 2, 3]

@@ -1,0 +1,85 @@
+"""Tests for the Gate / UnitaryGate abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gate import Barrier, Gate, UnitaryGate
+from repro.gates import CXGate, HGate, RZGate
+from repro.linalg.random import random_unitary
+
+
+class TestGateBase:
+    def test_properties(self):
+        gate = RZGate(0.4)
+        assert gate.name == "rz"
+        assert gate.num_qubits == 1
+        assert gate.params == (0.4,)
+        assert not gate.is_two_qubit
+
+    def test_label_defaults_to_name(self):
+        assert HGate().label == "h"
+
+    def test_base_gate_matrix_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Gate("custom", 1).matrix()
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValueError):
+            Gate("bad", 0)
+
+    def test_equality_includes_params(self):
+        assert RZGate(0.5) == RZGate(0.5)
+        assert RZGate(0.5) != RZGate(0.6)
+        assert hash(RZGate(0.5)) == hash(RZGate(0.5))
+
+    def test_equality_across_types(self):
+        assert HGate() != CXGate()
+        assert HGate() != "h"
+
+    def test_default_inverse_uses_matrix(self):
+        gate = RZGate(0.3)
+        inverse = gate.inverse()
+        assert np.allclose(inverse.matrix() @ gate.matrix(), np.eye(2), atol=1e-9)
+
+    def test_duration_defaults(self):
+        assert HGate().duration() == 0.0
+        assert CXGate().duration() == 1.0
+
+
+class TestUnitaryGate:
+    def test_round_trip(self):
+        matrix = random_unitary(4, 5)
+        gate = UnitaryGate(matrix, label="block")
+        assert np.allclose(gate.matrix(), matrix)
+        assert gate.num_qubits == 2
+        assert gate.label == "block"
+
+    def test_single_qubit(self):
+        gate = UnitaryGate(random_unitary(2, 3))
+        assert gate.num_qubits == 1
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            UnitaryGate(np.ones((4, 4)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            UnitaryGate(np.eye(3))
+
+    def test_inverse(self):
+        matrix = random_unitary(4, 7)
+        gate = UnitaryGate(matrix)
+        assert np.allclose(gate.inverse().matrix() @ matrix, np.eye(4), atol=1e-9)
+
+    def test_equality_by_matrix(self):
+        matrix = random_unitary(4, 9)
+        assert UnitaryGate(matrix) == UnitaryGate(matrix.copy())
+        assert UnitaryGate(matrix) != UnitaryGate(random_unitary(4, 10))
+
+
+class TestBarrier:
+    def test_is_identity(self):
+        assert np.allclose(Barrier(2).matrix(), np.eye(4))
+
+    def test_zero_duration(self):
+        assert Barrier(3).duration() == 0.0

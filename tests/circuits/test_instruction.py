@@ -1,0 +1,42 @@
+"""Tests for Instruction."""
+
+import pytest
+
+from repro.circuits.instruction import Instruction
+from repro.gates import CXGate, HGate, SwapGate
+
+
+class TestInstruction:
+    def test_basic_properties(self):
+        instruction = Instruction(CXGate(), (0, 1))
+        assert instruction.name == "cx"
+        assert instruction.num_qubits == 2
+        assert instruction.is_two_qubit
+        assert not instruction.induced
+
+    def test_single_qubit_not_two_qubit(self):
+        assert not Instruction(HGate(), (3,)).is_two_qubit
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(CXGate(), (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(CXGate(), (1, 1))
+
+    def test_induced_flag_not_part_of_equality(self):
+        routed = Instruction(SwapGate(), (0, 1), induced=True)
+        source = Instruction(SwapGate(), (0, 1), induced=False)
+        assert routed == source
+
+    def test_remap_with_dict(self):
+        instruction = Instruction(CXGate(), (0, 1))
+        remapped = instruction.remap({0: 5, 1: 7})
+        assert remapped.qubits == (5, 7)
+
+    def test_remap_with_callable(self):
+        instruction = Instruction(CXGate(), (0, 1), induced=True)
+        remapped = instruction.remap(lambda q: q + 10)
+        assert remapped.qubits == (10, 11)
+        assert remapped.induced

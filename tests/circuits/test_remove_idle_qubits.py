@@ -1,0 +1,66 @@
+"""Tests for QuantumCircuit.remove_idle_qubits."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.fidelity import hilbert_schmidt_fidelity
+from repro.topology import get_topology
+from repro.transpiler import transpile
+from repro.workloads import build_workload
+
+
+class TestRemoveIdleQubits:
+    def test_compacts_to_used_qubits(self):
+        circuit = QuantumCircuit(10)
+        circuit.h(2)
+        circuit.cx(2, 7)
+        compact = circuit.remove_idle_qubits()
+        assert compact.num_qubits == 2
+        assert compact.count_ops() == {"h": 1, "cx": 1}
+
+    def test_mapping_recorded_in_metadata(self):
+        circuit = QuantumCircuit(6)
+        circuit.cx(1, 4)
+        compact = circuit.remove_idle_qubits()
+        assert compact.metadata["idle_qubit_mapping"] == {1: 0, 4: 1}
+
+    def test_relative_order_preserved(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(3, 1)
+        compact = circuit.remove_idle_qubits()
+        (instruction,) = compact.instructions
+        assert instruction.qubits == (1, 0)
+
+    def test_empty_circuit_keeps_one_qubit(self):
+        compact = QuantumCircuit(4).remove_idle_qubits()
+        assert compact.num_qubits == 1
+        assert len(compact) == 0
+
+    def test_unitary_preserved_on_used_subspace(self):
+        circuit = QuantumCircuit(6)
+        circuit.h(1)
+        circuit.cx(1, 3)
+        circuit.rz(0.4, 3)
+        compact = circuit.remove_idle_qubits()
+        reference = QuantumCircuit(2)
+        reference.h(0)
+        reference.cx(0, 1)
+        reference.rz(0.4, 1)
+        fidelity = hilbert_schmidt_fidelity(compact.to_unitary(), reference.to_unitary())
+        assert fidelity == pytest.approx(1.0)
+
+    def test_transpiled_circuit_becomes_simulable(self):
+        device = get_topology("Corral1,1", scale="small")
+        circuit = build_workload("GHZ", 6)
+        result = transpile(circuit, device, basis_name="siswap")
+        compact = result.circuit.remove_idle_qubits()
+        assert compact.num_qubits <= device.num_qubits
+        assert compact.two_qubit_gate_count() == result.circuit.two_qubit_gate_count()
+
+    def test_all_metrics_preserved(self):
+        circuit = QuantumCircuit(12)
+        circuit.cx(0, 11)
+        circuit.swap(0, 11, induced=True)
+        compact = circuit.remove_idle_qubits()
+        assert compact.swap_count(induced_only=True) == 1
+        assert compact.critical_path_two_qubit() == circuit.critical_path_two_qubit()

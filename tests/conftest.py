@@ -1,0 +1,63 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.topology import (
+    corral_topology,
+    hypercube,
+    square_lattice,
+    tree_topology,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    """Two-qubit Bell-state preparation."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz4_circuit() -> QuantumCircuit:
+    """Four-qubit GHZ preparation."""
+    circuit = QuantumCircuit(4, name="ghz4")
+    circuit.h(0)
+    for qubit in range(3):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+@pytest.fixture
+def grid_4x4():
+    """4x4 square lattice (the paper's 16-qubit baseline)."""
+    return square_lattice(4, 4)
+
+
+@pytest.fixture
+def hypercube_4d():
+    """4-dimensional hypercube (16 qubits)."""
+    return hypercube(4)
+
+
+@pytest.fixture
+def tree_20q():
+    """The 20-qubit SNAIL Tree."""
+    return tree_topology(levels=2, arity=4)
+
+
+@pytest.fixture
+def corral_16q():
+    """The 16-qubit Corral(1,1)."""
+    return corral_topology(8, (1, 1))

@@ -1,0 +1,46 @@
+"""Tests for the Backend abstraction."""
+
+import pytest
+
+from repro.core import Backend, make_backend
+from repro.decomposition import get_basis, sqiswap_basis
+from repro.topology import corral_topology, square_lattice
+from repro.workloads import ghz_circuit, quantum_volume_circuit
+
+
+class TestBackend:
+    def test_default_name(self):
+        backend = Backend(square_lattice(4, 4), get_basis("cx"))
+        assert "cx" in backend.name
+        assert backend.num_qubits == 16
+
+    def test_explicit_name(self):
+        backend = make_backend(corral_topology(8, (1, 1)), "siswap", name="Corral")
+        assert backend.name == "Corral"
+        assert backend.basis.name == "siswap"
+
+    def test_properties_row(self):
+        backend = make_backend(square_lattice(4, 4), "cx")
+        props = backend.properties()
+        assert props.num_qubits == 16
+        assert props.average_connectivity == pytest.approx(3.0)
+
+    def test_transpile_returns_metrics(self):
+        backend = make_backend(square_lattice(4, 4), "siswap")
+        result = backend.transpile(quantum_volume_circuit(6, seed=1), seed=2)
+        assert result.metrics.basis == "siswap"
+        assert result.metrics.topology == backend.coupling_map.name
+        assert result.metrics.total_2q > 0
+
+    def test_transpile_respects_coupling(self):
+        backend = make_backend(corral_topology(8, (1, 1)), "siswap")
+        result = backend.transpile(ghz_circuit(10))
+        for instruction in result.circuit:
+            if instruction.is_two_qubit:
+                assert backend.coupling_map.has_edge(*instruction.qubits)
+
+    def test_transpile_options_forwarded(self):
+        backend = make_backend(square_lattice(4, 4), "cx")
+        result = backend.transpile(ghz_circuit(5), routing_method="stochastic", layout_method="trivial")
+        assert result.metrics.routing_method == "stochastic"
+        assert result.metrics.layout_method == "trivial"

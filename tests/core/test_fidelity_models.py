@@ -1,0 +1,96 @@
+"""Tests for the fidelity models (paper Eqs. 12-13)."""
+
+import pytest
+
+from repro.core import FidelityModel, best_total_fidelity, compare_designs, nth_root_pulse_fidelity
+from repro.core.fidelity import decomposition_total_fidelity
+from repro.transpiler import TranspileMetrics
+
+
+def _metrics(total_2q, critical_2q, weighted=None, topology="t", basis="cx"):
+    return TranspileMetrics(
+        circuit_name="c",
+        circuit_qubits=4,
+        topology=topology,
+        basis=basis,
+        total_swaps=0,
+        critical_swaps=0,
+        total_2q=total_2q,
+        critical_2q=critical_2q,
+        weighted_duration=weighted if weighted is not None else float(critical_2q),
+        total_gates=total_2q,
+        depth=critical_2q,
+    )
+
+
+class TestEquation12:
+    def test_paper_example(self):
+        """A 90% iSWAP yields a 95% sqrt(iSWAP) (paper Section 6.3)."""
+        assert nth_root_pulse_fidelity(0.90, 2) == pytest.approx(0.95)
+
+    def test_identity_root(self):
+        assert nth_root_pulse_fidelity(0.97, 1) == pytest.approx(0.97)
+
+    def test_monotone_in_root(self):
+        values = [nth_root_pulse_fidelity(0.99, n) for n in (1, 2, 3, 4, 8)]
+        assert values == sorted(values)
+
+    def test_perfect_pulse_stays_perfect(self):
+        assert nth_root_pulse_fidelity(1.0, 5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nth_root_pulse_fidelity(1.2, 2)
+        with pytest.raises(ValueError):
+            nth_root_pulse_fidelity(0.9, 0)
+
+
+class TestEquation13:
+    def test_total_fidelity_product(self):
+        assert decomposition_total_fidelity(0.999, 0.99, 3) == pytest.approx(0.999 * 0.99 ** 3)
+
+    def test_best_total_fidelity_prefers_fewer_gates_when_equal(self):
+        candidates = [(3, 0.9999), (4, 0.9999)]
+        best_k, _ = best_total_fidelity(candidates, pulse_fidelity=0.99)
+        assert best_k == 3
+
+    def test_best_total_fidelity_trades_off(self):
+        # A poor 2-gate template loses to a near-exact 3-gate template.
+        candidates = [(2, 0.9), (3, 0.99999)]
+        best_k, value = best_total_fidelity(candidates, pulse_fidelity=0.999)
+        assert best_k == 3
+        assert value > 0.99
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            best_total_fidelity([], 0.99)
+
+    def test_negative_applications_rejected(self):
+        with pytest.raises(ValueError):
+            decomposition_total_fidelity(0.99, 0.99, -1)
+
+
+class TestFidelityModel:
+    def test_gate_limited_prefers_fewer_gates(self):
+        model = FidelityModel(two_qubit_fidelity=0.99)
+        assert model.gate_limited(_metrics(10, 5)) > model.gate_limited(_metrics(20, 5))
+
+    def test_time_limited_prefers_shorter_circuits(self):
+        model = FidelityModel(decoherence_per_pulse=0.995)
+        assert model.time_limited(_metrics(10, 5, weighted=5.0)) > model.time_limited(
+            _metrics(10, 12, weighted=12.0)
+        )
+
+    def test_combined_is_product(self):
+        model = FidelityModel()
+        metrics = _metrics(8, 4)
+        assert model.combined(metrics) == pytest.approx(
+            model.gate_limited(metrics) * model.time_limited(metrics)
+        )
+
+    def test_compare_designs_ranks_best_first(self):
+        good = _metrics(10, 4, topology="Corral1,1", basis="siswap")
+        bad = _metrics(40, 20, topology="Heavy-Hex", basis="cx")
+        ranking = compare_designs([bad, good])
+        assert ranking[0][0] == "Corral1,1+siswap"
+        assert ranking[0][1] > ranking[1][1]

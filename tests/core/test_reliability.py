@@ -1,0 +1,89 @@
+"""Tests for the wall-clock reliability model and ranking."""
+
+import pytest
+
+from repro.core import make_backend
+from repro.core.reliability import (
+    ReliabilityModel,
+    durations_for_backend,
+    format_reliability_report,
+    reliability_ranking,
+)
+from repro.topology import get_topology
+from repro.workloads import build_workload
+
+
+def backend_for(topology: str, basis: str, name=None):
+    return make_backend(get_topology(topology, scale="small"), basis, name=name)
+
+
+class TestReliabilityModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel(two_qubit_fidelity=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(t1_us=-1.0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(t1_us=10.0, t2_us=30.0)
+
+    def test_gate_success_counts_two_qubit_gates(self):
+        model = ReliabilityModel(two_qubit_fidelity=0.99, one_qubit_fidelity=1.0)
+        circuit = build_workload("GHZ", 4)
+        assert model.gate_success(circuit) == pytest.approx(0.99 ** 3)
+
+    def test_estimate_has_consistent_fields(self):
+        backend = backend_for("Corral1,1", "siswap")
+        model = ReliabilityModel()
+        circuit = build_workload("QuantumVolume", 8, seed=2)
+        estimate = model.estimate(backend, circuit, seed=2)
+        assert estimate.total_2q >= estimate.critical_2q > 0
+        assert estimate.duration_ns > 0.0
+        assert 0.0 < estimate.success_probability <= 1.0
+        assert estimate.success_probability == pytest.approx(
+            estimate.gate_success * estimate.decoherence_success
+        )
+
+    def test_shorter_t1_means_lower_success(self):
+        backend = backend_for("Tree", "siswap")
+        circuit = build_workload("QFT", 8)
+        healthy = ReliabilityModel(t1_us=200.0, t2_us=200.0).estimate(backend, circuit)
+        frail = ReliabilityModel(t1_us=5.0, t2_us=5.0).estimate(backend, circuit)
+        assert frail.success_probability < healthy.success_probability
+
+    def test_durations_follow_the_modulator(self):
+        snail = durations_for_backend(backend_for("Tree", "siswap"))
+        cr = durations_for_backend(backend_for("Heavy-Hex", "cx"))
+        fsim = durations_for_backend(backend_for("Square-Lattice", "syc"))
+        assert snail.name == "snail"
+        assert cr.name == "cr"
+        assert fsim.name == "fsim"
+
+
+class TestReliabilityRanking:
+    def test_ranking_sorted_best_first(self):
+        backends = [
+            backend_for("Heavy-Hex", "cx", name="Heavy-Hex-CX"),
+            backend_for("Corral1,1", "siswap", name="Corral1,1-siswap"),
+        ]
+        ranking = reliability_ranking(backends, "QuantumVolume", 10, seed=3)
+        assert len(ranking) == 2
+        assert ranking[0].success_probability >= ranking[1].success_probability
+
+    def test_codesigned_machine_wins_on_qv(self):
+        """The paper's conclusion restated in wall-clock reliability terms."""
+        backends = [
+            backend_for("Heavy-Hex", "cx", name="Heavy-Hex-CX"),
+            backend_for("Corral1,1", "siswap", name="Corral1,1-siswap"),
+        ]
+        ranking = reliability_ranking(backends, "QuantumVolume", 12, seed=3)
+        assert ranking[0].backend == "Corral1,1-siswap"
+
+    def test_report_contains_every_backend(self):
+        backends = [
+            backend_for("Heavy-Hex", "cx", name="Heavy-Hex-CX"),
+            backend_for("Tree", "siswap", name="Tree-siswap"),
+        ]
+        ranking = reliability_ranking(backends, "GHZ", 8)
+        report = format_reliability_report(ranking)
+        assert "Heavy-Hex-CX" in report
+        assert "Tree-siswap" in report

@@ -1,0 +1,81 @@
+"""Tests for the pulse-duration sensitivity study (paper Fig. 15, Section 6.3).
+
+The full study (50 Haar targets, roots 2-7) is exercised by the benchmark
+harness; here a scaled-down configuration checks every structural property
+the paper relies on.
+"""
+
+import pytest
+
+from repro.core import pulse_duration_sensitivity_study
+from repro.core.sensitivity import format_sensitivity_report
+
+
+@pytest.fixture(scope="module")
+def study():
+    return pulse_duration_sensitivity_study(
+        roots=(2, 3, 4),
+        k_values=(2, 3, 4, 5),
+        num_targets=3,
+        iswap_fidelities=(0.95, 0.99, 1.0),
+        seed=7,
+        restarts=2,
+    )
+
+
+class TestStudyStructure:
+    def test_all_roots_present(self, study):
+        assert set(study.roots) == {2, 3, 4}
+        assert set(study.root_results) == {2, 3, 4}
+        assert set(study.total_fidelity) == {2, 3, 4}
+
+    def test_infidelity_decreases_with_k(self, study):
+        """Fig. 15 (top left): more applications, better decomposition."""
+        for root, result in study.root_results.items():
+            infidelities = [result.infidelity_by_k[k] for k in sorted(result.infidelity_by_k)]
+            assert infidelities[-1] <= infidelities[0] + 1e-9
+
+    def test_sqrt_iswap_converges_at_three(self, study):
+        """Three sqrt(iSWAP) applications decompose any 2Q unitary."""
+        assert study.root_results[2].converged_k == 3
+        assert study.root_results[2].infidelity_by_k[3] < 1e-6
+
+    def test_smaller_fractions_need_more_applications(self, study):
+        """Fig. 15: n=4 needs a larger k than n=2 to converge."""
+        assert study.root_results[4].converged_k >= study.root_results[3].converged_k
+        assert study.root_results[3].converged_k >= study.root_results[2].converged_k
+
+    def test_total_pulse_duration_shrinks_with_root(self, study):
+        """Fig. 15 (top right): k/n decreases as n grows."""
+        durations = [study.root_results[n].pulse_duration for n in (2, 3, 4)]
+        assert durations[1] <= durations[0] + 1e-9
+        assert durations[2] <= durations[0] + 1e-9
+
+    def test_total_fidelity_improves_with_base_fidelity(self, study):
+        """Fig. 15 (bottom): better iSWAP pulses, better totals."""
+        for root in study.roots:
+            per_base = study.total_fidelity[root]
+            assert per_base[0.99] >= per_base[0.95]
+            assert per_base[1.0] >= per_base[0.99]
+
+    def test_perfect_pulse_total_fidelity_is_near_one(self, study):
+        for root in study.roots:
+            assert study.total_fidelity[root][1.0] > 1 - 1e-5
+
+    def test_deeper_roots_win_at_99_percent(self, study):
+        """The paper's headline: n>2 reduces infidelity at Fb=0.99."""
+        reductions = study.infidelity_reduction_vs_sqiswap(0.99)
+        assert reductions[4] > 0.0
+        assert reductions[3] > 0.0
+
+    def test_report_renders(self, study):
+        report = format_sensitivity_report(study)
+        assert "pulse-duration sensitivity study" in report
+        assert "n=4" in report
+        assert "Fb=0.990" in report
+
+
+class TestValidation:
+    def test_requires_roots(self):
+        with pytest.raises(ValueError):
+            pulse_duration_sensitivity_study(roots=())

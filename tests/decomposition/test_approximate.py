@@ -1,0 +1,107 @@
+"""Tests for the NuOp-style template decomposer."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import TemplateDecomposer, decomposition_fidelity_curve
+from repro.gates import CXGate, NthRootISwapGate, SqrtISwapGate, SwapGate, SycamoreGate
+from repro.linalg.random import random_unitary
+from repro.simulator import circuit_unitary
+from repro.linalg.fidelity import hilbert_schmidt_fidelity
+
+
+class TestTemplateMechanics:
+    def test_parameter_count_validation(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate())
+        with pytest.raises(ValueError):
+            decomposer.template_unitary(np.zeros(5), applications=1)
+
+    def test_rejects_one_qubit_basis(self):
+        from repro.gates import HGate
+
+        with pytest.raises(ValueError):
+            TemplateDecomposer(HGate())
+
+    def test_rejects_non_two_qubit_target(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate())
+        with pytest.raises(ValueError):
+            decomposer.decompose(np.eye(2), 1)
+
+    def test_template_unitary_is_unitary(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate())
+        params = np.linspace(0, 1, 12)
+        unitary = decomposer.template_unitary(params, applications=1)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(4), atol=1e-9)
+
+    def test_build_circuit_matches_template_unitary(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate())
+        rng = np.random.default_rng(5)
+        params = rng.uniform(-np.pi, np.pi, 18)
+        circuit = decomposer.build_circuit(params, applications=2)
+        # The circuit's little-endian unitary equals the big-endian template
+        # with qubits exchanged; compare through the fidelity of the SWAP
+        # conjugated matrix to avoid convention juggling in the test.
+        template = decomposer.template_unitary(params, applications=2)
+        swap = SwapGate().matrix()
+        assert hilbert_schmidt_fidelity(
+            swap @ circuit_unitary(circuit) @ swap, template
+        ) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestConvergence:
+    def test_cx_needs_two_sqiswap(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=1)
+        single = decomposer.decompose(CXGate().matrix(), 1)
+        double = decomposer.decompose(CXGate().matrix(), 2)
+        assert single.fidelity < 0.999
+        assert double.fidelity > 1 - 1e-6
+
+    def test_swap_needs_three_sqiswap(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=2)
+        assert decomposer.decompose(SwapGate().matrix(), 2).fidelity < 0.999
+        assert decomposer.decompose(SwapGate().matrix(), 3).fidelity > 1 - 1e-6
+
+    def test_random_su4_with_three_sqiswap(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=3)
+        result = decomposer.decompose(random_unitary(4, 17), 3)
+        assert result.fidelity > 1 - 1e-6
+
+    def test_syc_covers_generic_in_four(self):
+        """Numerical check of the coverage assumption used for SYC counts."""
+        decomposer = TemplateDecomposer(SycamoreGate(), seed=4, restarts=4)
+        result = decomposer.decompose(random_unitary(4, 23), 4)
+        assert result.fidelity > 1 - 1e-4
+
+    def test_adaptive_stops_at_convergence(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=5)
+        result = decomposer.decompose_adaptive(CXGate().matrix(), max_applications=4)
+        assert result.applications == 2
+        assert result.fidelity > 1 - 1e-6
+
+    def test_quarter_iswap_needs_more_applications_than_half(self):
+        """Fig. 15 top-left behaviour: smaller fractions need larger k."""
+        target = random_unitary(4, 31)
+        half = TemplateDecomposer(NthRootISwapGate(2), seed=6).decompose(target, 3)
+        quarter = TemplateDecomposer(NthRootISwapGate(4), seed=6).decompose(target, 3)
+        assert half.fidelity > quarter.fidelity
+
+    def test_infidelity_property(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=7)
+        result = decomposer.decompose(CXGate().matrix(), 2)
+        assert result.infidelity == pytest.approx(1.0 - result.fidelity)
+
+    def test_result_circuit_two_qubit_count(self):
+        decomposer = TemplateDecomposer(SqrtISwapGate(), seed=8)
+        result = decomposer.decompose(CXGate().matrix(), 2)
+        assert result.circuit.two_qubit_gate_count() == 2
+
+
+class TestFidelityCurve:
+    def test_curve_is_monotone_non_increasing(self):
+        targets = [random_unitary(4, seed) for seed in (1, 2)]
+        curve = decomposition_fidelity_curve(
+            NthRootISwapGate(3), targets, applications_range=(2, 3, 4), restarts=2, seed=9
+        )
+        infidelities = [value for _, value in curve]
+        assert infidelities[0] >= infidelities[1] >= infidelities[2] - 1e-9
+        assert infidelities[-1] < 1e-3

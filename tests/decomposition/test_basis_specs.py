@@ -1,0 +1,84 @@
+"""Tests for the basis-gate specifications."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    BasisGateSpec,
+    cx_basis,
+    get_basis,
+    iswap_basis,
+    nth_root_iswap_basis,
+    sqiswap_basis,
+    syc_basis,
+)
+from repro.gates import CXGate, SqrtISwapGate, SwapGate
+
+
+class TestStandardBases:
+    def test_cx_basis(self):
+        basis = cx_basis()
+        assert basis.name == "cx"
+        assert basis.modulator == "CR"
+        assert basis.pulse_duration == 1.0
+        assert np.allclose(basis.matrix(), CXGate().matrix())
+
+    def test_sqiswap_basis(self):
+        basis = sqiswap_basis()
+        assert basis.modulator == "SNAIL"
+        assert basis.pulse_duration == 0.5
+        assert np.allclose(basis.matrix(), SqrtISwapGate().matrix())
+
+    def test_syc_basis(self):
+        basis = syc_basis()
+        assert basis.modulator == "FSIM"
+        assert basis.count(np.eye(4)) == 0
+
+    def test_iswap_basis(self):
+        assert iswap_basis().pulse_duration == 1.0
+
+    def test_nth_root_basis_duration(self):
+        for root in (2, 3, 4, 8):
+            assert nth_root_iswap_basis(root).pulse_duration == pytest.approx(1.0 / root)
+
+    def test_nth_root_basis_reuses_sqiswap_for_two(self):
+        assert nth_root_iswap_basis(2).name == "siswap"
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            nth_root_iswap_basis(0)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("cx", "cx"), ("cnot", "cx"), ("sqiswap", "siswap"), ("sycamore", "syc"), ("iswap", "iswap"), ("iswap_root4", "iswap_root4")],
+    )
+    def test_get_basis_aliases(self, name, expected):
+        assert get_basis(name).name == expected
+
+    def test_get_basis_unknown(self):
+        with pytest.raises(ValueError):
+            get_basis("xy")
+
+
+class TestBehaviour:
+    def test_count_and_duration_for_swap(self):
+        swap = SwapGate().matrix()
+        assert cx_basis().count(swap) == 3
+        assert cx_basis().duration_for(swap) == pytest.approx(3.0)
+        assert sqiswap_basis().count(swap) == 3
+        assert sqiswap_basis().duration_for(swap) == pytest.approx(1.5)
+
+    def test_cx_cheaper_in_duration_on_siswap_basis(self):
+        """The sqrt(iSWAP) basis implements CNOT in one iSWAP-unit of pulse."""
+        cx = CXGate().matrix()
+        assert sqiswap_basis().duration_for(cx) == pytest.approx(1.0)
+        assert cx_basis().duration_for(cx) == pytest.approx(1.0)
+
+    def test_str(self):
+        assert str(cx_basis()) == "cx"
+
+    def test_gate_factory_returns_fresh_instances(self):
+        basis = sqiswap_basis()
+        assert basis.gate() is not basis.gate()

@@ -1,0 +1,145 @@
+"""Tests for the basis-coverage counting rules (paper Observation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import (
+    basis_count,
+    cnot_count,
+    expected_haar_average,
+    nth_root_iswap_count,
+    sqiswap_count,
+    syc_count,
+)
+from repro.gates import (
+    CPhaseGate,
+    CXGate,
+    CZGate,
+    ISwapGate,
+    NthRootISwapGate,
+    SqrtISwapGate,
+    SwapGate,
+    SycamoreGate,
+)
+from repro.linalg.matrices import kron
+from repro.linalg.random import random_su2, random_unitary
+from repro.linalg.weyl import weyl_coordinates
+
+
+class TestCnotCounts:
+    def test_local_gate_is_free(self):
+        assert cnot_count(np.eye(4)) == 0
+        assert cnot_count(kron(random_su2(1), random_su2(2))) == 0
+
+    def test_cx_and_cz_cost_one(self):
+        assert cnot_count(CXGate().matrix()) == 1
+        assert cnot_count(CZGate().matrix()) == 1
+
+    def test_cphase_costs_two(self):
+        assert cnot_count(CPhaseGate(0.7).matrix()) == 2
+
+    def test_iswap_costs_two(self):
+        assert cnot_count(ISwapGate().matrix()) == 2
+
+    def test_swap_costs_three(self):
+        assert cnot_count(SwapGate().matrix()) == 3
+
+    def test_generic_su4_costs_three(self):
+        assert cnot_count(random_unitary(4, 5)) == 3
+
+
+class TestSqiswapCounts:
+    def test_sqiswap_itself_costs_one(self):
+        assert sqiswap_count(SqrtISwapGate().matrix()) == 1
+
+    def test_cx_costs_two(self):
+        """CNOT sits inside the 2-application coverage set of sqrt(iSWAP)."""
+        assert sqiswap_count(CXGate().matrix()) == 2
+
+    def test_iswap_costs_two(self):
+        assert sqiswap_count(ISwapGate().matrix()) == 2
+
+    def test_swap_costs_three(self):
+        """SWAP lies outside the 2-application coverage set (Huang et al.)."""
+        assert sqiswap_count(SwapGate().matrix()) == 3
+
+    def test_generic_unitaries_cost_at_most_three(self):
+        for seed in range(20):
+            assert sqiswap_count(random_unitary(4, seed)) in (2, 3)
+
+    def test_haar_average_beats_cnot(self):
+        """Observation 1: sqrt(iSWAP) needs 2 pulses far more often than CNOT."""
+        cx_avg = expected_haar_average("cx", samples=120, seed=3)
+        sis_avg = expected_haar_average("siswap", samples=120, seed=3)
+        assert sis_avg < cx_avg
+        assert cx_avg == pytest.approx(3.0, abs=0.05)
+        assert 2.0 < sis_avg < 2.5
+
+
+class TestSycCounts:
+    def test_syc_itself_costs_one(self):
+        assert syc_count(SycamoreGate().matrix()) == 1
+
+    def test_generic_su4_costs_four(self):
+        """Paper Observation 1: the analytic SYC decomposition uses 4 gates."""
+        assert syc_count(random_unitary(4, 9)) == 4
+
+    def test_cx_costs_two(self):
+        assert syc_count(CXGate().matrix()) == 2
+
+    def test_local_is_free(self):
+        assert syc_count(np.eye(4)) == 0
+
+    def test_never_cheaper_than_cnot(self):
+        for seed in range(10):
+            unitary = random_unitary(4, 40 + seed)
+            assert syc_count(unitary) >= cnot_count(unitary)
+
+
+class TestNthRootCounts:
+    def test_matches_sqiswap_for_n2(self):
+        for seed in range(5):
+            unitary = random_unitary(4, seed)
+            assert nth_root_iswap_count(unitary, 2) == sqiswap_count(unitary)
+
+    def test_own_class_costs_one(self):
+        for root in (3, 4, 5):
+            assert nth_root_iswap_count(NthRootISwapGate(root).matrix(), root) == 1
+
+    def test_deeper_roots_need_more_applications(self):
+        swap = SwapGate().matrix()
+        counts = [nth_root_iswap_count(swap, n) for n in (2, 3, 4, 6)]
+        assert counts == sorted(counts)
+        assert counts[0] == 3
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            nth_root_iswap_count(np.eye(4), 0)
+
+
+class TestDispatch:
+    def test_basis_count_names(self):
+        unitary = random_unitary(4, 2)
+        assert basis_count(unitary, "cx") == cnot_count(unitary)
+        assert basis_count(unitary, "siswap") == sqiswap_count(unitary)
+        assert basis_count(unitary, "syc") == syc_count(unitary)
+        assert basis_count(unitary, "iswap_root3") == nth_root_iswap_count(unitary, 3)
+
+    def test_unknown_basis(self):
+        with pytest.raises(ValueError):
+            basis_count(np.eye(4), "b-gate")
+
+    def test_accepts_coordinates_directly(self):
+        coords = weyl_coordinates(CXGate().matrix())
+        assert cnot_count(coords) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100000))
+    def test_counts_are_bounded_property(self, seed):
+        """Counting rules always return 0-3 (CX/siswap) or 0-4 (SYC)."""
+        unitary = random_unitary(4, seed)
+        assert 0 <= cnot_count(unitary) <= 3
+        assert 0 <= sqiswap_count(unitary) <= 3
+        assert 0 <= syc_count(unitary) <= 4

@@ -1,0 +1,84 @@
+"""Tests for the exact named-gate translation rules."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.decomposition import (
+    ccx_to_cx,
+    cphase_to_cx,
+    cz_to_cx,
+    expand_named_gate,
+    iswap_to_cx,
+    rxx_to_cx,
+    rzz_to_cx,
+    swap_to_cx,
+)
+from repro.decomposition.exact import cx_to_cz
+from repro.gates import (
+    CCXGate,
+    CPhaseGate,
+    CXGate,
+    CZGate,
+    ISwapGate,
+    RXXGate,
+    RZZGate,
+    SwapGate,
+)
+from repro.simulator import circuit_unitary, circuits_equivalent
+
+
+def _reference(gate, num_qubits=2):
+    circuit = QuantumCircuit(num_qubits)
+    circuit.append(gate, tuple(range(num_qubits)))
+    return circuit
+
+
+class TestExactRules:
+    @pytest.mark.parametrize(
+        "rule,gate",
+        [
+            (swap_to_cx(), SwapGate()),
+            (cz_to_cx(), CZGate()),
+            (cx_to_cz(), CXGate()),
+            (cphase_to_cx(0.8), CPhaseGate(0.8)),
+            (rzz_to_cx(1.3), RZZGate(1.3)),
+            (rxx_to_cx(0.4), RXXGate(0.4)),
+            (iswap_to_cx(), ISwapGate()),
+        ],
+        ids=["swap", "cz", "cx_via_cz", "cp", "rzz", "rxx", "iswap"],
+    )
+    def test_rule_is_exact(self, rule, gate):
+        assert circuits_equivalent(rule, _reference(gate), up_to_global_phase=True)
+
+    def test_toffoli_rule_is_exact(self):
+        assert circuits_equivalent(ccx_to_cx(), _reference(CCXGate(), 3), up_to_global_phase=True)
+
+    def test_swap_rule_uses_three_cx(self):
+        assert swap_to_cx().count_ops() == {"cx": 3}
+
+    def test_toffoli_rule_uses_six_cx(self):
+        assert ccx_to_cx().count_ops()["cx"] == 6
+
+    def test_cphase_rule_uses_two_cx(self):
+        assert cphase_to_cx(0.3).count_ops()["cx"] == 2
+
+    def test_negative_angles(self):
+        assert circuits_equivalent(
+            rzz_to_cx(-0.9), _reference(RZZGate(-0.9)), up_to_global_phase=True
+        )
+
+
+class TestExpandNamedGate:
+    def test_expand_ccx(self):
+        assert expand_named_gate(CCXGate()).num_qubits == 3
+
+    def test_expand_parameterised(self):
+        circuit = expand_named_gate(CPhaseGate(0.55))
+        assert circuits_equivalent(circuit, _reference(CPhaseGate(0.55)), up_to_global_phase=True)
+
+    def test_unknown_gate_rejected(self):
+        from repro.gates import SycamoreGate
+
+        with pytest.raises(ValueError):
+            expand_named_gate(SycamoreGate())

@@ -1,0 +1,46 @@
+"""Tests for the Corral-scaling extension experiment."""
+
+import pytest
+
+from repro.experiments.corral_scaling import (
+    CorralScalingRow,
+    corral_scaling_study,
+    format_corral_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return corral_scaling_study(post_counts=(8, 12), qv_fraction=0.5, seed=3)
+
+
+class TestCorralScaling:
+    def test_row_per_ring_size(self, rows):
+        assert [row.num_posts for row in rows] == [8, 12]
+        assert [row.num_qubits for row in rows] == [16, 24]
+
+    def test_corral_connectivity_is_constant(self, rows):
+        """The corral's average degree stays ~6 regardless of ring size."""
+        for row in rows:
+            assert row.corral_avg_connectivity == pytest.approx(6.0, abs=0.1)
+
+    def test_corral_diameter_grows_with_ring(self, rows):
+        assert rows[1].corral_diameter >= rows[0].corral_diameter
+
+    def test_hypercube_diameter_grows_slower(self, rows):
+        """The hypercube's log-scaling diameter is the aspirational target."""
+        corral_growth = rows[1].corral_diameter - rows[0].corral_diameter
+        cube_growth = rows[1].hypercube_diameter - rows[0].hypercube_diameter
+        assert cube_growth <= corral_growth + 1e-9
+
+    def test_swap_counts_positive(self, rows):
+        for row in rows:
+            assert row.corral_qv_swaps >= 0
+            assert row.hypercube_qv_swaps >= 0
+
+    def test_as_dict_and_formatting(self, rows):
+        record = rows[0].as_dict()
+        assert {"posts", "qubits", "corral_qv_swaps"} <= set(record)
+        rendered = format_corral_scaling(rows)
+        assert "Corral scaling study" in rendered
+        assert str(rows[-1].num_qubits) in rendered

@@ -1,0 +1,102 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the complete pipeline the way the examples and
+benchmarks do: build a workload, transpile it onto a co-designed backend,
+check the metrics, and (for small circuits, in synthesis mode) verify that
+the transpiled circuit still implements the original algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Backend, get_basis, make_backend, transpile
+from repro.core import FidelityModel
+from repro.simulator import StatevectorSimulator, statevector
+from repro.topology import corral_topology, get_topology, hypercube, square_lattice
+from repro.transpiler import Layout
+from repro.workloads import build_workload, ghz_circuit, quantum_volume_circuit
+
+
+def _undo_layout(state_width, final_layout: Layout, physical_state):
+    """Map a physical-register state back to the virtual register order."""
+    # Build the permutation of basis indices induced by the final layout.
+    num_physical = int(np.log2(len(physical_state)))
+    amplitudes = np.zeros(2 ** state_width, dtype=complex)
+    for index, amplitude in enumerate(physical_state):
+        if abs(amplitude) < 1e-12:
+            continue
+        virtual_index = 0
+        valid = True
+        for physical in range(num_physical):
+            bit = (index >> physical) & 1
+            virtual = final_layout.virtual(physical)
+            if virtual is None or virtual >= state_width:
+                if bit:
+                    valid = False
+                    break
+                continue
+            virtual_index |= bit << virtual
+        if valid:
+            amplitudes[virtual_index] += amplitude
+    return amplitudes
+
+
+class TestGHZEndToEnd:
+    @pytest.mark.parametrize("topology_name", ["Corral1,1", "Tree", "Hypercube"])
+    def test_ghz_state_survives_transpilation(self, topology_name):
+        """Transpile GHZ-6 in synthesis mode and verify the output state."""
+        circuit = ghz_circuit(6)
+        coupling_map = get_topology(topology_name, "small")
+        result = transpile(
+            circuit,
+            coupling_map,
+            basis_name="siswap",
+            translation_mode="synthesis",
+            seed=2,
+        )
+        simulator = StatevectorSimulator(max_qubits=coupling_map.num_qubits)
+        physical_state = simulator.run(result.circuit)
+        virtual_state = _undo_layout(6, result.final_layout, physical_state)
+        probabilities = np.abs(virtual_state) ** 2
+        assert probabilities[0] == pytest.approx(0.5, abs=1e-4)
+        assert probabilities[-1] == pytest.approx(0.5, abs=1e-4)
+
+    def test_ghz_cx_basis_count_mode_counts(self):
+        circuit = ghz_circuit(8)
+        result = transpile(circuit, get_topology("Tree", "small"), basis_name="cx", seed=1)
+        # Every CX stays one CX; SWAPs (if any) cost three each.
+        assert result.metrics.total_2q == 7 + 3 * result.metrics.total_swaps
+
+
+class TestCodesignAdvantageEndToEnd:
+    def test_corral_siswap_beats_square_lattice_cx(self):
+        """The paper's central co-design claim at the prototype scale."""
+        circuit = quantum_volume_circuit(12, seed=9)
+        corral = make_backend(corral_topology(8, (1, 1)), "siswap", name="corral-sis")
+        lattice = make_backend(square_lattice(4, 4), "cx", name="lattice-cx")
+        corral_metrics = corral.transpile(circuit, seed=1).metrics
+        lattice_metrics = lattice.transpile(circuit, seed=1).metrics
+        assert corral_metrics.total_2q < lattice_metrics.total_2q
+        assert corral_metrics.critical_2q < lattice_metrics.critical_2q
+        model = FidelityModel()
+        assert model.combined(corral_metrics) > model.combined(lattice_metrics)
+
+    def test_every_workload_transpiles_on_every_small_design_point(self):
+        from repro.core import design_backends
+        from repro.workloads import PAPER_WORKLOADS
+
+        backends = design_backends("small")
+        for workload in PAPER_WORKLOADS:
+            circuit = build_workload(workload, 8, seed=0)
+            for backend in backends.values():
+                metrics = backend.transpile(circuit, seed=0).metrics
+                assert metrics.total_2q >= metrics.critical_2q > 0
+
+
+class TestLargeScaleSmoke:
+    def test_tree84_accepts_40_qubit_qft(self):
+        circuit = build_workload("QFT", 40)
+        backend = make_backend(get_topology("Tree", "large"), "siswap")
+        metrics = backend.transpile(circuit, seed=0).metrics
+        assert metrics.circuit_qubits == 40
+        assert metrics.total_2q > 0

@@ -1,0 +1,86 @@
+"""Tests for the frequency-crowding and duration-aware scheduling studies."""
+
+import pytest
+
+from repro.experiments.frequency_study import (
+    feasible_modulators,
+    frequency_crowding_study,
+)
+from repro.experiments.scheduling_study import (
+    duration_series,
+    format_scheduling_report,
+    scheduling_study,
+)
+
+
+class TestFrequencyStudy:
+    def test_large_scale_rows_cover_all_modulators(self):
+        rows = frequency_crowding_study(scale="large", topologies=("Heavy-Hex", "Tree"))
+        assert {row.modulator for row in rows} == {"CR", "FSIM", "SNAIL"}
+        assert all(row.num_qubits == 84 for row in rows)
+
+    def test_snail_supports_the_snail_topologies_at_scale(self):
+        rows = frequency_crowding_study(scale="large", topologies=("Tree", "Tree-RR"))
+        snail_rows = [row for row in rows if row.modulator == "SNAIL"]
+        assert all(row.feasible for row in snail_rows)
+
+    def test_heavy_hex_feasible_for_every_modulator(self):
+        """Heavy-Hex was designed to dodge frequency collisions — all budgets fit it."""
+        rows = frequency_crowding_study(scale="small", topologies=("Heavy-Hex",))
+        assert all(row.feasible for row in rows)
+
+    def test_feasibility_gap_motivates_the_codesign(self):
+        """Rich topologies are only allocatable by the SNAIL budget."""
+        rows = frequency_crowding_study(
+            scale="small", topologies=("Corral1,1", "Corral1,2", "Tree")
+        )
+        mapping = feasible_modulators(rows)
+        for topology, modulators in mapping.items():
+            assert "SNAIL" in modulators, topology
+        assert "CR" not in mapping["Corral1,2"]
+
+
+class TestSchedulingStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scheduling_study(
+            scale="small", workloads=("QuantumVolume",), sizes=(8, 12), seed=5
+        )
+
+    def test_rows_cover_all_small_design_points(self, rows):
+        labels = {row.design_point for row in rows}
+        assert "Heavy-Hex-CX" in labels
+        assert "Corral1,1-siswap" in labels
+        assert "Square-Lattice-SYC" in labels
+
+    def test_duration_positive_and_parallelism_at_least_one(self, rows):
+        for row in rows:
+            assert row.duration_ns > 0.0
+            assert row.average_parallelism >= 1.0
+            assert 0.0 < row.success_probability <= 1.0
+
+    def test_duration_grows_with_circuit_size(self, rows):
+        for label in {row.design_point for row in rows}:
+            series = sorted(
+                (row.circuit_qubits, row.duration_ns)
+                for row in rows
+                if row.design_point == label
+            )
+            assert series[-1][1] > series[0][1]
+
+    def test_snail_beats_cr_in_wall_clock_duration(self, rows):
+        """siswap pulses are ~200 ns vs ~370 ns CR CNOTs and need fewer of them."""
+        by_label = {
+            (row.design_point, row.circuit_qubits): row.duration_ns for row in rows
+        }
+        assert by_label[("Corral1,1-siswap", 12)] < by_label[("Heavy-Hex-CX", 12)]
+
+    def test_duration_series_shape(self, rows):
+        series = duration_series(rows, "QuantumVolume")
+        for label, values in series.items():
+            assert [size for size, _ in values] == sorted(size for size, _ in values)
+
+    def test_report_renders(self, rows):
+        report = format_scheduling_report(rows)
+        assert "Duration-aware co-design study" in report
+        assert "Corral1,1-siswap" in report

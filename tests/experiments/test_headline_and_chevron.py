@@ -1,0 +1,58 @@
+"""Tests for the headline-ratio and chevron experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import chevron_summary, figure6_study, headline_study, format_headline_report
+from repro.experiments.paper_values import HEADLINE_RATIOS, NROOT_INFIDELITY_REDUCTION
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        # A reduced QV size grid keeps the test fast while still showing the
+        # co-design advantage clearly.
+        return headline_study(sizes=[16, 24], seed=4)
+
+    def test_all_ratios_exceed_one(self, ratios):
+        """Hypercube+siswap must beat Heavy-Hex+CX on every aggregate."""
+        for value in ratios.as_dict().values():
+            assert value > 1.0
+
+    def test_ratios_fall_in_paper_like_band(self, ratios):
+        """The advantage should be a clear multiple, in the paper's ballpark.
+
+        The paper reports 2.57-6.11x over QV 16-80; with the reduced size
+        grid used here we only require a clear (>1.5x) and sane (<12x)
+        advantage on every aggregate.
+        """
+        for value in ratios.as_dict().values():
+            assert 1.5 < value < 12.0
+
+    def test_comparison_table_contains_paper_values(self, ratios):
+        comparison = ratios.compared_to_paper()
+        assert comparison["hypercube_vs_heavyhex_total_swaps"]["paper"] == pytest.approx(2.57)
+        assert set(comparison) == set(ratios.as_dict())
+
+    def test_report_rendering(self, ratios):
+        report = format_headline_report(ratios)
+        assert "paper" in report and "measured" in report
+
+
+class TestPaperValueTables:
+    def test_headline_constants_present(self):
+        assert HEADLINE_RATIOS["hypercube_siswap_vs_heavyhex_cx_critical_2q"] == pytest.approx(6.11)
+        assert NROOT_INFIDELITY_REDUCTION[4] == pytest.approx(0.25)
+
+
+class TestChevronExperiment:
+    def test_default_axes_match_figure6(self):
+        data = figure6_study(pulse_points=41, detuning_points=11)
+        assert data.pulse_lengths_ns[-1] == pytest.approx(2000.0)
+        assert data.detunings_mhz[0] == pytest.approx(-1.5)
+
+    def test_summary_string(self):
+        data = figure6_study(pulse_points=41, detuning_points=11)
+        summary = chevron_summary(data)
+        assert "exchange period" in summary
+        assert "pulse lengths" in summary

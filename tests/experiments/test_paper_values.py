@@ -1,0 +1,44 @@
+"""Sanity checks on the transcribed paper reference values."""
+
+import pytest
+
+from repro.experiments.paper_values import (
+    HEADLINE_RATIOS,
+    NROOT_INFIDELITY_REDUCTION,
+    TABLE1,
+    TABLE2,
+)
+from repro.topology import available_topologies
+
+
+class TestPaperValues:
+    def test_table1_names_exist_in_registry(self):
+        names = available_topologies("small")
+        assert set(TABLE1) <= set(names)
+
+    def test_table2_names_exist_in_registry(self):
+        names = available_topologies("large")
+        assert set(TABLE2) <= set(names)
+
+    def test_table_rows_are_well_formed(self):
+        for table in (TABLE1, TABLE2):
+            for name, row in table.items():
+                qubits, diameter, avg_distance, avg_connectivity = row
+                assert qubits in (16, 20, 84), name
+                assert diameter >= avg_distance > 0
+                assert 2.0 <= avg_connectivity <= 6.0
+
+    def test_headline_ratios_are_advantages(self):
+        for key, value in HEADLINE_RATIOS.items():
+            if "reduction" in key:
+                assert 0.0 < value < 1.0, key
+            else:
+                assert value > 1.0, key
+
+    def test_abstract_numbers_transcribed(self):
+        assert HEADLINE_RATIOS["hypercube_siswap_vs_heavyhex_cx_total_2q"] == pytest.approx(3.16)
+        assert HEADLINE_RATIOS["hypercube_vs_heavyhex_critical_swaps"] == pytest.approx(5.63)
+
+    def test_nroot_reductions(self):
+        assert set(NROOT_INFIDELITY_REDUCTION) == {3, 4, 5}
+        assert max(NROOT_INFIDELITY_REDUCTION.values()) == NROOT_INFIDELITY_REDUCTION[4]

@@ -1,0 +1,115 @@
+"""Tests for the SWAP-count (Figs. 4/11/12) and co-design (Figs. 13/14) studies.
+
+The full paper-scale sweeps are run by the benchmark harness; these tests
+use small workload grids so the whole suite stays fast, while still
+checking the qualitative relationships the paper reports.
+"""
+
+import pytest
+
+from repro.core.codesign import CodesignPoint
+from repro.experiments import (
+    FIG11_TOPOLOGIES,
+    FIG12_TOPOLOGIES,
+    FIG4_TOPOLOGIES,
+    codesign_study,
+    format_gate_report,
+    format_swap_report,
+    gate_series,
+    swap_series,
+    swap_study,
+)
+from repro.experiments.swap_study import default_sizes, full_runs_enabled
+
+
+@pytest.fixture(scope="module")
+def small_swap_result():
+    return swap_study(
+        "small",
+        ["Square-Lattice", "Hypercube", "Corral1,2"],
+        workloads=["QAOAVanilla", "GHZ"],
+        sizes=[8, 12],
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_codesign_result():
+    points = [
+        CodesignPoint("Heavy-Hex-CX", "Heavy-Hex", "cx"),
+        CodesignPoint("Corral1,1-siswap", "Corral1,1", "siswap"),
+    ]
+    return codesign_study(
+        "small",
+        design_points=points,
+        workloads=["QuantumVolume"],
+        sizes=[8, 12],
+        seed=5,
+    )
+
+
+class TestConfiguration:
+    def test_figure_topology_lists_match_paper_legends(self):
+        assert "Lattice+AltDiagonals" in FIG4_TOPOLOGIES
+        assert "Corral1,1" in FIG11_TOPOLOGIES and "Corral1,2" in FIG11_TOPOLOGIES
+        assert set(FIG12_TOPOLOGIES) >= {"Heavy-Hex", "Tree", "Tree-RR", "Hypercube"}
+
+    def test_default_sizes_quick_vs_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_runs_enabled()
+        quick = default_sizes("small")
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_runs_enabled()
+        full = default_sizes("small")
+        assert len(full) > len(quick)
+        assert max(full) == 16
+
+
+class TestSwapStudy:
+    def test_grid_size(self, small_swap_result):
+        assert len(small_swap_result) == 3 * 2 * 2
+
+    def test_series_extraction(self, small_swap_result):
+        series = swap_series(small_swap_result, "QAOAVanilla", "total_swaps")
+        assert set(series) == {"Square-Lattice", "Hypercube", "Corral1,2"}
+        for values in series.values():
+            assert len(values) == 2
+
+    def test_richer_topologies_need_fewer_swaps(self, small_swap_result):
+        """Observation 2: connectivity reduces data movement."""
+        series = swap_series(small_swap_result, "QAOAVanilla", "total_swaps")
+        lattice = dict(series["Square-Lattice"])
+        corral = dict(series["Corral1,2"])
+        assert corral[12] <= lattice[12]
+
+    def test_critical_swaps_not_exceeding_total(self, small_swap_result):
+        for record in small_swap_result:
+            assert record.critical_swaps <= record.total_swaps
+
+    def test_report_rendering(self, small_swap_result):
+        report = format_swap_report(small_swap_result, "total_swaps")
+        assert "QAOAVanilla" in report and "Hypercube" in report
+
+
+class TestCodesignStudy:
+    def test_codesign_advantage(self, small_codesign_result):
+        """Fig. 13: Corral + sqrt(iSWAP) beats Heavy-Hex + CX on QV."""
+        series = gate_series(small_codesign_result, "QuantumVolume", "total_2q")
+        heavy = dict(series["Heavy-Hex-CX"])
+        corral = dict(series["Corral1,1-siswap"])
+        for size in (8, 12):
+            assert corral[size] < heavy[size]
+
+    def test_critical_2q_advantage(self, small_codesign_result):
+        series = gate_series(small_codesign_result, "QuantumVolume", "critical_2q")
+        heavy = dict(series["Heavy-Hex-CX"])
+        corral = dict(series["Corral1,1-siswap"])
+        assert corral[12] < heavy[12]
+
+    def test_weighted_duration_present(self, small_codesign_result):
+        for record in small_codesign_result:
+            assert record.weighted_duration > 0
+
+    def test_report_rendering(self, small_codesign_result):
+        report = format_gate_report(small_codesign_result, "critical_2q")
+        assert "QuantumVolume" in report and "Corral1,1-siswap" in report

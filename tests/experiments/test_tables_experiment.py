@@ -1,0 +1,40 @@
+"""Tests for the Table 1/2 experiment module."""
+
+from repro.experiments import format_table_comparison, table1, table2
+from repro.experiments.paper_values import TABLE1, TABLE2
+
+
+class TestTable1:
+    def test_all_paper_rows_present(self):
+        names = {row.name for row in table1()}
+        assert names == set(TABLE1)
+
+    def test_rows_carry_paper_reference(self):
+        for row in table1():
+            assert row.paper == TABLE1[row.name]
+
+    def test_as_row_keys(self):
+        row = table1()[0].as_row()
+        assert {"name", "qubits", "diameter", "paper_diameter"} <= set(row)
+
+    def test_exact_rows_match_paper(self):
+        exact = {"Square-Lattice", "Tree", "Tree-RR", "Corral1,1", "Corral1,2", "Hypercube"}
+        for row in table1():
+            if row.name in exact:
+                assert row.measured.diameter == row.paper[1]
+                assert abs(row.measured.average_connectivity - row.paper[3]) < 0.01
+
+
+class TestTable2:
+    def test_all_paper_rows_present(self):
+        names = {row.name for row in table2()}
+        assert names == set(TABLE2)
+
+    def test_qubit_counts_match(self):
+        for row in table2():
+            assert row.measured.num_qubits == row.paper[0]
+
+    def test_formatting(self):
+        rendered = format_table_comparison(table2(), "Table 2")
+        assert rendered.startswith("Table 2")
+        assert "Hypercube" in rendered

@@ -1,0 +1,131 @@
+"""Tests for the greedy pump-tone allocator and the crowding study."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.frequency_study import (
+    feasible_modulators,
+    format_frequency_report,
+    frequency_crowding_study,
+)
+from repro.frequency.allocation import FrequencyAllocator, allocate_frequencies
+from repro.frequency.modulators import ModulatorSpec, cr_modulator, get_modulator, snail_modulator
+from repro.topology import CouplingMap, get_topology
+
+
+def narrow_modulator(num_tones: int, separation: float = 0.5) -> ModulatorSpec:
+    """A synthetic modulator whose band holds exactly ``num_tones`` tones."""
+    return ModulatorSpec(
+        name=f"narrow{num_tones}",
+        band=(5.0, 5.0 + separation * (num_tones - 1) + 1e-6),
+        min_separation=separation,
+        max_degree=8,
+        native_basis="cx",
+    )
+
+
+class TestAllocator:
+    def test_rejects_bad_grid_step(self):
+        with pytest.raises(ValueError):
+            FrequencyAllocator(snail_modulator(), grid_step=0.0)
+
+    def test_single_edge_gets_lowest_tone(self):
+        plan = allocate_frequencies(CouplingMap([(0, 1)]), snail_modulator())
+        assert plan.is_feasible
+        assert plan.assignments[(0, 1)] == pytest.approx(snail_modulator().band[0])
+
+    def test_disjoint_edges_may_share_a_tone(self):
+        plan = allocate_frequencies(CouplingMap([(0, 1), (2, 3)]), snail_modulator())
+        frequencies = list(plan.assignments.values())
+        assert frequencies[0] == pytest.approx(frequencies[1])
+
+    def test_neighboring_edges_respect_separation(self):
+        spec = snail_modulator()
+        plan = allocate_frequencies(CouplingMap.line(5), spec)
+        assert plan.is_feasible
+        assert plan.minimum_neighborhood_separation() >= spec.min_separation - 1e-9
+
+    def test_star_with_too_many_spokes_collides(self):
+        # A 5-spoke star needs 5 mutually separated tones; give it room for 3.
+        star = CouplingMap([(0, spoke) for spoke in range(1, 6)])
+        plan = allocate_frequencies(star, narrow_modulator(3))
+        assert not plan.is_feasible
+        assert len(plan.collisions) == 2
+        assert 0.0 < plan.collision_fraction() < 1.0
+
+    def test_star_with_enough_band_is_feasible(self):
+        star = CouplingMap([(0, spoke) for spoke in range(1, 6)])
+        plan = allocate_frequencies(star, narrow_modulator(5))
+        assert plan.is_feasible
+
+    def test_degree_violation_recorded(self):
+        star = CouplingMap([(0, spoke) for spoke in range(1, 6)])
+        spec = ModulatorSpec("lim", band=(1.0, 9.0), min_separation=0.1, max_degree=4, native_basis="cx")
+        plan = allocate_frequencies(star, spec)
+        assert plan.degree_violations == [0]
+        assert not plan.is_feasible
+
+    def test_bandwidth_used_zero_for_single_edge(self):
+        plan = allocate_frequencies(CouplingMap([(0, 1)]), snail_modulator())
+        assert plan.bandwidth_used() == pytest.approx(0.0)
+
+    def test_crowding_score_grows_with_degree(self):
+        spec = cr_modulator()
+        sparse = allocate_frequencies(get_topology("Heavy-Hex", scale="small"), spec)
+        dense = allocate_frequencies(get_topology("Corral1,2", scale="small"), spec)
+        assert dense.crowding_score() > sparse.crowding_score()
+
+    @given(num_qubits=st.integers(min_value=3, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_ring_always_feasible_for_snail(self, num_qubits):
+        plan = allocate_frequencies(CouplingMap.ring(num_qubits), snail_modulator())
+        assert plan.is_feasible
+        assert plan.minimum_neighborhood_separation() >= snail_modulator().min_separation - 1e-9
+
+    @given(num_qubits=st.integers(min_value=4, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_every_edge_is_either_assigned_or_collided(self, num_qubits):
+        device = CouplingMap.full(num_qubits)
+        plan = allocate_frequencies(device, cr_modulator())
+        assert plan.num_edges == device.num_edges()
+
+
+class TestPaperTopologies:
+    def test_snail_allocates_all_small_snail_topologies(self):
+        for name in ("Tree", "Tree-RR", "Corral1,1", "Corral1,2"):
+            plan = allocate_frequencies(get_topology(name, scale="small"), snail_modulator())
+            assert plan.is_feasible, name
+
+    def test_cr_allocates_heavy_hex(self):
+        plan = allocate_frequencies(get_topology("Heavy-Hex", scale="small"), cr_modulator())
+        assert plan.is_feasible
+
+    def test_cr_struggles_on_corral(self):
+        """The paper's claim: CR-style budgets cannot support degree-6 corrals."""
+        plan = allocate_frequencies(get_topology("Corral1,2", scale="small"), cr_modulator())
+        assert not plan.is_feasible
+
+
+class TestFrequencyStudy:
+    def test_study_covers_all_pairs(self):
+        rows = frequency_crowding_study(scale="small", topologies=("Heavy-Hex", "Tree"))
+        assert len(rows) == 2 * 3
+        assert {row.modulator for row in rows} == {"CR", "FSIM", "SNAIL"}
+
+    def test_snail_feasible_everywhere_small(self):
+        rows = frequency_crowding_study(scale="small")
+        snail_rows = [row for row in rows if row.modulator == "SNAIL"]
+        assert snail_rows and all(row.feasible for row in snail_rows)
+
+    def test_feasible_modulators_mapping(self):
+        rows = frequency_crowding_study(scale="small", topologies=("Corral1,2",))
+        mapping = feasible_modulators(rows)
+        assert "SNAIL" in mapping["Corral1,2"]
+        assert "CR" not in mapping["Corral1,2"]
+
+    def test_report_renders_all_rows(self):
+        rows = frequency_crowding_study(scale="small", topologies=("Heavy-Hex",))
+        report = format_frequency_report(rows)
+        assert "Heavy-Hex" in report
+        assert "SNAIL" in report and "CR" in report

@@ -1,0 +1,60 @@
+"""Tests for modulator frequency budgets."""
+
+import pytest
+
+from repro.frequency.modulators import (
+    ModulatorSpec,
+    cr_modulator,
+    fsim_modulator,
+    get_modulator,
+    snail_modulator,
+)
+
+
+class TestModulatorSpec:
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            ModulatorSpec("bad", band=(5.0, 4.0), min_separation=0.1, max_degree=2, native_basis="cx")
+
+    def test_rejects_non_positive_separation(self):
+        with pytest.raises(ValueError):
+            ModulatorSpec("bad", band=(4.0, 5.0), min_separation=0.0, max_degree=2, native_basis="cx")
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            ModulatorSpec("bad", band=(4.0, 5.0), min_separation=0.1, max_degree=0, native_basis="cx")
+
+    def test_bandwidth(self):
+        spec = ModulatorSpec("m", band=(4.0, 6.5), min_separation=0.5, max_degree=4, native_basis="cx")
+        assert spec.bandwidth == pytest.approx(2.5)
+
+    def test_tones_per_neighborhood(self):
+        spec = ModulatorSpec("m", band=(4.0, 5.0), min_separation=0.25, max_degree=4, native_basis="cx")
+        assert spec.tones_per_neighborhood == 5
+
+
+class TestPresets:
+    def test_snail_has_widest_band(self):
+        assert snail_modulator().bandwidth > cr_modulator().bandwidth
+        assert snail_modulator().bandwidth > fsim_modulator().bandwidth
+
+    def test_snail_supports_at_least_two_full_modules_per_qubit(self):
+        # A SNAIL addresses up to 6 modes and a qubit can sit in two modules.
+        assert snail_modulator().max_degree >= 8
+        assert cr_modulator().max_degree <= 4
+
+    def test_cr_band_is_narrow(self):
+        assert cr_modulator().bandwidth < 1.0
+
+    def test_native_bases_match_the_paper(self):
+        assert snail_modulator().native_basis == "siswap"
+        assert cr_modulator().native_basis == "cx"
+        assert fsim_modulator().native_basis == "syc"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_modulator("Snail").name == "SNAIL"
+        assert get_modulator("CR").name == "CR"
+
+    def test_unknown_modulator_raises(self):
+        with pytest.raises(ValueError):
+            get_modulator("laser")

@@ -1,0 +1,100 @@
+"""Tests for the single-qubit gate library."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    HGate,
+    IGate,
+    PhaseGate,
+    RXGate,
+    RYGate,
+    RZGate,
+    SdgGate,
+    SGate,
+    SXGate,
+    TdgGate,
+    TGate,
+    U3Gate,
+    XGate,
+    YGate,
+    ZGate,
+)
+from repro.linalg.matrices import is_unitary, matrices_equal
+
+ALL_FIXED = [IGate(), XGate(), YGate(), ZGate(), HGate(), SGate(), SdgGate(), TGate(), TdgGate(), SXGate()]
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("gate", ALL_FIXED, ids=lambda g: g.name)
+    def test_unitary(self, gate):
+        assert is_unitary(gate.matrix())
+
+    def test_h_squares_to_identity(self):
+        h = HGate().matrix()
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_s_is_sqrt_z(self):
+        assert np.allclose(SGate().matrix() @ SGate().matrix(), ZGate().matrix())
+
+    def test_t_is_sqrt_s(self):
+        assert np.allclose(TGate().matrix() @ TGate().matrix(), SGate().matrix())
+
+    def test_sx_is_sqrt_x(self):
+        assert np.allclose(SXGate().matrix() @ SXGate().matrix(), XGate().matrix())
+
+    def test_sdg_inverts_s(self):
+        assert np.allclose(SGate().matrix() @ SdgGate().matrix(), np.eye(2))
+
+    def test_inverses_registered(self):
+        assert isinstance(SGate().inverse(), SdgGate)
+        assert isinstance(TGate().inverse(), TdgGate)
+        assert isinstance(XGate().inverse(), XGate)
+
+    def test_pauli_algebra(self):
+        x, y, z = XGate().matrix(), YGate().matrix(), ZGate().matrix()
+        assert np.allclose(x @ y, 1j * z)
+
+
+class TestRotationGates:
+    @pytest.mark.parametrize("gate_cls", [RXGate, RYGate, RZGate, PhaseGate])
+    def test_zero_angle_is_identity(self, gate_cls):
+        assert matrices_equal(gate_cls(0.0).matrix(), np.eye(2), up_to_global_phase=True)
+
+    @pytest.mark.parametrize("gate_cls", [RXGate, RYGate, RZGate])
+    def test_angles_compose(self, gate_cls):
+        a, b = 0.4, 1.1
+        assert np.allclose(
+            gate_cls(a).matrix() @ gate_cls(b).matrix(), gate_cls(a + b).matrix()
+        )
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert matrices_equal(RXGate(np.pi).matrix(), XGate().matrix(), up_to_global_phase=True)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert matrices_equal(RZGate(np.pi).matrix(), ZGate().matrix(), up_to_global_phase=True)
+
+    def test_phase_gate_diag(self):
+        assert np.allclose(PhaseGate(np.pi / 2).matrix(), SGate().matrix())
+
+    def test_inverse_negates_angle(self):
+        gate = RYGate(0.7)
+        assert np.allclose(gate.inverse().matrix() @ gate.matrix(), np.eye(2))
+
+
+class TestU3:
+    def test_special_cases(self):
+        assert matrices_equal(U3Gate(np.pi, 0, np.pi).matrix(), XGate().matrix(), up_to_global_phase=True)
+        assert matrices_equal(
+            U3Gate(np.pi / 2, 0, np.pi).matrix(), HGate().matrix(), up_to_global_phase=True
+        )
+
+    def test_is_unitary_for_random_angles(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            theta, phi, lam = rng.uniform(-np.pi, np.pi, 3)
+            assert is_unitary(U3Gate(theta, phi, lam).matrix())
+
+    def test_inverse(self):
+        gate = U3Gate(0.3, 0.5, 0.7)
+        assert np.allclose(gate.inverse().matrix() @ gate.matrix(), np.eye(2), atol=1e-9)

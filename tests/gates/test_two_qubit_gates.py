@@ -1,0 +1,134 @@
+"""Tests for the two-qubit (and Toffoli) gate library."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CCXGate,
+    CPhaseGate,
+    CXGate,
+    CZGate,
+    FSimGate,
+    ISwapGate,
+    NthRootISwapGate,
+    RXXGate,
+    RZZGate,
+    SqrtISwapGate,
+    SwapGate,
+    SycamoreGate,
+    ZXGate,
+)
+from repro.linalg.matrices import is_unitary, matrices_equal
+
+ALL_TWO_QUBIT = [
+    CXGate(),
+    CZGate(),
+    CPhaseGate(0.7),
+    RZZGate(0.3),
+    RXXGate(0.4),
+    SwapGate(),
+    ISwapGate(),
+    SqrtISwapGate(),
+    NthRootISwapGate(3),
+    FSimGate(0.5, 0.2),
+    SycamoreGate(),
+    ZXGate(1.1),
+]
+
+
+class TestBasicProperties:
+    @pytest.mark.parametrize("gate", ALL_TWO_QUBIT, ids=lambda g: g.name)
+    def test_unitary(self, gate):
+        assert is_unitary(gate.matrix())
+
+    @pytest.mark.parametrize("gate", ALL_TWO_QUBIT, ids=lambda g: g.name)
+    def test_inverse_really_inverts(self, gate):
+        product = gate.inverse().matrix() @ gate.matrix()
+        assert matrices_equal(product, np.eye(4), up_to_global_phase=True)
+
+    def test_ccx_unitary_and_permutation(self):
+        matrix = CCXGate().matrix()
+        assert is_unitary(matrix)
+        # Toffoli is a permutation matrix swapping |110> and |111>.
+        assert matrix[6, 7] == 1 and matrix[7, 6] == 1 and matrix[5, 5] == 1
+
+
+class TestISwapFamily:
+    def test_sqrt_iswap_squares_to_iswap(self):
+        sqrt = SqrtISwapGate().matrix()
+        assert np.allclose(sqrt @ sqrt, ISwapGate().matrix())
+
+    @pytest.mark.parametrize("root", [2, 3, 4, 5, 8])
+    def test_nth_root_power_recovers_iswap(self, root):
+        gate = NthRootISwapGate(root).matrix()
+        product = np.eye(4)
+        for _ in range(root):
+            product = product @ gate
+        assert np.allclose(product, ISwapGate().matrix(), atol=1e-9)
+
+    def test_first_root_is_iswap(self):
+        assert np.allclose(NthRootISwapGate(1).matrix(), ISwapGate().matrix())
+
+    @pytest.mark.parametrize("root", [1, 2, 3, 4, 6])
+    def test_duration_scales_inversely(self, root):
+        assert NthRootISwapGate(root).duration() == pytest.approx(1.0 / root)
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            NthRootISwapGate(0)
+
+    def test_equality_by_root(self):
+        assert NthRootISwapGate(3) == NthRootISwapGate(3)
+        assert NthRootISwapGate(3) != NthRootISwapGate(4)
+
+
+class TestFSimFamily:
+    def test_sycamore_is_fsim_pi2_pi6(self):
+        assert np.allclose(SycamoreGate().matrix(), FSimGate(np.pi / 2, np.pi / 6).matrix())
+
+    def test_fsim_minus_quarter_is_sqrt_iswap(self):
+        # Paper Section 2.4.2: sqrt(iSWAP) is realised by theta=-pi/4, phi=0.
+        assert np.allclose(FSimGate(-np.pi / 4, 0.0).matrix(), SqrtISwapGate().matrix())
+
+    def test_fsim_zero_is_identity(self):
+        assert np.allclose(FSimGate(0.0, 0.0).matrix(), np.eye(4))
+
+    def test_sycamore_name(self):
+        assert SycamoreGate().name == "syc"
+
+
+class TestCrossResonance:
+    def test_zx_pi_2_makes_cnot_with_cliffords(self):
+        """Paper Eq. 5: CNOT = (S^dag (x) sqrt(X)^dag) ZX(pi/2) up to phase."""
+        from repro.circuits import QuantumCircuit
+        from repro.gates import SdgGate, SXGate
+        from repro.simulator import circuit_unitary
+
+        circuit = QuantumCircuit(2)
+        circuit.append(ZXGate(np.pi / 2), (0, 1))
+        circuit.append(SdgGate(), (0,))
+        circuit.append(SXGate().inverse(), (1,))
+        reference = QuantumCircuit(2)
+        reference.cx(0, 1)
+        assert matrices_equal(
+            circuit_unitary(circuit), circuit_unitary(reference), up_to_global_phase=True
+        )
+
+    def test_zx_zero_is_identity(self):
+        assert np.allclose(ZXGate(0.0).matrix(), np.eye(4))
+
+
+class TestDiagonalGates:
+    def test_cphase_pi_is_cz(self):
+        assert np.allclose(CPhaseGate(np.pi).matrix(), CZGate().matrix())
+
+    def test_rzz_symmetry(self):
+        matrix = RZZGate(0.9).matrix()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_cx_action_on_basis(self):
+        matrix = CXGate().matrix()
+        # |10> (control=1, target=0) -> |11> in the gate's big-endian basis.
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.argmax(np.abs(matrix @ state)) == 3

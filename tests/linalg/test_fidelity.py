@@ -1,0 +1,62 @@
+"""Tests for unitary fidelity measures."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.fidelity import (
+    average_gate_fidelity,
+    hilbert_schmidt_fidelity,
+    process_fidelity,
+    trace_distance_bound,
+    unitary_infidelity,
+)
+from repro.linalg.random import random_unitary
+
+
+class TestHilbertSchmidt:
+    def test_identical_unitaries(self):
+        unitary = random_unitary(4, 1)
+        assert hilbert_schmidt_fidelity(unitary, unitary) == pytest.approx(1.0)
+
+    def test_global_phase_insensitive(self):
+        unitary = random_unitary(4, 2)
+        assert hilbert_schmidt_fidelity(unitary, np.exp(1j * 0.5) * unitary) == pytest.approx(1.0)
+
+    def test_orthogonal_paulis(self):
+        pauli_x = np.array([[0, 1], [1, 0]], dtype=complex)
+        pauli_z = np.diag([1, -1]).astype(complex)
+        assert hilbert_schmidt_fidelity(pauli_x, pauli_z) == pytest.approx(0.0)
+
+    def test_bounded_between_zero_and_one(self):
+        for seed in range(10):
+            value = hilbert_schmidt_fidelity(random_unitary(4, seed), random_unitary(4, seed + 50))
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hilbert_schmidt_fidelity(np.eye(2), np.eye(4))
+
+
+class TestDerivedMeasures:
+    def test_process_fidelity_is_square(self):
+        a, b = random_unitary(4, 3), random_unitary(4, 4)
+        assert process_fidelity(a, b) == pytest.approx(hilbert_schmidt_fidelity(a, b) ** 2)
+
+    def test_average_gate_fidelity_identity(self):
+        unitary = random_unitary(2, 5)
+        assert average_gate_fidelity(unitary, unitary) == pytest.approx(1.0)
+
+    def test_average_gate_fidelity_bounds(self):
+        value = average_gate_fidelity(np.eye(2), np.array([[0, 1], [1, 0]]))
+        assert 0.0 <= value < 1.0
+
+    def test_infidelity_complements_fidelity(self):
+        a, b = random_unitary(4, 6), random_unitary(4, 7)
+        assert unitary_infidelity(a, b) == pytest.approx(1.0 - hilbert_schmidt_fidelity(a, b))
+
+    def test_trace_distance_zero_for_equal(self):
+        unitary = random_unitary(4, 8)
+        assert trace_distance_bound(unitary, np.exp(1j * 1.3) * unitary) == pytest.approx(0.0, abs=1e-9)
+
+    def test_trace_distance_positive_for_different(self):
+        assert trace_distance_bound(np.eye(2), np.array([[0, 1], [1, 0]])) > 0.5

@@ -1,0 +1,91 @@
+"""Tests for the Cartan (KAK) decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import CXGate, ISwapGate, SqrtISwapGate, SwapGate, SycamoreGate
+from repro.linalg.kak import KAKDecomposition, kak_decomposition
+from repro.linalg.matrices import is_unitary, kron
+from repro.linalg.random import random_su2, random_unitary
+from repro.linalg.weyl import weyl_coordinates
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_unitaries(self, seed):
+        unitary = random_unitary(4, seed)
+        decomposition = kak_decomposition(unitary)
+        assert np.allclose(decomposition.unitary(), unitary, atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "gate",
+        [CXGate(), SwapGate(), ISwapGate(), SqrtISwapGate(), SycamoreGate()],
+        ids=lambda g: g.name,
+    )
+    def test_named_gates(self, gate):
+        unitary = gate.matrix()
+        decomposition = kak_decomposition(unitary)
+        assert np.allclose(decomposition.unitary(), unitary, atol=1e-6)
+
+    def test_identity(self):
+        decomposition = kak_decomposition(np.eye(4))
+        assert np.allclose(decomposition.unitary(), np.eye(4), atol=1e-7)
+        assert decomposition.canonical.is_local()
+
+    def test_local_gate(self):
+        local = kron(random_su2(5), random_su2(6))
+        decomposition = kak_decomposition(local)
+        assert np.allclose(decomposition.unitary(), local, atol=1e-6)
+        assert decomposition.canonical.is_local()
+
+    def test_gate_with_global_phase(self):
+        unitary = np.exp(1j * 0.9) * random_unitary(4, 3)
+        decomposition = kak_decomposition(unitary)
+        assert np.allclose(decomposition.unitary(), unitary, atol=1e-6)
+
+
+class TestStructure:
+    def test_local_factors_are_unitary(self):
+        decomposition = kak_decomposition(random_unitary(4, 8))
+        for factor in decomposition.local_factors():
+            assert factor.shape == (2, 2)
+            assert is_unitary(factor)
+
+    def test_canonical_matches_weyl_coordinates(self):
+        for seed in range(10):
+            unitary = random_unitary(4, 100 + seed)
+            decomposition = kak_decomposition(unitary)
+            assert decomposition.canonical.equals(weyl_coordinates(unitary), atol=1e-5)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            kak_decomposition(np.ones((4, 4)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            kak_decomposition(np.eye(2))
+
+    def test_result_type(self):
+        assert isinstance(kak_decomposition(np.eye(4)), KAKDecomposition)
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_reconstruction_property(self, seed):
+        """KAK always reconstructs the input for Haar-random unitaries."""
+        unitary = random_unitary(4, seed)
+        decomposition = kak_decomposition(unitary)
+        assert np.allclose(decomposition.unitary(), unitary, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_canonical_invariance_under_local_dressing(self, seed):
+        rng = np.random.default_rng(seed)
+        unitary = random_unitary(4, rng)
+        dressed = kron(random_su2(rng), random_su2(rng)) @ unitary
+        a = kak_decomposition(unitary).canonical
+        b = kak_decomposition(dressed).canonical
+        assert a.equals(b, atol=1e-5)

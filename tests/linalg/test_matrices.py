@@ -1,0 +1,121 @@
+"""Tests for repro.linalg.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.matrices import (
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    closest_unitary,
+    dagger,
+    decompose_kron,
+    is_hermitian,
+    is_unitary,
+    kron,
+    matrices_equal,
+    remove_global_phase,
+    su_normalize,
+)
+from repro.linalg.random import random_su2, random_unitary
+
+
+class TestPredicates:
+    def test_paulis_are_unitary_and_hermitian(self):
+        for pauli in (PAULI_X, PAULI_Y, PAULI_Z):
+            assert is_unitary(pauli)
+            assert is_hermitian(pauli)
+
+    def test_non_square_is_not_unitary(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_scaled_identity_is_not_unitary(self):
+        assert not is_unitary(2.0 * np.eye(3))
+
+    def test_random_unitaries_pass(self):
+        for seed in range(5):
+            assert is_unitary(random_unitary(4, seed))
+
+    def test_hermitian_rejects_asymmetric(self):
+        assert not is_hermitian(np.array([[0, 1], [0, 0]]))
+
+
+class TestMatricesEqual:
+    def test_exact_equality(self):
+        unitary = random_unitary(4, 3)
+        assert matrices_equal(unitary, unitary.copy())
+
+    def test_global_phase_ignored_when_requested(self):
+        unitary = random_unitary(2, 1)
+        phased = np.exp(1j * 0.37) * unitary
+        assert not matrices_equal(unitary, phased)
+        assert matrices_equal(unitary, phased, up_to_global_phase=True)
+
+    def test_different_shapes_not_equal(self):
+        assert not matrices_equal(np.eye(2), np.eye(4))
+
+    def test_genuinely_different_matrices(self):
+        assert not matrices_equal(
+            PAULI_X, PAULI_Z, up_to_global_phase=True
+        )
+
+
+class TestHelpers:
+    def test_dagger_involution(self):
+        unitary = random_unitary(3, 5)
+        assert np.allclose(dagger(dagger(unitary)), unitary)
+
+    def test_kron_matches_numpy(self):
+        a, b = random_unitary(2, 1), random_unitary(2, 2)
+        assert np.allclose(kron(a, b), np.kron(a, b))
+
+    def test_kron_three_factors(self):
+        a, b, c = (random_unitary(2, s) for s in (1, 2, 3))
+        assert np.allclose(kron(a, b, c), np.kron(np.kron(a, b), c))
+
+    def test_kron_requires_inputs(self):
+        with pytest.raises(ValueError):
+            kron()
+
+    def test_remove_global_phase_pivot_positive(self):
+        unitary = np.exp(1j * 1.1) * np.eye(2)
+        cleaned = remove_global_phase(unitary)
+        index = np.unravel_index(np.argmax(np.abs(cleaned)), cleaned.shape)
+        assert abs(np.imag(cleaned[index])) < 1e-12
+        assert np.real(cleaned[index]) > 0
+
+    def test_closest_unitary_projects(self):
+        noisy = random_unitary(4, 7) + 0.01 * np.ones((4, 4))
+        projected = closest_unitary(noisy)
+        assert is_unitary(projected)
+
+    def test_su_normalize_det_one(self):
+        unitary = random_unitary(4, 9)
+        special, phase = su_normalize(unitary)
+        assert abs(np.linalg.det(special) - 1.0) < 1e-9
+        assert np.allclose(np.exp(1j * phase) * special, unitary)
+
+
+class TestDecomposeKron:
+    def test_recovers_tensor_product(self):
+        a = random_su2(11)
+        b = random_su2(12)
+        factor_a, factor_b, residue = decompose_kron(np.kron(a, b))
+        assert np.allclose(residue * np.kron(factor_a, factor_b), np.kron(a, b))
+
+    def test_factors_have_unit_determinant(self):
+        a, b = random_su2(1), random_su2(2)
+        factor_a, factor_b, _ = decompose_kron(np.kron(a, b))
+        assert abs(np.linalg.det(factor_a) - 1.0) < 1e-8
+        assert abs(np.linalg.det(factor_b) - 1.0) < 1e-8
+
+    def test_rejects_entangling_matrix(self):
+        cnot = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        with pytest.raises(ValueError):
+            decompose_kron(cnot)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            decompose_kron(np.eye(2))

@@ -1,0 +1,70 @@
+"""Tests for Haar-random sampling."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.matrices import is_hermitian, is_unitary
+from repro.linalg.random import (
+    random_hermitian,
+    random_statevector,
+    random_su2,
+    random_unitary,
+)
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self):
+        for dim in (2, 3, 4, 8):
+            assert is_unitary(random_unitary(dim, seed=dim))
+
+    def test_seed_reproducibility(self):
+        assert np.allclose(random_unitary(4, 42), random_unitary(4, 42))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(random_unitary(4, 1), random_unitary(4, 2))
+
+    def test_generator_is_consumed(self):
+        rng = np.random.default_rng(0)
+        first = random_unitary(2, rng)
+        second = random_unitary(2, rng)
+        assert not np.allclose(first, second)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            random_unitary(0)
+
+    def test_eigenphase_distribution_covers_circle(self):
+        # Haar-distributed eigenphases should spread over (-pi, pi].
+        phases = []
+        for seed in range(40):
+            phases.extend(np.angle(np.linalg.eigvals(random_unitary(4, seed))))
+        phases = np.array(phases)
+        assert phases.min() < -2.0 and phases.max() > 2.0
+
+
+class TestRandomSU2:
+    def test_determinant_one(self):
+        for seed in range(5):
+            assert abs(np.linalg.det(random_su2(seed)) - 1.0) < 1e-9
+
+    def test_is_unitary(self):
+        assert is_unitary(random_su2(3))
+
+
+class TestRandomStatevector:
+    def test_normalised(self):
+        state = random_statevector(8, seed=1)
+        assert abs(np.linalg.norm(state) - 1.0) < 1e-12
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            random_statevector(0)
+
+
+class TestRandomHermitian:
+    def test_is_hermitian(self):
+        assert is_hermitian(random_hermitian(5, seed=3))
+
+    def test_scale(self):
+        small = random_hermitian(4, seed=1, scale=1e-3)
+        assert np.max(np.abs(small)) < 0.1

@@ -1,0 +1,80 @@
+"""Tests for the single-qubit ZYZ Euler decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.random import random_unitary
+from repro.linalg.su2 import (
+    OneQubitEulerDecomposition,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    zyz_decomposition,
+)
+
+
+class TestRotationMatrices:
+    def test_rz_diagonal(self):
+        matrix = rz_matrix(0.7)
+        assert abs(matrix[0, 1]) == 0 and abs(matrix[1, 0]) == 0
+
+    def test_rotations_are_unitary(self):
+        for theta in (-2.0, 0.0, 0.3, np.pi, 5.0):
+            for builder in (rx_matrix, ry_matrix, rz_matrix):
+                matrix = builder(theta)
+                assert np.allclose(matrix @ matrix.conj().T, np.eye(2))
+
+    def test_full_rotation_is_minus_identity(self):
+        assert np.allclose(ry_matrix(2 * np.pi), -np.eye(2))
+
+    def test_rx_pi_is_pauli_x_up_to_phase(self):
+        assert np.allclose(rx_matrix(np.pi), -1j * np.array([[0, 1], [1, 0]]))
+
+
+class TestZYZDecomposition:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_reconstruction_random(self, seed):
+        unitary = random_unitary(2, seed)
+        decomposition = zyz_decomposition(unitary)
+        assert np.allclose(decomposition.matrix(), unitary, atol=1e-7)
+
+    def test_identity(self):
+        decomposition = zyz_decomposition(np.eye(2))
+        assert np.allclose(decomposition.matrix(), np.eye(2), atol=1e-9)
+
+    def test_diagonal_gate(self):
+        gate = np.diag([1.0, np.exp(1j * 0.3)])
+        decomposition = zyz_decomposition(gate)
+        assert np.allclose(decomposition.matrix(), gate, atol=1e-9)
+
+    def test_antidiagonal_gate(self):
+        gate = np.array([[0, 1], [1, 0]], dtype=complex)
+        decomposition = zyz_decomposition(gate)
+        assert np.allclose(decomposition.matrix(), gate, atol=1e-9)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            zyz_decomposition(np.array([[1, 0], [0, 2.0]]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            zyz_decomposition(np.eye(4))
+
+    def test_angles_accessor(self):
+        decomposition = OneQubitEulerDecomposition(0.1, 0.2, 0.3, 0.4)
+        assert decomposition.angles() == (0.2, 0.3, 0.4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        beta=st.floats(-np.pi, np.pi),
+        gamma=st.floats(0.0, np.pi),
+        delta=st.floats(-np.pi, np.pi),
+        alpha=st.floats(-np.pi, np.pi),
+    )
+    def test_round_trip_property(self, alpha, beta, gamma, delta):
+        """Any Euler-angle unitary decomposes back to itself."""
+        unitary = OneQubitEulerDecomposition(alpha, beta, gamma, delta).matrix()
+        decomposition = zyz_decomposition(unitary)
+        assert np.allclose(decomposition.matrix(), unitary, atol=1e-6)

@@ -1,0 +1,174 @@
+"""Tests for Weyl-chamber coordinates and canonicalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import (
+    CXGate,
+    CZGate,
+    CPhaseGate,
+    FSimGate,
+    ISwapGate,
+    NthRootISwapGate,
+    RZZGate,
+    SqrtISwapGate,
+    SwapGate,
+    SycamoreGate,
+)
+from repro.linalg.matrices import kron
+from repro.linalg.random import random_su2, random_unitary
+from repro.linalg.weyl import (
+    CNOT_CLASS,
+    ISWAP_CLASS,
+    SQRT_ISWAP_CLASS,
+    SWAP_CLASS,
+    WeylCoordinates,
+    canonical_gate,
+    canonicalize_coordinates,
+    in_weyl_chamber,
+    nth_root_iswap_class,
+    weyl_coordinates,
+)
+
+PI_4 = np.pi / 4.0
+
+
+class TestNamedClasses:
+    def test_cnot(self):
+        assert weyl_coordinates(CXGate().matrix()).equals(CNOT_CLASS)
+
+    def test_cz_equivalent_to_cnot(self):
+        assert weyl_coordinates(CZGate().matrix()).equals(CNOT_CLASS)
+
+    def test_iswap(self):
+        assert weyl_coordinates(ISwapGate().matrix()).equals(ISWAP_CLASS)
+
+    def test_swap(self):
+        assert weyl_coordinates(SwapGate().matrix()).equals(SWAP_CLASS)
+
+    def test_sqrt_iswap(self):
+        assert weyl_coordinates(SqrtISwapGate().matrix()).equals(SQRT_ISWAP_CLASS)
+
+    @pytest.mark.parametrize("root", [1, 2, 3, 4, 5, 7])
+    def test_nth_root_iswap(self, root):
+        coords = weyl_coordinates(NthRootISwapGate(root).matrix())
+        assert coords.equals(nth_root_iswap_class(root), atol=1e-6)
+
+    def test_sycamore_is_nonlocal_and_not_cnot_class(self):
+        coords = weyl_coordinates(SycamoreGate().matrix())
+        assert not coords.is_local()
+        assert not coords.equals(CNOT_CLASS)
+
+    def test_cphase_quarter_angle(self):
+        # CPhase(lambda) is locally equivalent to CAN(|lambda|/4, 0, 0) for
+        # small lambda (a lambda/4 ZZ rotation plus local Rz gates).
+        coords = weyl_coordinates(CPhaseGate(0.5).matrix())
+        assert coords.equals(WeylCoordinates(0.125, 0.0, 0.0), atol=1e-6)
+
+    def test_rzz_is_controlled_phase_like(self):
+        coords = weyl_coordinates(RZZGate(0.8).matrix())
+        assert coords.equals(WeylCoordinates(0.4, 0.0, 0.0), atol=1e-6)
+
+    def test_identity_is_local(self):
+        assert weyl_coordinates(np.eye(4)).is_local()
+
+    def test_local_gate_is_local(self):
+        local = kron(random_su2(1), random_su2(2))
+        assert weyl_coordinates(local).is_local()
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_local_invariance(self, seed):
+        """Dressing with 1Q gates must not change the canonical class."""
+        rng = np.random.default_rng(seed)
+        unitary = random_unitary(4, rng)
+        dressed = (
+            kron(random_su2(rng), random_su2(rng))
+            @ unitary
+            @ kron(random_su2(rng), random_su2(rng))
+        )
+        assert weyl_coordinates(unitary).equals(weyl_coordinates(dressed), atol=1e-6)
+
+    def test_global_phase_invariance(self):
+        unitary = CXGate().matrix()
+        for phase in (0.3, np.pi / 2, 2.5):
+            assert weyl_coordinates(np.exp(1j * phase) * unitary).equals(CNOT_CLASS)
+
+    def test_canonical_gate_round_trip(self):
+        coords = WeylCoordinates(0.6, 0.3, 0.1)
+        recovered = weyl_coordinates(canonical_gate(*coords.as_tuple()))
+        assert recovered.equals(coords, atol=1e-6)
+
+
+class TestChamber:
+    def test_in_chamber_accepts_named_points(self):
+        for coords in (CNOT_CLASS, ISWAP_CLASS, SWAP_CLASS, SQRT_ISWAP_CLASS):
+            assert in_weyl_chamber(coords.as_tuple())
+
+    def test_rejects_outside(self):
+        assert not in_weyl_chamber((1.0, 0.0, 0.0))
+        assert not in_weyl_chamber((0.2, 0.5, 0.0))
+
+    def test_canonicalize_is_idempotent(self):
+        coords = canonicalize_coordinates(0.7, -0.2, 0.4)
+        again = canonicalize_coordinates(*coords.as_tuple())
+        assert coords.equals(again, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.floats(-3.0, 3.0),
+        y=st.floats(-3.0, 3.0),
+        z=st.floats(-3.0, 3.0),
+    )
+    def test_canonicalization_lands_in_chamber(self, x, y, z):
+        coords = canonicalize_coordinates(x, y, z)
+        assert in_weyl_chamber(coords.as_tuple(), atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=st.floats(0.0, PI_4),
+        y=st.floats(0.0, PI_4),
+        z=st.floats(0.0, PI_4),
+    )
+    def test_canonical_form_is_class_invariant(self, x, y, z):
+        """The canonical gate built from canonical coords maps back to them."""
+        coords = canonicalize_coordinates(x, y, z)
+        gate = canonical_gate(*coords.as_tuple())
+        assert weyl_coordinates(gate).equals(coords, atol=1e-5)
+
+
+class TestPerfectEntangler:
+    def test_cnot_is_perfect_entangler(self):
+        assert CNOT_CLASS.is_perfect_entangler()
+
+    def test_sqrt_iswap_is_perfect_entangler(self):
+        assert SQRT_ISWAP_CLASS.is_perfect_entangler()
+
+    def test_identity_is_not(self):
+        assert not WeylCoordinates(0.0, 0.0, 0.0).is_perfect_entangler()
+
+    def test_quarter_iswap_is_not(self):
+        assert not nth_root_iswap_class(4).is_perfect_entangler()
+
+    def test_swap_is_not_perfect_entangler(self):
+        assert not SWAP_CLASS.is_perfect_entangler()
+
+
+class TestFSimFamily:
+    def test_fsim_pure_exchange_matches_iswap_fraction(self):
+        # fSim(theta, 0) is a partial iSWAP with swap angle theta.
+        coords = weyl_coordinates(FSimGate(np.pi / 4.0, 0.0).matrix())
+        assert coords.equals(SQRT_ISWAP_CLASS, atol=1e-6)
+
+    def test_fsim_pure_phase_matches_cphase(self):
+        # fSim(0, phi) is a controlled phase of angle -phi, i.e. a phi/4 ZZ
+        # interaction up to local gates.
+        coords = weyl_coordinates(FSimGate(0.0, 1.0).matrix())
+        assert coords.equals(WeylCoordinates(0.25, 0.0, 0.0), atol=1e-6)
+
+    def test_syc_has_nonzero_third_coordinate(self):
+        coords = weyl_coordinates(SycamoreGate().matrix())
+        assert abs(coords.z) > 1e-3

@@ -1,0 +1,232 @@
+"""Unit and property tests for Kraus channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.channels import (
+    QuantumChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+
+def random_density_matrix(num_qubits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dim = 2 ** num_qubits
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = raw @ raw.conj().T
+    return rho / np.trace(rho)
+
+
+class TestConstruction:
+    def test_requires_at_least_one_kraus_operator(self):
+        with pytest.raises(ValueError):
+            QuantumChannel([])
+
+    def test_rejects_non_square_operators(self):
+        with pytest.raises(ValueError):
+            QuantumChannel([np.ones((2, 3))])
+
+    def test_rejects_incomplete_kraus_set(self):
+        with pytest.raises(ValueError):
+            QuantumChannel([0.5 * np.eye(2)])
+
+    def test_rejects_non_power_of_two_dimension(self):
+        with pytest.raises(ValueError):
+            QuantumChannel([np.eye(3)])
+
+    def test_identity_channel_is_unitary(self):
+        assert identity_channel().is_unitary()
+
+    def test_depolarizing_channel_is_not_unitary(self):
+        assert not depolarizing_channel(0.1).is_unitary()
+
+    def test_depolarizing_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5)
+        with pytest.raises(ValueError):
+            depolarizing_channel(-0.1)
+
+    def test_pauli_channel_rejects_excess_probability(self):
+        with pytest.raises(ValueError):
+            pauli_channel(0.5, 0.5, 0.5)
+
+    def test_pauli_channel_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            pauli_channel(-0.1, 0.0, 0.0)
+
+    def test_amplitude_damping_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_channel(2.0)
+
+    def test_phase_damping_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            phase_damping_channel(-0.5)
+
+    def test_thermal_relaxation_rejects_unphysical_t2(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(1.0, t1=1.0, t2=3.0)
+
+    def test_thermal_relaxation_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(-1.0, t1=1.0, t2=1.0)
+
+
+class TestAction:
+    def test_identity_preserves_state(self):
+        rho = random_density_matrix(1, seed=3)
+        assert np.allclose(identity_channel().apply(rho), rho)
+
+    def test_full_depolarizing_yields_maximally_mixed(self):
+        rho = random_density_matrix(1, seed=5)
+        out = depolarizing_channel(1.0).apply(rho)
+        # p=1 distributes weight over X, Y, Z only; the resulting state for
+        # any input is 2/3 I - 1/3 rho, which for pure states has purity 5/9.
+        assert abs(np.trace(out) - 1.0) < 1e-9
+
+    def test_bit_flip_flips_ground_state(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = bit_flip_channel(1.0).apply(rho)
+        assert np.allclose(out, np.diag([0.0, 1.0]))
+
+    def test_phase_flip_preserves_populations(self):
+        rho = random_density_matrix(1, seed=7)
+        out = phase_flip_channel(0.3).apply(rho)
+        assert np.allclose(np.diag(out), np.diag(rho))
+
+    def test_amplitude_damping_moves_excited_population_down(self):
+        rho = np.diag([0.0, 1.0]).astype(complex)
+        out = amplitude_damping_channel(0.25).apply(rho)
+        assert out[0, 0].real == pytest.approx(0.25)
+        assert out[1, 1].real == pytest.approx(0.75)
+
+    def test_amplitude_damping_full_decay_reaches_ground(self):
+        rho = random_density_matrix(1, seed=11)
+        out = amplitude_damping_channel(1.0).apply(rho)
+        assert out[0, 0].real == pytest.approx(1.0)
+
+    def test_phase_damping_shrinks_coherences(self):
+        rho = 0.5 * np.array([[1, 1], [1, 1]], dtype=complex)
+        out = phase_damping_channel(0.5).apply(rho)
+        assert abs(out[0, 1]) < abs(rho[0, 1])
+        assert np.allclose(np.diag(out), np.diag(rho))
+
+    def test_apply_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(0.1).apply(np.eye(4) / 4.0)
+
+    def test_two_qubit_depolarizing_dimension(self):
+        channel = depolarizing_channel(0.05, num_qubits=2)
+        assert channel.num_qubits == 2
+        assert channel.dim == 4
+        rho = random_density_matrix(2, seed=13)
+        out = channel.apply(rho)
+        assert abs(np.trace(out) - 1.0) < 1e-9
+
+
+class TestAlgebra:
+    def test_compose_matches_sequential_application(self):
+        rho = random_density_matrix(1, seed=17)
+        first = amplitude_damping_channel(0.2)
+        second = phase_damping_channel(0.3)
+        combined = first.compose(second)
+        assert np.allclose(combined.apply(rho), second.apply(first.apply(rho)))
+
+    def test_compose_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(0.1, num_qubits=1).compose(
+                depolarizing_channel(0.1, num_qubits=2)
+            )
+
+    def test_tensor_acts_independently(self):
+        rho_a = random_density_matrix(1, seed=19)
+        rho_b = random_density_matrix(1, seed=23)
+        joint = np.kron(rho_a, rho_b)
+        channel_a = amplitude_damping_channel(0.4)
+        channel_b = identity_channel()
+        out = channel_a.tensor(channel_b).apply(joint)
+        expected = np.kron(channel_a.apply(rho_a), rho_b)
+        assert np.allclose(out, expected)
+
+
+class TestFidelityMeasures:
+    def test_identity_has_unit_fidelity(self):
+        assert identity_channel().average_gate_fidelity() == pytest.approx(1.0)
+        assert identity_channel().process_fidelity() == pytest.approx(1.0)
+
+    def test_depolarizing_average_fidelity_formula(self):
+        # For a single-qubit depolarising channel with our convention,
+        # F_avg = 1 - 2p/3.
+        p = 0.09
+        fidelity = depolarizing_channel(p).average_gate_fidelity()
+        assert fidelity == pytest.approx(1.0 - 2.0 * p / 3.0, abs=1e-9)
+
+    def test_process_fidelity_against_target_unitary(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        channel = QuantumChannel([x])
+        assert channel.process_fidelity(target_unitary=x) == pytest.approx(1.0)
+        assert channel.process_fidelity() == pytest.approx(0.0, abs=1e-12)
+
+    def test_choi_matrix_trace_equals_dimension(self):
+        channel = depolarizing_channel(0.2)
+        choi = channel.choi_matrix()
+        assert np.trace(choi).real == pytest.approx(channel.dim)
+
+    def test_choi_matrix_is_positive_semidefinite(self):
+        channel = amplitude_damping_channel(0.3)
+        eigenvalues = np.linalg.eigvalsh(channel.choi_matrix())
+        assert np.all(eigenvalues > -1e-9)
+
+
+class TestChannelProperties:
+    @given(
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_depolarizing_preserves_trace_and_positivity(self, rate, seed):
+        rho = random_density_matrix(1, seed=seed)
+        out = depolarizing_channel(rate).apply(rho)
+        assert abs(np.trace(out) - 1.0) < 1e-8
+        assert np.all(np.linalg.eigvalsh(out) > -1e-8)
+
+    @given(
+        gamma=st.floats(min_value=0.0, max_value=1.0),
+        lam=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_composed_damping_remains_cptp(self, gamma, lam, seed):
+        rho = random_density_matrix(1, seed=seed)
+        channel = amplitude_damping_channel(gamma).compose(phase_damping_channel(lam))
+        out = channel.apply(rho)
+        assert abs(np.trace(out) - 1.0) < 1e-8
+        assert np.all(np.linalg.eigvalsh(out) > -1e-8)
+
+    @given(
+        duration=st.floats(min_value=0.0, max_value=50.0),
+        t1=st.floats(min_value=1.0, max_value=200.0),
+        ratio=st.floats(min_value=0.1, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_thermal_relaxation_is_physical(self, duration, t1, ratio, seed):
+        t2 = t1 * ratio
+        rho = random_density_matrix(1, seed=seed)
+        out = thermal_relaxation_channel(duration, t1, t2).apply(rho)
+        assert abs(np.trace(out) - 1.0) < 1e-8
+        assert np.all(np.linalg.eigvalsh(out) > -1e-8)
+
+    def test_longer_relaxation_decays_more(self):
+        plus = 0.5 * np.array([[1, 1], [1, 1]], dtype=complex)
+        short = thermal_relaxation_channel(1.0, t1=10.0, t2=10.0).apply(plus)
+        long = thermal_relaxation_channel(5.0, t1=10.0, t2=10.0).apply(plus)
+        assert abs(long[0, 1]) < abs(short[0, 1])

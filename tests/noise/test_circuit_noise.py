@@ -1,0 +1,133 @@
+"""Tests for the circuit-level noise model and output-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import CXGate, HGate
+from repro.noise.circuit_noise import (
+    CircuitNoiseModel,
+    circuit_output_fidelity,
+    heavy_output_probability,
+)
+from repro.workloads import quantum_volume_circuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name="ghz")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+class TestModelConstruction:
+    def test_rejects_bad_error_rates(self):
+        with pytest.raises(ValueError):
+            CircuitNoiseModel(two_qubit_error=1.5)
+        with pytest.raises(ValueError):
+            CircuitNoiseModel(one_qubit_error=-0.1)
+
+    def test_rejects_unphysical_t2(self):
+        with pytest.raises(ValueError):
+            CircuitNoiseModel(t1=10.0, t2=30.0)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(ValueError):
+            CircuitNoiseModel(t1=0.0)
+
+    def test_from_gate_fidelity_maps_to_depolarizing_rate(self):
+        model = CircuitNoiseModel.from_gate_fidelity(0.99)
+        assert model.two_qubit_error == pytest.approx(0.0125)
+
+    def test_from_gate_fidelity_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CircuitNoiseModel.from_gate_fidelity(0.0)
+
+    def test_ideal_model_has_no_channels(self):
+        model = CircuitNoiseModel.ideal()
+        cx = Instruction(CXGate(), (0, 1))
+        h = Instruction(HGate(), (0,))
+        assert model.channel_for(cx) is None
+        assert model.channel_for(h) is None
+        assert model.idle_channel_for(ghz(2), 0) is None
+
+
+class TestChannelsForInstructions:
+    def test_two_qubit_gate_gets_two_qubit_channel(self):
+        model = CircuitNoiseModel(two_qubit_error=0.02)
+        channel = model.channel_for(Instruction(CXGate(), (0, 1)))
+        assert channel is not None
+        assert channel.num_qubits == 2
+
+    def test_one_qubit_gate_channel_only_when_enabled(self):
+        noiseless_1q = CircuitNoiseModel(one_qubit_error=0.0)
+        assert noiseless_1q.channel_for(Instruction(HGate(), (0,))) is None
+        noisy_1q = CircuitNoiseModel(one_qubit_error=0.01)
+        channel = noisy_1q.channel_for(Instruction(HGate(), (0,)))
+        assert channel is not None and channel.num_qubits == 1
+
+    def test_idle_channel_scales_with_duration(self):
+        model = CircuitNoiseModel(two_qubit_error=0.0, t1=20.0, t2=20.0)
+        short = ghz(2)
+        long = ghz(2)
+        for _ in range(5):
+            long.cx(0, 1)
+        plus = 0.5 * np.array([[1, 1], [1, 1]], dtype=complex)
+        short_out = model.idle_channel_for(short, 0).apply(plus)
+        long_out = model.idle_channel_for(long, 0).apply(plus)
+        assert abs(long_out[0, 1]) < abs(short_out[0, 1])
+
+    def test_idle_channel_none_for_empty_circuit(self):
+        model = CircuitNoiseModel()
+        assert model.idle_channel_for(QuantumCircuit(2), 0) is None
+
+
+class TestOutputMetrics:
+    def test_ideal_fidelity_is_one(self):
+        fidelity = circuit_output_fidelity(ghz(3), CircuitNoiseModel.ideal())
+        assert fidelity == pytest.approx(1.0)
+
+    def test_noisy_fidelity_below_one_and_monotone_in_error(self):
+        mild = circuit_output_fidelity(ghz(3), CircuitNoiseModel(two_qubit_error=0.01))
+        harsh = circuit_output_fidelity(ghz(3), CircuitNoiseModel(two_qubit_error=0.10))
+        assert harsh < mild < 1.0
+
+    def test_estimated_success_probability_monotone_in_gate_count(self):
+        model = CircuitNoiseModel(two_qubit_error=0.01, t1=200.0, t2=200.0)
+        assert model.estimated_success_probability(ghz(3)) > model.estimated_success_probability(
+            ghz(6)
+        )
+
+    def test_estimated_success_probability_in_unit_interval(self):
+        model = CircuitNoiseModel(two_qubit_error=0.02, t1=50.0, t2=40.0)
+        value = model.estimated_success_probability(ghz(5))
+        assert 0.0 < value < 1.0
+
+    def test_heavy_output_probability_ideal_qv(self):
+        circuit = quantum_volume_circuit(4, seed=7)
+        score = heavy_output_probability(circuit)
+        # Ideal QV circuits concentrate well above the random-guess value 0.5.
+        assert score > 0.7
+
+    def test_heavy_output_probability_degrades_with_noise(self):
+        circuit = quantum_volume_circuit(4, seed=7)
+        ideal = heavy_output_probability(circuit)
+        noisy = heavy_output_probability(
+            circuit, CircuitNoiseModel(two_qubit_error=0.08, t1=30.0, t2=30.0)
+        )
+        assert noisy < ideal
+
+    def test_fidelity_tracks_the_count_surrogate_ordering(self):
+        """The paper's count surrogate and the simulated fidelity must agree on ordering."""
+        model = CircuitNoiseModel(two_qubit_error=0.03, t1=60.0, t2=60.0)
+        few_gates = ghz(4)
+        many_gates = ghz(4)
+        for _ in range(4):
+            many_gates.cx(2, 3)
+            many_gates.cx(1, 2)
+        assert few_gates.two_qubit_gate_count() < many_gates.two_qubit_gate_count()
+        assert circuit_output_fidelity(few_gates, model) > circuit_output_fidelity(
+            many_gates, model
+        )

@@ -1,0 +1,223 @@
+"""Tests for the density-matrix representation and simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.noise.channels import amplitude_damping_channel, depolarizing_channel
+from repro.noise.circuit_noise import CircuitNoiseModel
+from repro.noise.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.simulator.statevector import StatevectorSimulator
+
+
+def bell_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestDensityMatrixBasics:
+    def test_ground_state_is_pure_and_valid(self):
+        state = DensityMatrix.ground_state(3)
+        assert state.num_qubits == 3
+        assert state.purity() == pytest.approx(1.0)
+        assert state.trace() == pytest.approx(1.0)
+        assert state.is_valid()
+
+    def test_from_statevector_matches_outer_product(self):
+        vector = np.array([1.0, 1.0j]) / np.sqrt(2.0)
+        state = DensityMatrix.from_statevector(vector)
+        assert np.allclose(state.matrix, np.outer(vector, vector.conj()))
+
+    def test_maximally_mixed_purity(self):
+        state = DensityMatrix.maximally_mixed(2)
+        assert state.purity() == pytest.approx(0.25)
+        assert state.is_valid()
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(3) / 3.0)
+
+    def test_rejects_mismatched_num_qubits(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(4) / 4.0, num_qubits=1)
+
+    def test_probabilities_of_ground_state(self):
+        probabilities = DensityMatrix.ground_state(2).probabilities()
+        assert probabilities[0] == pytest.approx(1.0)
+        assert np.sum(probabilities) == pytest.approx(1.0)
+
+    def test_expectation_of_z_on_ground_state(self):
+        z = np.diag([1.0, -1.0]).astype(complex)
+        state = DensityMatrix.ground_state(1)
+        assert state.expectation(z) == pytest.approx(1.0)
+
+    def test_expectation_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(2).expectation(np.eye(2))
+
+
+class TestEvolution:
+    def test_unitary_evolution_matches_statevector(self):
+        circuit = bell_circuit()
+        state = DensityMatrix.ground_state(2)
+        for instruction in circuit:
+            state = state.evolve_unitary(instruction.gate.matrix(), instruction.qubits)
+        reference = StatevectorSimulator().run(circuit)
+        assert state.state_fidelity_with_statevector(reference) == pytest.approx(1.0)
+
+    def test_gate_argument_order_is_respected(self):
+        # CX with control 1 / target 0 flips |01> (little-endian q1=0,q0=1? no:
+        # prepare q1 = 1 via X on qubit 1, then CX(1, 0) must flip qubit 0.
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        circuit.cx(1, 0)
+        state = DensityMatrixSimulator().run(circuit)
+        probabilities = state.probabilities()
+        assert probabilities[0b11] == pytest.approx(1.0)
+
+    def test_channel_evolution_preserves_validity(self):
+        state = DensityMatrix.ground_state(2)
+        state = state.evolve_channel(depolarizing_channel(0.3), (0,))
+        state = state.evolve_channel(amplitude_damping_channel(0.2), (1,))
+        assert state.is_valid()
+
+    def test_channel_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(2).evolve_channel(depolarizing_channel(0.1), (0, 1))
+
+    def test_depolarizing_reduces_purity(self):
+        circuit = bell_circuit()
+        pure = DensityMatrixSimulator().run(circuit)
+        noisy = pure.evolve_channel(depolarizing_channel(0.2, num_qubits=2), (0, 1))
+        assert noisy.purity() < pure.purity()
+
+
+class TestFidelity:
+    def test_fidelity_with_itself_is_one(self):
+        state = DensityMatrixSimulator().run(bell_circuit())
+        assert state.fidelity(state) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal_states(self):
+        zero = DensityMatrix.ground_state(1)
+        one = DensityMatrix.from_statevector(np.array([0.0, 1.0]))
+        assert zero.fidelity(one) == pytest.approx(0.0, abs=1e-12)
+
+    def test_fidelity_of_mixed_states_symmetric(self):
+        a = DensityMatrix.maximally_mixed(1)
+        b = DensityMatrix(np.diag([0.8, 0.2]).astype(complex))
+        assert a.fidelity(b) == pytest.approx(b.fidelity(a))
+
+    def test_fidelity_mixed_against_pure_matches_overlap(self):
+        mixed = DensityMatrix(np.diag([0.7, 0.3]).astype(complex))
+        pure = np.array([1.0, 0.0], dtype=complex)
+        assert mixed.state_fidelity_with_statevector(pure) == pytest.approx(0.7)
+
+    def test_fidelity_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(1).fidelity(DensityMatrix.ground_state(2))
+
+    def test_statevector_fidelity_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(2).state_fidelity_with_statevector(np.array([1.0, 0.0]))
+
+
+class TestPartialTrace:
+    def test_partial_trace_of_product_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = DensityMatrixSimulator().run(circuit)
+        reduced = state.partial_trace([0])
+        assert reduced.num_qubits == 1
+        assert reduced.probabilities()[1] == pytest.approx(1.0)
+        other = state.partial_trace([1])
+        assert other.probabilities()[0] == pytest.approx(1.0)
+
+    def test_partial_trace_of_bell_state_is_maximally_mixed(self):
+        state = DensityMatrixSimulator().run(bell_circuit())
+        reduced = state.partial_trace([0])
+        assert np.allclose(reduced.matrix, np.eye(2) / 2.0, atol=1e-9)
+
+    def test_partial_trace_keeps_trace_one(self):
+        state = DensityMatrixSimulator().run(bell_circuit())
+        assert state.partial_trace([1]).trace() == pytest.approx(1.0)
+
+    def test_partial_trace_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(2).partial_trace([0, 0])
+
+    def test_partial_trace_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.ground_state(2).partial_trace([5])
+
+
+class TestSimulator:
+    def test_noiseless_run_matches_statevector(self):
+        circuit = QuantumCircuit(3, name="ghz")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        dm = DensityMatrixSimulator().run(circuit)
+        sv = StatevectorSimulator().run(circuit)
+        assert dm.state_fidelity_with_statevector(sv) == pytest.approx(1.0)
+
+    def test_width_limit_enforced(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator(max_qubits=2).run(QuantumCircuit(3))
+
+    def test_initial_state_mismatch(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator().run(
+                QuantumCircuit(2), initial_state=DensityMatrix.ground_state(1)
+            )
+
+    def test_noisy_run_reduces_fidelity(self):
+        circuit = bell_circuit()
+        model = CircuitNoiseModel(two_qubit_error=0.05, t1=50.0, t2=50.0)
+        noisy = DensityMatrixSimulator().run(circuit, noise_model=model)
+        ideal = StatevectorSimulator().run(circuit)
+        fidelity = noisy.state_fidelity_with_statevector(ideal)
+        assert 0.5 < fidelity < 1.0
+
+    def test_sample_counts_sum_to_shots(self):
+        counts = DensityMatrixSimulator().sample_counts(bell_circuit(), shots=256, seed=11)
+        assert sum(counts.values()) == 256
+        assert set(counts) <= {"00", "11", "01", "10"}
+
+    def test_barriers_are_ignored(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        state = DensityMatrixSimulator().run(circuit)
+        assert state.probabilities()[0] == pytest.approx(0.5)
+
+
+class TestDensityMatrixProperties:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_circuit_evolution_stays_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = QuantumCircuit(3)
+        for _ in range(6):
+            kind = rng.integers(3)
+            if kind == 0:
+                circuit.rx(float(rng.uniform(0, np.pi)), int(rng.integers(3)))
+            elif kind == 1:
+                circuit.rz(float(rng.uniform(0, np.pi)), int(rng.integers(3)))
+            else:
+                a, b = rng.choice(3, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+        model = CircuitNoiseModel(
+            one_qubit_error=0.01, two_qubit_error=0.03, t1=40.0, t2=30.0
+        )
+        state = DensityMatrixSimulator().run(circuit, noise_model=model)
+        assert state.is_valid()
+        assert abs(np.sum(state.probabilities()) - 1.0) < 1e-7

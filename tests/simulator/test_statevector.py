@@ -1,0 +1,102 @@
+"""Tests for the state-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.simulator import StatevectorSimulator, statevector
+
+
+class TestBasicStates:
+    def test_initial_state_all_zero(self):
+        circuit = QuantumCircuit(3)
+        state = statevector(circuit)
+        assert state[0] == pytest.approx(1.0)
+
+    def test_x_flips_qubit0(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = statevector(circuit)
+        # Little-endian: qubit 0 set -> index 1.
+        assert abs(state[1]) == pytest.approx(1.0)
+
+    def test_x_flips_qubit1(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        state = statevector(circuit)
+        assert abs(state[2]) == pytest.approx(1.0)
+
+    def test_bell_state(self, bell_circuit):
+        state = statevector(bell_circuit)
+        assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(state[3]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(state[1]) == pytest.approx(0.0)
+
+    def test_ghz_state(self, ghz4_circuit):
+        state = statevector(ghz4_circuit)
+        assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(state[-1]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_cx_control_qubit0(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        state = statevector(circuit)
+        assert abs(state[3]) == pytest.approx(1.0)
+
+    def test_cx_respects_control_off(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        state = statevector(circuit)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_barrier_is_noop(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().cx(0, 1)
+        reference = QuantumCircuit(2)
+        reference.h(0).cx(0, 1)
+        assert np.allclose(statevector(circuit), statevector(reference))
+
+    def test_norm_preserved(self):
+        circuit = QuantumCircuit(4)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a, b = rng.choice(4, 2, replace=False)
+            circuit.cx(int(a), int(b))
+            circuit.rx(float(rng.uniform(0, np.pi)), int(a))
+        assert np.linalg.norm(statevector(circuit)) == pytest.approx(1.0)
+
+
+class TestSimulatorAPI:
+    def test_custom_initial_state(self):
+        simulator = StatevectorSimulator()
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        initial = np.array([0.0, 1.0], dtype=complex)
+        final = simulator.run(circuit, initial_state=initial)
+        assert abs(final[0]) == pytest.approx(1.0)
+
+    def test_initial_state_dimension_checked(self):
+        simulator = StatevectorSimulator()
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(2), initial_state=np.array([1.0, 0.0]))
+
+    def test_qubit_limit(self):
+        simulator = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(4))
+
+    def test_probabilities_sum_to_one(self, ghz4_circuit):
+        probabilities = StatevectorSimulator().probabilities(ghz4_circuit)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_sample_counts(self, bell_circuit):
+        counts = StatevectorSimulator().sample_counts(bell_circuit, shots=500, seed=7)
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 500
+
+    def test_expectation_z_bell(self, bell_circuit):
+        simulator = StatevectorSimulator()
+        # <Z0 Z1> = +1 for the Bell state, <Z0> = 0.
+        assert simulator.expectation_z(bell_circuit, [0, 1]) == pytest.approx(1.0)
+        assert simulator.expectation_z(bell_circuit, [0]) == pytest.approx(0.0)

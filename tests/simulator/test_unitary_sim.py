@@ -1,0 +1,79 @@
+"""Tests for the unitary simulator and equivalence checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.gates import CXGate, SwapGate
+from repro.linalg.matrices import kron
+from repro.linalg.random import random_unitary
+from repro.simulator import circuit_unitary, circuits_equivalent, statevector
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self):
+        assert np.allclose(circuit_unitary(QuantumCircuit(2)), np.eye(4))
+
+    def test_single_gate_on_two_qubit_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        # Little-endian register: control is qubit 0 (LSB).
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        assert np.allclose(circuit_unitary(circuit), expected)
+
+    def test_tensor_structure_of_1q_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        # Acting on qubit 0 (LSB) => I (x) H in little-endian matrix ordering.
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert np.allclose(circuit_unitary(circuit), kron(np.eye(2), h))
+
+    def test_unitary_times_basis_state_matches_statevector(self):
+        rng = np.random.default_rng(5)
+        circuit = QuantumCircuit(3)
+        for _ in range(12):
+            a, b = rng.choice(3, 2, replace=False)
+            circuit.unitary(random_unitary(4, rng), (int(a), int(b)))
+        matrix = circuit_unitary(circuit)
+        assert np.allclose(matrix[:, 0], statevector(circuit))
+
+    def test_composition_order(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.z(0)
+        # z @ x applied in order => matrix = Z X.
+        expected = np.diag([1, -1]) @ np.array([[0, 1], [1, 0]])
+        assert np.allclose(circuit_unitary(circuit), expected)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(QuantumCircuit(13))
+
+
+class TestEquivalence:
+    def test_swap_equals_three_cx(self):
+        swap = QuantumCircuit(2)
+        swap.swap(0, 1)
+        three_cx = QuantumCircuit(2)
+        three_cx.cx(0, 1).cx(1, 0).cx(0, 1)
+        assert circuits_equivalent(swap, three_cx)
+
+    def test_different_circuits_not_equivalent(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert not circuits_equivalent(a, b)
+
+    def test_width_mismatch(self):
+        assert not circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_global_phase_handling(self):
+        a = QuantumCircuit(1)
+        a.rz(np.pi, 0)
+        b = QuantumCircuit(1)
+        b.z(0)
+        assert circuits_equivalent(a, b, up_to_global_phase=True)
+        assert not circuits_equivalent(a, b, up_to_global_phase=False)

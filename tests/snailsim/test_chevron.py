@@ -1,0 +1,58 @@
+"""Tests for the chevron sweep (paper Fig. 6 software twin)."""
+
+import numpy as np
+import pytest
+
+from repro.snailsim import SnailExchangeModel, chevron_sweep, render_ascii_chevron
+
+
+@pytest.fixture(scope="module")
+def chevron():
+    model = SnailExchangeModel(coupling_mhz=0.5, t1_us=50.0)
+    return chevron_sweep(
+        model,
+        pulse_lengths_ns=np.linspace(0.0, 2000.0, 101),
+        detunings_mhz=np.linspace(-1.5, 1.5, 31),
+    )
+
+
+class TestChevron:
+    def test_grid_shape(self, chevron):
+        assert chevron.source_population.shape == (31, 101)
+        assert chevron.target_population.shape == (31, 101)
+
+    def test_population_bounds(self, chevron):
+        for grid in (chevron.source_population, chevron.target_population):
+            assert np.all(grid >= -1e-12) and np.all(grid <= 1.0 + 1e-12)
+
+    def test_initial_condition(self, chevron):
+        # At zero pulse length the source qubit holds the excitation.
+        assert np.allclose(chevron.source_population[:, 0], 0.0, atol=1e-9)
+        assert np.allclose(chevron.target_population[:, 0], 1.0, atol=1e-9)
+
+    def test_on_resonance_full_exchange(self, chevron):
+        source, target = chevron.on_resonance_slice()
+        # Somewhere along the sweep the excitation fully transfers.
+        assert np.min(target) < 0.1
+        assert np.max(1.0 - source) > 0.9
+
+    def test_chevron_symmetry_in_detuning(self, chevron):
+        # The pattern is symmetric under detuning sign flip.
+        assert np.allclose(
+            chevron.target_population, chevron.target_population[::-1, :], atol=1e-9
+        )
+
+    def test_off_resonance_contrast_reduced(self, chevron):
+        transferred_on = np.max(1.0 - chevron.target_population[15])  # delta = 0
+        transferred_off = np.max(1.0 - chevron.target_population[0])  # delta = -1.5 MHz
+        assert transferred_off < transferred_on
+
+    def test_oscillation_period_matches_coupling(self, chevron):
+        # g = 0.5 MHz -> full exchange period 1/g = 2000 ns.
+        assert chevron.oscillation_period_ns() == pytest.approx(2000.0, rel=0.05)
+
+    def test_ascii_rendering(self, chevron):
+        art = render_ascii_chevron(chevron, width=40, height=11)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert "MHz" in lines[0]

@@ -1,0 +1,85 @@
+"""Tests for the SNAIL exchange device model."""
+
+import numpy as np
+import pytest
+
+from repro.gates import ISwapGate, NthRootISwapGate
+from repro.linalg.matrices import is_unitary, matrices_equal
+from repro.snailsim import SnailExchangeModel
+
+
+class TestCoherentExchange:
+    def test_full_transfer_on_resonance(self):
+        model = SnailExchangeModel(coupling_mhz=0.5, t1_us=1e9)
+        half_period = 1e3 / (2 * 0.5)  # ns for full transfer
+        assert model.transfer_probability(half_period, 0.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_transfer_at_time_zero(self):
+        model = SnailExchangeModel()
+        assert model.transfer_probability(0.0, 0.0) == 0.0
+
+    def test_detuning_reduces_contrast(self):
+        model = SnailExchangeModel(coupling_mhz=0.5)
+        resonant = max(
+            model.transfer_probability(t, 0.0) for t in np.linspace(0, 2000, 400)
+        )
+        detuned = max(
+            model.transfer_probability(t, 1.0) for t in np.linspace(0, 2000, 400)
+        )
+        assert detuned < resonant
+
+    def test_detuning_speeds_up_oscillation(self):
+        model = SnailExchangeModel(coupling_mhz=0.5)
+        assert model.rabi_rate(1.0) > model.rabi_rate(0.0)
+
+    def test_decay_envelope_monotone(self):
+        model = SnailExchangeModel(t1_us=10.0)
+        assert model.decay_envelope(0.0) == 1.0
+        assert model.decay_envelope(500.0) > model.decay_envelope(5000.0)
+
+    def test_populations_bounded(self):
+        model = SnailExchangeModel()
+        for pulse in (0.0, 300.0, 900.0):
+            for detuning in (-1.0, 0.0, 0.7):
+                source, target = model.populations(pulse, detuning)
+                assert 0.0 <= source <= 1.0 and 0.0 <= target <= 1.0
+
+
+class TestGateConstruction:
+    def test_exchange_unitary_is_unitary(self):
+        model = SnailExchangeModel()
+        assert is_unitary(model.exchange_unitary(123.0, 0.4))
+
+    @pytest.mark.parametrize("root", [1, 2, 3, 4])
+    def test_pulse_length_realises_nth_root_iswap(self, root):
+        """Paper Eq. 9: g t = pi / (2n) yields the n-th root of iSWAP."""
+        model = SnailExchangeModel(coupling_mhz=0.5)
+        pulse = model.pulse_length_for_root(root)
+        unitary = model.exchange_unitary(pulse, detuning_mhz=0.0)
+        assert matrices_equal(
+            unitary, NthRootISwapGate(root).matrix(), up_to_global_phase=True, atol=1e-6
+        )
+
+    def test_pulse_length_scales_inversely_with_root(self):
+        model = SnailExchangeModel()
+        assert model.pulse_length_for_root(4) == pytest.approx(
+            model.pulse_length_for_root(2) / 2.0
+        )
+
+    def test_full_iswap_pulse(self):
+        model = SnailExchangeModel(coupling_mhz=0.5)
+        pulse = model.pulse_length_for_root(1)
+        assert matrices_equal(
+            model.exchange_unitary(pulse), ISwapGate().matrix(), up_to_global_phase=True, atol=1e-6
+        )
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            SnailExchangeModel().pulse_length_for_root(0)
+
+    def test_shorter_pulse_higher_fidelity(self):
+        """The co-design argument: fractional pulses lose less coherence."""
+        model = SnailExchangeModel(coupling_mhz=0.5, t1_us=20.0)
+        full = model.gate_fidelity_estimate(model.pulse_length_for_root(1))
+        quarter = model.gate_fidelity_estimate(model.pulse_length_for_root(4))
+        assert quarter > full

@@ -1,0 +1,190 @@
+"""Tests for the multi-mode SNAIL module simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import NthRootISwapGate, SqrtISwapGate
+from repro.snailsim.module import PumpTone, SnailModule
+
+
+def default_module(**overrides) -> SnailModule:
+    return SnailModule(**overrides)
+
+
+def single_pair_unitary(module: SnailModule, pair, root: int) -> np.ndarray:
+    """Reduced 4x4 unitary on ``pair`` from a single on-resonance pump."""
+    full = module.parallel_gate_unitary([pair], root=root)
+    # Extract the action on the pair assuming all other qubits stay in |0>.
+    a, b = sorted(pair)
+    indices = [0, 1 << a, 1 << b, (1 << a) | (1 << b)]
+    reduced = full[np.ix_(indices, indices)]
+    return reduced
+
+
+class TestConstruction:
+    def test_rejects_single_qubit_module(self):
+        with pytest.raises(ValueError):
+            SnailModule(qubit_frequencies_ghz=(5.0,))
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError):
+            SnailModule(qubit_frequencies_ghz=(5.0, 5.0, 6.0))
+
+    def test_rejects_bad_linewidth_and_t1(self):
+        with pytest.raises(ValueError):
+            SnailModule(crosstalk_linewidth_mhz=0.0)
+        with pytest.raises(ValueError):
+            SnailModule(t1_us=0.0)
+
+    def test_default_module_has_four_qubits_and_six_pairs(self):
+        module = default_module()
+        assert module.num_qubits == 4
+        assert len(module.pairs()) == 6
+
+    def test_difference_frequencies_are_distinct(self):
+        module = default_module()
+        assert module.minimum_difference_separation_mhz() > 50.0
+
+
+class TestEffectiveCouplings:
+    def test_single_pump_targets_its_pair(self):
+        module = default_module()
+        couplings = module.effective_couplings([PumpTone(pair=(0, 1), strength_mhz=0.5)])
+        assert couplings[(0, 1)] == pytest.approx(0.5, rel=1e-3)
+
+    def test_spurious_couplings_are_strongly_suppressed(self):
+        module = default_module()
+        couplings = module.effective_couplings([PumpTone(pair=(0, 1), strength_mhz=0.5)])
+        for pair, strength in couplings.items():
+            if pair != (0, 1):
+                assert strength < 0.01
+
+    def test_crowded_frequencies_leak(self):
+        # Two pairs with difference frequencies only 2 MHz apart leak pump
+        # power into each other.
+        module = SnailModule(qubit_frequencies_ghz=(4.5, 5.0, 5.502, 6.4))
+        couplings = module.effective_couplings([PumpTone(pair=(0, 1), strength_mhz=0.5)])
+        assert couplings.get((1, 2), 0.0) > 0.05
+
+    def test_pump_outside_module_rejected(self):
+        with pytest.raises(ValueError):
+            default_module().effective_couplings([PumpTone(pair=(0, 9))])
+
+
+class TestSingleGate:
+    @pytest.mark.parametrize("root", [1, 2, 3, 4])
+    def test_on_resonance_pulse_realises_nth_root_iswap(self, root):
+        module = default_module()
+        reduced = single_pair_unitary(module, (0, 1), root)
+        expected = NthRootISwapGate(root).matrix()
+        overlap = abs(np.trace(expected.conj().T @ reduced)) / 4.0
+        assert overlap == pytest.approx(1.0, abs=1e-3)
+
+    def test_pulse_length_scales_inversely_with_root(self):
+        module = default_module()
+        assert module.pulse_length_for_root(4) == pytest.approx(
+            module.pulse_length_for_root(2) / 2.0
+        )
+
+    def test_pulse_length_rejects_bad_root(self):
+        with pytest.raises(ValueError):
+            default_module().pulse_length_for_root(0)
+
+    def test_evolution_is_unitary(self):
+        module = default_module()
+        unitary = module.parallel_gate_unitary([(0, 2)], root=2)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(16), atol=1e-9)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            default_module().evolve([PumpTone(pair=(0, 1))], -1.0)
+
+
+class TestParallelGates:
+    def test_disjoint_pairs_run_in_parallel_with_high_fidelity(self):
+        """Paper Section 4.1: multiple gates can run in one neighbourhood at once."""
+        module = default_module()
+        fidelity = module.parallel_gate_fidelity([(0, 1), (2, 3)], root=2)
+        assert fidelity > 0.99
+
+    def test_parallel_fidelity_degrades_when_frequencies_crowd(self):
+        clean = default_module()
+        crowded = SnailModule(qubit_frequencies_ghz=(4.5, 5.0, 5.504, 6.006))
+        clean_fidelity = clean.parallel_gate_fidelity([(0, 1), (2, 3)], root=2)
+        crowded_fidelity = crowded.parallel_gate_fidelity([(0, 1), (2, 3)], root=2)
+        assert crowded_fidelity < clean_fidelity
+
+    def test_overlapping_pairs_do_not_factorise(self):
+        module = default_module()
+        fidelity = module.parallel_gate_fidelity([(0, 1), (1, 2)], root=2)
+        assert fidelity < 0.99
+
+    def test_ideal_parallel_unitary_matches_tensor_product(self):
+        module = default_module()
+        ideal = module.ideal_parallel_unitary([(0, 1), (2, 3)], root=2)
+        siswap = SqrtISwapGate().matrix()
+        # Little-endian tensor: qubit 0 least significant.  The pair (0, 1)
+        # occupies the low factor and (2, 3) the high factor; within a pair
+        # the exchange block is symmetric so argument order does not matter.
+        expected = np.kron(siswap, siswap)
+        overlap = abs(np.trace(expected.conj().T @ ideal)) / 16.0
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+
+class TestThreeModeGate:
+    def test_requires_distinct_qubits(self):
+        with pytest.raises(ValueError):
+            default_module().three_mode_unitary(0, (0, 1))
+
+    def test_excitation_spreads_to_both_partners(self):
+        module = default_module()
+        spread = module.three_mode_excitation_spread(0, (1, 2))
+        # Default duration fully transfers the hub excitation to the
+        # symmetric partner state: ~50% on each partner, ~0 on the hub.
+        assert spread[0] == pytest.approx(0.0, abs=1e-6)
+        assert spread[1] == pytest.approx(0.5, abs=1e-6)
+        assert spread[2] == pytest.approx(0.5, abs=1e-6)
+        assert spread[3] == pytest.approx(0.0, abs=1e-6)
+
+    def test_half_duration_leaves_tripartite_superposition(self):
+        module = default_module()
+        g = 2.0 * np.pi * 0.5 * 1e-3
+        half = 0.5 * (np.pi / 2.0) / (np.sqrt(2.0) * g)
+        spread = module.three_mode_excitation_spread(0, (1, 2), duration_ns=half)
+        assert 0.0 < spread[0] < 1.0
+        assert spread[1] > 0.0 and spread[2] > 0.0
+
+    def test_total_excitation_is_conserved(self):
+        module = default_module()
+        spread = module.three_mode_excitation_spread(0, (1, 3))
+        assert sum(spread.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestModuleProperties:
+    @given(
+        root=st.integers(min_value=1, max_value=6),
+        strength=st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_single_pump_evolution_always_unitary(self, root, strength):
+        module = default_module()
+        unitary = module.parallel_gate_unitary([(1, 3)], root=root, strength_mhz=strength)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(16), atol=1e-8)
+
+    @given(duration=st.floats(min_value=0.0, max_value=2000.0))
+    @settings(max_examples=20, deadline=None)
+    def test_excitation_number_is_conserved(self, duration):
+        module = default_module()
+        pumps = [PumpTone(pair=(0, 1)), PumpTone(pair=(2, 3))]
+        unitary = module.evolve(pumps, duration)
+        # The exchange Hamiltonian conserves total excitation number: the
+        # single-excitation subspace never leaks into other sectors.
+        dim = 2 ** module.num_qubits
+        weights = [bin(index).count("1") for index in range(dim)]
+        for column in range(dim):
+            amplitudes = unitary[:, column]
+            for row in range(dim):
+                if weights[row] != weights[column]:
+                    assert abs(amplitudes[row]) < 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("tables", "swaps", "codesign", "headline", "sensitivity", "chevron"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_run_command_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "GHZ", "10", "--topology", "Tree", "--basis", "siswap"]
+        )
+        assert args.workload == "GHZ" and args.size == 10
+        assert args.topology == "Tree"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "Shor", "10"])
+
+
+class TestExecution:
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Corral1,1" in output
+
+    def test_run_command(self, capsys):
+        assert main(["run", "GHZ", "8", "--topology", "Corral1,1", "--basis", "siswap"]) == 0
+        output = capsys.readouterr().out
+        assert "total_swaps" in output
+
+    def test_swaps_command_with_custom_grid(self, capsys, tmp_path):
+        csv_path = tmp_path / "swaps.csv"
+        code = main(
+            [
+                "swaps",
+                "--scale",
+                "small",
+                "--sizes",
+                "6",
+                "--workloads",
+                "GHZ",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert "GHZ" in capsys.readouterr().out
+        assert csv_path.exists()
+        assert "total_swaps" in csv_path.read_text().splitlines()[0]
+
+    def test_codesign_command(self, capsys):
+        assert main(["codesign", "--scale", "small", "--sizes", "6", "--workloads", "GHZ"]) == 0
+        assert "Corral1,1-siswap" in capsys.readouterr().out
+
+    def test_chevron_command(self, capsys):
+        assert main(["chevron"]) == 0
+        assert "exchange period" in capsys.readouterr().out

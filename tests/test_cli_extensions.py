@@ -1,0 +1,71 @@
+"""Tests for the extension CLI sub-commands (frequency, schedule, reliability, qasm)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserExtensions:
+    def test_extension_commands_are_registered(self):
+        parser = build_parser()
+        for arguments in (
+            ["frequency"],
+            ["schedule"],
+            ["reliability", "GHZ", "8"],
+            ["qasm", "GHZ", "4"],
+        ):
+            args = parser.parse_args(arguments)
+            assert args.command == arguments[0]
+
+    def test_run_accepts_new_layout_and_routing_options(self):
+        args = build_parser().parse_args(
+            ["run", "GHZ", "8", "--layout", "vf2", "--routing", "basic"]
+        )
+        assert args.layout == "vf2"
+        assert args.routing == "basic"
+
+    def test_reliability_requires_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reliability", "GHZ"])
+
+
+class TestExecutionExtensions:
+    def test_frequency_command(self, capsys):
+        assert main(["frequency", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "Frequency-crowding study" in output
+        assert "SNAIL" in output and "Corral1,1" in output
+
+    def test_schedule_command_with_small_grid(self, capsys):
+        code = main(["schedule", "--sizes", "8", "--workloads", "GHZ", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Duration-aware co-design study" in output
+        assert "Heavy-Hex-CX" in output
+
+    def test_reliability_command(self, capsys):
+        code = main(["reliability", "GHZ", "8", "--t1-us", "80", "--t2-us", "80"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Reliability ranking" in output
+        assert "EPS" in output
+
+    def test_qasm_command_plain_workload(self, capsys):
+        assert main(["qasm", "GHZ", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "OPENQASM 2.0;" in output
+        assert "qreg q[5];" in output
+        assert "cx q[3],q[4];" in output
+
+    def test_qasm_command_transpiled(self, capsys):
+        code = main(["qasm", "GHZ", "6", "--transpile-to", "Tree", "--basis", "siswap"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "siswap" in output
+
+    def test_run_command_with_vf2_layout(self, capsys):
+        code = main(
+            ["run", "GHZ", "8", "--topology", "Hypercube", "--layout", "vf2"]
+        )
+        assert code == 0
+        assert "total_swaps" in capsys.readouterr().out

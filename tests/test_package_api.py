@@ -1,0 +1,51 @@
+"""Tests of the top-level package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.linalg",
+            "repro.circuits",
+            "repro.gates",
+            "repro.simulator",
+            "repro.topology",
+            "repro.transpiler",
+            "repro.decomposition",
+            "repro.workloads",
+            "repro.snailsim",
+            "repro.core",
+            "repro.experiments",
+            "repro.visualization",
+            "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The README / package-docstring quickstart must actually run."""
+        from repro import Backend, get_basis
+        from repro.topology import corral_topology
+        from repro.workloads import quantum_volume_circuit
+
+        backend = Backend(corral_topology(8, (1, 1)), get_basis("siswap"))
+        result = backend.transpile(quantum_volume_circuit(8, seed=1))
+        assert result.metrics.total_2q > 0
+        assert result.metrics.critical_2q <= result.metrics.total_2q
+
+    def test_main_module_entry_point(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tables"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Tests for the schedule Gantt renderer."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.transpiler.scheduling import GateDurations, schedule_asap
+from repro.visualization import ascii_schedule
+from repro.workloads import build_workload
+
+
+class TestAsciiSchedule:
+    def test_empty_schedule(self):
+        schedule = schedule_asap(QuantumCircuit(2), GateDurations())
+        assert ascii_schedule(schedule) == "(empty schedule)"
+
+    def test_one_row_per_qubit(self):
+        circuit = build_workload("GHZ", 5)
+        schedule = schedule_asap(circuit, GateDurations.snail())
+        text = ascii_schedule(schedule)
+        for qubit in range(5):
+            assert f"q{qubit:>3} |" in text
+
+    def test_two_qubit_pulses_marked_with_hash(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        schedule = schedule_asap(circuit, GateDurations(one_qubit=50.0, two_qubit_default=100.0))
+        text = ascii_schedule(schedule)
+        assert "#" in text
+        assert "-" in text
+
+    def test_makespan_and_parallelism_in_header(self):
+        circuit = build_workload("QFT", 4)
+        schedule = schedule_asap(circuit, GateDurations.cross_resonance())
+        header = ascii_schedule(schedule).splitlines()[0]
+        assert "makespan" in header and "parallelism" in header
+
+    def test_row_limit_applies(self):
+        circuit = build_workload("GHZ", 12)
+        schedule = schedule_asap(circuit, GateDurations.snail())
+        text = ascii_schedule(schedule, max_rows=4)
+        assert "more qubits" in text

@@ -1,0 +1,111 @@
+"""Tests for CouplingMap."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology import CouplingMap
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        cmap = CouplingMap([(0, 1), (1, 2)])
+        assert cmap.num_qubits == 3
+        assert cmap.num_edges() == 2
+
+    def test_explicit_num_qubits_allows_isolated(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=4)
+        assert cmap.num_qubits == 4
+        assert not cmap.is_connected()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(1, 1)])
+
+    def test_from_graph_relabels(self):
+        graph = nx.Graph([("a", "b"), ("b", "c")])
+        cmap = CouplingMap.from_graph(graph)
+        assert cmap.num_qubits == 3
+        assert cmap.is_connected()
+
+    def test_full_line_ring_constructors(self):
+        assert CouplingMap.full(5).num_edges() == 10
+        assert CouplingMap.line(5).num_edges() == 4
+        assert CouplingMap.ring(5).num_edges() == 5
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self, grid_4x4):
+        assert grid_4x4.degree(0) == 2  # corner
+        assert grid_4x4.degree(5) == 4  # interior
+        assert set(grid_4x4.neighbors(0)) == {1, 4}
+
+    def test_has_edge_symmetric(self, grid_4x4):
+        assert grid_4x4.has_edge(0, 1) and grid_4x4.has_edge(1, 0)
+        assert not grid_4x4.has_edge(0, 5)
+
+    def test_distance_matrix_symmetric(self, grid_4x4):
+        matrix = grid_4x4.distance_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert matrix[0, 15] == 6
+
+    def test_distance(self, grid_4x4):
+        assert grid_4x4.distance(0, 3) == 3
+        assert grid_4x4.distance(0, 0) == 0
+
+    def test_shortest_path_endpoints(self, grid_4x4):
+        path = grid_4x4.shortest_path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        assert len(path) == 7
+
+    def test_edges_sorted_and_normalised(self):
+        cmap = CouplingMap([(2, 1), (0, 1)])
+        assert cmap.edges() == [(0, 1), (1, 2)]
+
+
+class TestMetrics:
+    def test_line_metrics(self):
+        line = CouplingMap.line(4)
+        assert line.diameter() == 3
+        assert line.average_connectivity() == pytest.approx(1.5)
+
+    def test_full_graph_diameter(self):
+        assert CouplingMap.full(6).diameter() == 1
+
+    def test_average_distance_uses_paper_convention(self):
+        # 4x4 grid: the paper reports AvgD = 2.5 (n^2 denominator).
+        from repro.topology import square_lattice
+
+        assert square_lattice(4, 4).average_distance() == pytest.approx(2.5)
+
+    def test_ring_average_connectivity(self):
+        assert CouplingMap.ring(8).average_connectivity() == pytest.approx(2.0)
+
+
+class TestSubsets:
+    def test_subgraph_relabels(self, grid_4x4):
+        sub = grid_4x4.subgraph([0, 1, 2, 3])
+        assert sub.num_qubits == 4
+        assert sub.num_edges() == 3
+
+    def test_densest_subset_size(self, grid_4x4):
+        subset = grid_4x4.densest_subset(4)
+        assert len(subset) == 4
+
+    def test_densest_subset_is_connected(self, grid_4x4):
+        subset = grid_4x4.densest_subset(6)
+        assert grid_4x4.subgraph(subset).is_connected()
+
+    def test_densest_subset_full_size(self, grid_4x4):
+        assert grid_4x4.densest_subset(16) == list(range(16))
+
+    def test_densest_subset_too_large(self, grid_4x4):
+        with pytest.raises(ValueError):
+            grid_4x4.densest_subset(17)
+
+    def test_densest_subset_prefers_dense_regions(self, corral_16q):
+        # In the Corral every 4-qubit module is a clique; a greedy densest
+        # subset of size 4 should recover (close to) a clique.
+        subset = corral_16q.densest_subset(4)
+        internal = corral_16q.subgraph(subset).num_edges()
+        assert internal >= 5

@@ -1,0 +1,108 @@
+"""Tests for the baseline lattice topologies."""
+
+import pytest
+
+from repro.topology import (
+    heavy_hex_lattice,
+    hex_lattice,
+    hypercube,
+    square_lattice,
+    square_lattice_alt_diagonals,
+    trimmed_hypercube,
+)
+
+
+class TestSquareLattice:
+    def test_4x4_shape(self):
+        lattice = square_lattice(4, 4)
+        assert lattice.num_qubits == 16
+        assert lattice.num_edges() == 24
+        assert lattice.diameter() == 6
+
+    def test_7x12_matches_paper_table2(self):
+        lattice = square_lattice(7, 12)
+        assert lattice.num_qubits == 84
+        assert lattice.diameter() == 17
+        assert lattice.average_connectivity() == pytest.approx(2 * 149 / 84)
+
+    def test_degrees_bounded_by_four(self):
+        lattice = square_lattice(5, 5)
+        assert max(lattice.degree(q) for q in range(25)) == 4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            square_lattice(0, 3)
+
+
+class TestAltDiagonals:
+    def test_adds_edges_over_plain_grid(self):
+        plain = square_lattice(4, 4)
+        diag = square_lattice_alt_diagonals(4, 4)
+        assert diag.num_edges() > plain.num_edges()
+        assert diag.num_qubits == plain.num_qubits
+
+    def test_84_qubit_connectivity_matches_paper(self):
+        diag = square_lattice_alt_diagonals(7, 12)
+        assert diag.average_connectivity() == pytest.approx(5.12, abs=0.01)
+
+    def test_contains_diagonal_edge(self):
+        diag = square_lattice_alt_diagonals(3, 3)
+        assert diag.has_edge(0, 4)  # (0,0) -- (1,1)
+
+
+class TestHexFamilies:
+    @pytest.mark.parametrize("size", [20, 40, 84])
+    def test_hex_lattice_size_and_connectivity(self, size):
+        lattice = hex_lattice(size)
+        assert lattice.num_qubits == size
+        assert lattice.is_connected()
+        assert lattice.average_connectivity() <= 3.0 + 1e-9
+
+    @pytest.mark.parametrize("size", [20, 84])
+    def test_heavy_hex_size_and_sparsity(self, size):
+        lattice = heavy_hex_lattice(size)
+        assert lattice.num_qubits == size
+        assert lattice.is_connected()
+        # Heavy-hex is sparser than the plain hexagonal lattice.
+        assert lattice.average_connectivity() < hex_lattice(size).average_connectivity() + 1e-9
+
+    def test_heavy_hex_has_degree_two_bridge_qubits(self):
+        lattice = heavy_hex_lattice(30)
+        degrees = [lattice.degree(q) for q in range(30)]
+        assert 2 in degrees
+        assert max(degrees) <= 3
+
+    def test_trim_too_small_parent_rejected(self):
+        from repro.topology.lattices import _trim_to_size
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            _trim_to_size(nx.path_graph(3), 10)
+
+
+class TestHypercube:
+    def test_4d_properties(self):
+        cube = hypercube(4)
+        assert cube.num_qubits == 16
+        assert cube.diameter() == 4
+        assert cube.average_connectivity() == pytest.approx(4.0)
+        assert cube.average_distance() == pytest.approx(2.0)
+
+    def test_3d_structure(self):
+        cube = hypercube(3)
+        assert cube.num_edges() == 12
+        assert all(cube.degree(q) == 3 for q in range(8))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+    def test_trimmed_hypercube_84(self):
+        cube = trimmed_hypercube(84)
+        assert cube.num_qubits == 84
+        assert cube.is_connected()
+        assert cube.diameter() == 7
+        assert cube.average_connectivity() == pytest.approx(6.0, abs=0.05)
+
+    def test_trimmed_power_of_two_equals_full(self):
+        assert trimmed_hypercube(16).num_edges() == hypercube(4).num_edges()

@@ -1,0 +1,126 @@
+"""Tests for the future-work SNAIL topologies (heterogeneous corral, corral lattice)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import allocate_frequencies, snail_modulator
+from repro.topology import (
+    corral_lattice_topology,
+    corral_topology,
+    heterogeneous_corral_topology,
+    topology_properties,
+)
+from repro.topology.snail_extensions import (
+    corral_lattice_modules,
+    heterogeneous_corral_modules,
+)
+from repro.transpiler import transpile
+from repro.workloads import build_workload
+
+
+class TestHeterogeneousCorral:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            heterogeneous_corral_modules(1)
+        with pytest.raises(ValueError):
+            heterogeneous_corral_modules(4, qubits_per_module=7)
+        with pytest.raises(ValueError):
+            heterogeneous_corral_modules(4, boundary_span=5)
+        with pytest.raises(ValueError):
+            heterogeneous_corral_modules(4, qubits_per_module=6, boundary_span=4)
+
+    def test_qubit_count(self):
+        topology = heterogeneous_corral_topology(num_modules=4, qubits_per_module=4)
+        assert topology.num_qubits == 16
+
+    def test_every_snail_stays_within_six_modes(self):
+        for module in heterogeneous_corral_modules(6):
+            assert 2 <= len(module.qubits) <= 6
+
+    def test_connected_and_regular_degree_bounds(self):
+        topology = heterogeneous_corral_topology(num_modules=5)
+        assert topology.is_connected()
+        degrees = [topology.degree(q) for q in range(topology.num_qubits)]
+        assert max(degrees) <= 7
+
+    def test_module_cliques_present(self):
+        topology = heterogeneous_corral_topology(num_modules=3)
+        # Qubits 0-3 form the first module: all-to-all coupled.
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert topology.has_edge(a, b)
+
+    def test_boundary_couples_neighbouring_modules(self):
+        topology = heterogeneous_corral_topology(num_modules=3)
+        # Last two qubits of module 0 couple to the first two of module 1.
+        assert topology.has_edge(2, 4)
+        assert topology.has_edge(3, 5)
+
+    def test_snail_frequency_budget_allocates_it(self):
+        topology = heterogeneous_corral_topology(num_modules=5)
+        assert allocate_frequencies(topology, snail_modulator()).is_feasible
+
+    def test_diameter_grows_with_ring_size(self):
+        small = topology_properties(heterogeneous_corral_topology(num_modules=3))
+        large = topology_properties(heterogeneous_corral_topology(num_modules=8))
+        assert large.diameter > small.diameter
+
+    def test_transpiles_quantum_volume(self):
+        topology = heterogeneous_corral_topology(num_modules=4)
+        result = transpile(build_workload("QuantumVolume", 10, seed=3), topology, basis_name="siswap")
+        assert result.metrics.total_2q > 0
+
+    @given(num_modules=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_always_connected(self, num_modules):
+        assert heterogeneous_corral_topology(num_modules=num_modules).is_connected()
+
+
+class TestCorralLattice:
+    def test_rejects_small_grids(self):
+        with pytest.raises(ValueError):
+            corral_lattice_modules(1, 3)
+        with pytest.raises(ValueError):
+            corral_lattice_modules(3, 1)
+
+    def test_qubit_count_is_two_per_post(self):
+        topology = corral_lattice_topology(3, 4)
+        assert topology.num_qubits == 2 * 3 * 4
+
+    def test_every_post_couples_at_most_four_rails(self):
+        for module in corral_lattice_modules(4, 4):
+            assert len(module.qubits) == 4
+
+    def test_connected(self):
+        assert corral_lattice_topology(3, 3).is_connected()
+
+    def test_bounded_degree_as_it_scales(self):
+        """The scaling property the paper wants: SNAIL mode count stays fixed."""
+        small = corral_lattice_topology(2, 2)
+        large = corral_lattice_topology(4, 5)
+        max_degree_small = max(small.degree(q) for q in range(small.num_qubits))
+        max_degree_large = max(large.degree(q) for q in range(large.num_qubits))
+        assert max_degree_large <= max(max_degree_small, 6)
+
+    def test_diameter_scales_slower_than_ring_corral(self):
+        """Laying corrals out in 2-D shortens worst-case paths vs one big ring."""
+        ring = corral_topology(18, (1, 1))          # 36 qubits on one ring
+        lattice = corral_lattice_topology(4, 5)     # 40 qubits on a torus
+        assert topology_properties(lattice).diameter < topology_properties(ring).diameter
+
+    def test_snail_frequency_budget_allocates_it(self):
+        topology = corral_lattice_topology(4, 4)
+        assert allocate_frequencies(topology, snail_modulator()).is_feasible
+
+    def test_transpiles_qaoa(self):
+        topology = corral_lattice_topology(3, 3)
+        result = transpile(build_workload("QAOAVanilla", 10, seed=5), topology, basis_name="siswap")
+        assert result.metrics.total_2q > 0
+
+    @given(rows=st.integers(min_value=2, max_value=5), cols=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=12, deadline=None)
+    def test_torus_is_always_connected_with_expected_size(self, rows, cols):
+        topology = corral_lattice_topology(rows, cols)
+        assert topology.num_qubits == 2 * rows * cols
+        assert topology.is_connected()

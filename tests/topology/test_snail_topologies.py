@@ -1,0 +1,140 @@
+"""Tests for the SNAIL Tree and Corral topologies."""
+
+import pytest
+
+from repro.topology import (
+    SnailModule,
+    corral_modules,
+    corral_topology,
+    modules_to_coupling_map,
+    tree_modules,
+    tree_round_robin_topology,
+    tree_topology,
+)
+
+
+class TestSnailModule:
+    def test_clique_edges(self):
+        module = SnailModule((0, 1, 2))
+        assert sorted(module.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_frequency_crowding_limit(self):
+        with pytest.raises(ValueError):
+            SnailModule(range(7))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            SnailModule((3,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            SnailModule((1, 1, 2))
+
+    def test_union_of_modules(self):
+        cmap = modules_to_coupling_map(
+            [SnailModule((0, 1, 2)), SnailModule((2, 3, 4))]
+        )
+        assert cmap.num_qubits == 5
+        assert cmap.has_edge(0, 1) and cmap.has_edge(2, 3)
+        assert not cmap.has_edge(0, 4)
+
+
+class TestTree:
+    def test_20_qubit_tree_matches_paper_table1(self):
+        tree = tree_topology(levels=2, arity=4)
+        assert tree.num_qubits == 20
+        assert tree.diameter() == 3
+        assert tree.average_connectivity() == pytest.approx(4.6)
+        assert tree.average_distance() == pytest.approx(2.15, abs=0.01)
+
+    def test_84_qubit_tree_structure(self):
+        tree = tree_topology(levels=3, arity=4)
+        assert tree.num_qubits == 84
+        assert tree.diameter() == 5
+        assert tree.is_connected()
+
+    def test_router_qubits_form_clique(self):
+        tree = tree_topology(levels=2, arity=4)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert tree.has_edge(a, b)
+
+    def test_module_membership(self):
+        modules = tree_modules(levels=2, arity=4)
+        # One router module plus one module per router qubit.
+        assert len(modules) == 5
+        assert all(len(m.qubits) <= 6 for m in modules)
+
+    def test_leaf_degree_is_arity(self):
+        tree = tree_topology(levels=2, arity=4)
+        leaf_degrees = {tree.degree(q) for q in range(4, 20)}
+        assert leaf_degrees == {4}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            tree_topology(levels=0)
+        with pytest.raises(ValueError):
+            tree_topology(arity=1)
+
+
+class TestTreeRoundRobin:
+    def test_20_qubit_tree_rr_matches_paper_table1(self):
+        tree = tree_round_robin_topology(levels=2, arity=4)
+        assert tree.num_qubits == 20
+        assert tree.diameter() == 3
+        assert tree.average_connectivity() == pytest.approx(4.6)
+        assert tree.average_distance() == pytest.approx(2.03, abs=0.01)
+
+    def test_round_robin_spreads_router_links(self):
+        tree = tree_round_robin_topology(levels=2, arity=4)
+        # Each router qubit j is linked to exactly one qubit of each module.
+        for router in range(4):
+            module_children = [q for q in range(4, 20) if tree.has_edge(router, q)]
+            assert len(module_children) == 4
+
+    def test_rr_average_distance_not_worse_than_tree(self):
+        tree = tree_topology(levels=2, arity=4)
+        tree_rr = tree_round_robin_topology(levels=2, arity=4)
+        assert tree_rr.average_distance() <= tree.average_distance() + 1e-9
+
+    def test_84_qubit_tree_rr(self):
+        tree = tree_round_robin_topology(levels=3, arity=4)
+        assert tree.num_qubits == 84
+        assert tree.is_connected()
+
+
+class TestCorral:
+    def test_corral_11_matches_paper_table1(self):
+        corral = corral_topology(8, (1, 1))
+        assert corral.num_qubits == 16
+        assert corral.diameter() == 4
+        assert corral.average_connectivity() == pytest.approx(5.0)
+        assert corral.average_distance() == pytest.approx(2.06, abs=0.01)
+
+    def test_corral_12_instance_matches_paper_table1(self):
+        # Registry uses strides (1, 3) which reproduces the published row.
+        corral = corral_topology(8, (1, 3))
+        assert corral.diameter() == 2
+        assert corral.average_distance() == pytest.approx(1.5)
+        assert corral.average_connectivity() == pytest.approx(6.0)
+
+    def test_every_post_couples_at_most_six(self):
+        for strides in [(1, 1), (1, 2), (1, 3)]:
+            for module in corral_modules(8, strides):
+                assert 2 <= len(module.qubits) <= 6
+
+    def test_corral_scales_with_posts(self):
+        assert corral_topology(10, (1, 1)).num_qubits == 20
+        assert corral_topology(12, (1, 2)).num_qubits == 24
+
+    def test_all_qubits_connected(self):
+        for strides in [(1, 1), (1, 2), (1, 3)]:
+            assert corral_topology(8, strides).is_connected()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            corral_topology(2, (1, 1))
+        with pytest.raises(ValueError):
+            corral_topology(8, (0, 1))
+        with pytest.raises(ValueError):
+            corral_topology(8, (1, 9))

@@ -1,0 +1,122 @@
+"""Tests for the basis-translation pass."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.decomposition import cx_basis, sqiswap_basis, syc_basis
+from repro.linalg.random import random_unitary
+from repro.simulator import circuits_equivalent
+from repro.transpiler import BasisTranslation, BasisTranslationError, PropertySet
+from repro.workloads import quantum_volume_circuit
+
+
+class TestCountMode:
+    def test_cx_passes_through_in_cx_basis(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        translated = BasisTranslation(cx_basis()).run(circuit, PropertySet())
+        assert translated.count_ops() == {"cx": 1}
+
+    def test_swap_costs_three_in_cx_and_siswap(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        for basis, name in ((cx_basis(), "cx"), (sqiswap_basis(), "siswap")):
+            translated = BasisTranslation(basis).run(circuit, PropertySet())
+            assert translated.two_qubit_gate_count() == 3, name
+
+    def test_cx_costs_two_siswap(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        translated = BasisTranslation(sqiswap_basis()).run(circuit, PropertySet())
+        assert translated.count_ops() == {"siswap": 2}
+
+    def test_random_su4_costs_three_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, 11), (0, 1))
+        translated = BasisTranslation(cx_basis()).run(circuit, PropertySet())
+        assert translated.two_qubit_gate_count() == 3
+
+    def test_random_su4_costs_four_syc(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, 12), (0, 1))
+        translated = BasisTranslation(syc_basis()).run(circuit, PropertySet())
+        assert translated.two_qubit_gate_count() == 4
+
+    def test_one_qubit_gates_untouched(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rz(0.2, 1).cx(0, 1)
+        translated = BasisTranslation(sqiswap_basis()).run(circuit, PropertySet())
+        counts = translated.count_ops()
+        assert counts["h"] == 1 and counts["rz"] == 1
+
+    def test_basis_gate_count_recorded(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).swap(1, 2)
+        properties = PropertySet()
+        BasisTranslation(sqiswap_basis()).run(circuit, properties)
+        assert properties["basis_gate_count"] == 2 + 3
+
+    def test_translated_gates_act_on_same_pair(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(2, 3)
+        translated = BasisTranslation(sqiswap_basis()).run(circuit, PropertySet())
+        pairs = {inst.qubits for inst in translated if inst.is_two_qubit}
+        assert pairs == {(2, 3)}
+
+    def test_induced_flag_propagates(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1, induced=True)
+        translated = BasisTranslation(cx_basis()).run(circuit, PropertySet())
+        assert all(inst.induced for inst in translated if inst.is_two_qubit)
+
+    def test_coverage_cache_reused(self):
+        circuit = quantum_volume_circuit(4, seed=1)
+        translation = BasisTranslation(sqiswap_basis())
+        translation.run(circuit, PropertySet())
+        # Each distinct SU(4) block maps to one cache entry.
+        assert len(translation._count_cache) == circuit.two_qubit_gate_count()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BasisTranslation(cx_basis(), mode="exact")
+
+
+class TestSynthesisMode:
+    @pytest.mark.parametrize("basis_factory", [cx_basis, sqiswap_basis])
+    def test_named_gate_synthesis_is_equivalent(self, basis_factory):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        translated = BasisTranslation(basis_factory(), mode="synthesis").run(
+            circuit, PropertySet()
+        )
+        assert circuits_equivalent(circuit, translated, atol=1e-4)
+
+    def test_random_unitary_synthesis_is_equivalent(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, 21), (0, 1))
+        translated = BasisTranslation(sqiswap_basis(), mode="synthesis").run(
+            circuit, PropertySet()
+        )
+        assert circuits_equivalent(circuit, translated, atol=1e-4)
+
+    def test_synthesis_respects_coverage_counts(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        translated = BasisTranslation(sqiswap_basis(), mode="synthesis").run(
+            circuit, PropertySet()
+        )
+        assert translated.two_qubit_gate_count() == 2
+
+    def test_unreachable_fidelity_raises(self):
+        # With a single application allowed, a generic SU(4) cannot be
+        # synthesised to the requested fidelity.
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, 22), (0, 1))
+        translation = BasisTranslation(
+            sqiswap_basis(), mode="synthesis", max_applications=1
+        )
+        with pytest.raises(BasisTranslationError):
+            translation.run(circuit, PropertySet())

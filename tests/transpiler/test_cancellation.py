@@ -1,0 +1,72 @@
+"""Tests for the gate-cancellation pass."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.simulator import circuits_equivalent
+from repro.transpiler import PropertySet
+from repro.transpiler.passes.cancellation import CancelAdjacentInverses
+
+
+class TestCancellation:
+    def test_adjacent_cx_pair_removed(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1)
+        properties = PropertySet()
+        cleaned = CancelAdjacentInverses().run(circuit, properties)
+        assert cleaned.size() == 0
+        assert properties["cancelled_gates"] == 2
+
+    def test_adjacent_swap_pair_removed(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(1, 2).swap(1, 2).cx(0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert cleaned.count_ops() == {"cx": 1}
+
+    def test_intervening_gate_blocks_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).rz(0.3, 1).cx(0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert cleaned.count_ops()["cx"] == 2
+
+    def test_spectator_gate_does_not_block(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).h(2).cx(0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert "cx" not in cleaned.count_ops()
+        assert cleaned.count_ops()["h"] == 1
+
+    def test_reversed_control_target_not_cancelled(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert cleaned.count_ops()["cx"] == 2
+
+    def test_parameterised_inverse_pair_removed(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.7, 0, 1)
+        circuit.rzz(-0.7, 0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert cleaned.size() == 0
+
+    def test_parameterised_non_inverse_pair_kept(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.7, 0, 1)
+        circuit.rzz(0.7, 0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert cleaned.size() == 2
+
+    def test_semantics_preserved(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(0, 1).swap(1, 2).swap(1, 2).cx(1, 2).x(0).x(0)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        assert circuits_equivalent(circuit, cleaned)
+        assert cleaned.size() < circuit.size()
+
+    def test_barriers_preserved(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).barrier().cx(0, 1)
+        cleaned = CancelAdjacentInverses().run(circuit, PropertySet())
+        # The barrier is kept and (being a scheduling hint, not a gate) does
+        # not prevent cancellation of the pair around it.
+        assert "barrier" in cleaned.count_ops()

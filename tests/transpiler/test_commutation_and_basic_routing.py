@@ -1,0 +1,212 @@
+"""Tests for CommutativeCancellation and BasicRouting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import CXGate, CZGate, RZGate, SwapGate, XGate
+from repro.linalg.fidelity import hilbert_schmidt_fidelity
+from repro.topology import CouplingMap, get_topology
+from repro.transpiler import transpile
+from repro.transpiler.passmanager import PropertySet
+from repro.transpiler.passes.commutation import (
+    CommutativeCancellation,
+    instructions_commute,
+)
+from repro.transpiler.passes.layout_passes import TrivialLayout
+from repro.transpiler.passes.routing_extra import BasicRouting
+from repro.workloads import build_workload
+
+
+class TestCommutationPredicate:
+    def test_disjoint_gates_commute(self):
+        assert instructions_commute(
+            Instruction(CXGate(), (0, 1)), Instruction(CXGate(), (2, 3))
+        )
+
+    def test_rz_commutes_with_cx_control(self):
+        assert instructions_commute(
+            Instruction(RZGate(0.3), (0,)), Instruction(CXGate(), (0, 1))
+        )
+
+    def test_rz_does_not_commute_with_cx_target(self):
+        assert not instructions_commute(
+            Instruction(RZGate(0.3), (1,)), Instruction(CXGate(), (0, 1))
+        )
+
+    def test_x_commutes_with_cx_target(self):
+        assert instructions_commute(
+            Instruction(XGate(), (1,)), Instruction(CXGate(), (0, 1))
+        )
+
+    def test_cz_gates_commute_with_each_other(self):
+        assert instructions_commute(
+            Instruction(CZGate(), (0, 1)), Instruction(CZGate(), (1, 2))
+        )
+
+    def test_overlapping_cx_do_not_commute(self):
+        assert not instructions_commute(
+            Instruction(CXGate(), (0, 1)), Instruction(CXGate(), (1, 2))
+        )
+
+
+class TestCommutativeCancellation:
+    def run_pass(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        return CommutativeCancellation().run(circuit, PropertySet())
+
+    def test_adjacent_inverse_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        assert len(self.run_pass(circuit)) == 0
+
+    def test_pair_separated_by_commuting_gate_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.7, 0)  # commutes with the CX control
+        circuit.cx(0, 1)
+        result = self.run_pass(circuit)
+        assert result.count_ops() == {"rz": 1}
+
+    def test_pair_blocked_by_non_commuting_gate_survives(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.x(0)  # does not commute with the CX control
+        circuit.cx(0, 1)
+        result = self.run_pass(circuit)
+        assert result.count_ops().get("cx") == 2
+
+    def test_swap_pair_separated_by_unrelated_gate_cancels(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1)
+        circuit.cx(1, 2)
+        circuit.swap(0, 1)
+        # CX(1,2) does not commute with SWAP(0,1): they share qubit 1 and
+        # exchanging it matters, so the SWAPs must survive.
+        result = self.run_pass(circuit)
+        assert result.count_ops().get("swap") == 2
+
+    def test_swap_pair_on_untouched_qubits_cancels(self):
+        circuit = QuantumCircuit(4)
+        circuit.swap(0, 1)
+        circuit.cx(2, 3)
+        circuit.swap(0, 1)
+        result = self.run_pass(circuit)
+        assert "swap" not in result.count_ops()
+
+    def test_rotation_inverse_pair_cancels(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.4, 0)
+        circuit.rz(-0.4, 0)
+        assert len(self.run_pass(circuit)) == 0
+
+    def test_property_records_cancelled_count(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        properties = PropertySet()
+        CommutativeCancellation().run(circuit, properties)
+        assert properties["commutative_cancelled"] == 2
+
+    def test_barriers_block_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        result = self.run_pass(circuit)
+        assert result.count_ops().get("cx") == 2
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_pass_preserves_circuit_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = QuantumCircuit(3)
+        for _ in range(12):
+            kind = rng.integers(4)
+            if kind == 0:
+                circuit.rz(float(rng.uniform(-np.pi, np.pi)), int(rng.integers(3)))
+            elif kind == 1:
+                circuit.h(int(rng.integers(3)))
+            elif kind == 2:
+                a, b = rng.choice(3, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+            else:
+                a, b = rng.choice(3, size=2, replace=False)
+                circuit.cz(int(a), int(b))
+        optimized = self.run_pass(circuit)
+        fidelity = hilbert_schmidt_fidelity(circuit.to_unitary(), optimized.to_unitary())
+        assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+
+class TestBasicRouting:
+    def route(self, circuit: QuantumCircuit, device: CouplingMap):
+        properties = PropertySet()
+        TrivialLayout(device).run(circuit, properties)
+        routed = BasicRouting(device).run(circuit, properties)
+        return routed, properties
+
+    def test_adjacent_gate_needs_no_swaps(self):
+        device = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        routed, properties = self.route(circuit, device)
+        assert properties["routing_swaps"] == 0
+        assert routed.swap_count(induced_only=True) == 0
+
+    def test_distant_gate_inserts_path_swaps(self):
+        device = CouplingMap.line(5)
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        routed, properties = self.route(circuit, device)
+        assert properties["routing_swaps"] == 3
+        # After routing every 2Q gate acts on coupled qubits.
+        for instruction in routed:
+            if instruction.is_two_qubit:
+                assert device.has_edge(*instruction.qubits)
+
+    def test_single_qubit_gates_pass_through(self):
+        device = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.h(2)
+        routed, _ = self.route(circuit, device)
+        assert routed.count_ops() == {"h": 1}
+
+    def test_final_layout_tracks_swaps(self):
+        device = CouplingMap.line(4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        _, properties = self.route(circuit, device)
+        final = properties["final_layout"]
+        initial = properties["layout"]
+        assert final.to_dict() != initial.to_dict()
+
+    def test_basic_routing_available_via_transpile(self):
+        device = get_topology("Square-Lattice", scale="small")
+        circuit = build_workload("QFT", 8)
+        result = transpile(circuit, device, basis_name="cx", routing_method="basic")
+        assert result.metrics.total_swaps > 0
+
+    def test_sabre_not_worse_than_basic_on_average(self):
+        """The ablation claim: the lookahead router uses no more SWAPs than the naive one."""
+        device = get_topology("Square-Lattice", scale="small")
+        circuit = build_workload("QuantumVolume", 12, seed=5)
+        basic = transpile(circuit, device, basis_name="cx", routing_method="basic")
+        sabre = transpile(circuit, device, basis_name="cx", routing_method="sabre")
+        assert sabre.metrics.total_swaps <= basic.metrics.total_swaps * 1.5
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_routed_circuit_preserves_two_qubit_gate_count(self, seed):
+        device = get_topology("Heavy-Hex", scale="small")
+        circuit = build_workload("QuantumVolume", 8, seed=seed)
+        properties = PropertySet()
+        TrivialLayout(device).run(circuit, properties)
+        routed = BasicRouting(device).run(circuit, properties)
+        original_2q = circuit.two_qubit_gate_count()
+        routed_non_swap = sum(
+            1 for inst in routed if inst.is_two_qubit and not (inst.name == "swap" and inst.induced)
+        )
+        assert routed_non_swap == original_2q

@@ -1,0 +1,56 @@
+"""Tests for the Layout object."""
+
+import pytest
+
+from repro.transpiler import Layout
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = Layout.trivial(3)
+        assert layout[0] == 0 and layout[2] == 2
+        assert len(layout) == 3
+
+    def test_from_physical_list(self):
+        layout = Layout.from_physical_list([5, 2, 7])
+        assert layout[0] == 5 and layout[1] == 2 and layout[2] == 7
+        assert layout.virtual(7) == 2
+
+    def test_assign_conflict(self):
+        layout = Layout({0: 1})
+        with pytest.raises(ValueError):
+            layout.assign(1, 1)
+
+    def test_reassign_virtual_frees_old_physical(self):
+        layout = Layout({0: 1})
+        layout.assign(0, 3)
+        assert layout.virtual(1) is None
+        assert layout[0] == 3
+
+    def test_contains_and_lists(self):
+        layout = Layout({0: 4, 1: 2})
+        assert 0 in layout and 5 not in layout
+        assert layout.virtual_qubits() == [0, 1]
+        assert layout.physical_qubits() == [2, 4]
+
+    def test_copy_independent(self):
+        layout = Layout({0: 0, 1: 1})
+        clone = layout.copy()
+        clone.swap_physical(0, 1)
+        assert layout[0] == 0 and clone[0] == 1
+
+    def test_swap_physical_both_occupied(self):
+        layout = Layout({0: 0, 1: 1})
+        layout.swap_physical(0, 1)
+        assert layout[0] == 1 and layout[1] == 0
+
+    def test_swap_physical_one_empty(self):
+        layout = Layout({0: 0})
+        layout.swap_physical(0, 5)
+        assert layout[0] == 5
+        assert layout.virtual(0) is None
+
+    def test_equality_and_to_dict(self):
+        assert Layout({0: 1}) == Layout({0: 1})
+        assert Layout({0: 1}) != Layout({0: 2})
+        assert Layout({0: 1}).to_dict() == {0: 1}

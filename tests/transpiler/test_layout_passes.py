@@ -1,0 +1,87 @@
+"""Tests for the layout-selection passes."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.topology import CouplingMap, square_lattice, tree_topology
+from repro.transpiler import (
+    DenseLayout,
+    InteractionGraphLayout,
+    PropertySet,
+    TrivialLayout,
+)
+from repro.workloads import ghz_circuit, quantum_volume_circuit
+
+
+class TestTrivialLayout:
+    def test_identity_mapping(self, grid_4x4):
+        properties = PropertySet()
+        circuit = ghz_circuit(5)
+        TrivialLayout(grid_4x4).run(circuit, properties)
+        layout = properties["layout"]
+        assert all(layout[q] == q for q in range(5))
+
+    def test_rejects_oversized_circuit(self, grid_4x4):
+        with pytest.raises(ValueError):
+            TrivialLayout(grid_4x4).run(QuantumCircuit(17), PropertySet())
+
+
+class TestDenseLayout:
+    def test_layout_covers_all_virtual_qubits(self, grid_4x4):
+        properties = PropertySet()
+        circuit = quantum_volume_circuit(8, seed=1)
+        DenseLayout(grid_4x4).run(circuit, properties)
+        layout = properties["layout"]
+        assert sorted(layout.virtual_qubits()) == list(range(8))
+        assert len(set(layout.physical_qubits())) == 8
+
+    def test_chosen_subset_is_connected(self, grid_4x4):
+        properties = PropertySet()
+        DenseLayout(grid_4x4).run(quantum_volume_circuit(6, seed=0), properties)
+        physical = properties["layout"].physical_qubits()
+        assert grid_4x4.subgraph(physical).is_connected()
+
+    def test_dense_layout_prefers_high_degree_region(self, tree_20q):
+        # The Tree's router qubits (0-3) have the highest connectivity; a
+        # 5-qubit dense layout should include at least some of them.
+        properties = PropertySet()
+        DenseLayout(tree_20q).run(quantum_volume_circuit(5, seed=2), properties)
+        physical = set(properties["layout"].physical_qubits())
+        assert physical & {0, 1, 2, 3}
+
+    def test_rejects_oversized_circuit(self, grid_4x4):
+        with pytest.raises(ValueError):
+            DenseLayout(grid_4x4).run(QuantumCircuit(20), PropertySet())
+
+    def test_records_coupling_map(self, grid_4x4):
+        properties = PropertySet()
+        DenseLayout(grid_4x4).run(ghz_circuit(4), properties)
+        assert properties["coupling_map"] is grid_4x4
+
+
+class TestInteractionGraphLayout:
+    def test_all_virtual_qubits_placed(self, grid_4x4):
+        properties = PropertySet()
+        circuit = quantum_volume_circuit(7, seed=3)
+        InteractionGraphLayout(grid_4x4, seed=1).run(circuit, properties)
+        layout = properties["layout"]
+        assert len(layout) == 7
+        assert len(set(layout.physical_qubits())) == 7
+
+    def test_chain_circuit_placed_along_adjacent_qubits(self):
+        # A GHZ chain on a line topology should require mostly adjacent
+        # placements when using the interaction-aware layout.
+        line = CouplingMap.line(8)
+        properties = PropertySet()
+        circuit = ghz_circuit(8)
+        InteractionGraphLayout(line, seed=0).run(circuit, properties)
+        layout = properties["layout"]
+        distance = line.distance_matrix()
+        total = sum(
+            distance[layout[q], layout[q + 1]] for q in range(7)
+        )
+        assert total <= 14  # worst case would be far larger for random placement
+
+    def test_oversized_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionGraphLayout(CouplingMap.line(3)).run(QuantumCircuit(4), PropertySet())

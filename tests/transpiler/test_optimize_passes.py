@@ -1,0 +1,68 @@
+"""Tests for the clean-up passes and the multi-qubit expansion pass."""
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit
+from repro.simulator import circuits_equivalent
+from repro.transpiler import DecomposeMultiQubit, Optimize1qGates, PropertySet, RemoveBarriers
+
+
+class TestOptimize1qGates:
+    def test_merges_adjacent_rotations(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.2, 0).rz(0.3, 0).rz(0.4, 0)
+        optimized = Optimize1qGates().run(circuit, PropertySet())
+        assert optimized.size() == 1
+        assert circuits_equivalent(circuit, optimized)
+
+    def test_drops_identity_runs(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).x(0)
+        optimized = Optimize1qGates().run(circuit, PropertySet())
+        assert optimized.size() == 0
+
+    def test_preserves_semantics_across_2q_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rz(0.3, 0).cx(0, 1).h(1).h(1).rx(0.2, 0)
+        optimized = Optimize1qGates().run(circuit, PropertySet())
+        assert circuits_equivalent(circuit, optimized)
+        assert optimized.two_qubit_gate_count() == 1
+
+    def test_does_not_merge_across_two_qubit_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.2, 0).cx(0, 1).rz(0.3, 0)
+        optimized = Optimize1qGates().run(circuit, PropertySet())
+        # One merged gate before and one after the CX.
+        assert optimized.size() == 3
+
+
+class TestRemoveBarriers:
+    def test_barriers_removed(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().cx(0, 1).barrier()
+        stripped = RemoveBarriers().run(circuit, PropertySet())
+        assert "barrier" not in stripped.count_ops()
+        assert stripped.size() == 2
+
+
+class TestDecomposeMultiQubit:
+    def test_toffoli_expanded_to_two_qubit_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        expanded = DecomposeMultiQubit().run(circuit, PropertySet())
+        assert all(inst.num_qubits <= 2 for inst in expanded)
+        assert circuits_equivalent(circuit, expanded)
+
+    def test_expansion_preserves_qubit_mapping(self):
+        circuit = QuantumCircuit(5)
+        circuit.ccx(4, 2, 0)
+        expanded = DecomposeMultiQubit().run(circuit, PropertySet())
+        touched = {q for inst in expanded for q in inst.qubits}
+        assert touched == {0, 2, 4}
+        assert circuits_equivalent(circuit, expanded)
+
+    def test_two_qubit_only_circuit_returned_unchanged(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        expanded = DecomposeMultiQubit().run(circuit, PropertySet())
+        assert expanded is circuit

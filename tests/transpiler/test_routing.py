@@ -1,0 +1,139 @@
+"""Tests for the routing passes."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.topology import CouplingMap, hypercube, square_lattice
+from repro.transpiler import (
+    DenseLayout,
+    PropertySet,
+    SabreRouting,
+    StochasticRouting,
+    TrivialLayout,
+)
+from repro.workloads import qaoa_vanilla_circuit, quantum_volume_circuit
+
+
+def _route(circuit, coupling_map, router_cls, layout_cls=TrivialLayout, seed=0):
+    properties = PropertySet()
+    layout_cls(coupling_map).run(circuit, properties)
+    router = router_cls(coupling_map, seed=seed)
+    routed = router.run(circuit, properties)
+    return routed, properties
+
+
+def _assert_all_2q_on_edges(routed, coupling_map):
+    for instruction in routed:
+        if instruction.is_two_qubit:
+            assert coupling_map.has_edge(*instruction.qubits), instruction
+
+
+def _non_swap_two_qubit_count(circuit):
+    return sum(
+        1 for inst in circuit if inst.is_two_qubit and not (inst.name == "swap" and inst.induced)
+    )
+
+
+class TestSabreRouting:
+    @pytest.mark.parametrize("router_cls", [SabreRouting, StochasticRouting])
+    def test_adjacent_gates_need_no_swaps(self, router_cls):
+        line = CouplingMap.line(4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(1, 2).cx(2, 3)
+        routed, properties = _route(circuit, line, router_cls)
+        assert properties["routing_swaps"] == 0
+        assert routed.two_qubit_gate_count() == 3
+
+    @pytest.mark.parametrize("router_cls", [SabreRouting, StochasticRouting])
+    def test_distant_gate_requires_swaps(self, router_cls):
+        line = CouplingMap.line(5)
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        routed, properties = _route(circuit, line, router_cls)
+        assert properties["routing_swaps"] >= 3
+        _assert_all_2q_on_edges(routed, line)
+
+    @pytest.mark.parametrize("router_cls", [SabreRouting, StochasticRouting])
+    def test_all_gates_routed_onto_edges(self, router_cls):
+        lattice = square_lattice(4, 4)
+        circuit = quantum_volume_circuit(10, seed=4)
+        routed, _ = _route(circuit, lattice, router_cls, layout_cls=DenseLayout)
+        _assert_all_2q_on_edges(routed, lattice)
+
+    @pytest.mark.parametrize("router_cls", [SabreRouting, StochasticRouting])
+    def test_gate_count_preserved(self, router_cls):
+        lattice = square_lattice(4, 4)
+        circuit = quantum_volume_circuit(9, seed=5)
+        routed, _ = _route(circuit, lattice, router_cls, layout_cls=DenseLayout)
+        assert _non_swap_two_qubit_count(routed) == circuit.two_qubit_gate_count()
+
+    def test_single_qubit_gates_pass_through(self):
+        line = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2).cx(0, 2)
+        routed, _ = _route(circuit, line, SabreRouting)
+        assert routed.count_ops().get("h", 0) == 3
+
+    def test_swaps_marked_induced(self):
+        line = CouplingMap.line(5)
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        routed, _ = _route(circuit, line, SabreRouting)
+        assert routed.swap_count(induced_only=True) == routed.swap_count()
+
+    def test_output_on_physical_register(self):
+        lattice = square_lattice(4, 4)
+        circuit = quantum_volume_circuit(6, seed=6)
+        routed, _ = _route(circuit, lattice, SabreRouting, layout_cls=DenseLayout)
+        assert routed.num_qubits == 16
+
+    def test_final_layout_tracks_swaps(self):
+        line = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        routed, properties = _route(circuit, line, SabreRouting)
+        initial = properties["layout"]
+        final = properties["final_layout"]
+        assert initial != final or properties["routing_swaps"] == 0
+
+    def test_deterministic_for_fixed_seed(self):
+        lattice = square_lattice(4, 4)
+        circuit = quantum_volume_circuit(8, seed=7)
+        first, _ = _route(circuit, lattice, SabreRouting, layout_cls=DenseLayout, seed=3)
+        second, _ = _route(circuit, lattice, SabreRouting, layout_cls=DenseLayout, seed=3)
+        assert [i.qubits for i in first] == [i.qubits for i in second]
+
+    def test_richer_topology_needs_fewer_swaps(self):
+        """Observation 2 of the paper: higher connectivity -> fewer SWAPs."""
+        circuit = qaoa_vanilla_circuit(12, seed=1)
+        lattice = square_lattice(4, 4)
+        cube = hypercube(4)
+        _, lattice_props = _route(circuit, lattice, SabreRouting, layout_cls=DenseLayout)
+        _, cube_props = _route(circuit, cube, SabreRouting, layout_cls=DenseLayout)
+        assert cube_props["routing_swaps"] <= lattice_props["routing_swaps"]
+
+
+class TestStochasticRouting:
+    def test_trials_pick_best(self):
+        lattice = square_lattice(4, 4)
+        circuit = quantum_volume_circuit(8, seed=9)
+        properties = PropertySet()
+        DenseLayout(lattice).run(circuit, properties)
+        single = StochasticRouting(lattice, seed=0, trials=1)
+        multi = StochasticRouting(lattice, seed=0, trials=5)
+        single.run(circuit, PropertySet(properties))
+        swaps_single = StochasticRouting(lattice, seed=0, trials=1).run(
+            circuit, PropertySet(properties)
+        ).swap_count(induced_only=True)
+        swaps_multi = multi.run(circuit, PropertySet(properties)).swap_count(induced_only=True)
+        assert swaps_multi <= swaps_single
+
+    def test_routed_circuit_recorded_in_properties(self):
+        line = CouplingMap.line(4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        properties = PropertySet()
+        TrivialLayout(line).run(circuit, properties)
+        routed = StochasticRouting(line, seed=1).run(circuit, properties)
+        assert properties["routed_circuit"] is routed
+        assert properties["routing_swaps"] == routed.swap_count(induced_only=True)

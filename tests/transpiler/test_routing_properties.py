@@ -1,0 +1,116 @@
+"""Property-based tests of routing invariants.
+
+Whatever circuit and topology the router is given, its output must
+(1) keep every two-qubit gate on a coupled pair, (2) preserve the
+multiset of non-SWAP gates, and (3) implement the same permutation-adjusted
+computation.  These are the invariants every metric in the paper rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.gates import RZZGate
+from repro.topology import CouplingMap, corral_topology, hypercube, square_lattice, tree_topology
+from repro.transpiler import DenseLayout, PropertySet, SabreRouting, StochasticRouting
+
+TOPOLOGIES = [
+    CouplingMap.line(8, name="line"),
+    CouplingMap.ring(9, name="ring"),
+    square_lattice(3, 3),
+    hypercube(3),
+    tree_topology(levels=2, arity=3),
+    corral_topology(6, (1, 1)),
+]
+
+
+def _random_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        kind = rng.integers(3)
+        if kind == 0:
+            circuit.rx(float(rng.uniform(0, np.pi)), int(rng.integers(num_qubits)))
+        elif kind == 1:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.append(RZZGate(float(rng.uniform(0, np.pi))), (int(a), int(b)))
+    return circuit
+
+
+def _route(circuit, coupling_map, router_cls, seed):
+    properties = PropertySet()
+    DenseLayout(coupling_map).run(circuit, properties)
+    routed = router_cls(coupling_map, seed=seed).run(circuit, properties)
+    return routed, properties
+
+
+@pytest.mark.parametrize("router_cls", [SabreRouting, StochasticRouting])
+class TestRoutingInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        topology_index=st.integers(0, len(TOPOLOGIES) - 1),
+        num_gates=st.integers(1, 40),
+    )
+    def test_invariants_hold(self, router_cls, seed, topology_index, num_gates):
+        coupling_map = TOPOLOGIES[topology_index]
+        num_virtual = min(6, coupling_map.num_qubits)
+        circuit = _random_circuit(num_virtual, num_gates, seed)
+        routed, properties = _route(circuit, coupling_map, router_cls, seed)
+
+        # (1) every 2Q gate acts on coupled physical qubits
+        for instruction in routed:
+            if instruction.is_two_qubit:
+                assert coupling_map.has_edge(*instruction.qubits)
+
+        # (2) the non-SWAP gate multiset is preserved
+        original_names = sorted(
+            inst.name for inst in circuit if inst.name != "barrier"
+        )
+        routed_names = sorted(
+            inst.name
+            for inst in routed
+            if inst.name != "barrier" and not (inst.name == "swap" and inst.induced)
+        )
+        assert routed_names == original_names
+
+        # (3) the reported SWAP count matches the circuit content
+        assert properties["routing_swaps"] == routed.swap_count(induced_only=True)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_routed_semantics_on_line(self, router_cls, seed):
+        """Routed circuit equals the original up to the tracked permutation."""
+        from repro.simulator import StatevectorSimulator, statevector
+
+        coupling_map = CouplingMap.line(5)
+        circuit = _random_circuit(4, 10, seed)
+        routed, properties = _route(circuit, coupling_map, router_cls, seed)
+        final_layout = properties["final_layout"]
+        reference = statevector(circuit)
+        physical_state = StatevectorSimulator(max_qubits=5).run(routed)
+        # Undo the virtual -> physical permutation encoded by the layout.
+        recovered = np.zeros_like(reference)
+        for index, amplitude in enumerate(physical_state):
+            if abs(amplitude) < 1e-12:
+                continue
+            virtual_index = 0
+            keep = True
+            for physical in range(coupling_map.num_qubits):
+                bit = (index >> physical) & 1
+                virtual = final_layout.virtual(physical)
+                if virtual is None or virtual >= circuit.num_qubits:
+                    if bit:
+                        keep = False
+                        break
+                    continue
+                virtual_index |= bit << virtual
+            if keep:
+                recovered[virtual_index] += amplitude
+        fidelity = abs(np.vdot(recovered, reference))
+        assert fidelity == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,207 @@
+"""Tests for gate-duration models and ASAP/ALAP scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+from repro.gates import CXGate, HGate, NthRootISwapGate, SqrtISwapGate, SwapGate
+from repro.transpiler.scheduling import (
+    GateDurations,
+    Schedule,
+    critical_path_duration,
+    schedule_alap,
+    schedule_asap,
+)
+from repro.workloads import build_workload
+
+
+def layered_circuit() -> QuantumCircuit:
+    """Two parallel CX layers plus a dependent third gate."""
+    circuit = QuantumCircuit(4, name="layered")
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    circuit.cx(1, 2)
+    return circuit
+
+
+class TestGateDurations:
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            GateDurations(one_qubit=-1.0)
+        with pytest.raises(ValueError):
+            GateDurations(two_qubit_default=0.0)
+        with pytest.raises(ValueError):
+            GateDurations(by_name={"cx": -5.0})
+
+    def test_presets_exist_for_all_modulators(self):
+        for modulator in ("snail", "CR", "FSIM"):
+            durations = GateDurations.for_modulator(modulator)
+            assert durations.two_qubit_default > 0.0
+
+    def test_unknown_modulator_raises(self):
+        with pytest.raises(ValueError):
+            GateDurations.for_modulator("laser")
+
+    def test_nth_root_iswap_scales_inversely_with_n(self):
+        durations = GateDurations(iswap_full=400.0)
+        full = durations.duration_of(Instruction(NthRootISwapGate(1), (0, 1)))
+        half = durations.duration_of(Instruction(NthRootISwapGate(2), (0, 1)))
+        quarter = durations.duration_of(Instruction(NthRootISwapGate(4), (0, 1)))
+        assert full == pytest.approx(400.0)
+        assert half == pytest.approx(200.0)
+        assert quarter == pytest.approx(100.0)
+
+    def test_by_name_override_wins(self):
+        durations = GateDurations(by_name={"cx": 123.0})
+        assert durations.duration_of(Instruction(CXGate(), (0, 1))) == pytest.approx(123.0)
+
+    def test_one_qubit_duration(self):
+        durations = GateDurations(one_qubit=17.0)
+        assert durations.duration_of(Instruction(HGate(), (0,))) == pytest.approx(17.0)
+
+    def test_barrier_is_free(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        (barrier,) = circuit.instructions
+        assert GateDurations().duration_of(barrier) == 0.0
+
+    def test_snail_preset_siswap_is_half_iswap(self):
+        durations = GateDurations.snail()
+        siswap = durations.duration_of(Instruction(SqrtISwapGate(), (0, 1)))
+        iswap = durations.duration_of(Instruction(NthRootISwapGate(1), (0, 1)))
+        assert siswap == pytest.approx(iswap / 2.0)
+
+
+class TestAsapSchedule:
+    def test_parallel_gates_start_together(self):
+        schedule = schedule_asap(layered_circuit(), GateDurations(two_qubit_default=100.0))
+        starts = [t.start for t in schedule.timed_instructions]
+        assert starts[0] == pytest.approx(0.0)
+        assert starts[1] == pytest.approx(0.0)
+        assert starts[2] == pytest.approx(100.0)
+
+    def test_total_duration_equals_critical_path(self):
+        durations = GateDurations(two_qubit_default=100.0)
+        circuit = layered_circuit()
+        schedule = schedule_asap(circuit, durations)
+        assert schedule.total_duration() == pytest.approx(
+            critical_path_duration(circuit, durations)
+        )
+
+    def test_empty_circuit_has_zero_duration(self):
+        schedule = schedule_asap(QuantumCircuit(2), GateDurations())
+        assert schedule.total_duration() == 0.0
+        assert schedule.average_parallelism() == 0.0
+        assert schedule.utilisation() == 0.0
+
+    def test_busy_plus_idle_equals_makespan(self):
+        circuit = build_workload("GHZ", 5)
+        durations = GateDurations.snail()
+        schedule = schedule_asap(circuit, durations)
+        for qubit in range(circuit.num_qubits):
+            total = schedule.qubit_busy_time(qubit) + schedule.qubit_idle_time(qubit)
+            assert total == pytest.approx(schedule.total_duration())
+
+    def test_swap_heavier_than_cx_under_cr_preset(self):
+        durations = GateDurations.cross_resonance()
+        swap = durations.duration_of(Instruction(SwapGate(), (0, 1)))
+        cx = durations.duration_of(Instruction(CXGate(), (0, 1)))
+        assert swap == pytest.approx(3 * cx)
+
+
+class TestAlapSchedule:
+    def test_same_makespan_as_asap(self):
+        circuit = build_workload("QFT", 5)
+        durations = GateDurations.snail()
+        asap = schedule_asap(circuit, durations)
+        alap = schedule_alap(circuit, durations)
+        assert alap.total_duration() == pytest.approx(asap.total_duration())
+
+    def test_alap_starts_never_earlier_than_asap(self):
+        circuit = layered_circuit()
+        durations = GateDurations(two_qubit_default=50.0)
+        asap = {id(t.instruction): t.start for t in schedule_asap(circuit, durations).timed_instructions}
+        for timed in schedule_alap(circuit, durations).timed_instructions:
+            assert timed.start >= asap[id(timed.instruction)] - 1e-9
+
+    def test_final_gate_is_pushed_to_the_end(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        durations = GateDurations(one_qubit=10.0, two_qubit_default=100.0)
+        alap = schedule_alap(circuit, durations)
+        h_timing = [t for t in alap.timed_instructions if t.instruction.name == "h"][0]
+        assert h_timing.stop == pytest.approx(alap.total_duration())
+
+
+class TestScheduleMetrics:
+    def test_average_parallelism_of_parallel_layer(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        schedule = schedule_asap(circuit, GateDurations(two_qubit_default=100.0))
+        assert schedule.average_parallelism() == pytest.approx(2.0)
+
+    def test_utilisation_bounds(self):
+        circuit = build_workload("QuantumVolume", 6, seed=3)
+        schedule = schedule_asap(circuit, GateDurations.snail())
+        assert 0.0 < schedule.utilisation() <= 1.0
+
+    def test_two_qubit_duration_counts_only_2q(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        durations = GateDurations(one_qubit=10.0, two_qubit_default=100.0)
+        schedule = schedule_asap(circuit, durations)
+        assert schedule.two_qubit_duration() == pytest.approx(100.0)
+
+    def test_timeline_peaks_match_parallelism(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        schedule = schedule_asap(circuit, GateDurations(two_qubit_default=100.0))
+        assert schedule.timeline(resolution=50).max() == pytest.approx(2.0)
+
+    def test_repr_and_len(self):
+        circuit = layered_circuit()
+        schedule = schedule_asap(circuit, GateDurations())
+        assert len(schedule) == 3
+
+
+class TestScheduleProperties:
+    @given(seed=st.integers(min_value=0, max_value=200), width=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_no_qubit_overlap_in_asap_schedule(self, seed, width):
+        circuit = build_workload("QuantumVolume", width, seed=seed)
+        schedule = schedule_asap(circuit, GateDurations.snail())
+        per_qubit = {q: [] for q in range(width)}
+        for timed in schedule.timed_instructions:
+            for qubit in timed.instruction.qubits:
+                per_qubit[qubit].append((timed.start, timed.stop))
+        for intervals in per_qubit.values():
+            intervals.sort()
+            for (start_a, stop_a), (start_b, _) in zip(intervals, intervals[1:]):
+                assert start_b >= stop_a - 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_alap_preserves_dependency_order(self, seed):
+        circuit = build_workload("QuantumVolume", 5, seed=seed)
+        schedule = schedule_alap(circuit, GateDurations.snail())
+        last_stop = {q: -np.inf for q in range(circuit.num_qubits)}
+        for timed in schedule.timed_instructions:
+            for qubit in timed.instruction.qubits:
+                assert timed.start >= last_stop[qubit] - 1e-9
+            for qubit in timed.instruction.qubits:
+                last_stop[qubit] = max(last_stop[qubit], timed.stop)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_at_least_any_single_qubit_busy_time(self, seed):
+        circuit = build_workload("QAOAVanilla", 6, seed=seed)
+        schedule = schedule_asap(circuit, GateDurations.cross_resonance())
+        for qubit in range(circuit.num_qubits):
+            assert schedule.total_duration() >= schedule.qubit_busy_time(qubit) - 1e-9

@@ -1,0 +1,124 @@
+"""Tests for the VF2 perfect-layout pass."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.topology import CouplingMap, get_topology
+from repro.transpiler import transpile
+from repro.transpiler.passmanager import PropertySet
+from repro.transpiler.passes.vf2_layout import VF2Layout, interaction_graph
+from repro.workloads import build_workload
+
+
+def line_circuit(num_qubits: int) -> QuantumCircuit:
+    """Nearest-neighbour CX chain: embeds into anything with a Hamiltonian path."""
+    circuit = QuantumCircuit(num_qubits, name="line")
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def star_circuit(num_spokes: int) -> QuantumCircuit:
+    """Qubit 0 interacts with every other qubit: needs a hub of matching degree."""
+    circuit = QuantumCircuit(num_spokes + 1, name="star")
+    for spoke in range(1, num_spokes + 1):
+        circuit.cx(0, spoke)
+    return circuit
+
+
+class TestInteractionGraph:
+    def test_nodes_cover_all_qubits(self):
+        graph = interaction_graph(line_circuit(5))
+        assert set(graph.nodes()) == set(range(5))
+
+    def test_edge_weights_count_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        circuit.cx(1, 2)
+        graph = interaction_graph(circuit)
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+
+    def test_single_qubit_gates_create_no_edges(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(1)
+        assert interaction_graph(circuit).number_of_edges() == 0
+
+
+class TestVF2Layout:
+    def test_line_embeds_into_ring(self):
+        device = CouplingMap.ring(6)
+        properties = PropertySet()
+        VF2Layout(device).run(line_circuit(5), properties)
+        assert properties["perfect_layout"] is True
+        layout = properties["layout"]
+        for qubit in range(4):
+            assert device.has_edge(layout[qubit], layout[qubit + 1])
+
+    def test_star_does_not_embed_into_line(self):
+        device = CouplingMap.line(6)
+        properties = PropertySet()
+        VF2Layout(device).run(star_circuit(4), properties)
+        assert properties["perfect_layout"] is False
+        # Fallback still produced a usable layout.
+        assert "layout" in properties
+
+    def test_strict_mode_raises_when_no_embedding(self):
+        device = CouplingMap.line(6)
+        with pytest.raises(RuntimeError):
+            VF2Layout(device, strict=True).run(star_circuit(4), PropertySet())
+
+    def test_circuit_larger_than_device_raises(self):
+        with pytest.raises(ValueError):
+            VF2Layout(CouplingMap.line(3)).run(line_circuit(5), PropertySet())
+
+    def test_gateless_circuit_gets_trivial_layout(self):
+        device = CouplingMap.line(4)
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        properties = PropertySet()
+        VF2Layout(device).run(circuit, properties)
+        assert properties["perfect_layout"] is True
+        assert len(properties["layout"]) == 3
+
+    def test_unused_qubits_receive_seats(self):
+        # Only qubits 1 and 2 interact; qubit 0 is idle but still needs a seat.
+        device = CouplingMap.line(4)
+        circuit = QuantumCircuit(3)
+        circuit.cx(1, 2)
+        properties = PropertySet()
+        VF2Layout(device).run(circuit, properties)
+        layout = properties["layout"]
+        physical = [layout[q] for q in range(3)]
+        assert len(set(physical)) == 3
+
+    def test_star_embeds_into_corral(self):
+        """The paper's observation: rich SNAIL topologies admit SWAP-free layouts."""
+        device = get_topology("Corral1,1", scale="small")
+        properties = PropertySet()
+        VF2Layout(device).run(star_circuit(4), properties)
+        assert properties["perfect_layout"] is True
+
+
+class TestVF2InTranspileFlow:
+    def test_vf2_layout_method_available(self):
+        device = get_topology("Corral1,2", scale="small")
+        circuit = build_workload("GHZ", 8)
+        result = transpile(circuit, device, basis_name="siswap", layout_method="vf2")
+        assert result.metrics.total_2q > 0
+
+    def test_perfect_embedding_needs_zero_swaps(self):
+        device = get_topology("Corral1,1", scale="small")
+        circuit = line_circuit(8)
+        result = transpile(circuit, device, basis_name="siswap", layout_method="vf2")
+        assert result.properties.get("perfect_layout") is True
+        assert result.metrics.total_swaps == 0
+
+    def test_vf2_never_worse_than_dense_on_swap_free_cases(self):
+        device = get_topology("Hypercube", scale="small")
+        circuit = line_circuit(10)
+        vf2 = transpile(circuit, device, basis_name="siswap", layout_method="vf2")
+        dense = transpile(circuit, device, basis_name="siswap", layout_method="dense")
+        assert vf2.metrics.total_swaps <= dense.metrics.total_swaps

@@ -1,0 +1,134 @@
+"""Tests for the extension workloads (Bernstein-Vazirani, VQE ansatz, W state)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.statevector import StatevectorSimulator
+from repro.topology import get_topology
+from repro.transpiler import transpile
+from repro.workloads import (
+    EXTENSION_WORKLOADS,
+    available_workloads,
+    bernstein_vazirani_circuit,
+    build_workload,
+    hardware_efficient_ansatz,
+    w_state_circuit,
+)
+
+
+class TestBernsteinVazirani:
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(1)
+
+    def test_rejects_wrong_secret_length(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(4, secret=[1, 0])
+
+    def test_rejects_non_binary_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(3, secret=[2, 0])
+
+    def test_recovers_the_secret(self):
+        secret = [1, 0, 1, 1]
+        circuit = bernstein_vazirani_circuit(5, secret=secret)
+        probabilities = StatevectorSimulator().probabilities(circuit)
+        # Data qubits (little-endian bits 0..3) must read the secret with
+        # certainty; trace out the ancilla by summing over its bit.
+        marginals = np.zeros(16)
+        for index, probability in enumerate(probabilities):
+            marginals[index & 0b1111] += probability
+        expected_index = sum(bit << position for position, bit in enumerate(secret))
+        assert marginals[expected_index] == pytest.approx(1.0)
+
+    def test_cx_count_equals_secret_weight(self):
+        circuit = bernstein_vazirani_circuit(6, secret=[1, 1, 0, 1, 0])
+        assert circuit.count_ops().get("cx", 0) == 3
+
+    def test_random_secret_is_deterministic_in_seed(self):
+        first = bernstein_vazirani_circuit(6, seed=9)
+        second = bernstein_vazirani_circuit(6, seed=9)
+        assert first.metadata["secret"] == second.metadata["secret"]
+
+    @given(width=st.integers(min_value=2, max_value=8), seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_star_interaction_pattern(self, width, seed):
+        circuit = bernstein_vazirani_circuit(width, seed=seed)
+        ancilla = width - 1
+        for pair in circuit.two_qubit_interactions():
+            assert ancilla in pair
+
+
+class TestHardwareEfficientAnsatz:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(1)
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(4, layers=0)
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(4, entangler="magic")
+
+    def test_entangling_gate_count_with_ring(self):
+        circuit = hardware_efficient_ansatz(5, layers=3, ring=True)
+        assert circuit.count_ops()["cx"] == 3 * 5
+
+    def test_entangling_gate_count_without_ring(self):
+        circuit = hardware_efficient_ansatz(5, layers=3, ring=False)
+        assert circuit.count_ops()["cx"] == 3 * 4
+
+    def test_siswap_entangler(self):
+        circuit = hardware_efficient_ansatz(4, layers=1, entangler="siswap")
+        assert "siswap" in circuit.count_ops()
+        assert "cx" not in circuit.count_ops()
+
+    def test_rotation_count(self):
+        circuit = hardware_efficient_ansatz(4, layers=2)
+        # (layers + 1) rotation layers, each ry + rz per qubit.
+        assert circuit.count_ops()["ry"] == 3 * 4
+        assert circuit.count_ops()["rz"] == 3 * 4
+
+    def test_angles_deterministic_in_seed(self):
+        a = hardware_efficient_ansatz(4, seed=3)
+        b = hardware_efficient_ansatz(4, seed=3)
+        assert [inst.gate.params for inst in a] == [inst.gate.params for inst in b]
+
+
+class TestWState:
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            w_state_circuit(1)
+
+    @pytest.mark.parametrize("width", [2, 3, 5, 7])
+    def test_prepares_uniform_single_excitation_superposition(self, width):
+        state = StatevectorSimulator().run(w_state_circuit(width))
+        probabilities = np.abs(state) ** 2
+        for index, probability in enumerate(probabilities):
+            if bin(index).count("1") == 1:
+                assert probability == pytest.approx(1.0 / width, abs=1e-9)
+            else:
+                assert probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_qubit_gate_count_is_linear(self):
+        circuit = w_state_circuit(8)
+        assert circuit.two_qubit_gate_count() == 2 * 7
+
+
+class TestRegistryIntegration:
+    def test_extension_workloads_registered(self):
+        names = available_workloads()
+        for name in EXTENSION_WORKLOADS:
+            assert name in names
+
+    @pytest.mark.parametrize("name", EXTENSION_WORKLOADS)
+    def test_build_by_name(self, name):
+        circuit = build_workload(name, 6, seed=1)
+        assert circuit.num_qubits == 6
+
+    @pytest.mark.parametrize("name", EXTENSION_WORKLOADS)
+    def test_extension_workloads_transpile_onto_snail_topology(self, name):
+        device = get_topology("Tree", scale="small")
+        circuit = build_workload(name, 8, seed=2)
+        result = transpile(circuit, device, basis_name="siswap")
+        assert result.metrics.total_2q >= circuit.two_qubit_gate_count() > 0

@@ -1,0 +1,52 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    available_workloads,
+    build_workload,
+    register_workload,
+)
+
+
+class TestRegistry:
+    def test_paper_workloads_all_registered(self):
+        available = available_workloads()
+        for name in PAPER_WORKLOADS:
+            assert name in available
+
+    @pytest.mark.parametrize("name", PAPER_WORKLOADS)
+    def test_build_each_paper_workload(self, name):
+        circuit = build_workload(name, 8, seed=1)
+        assert isinstance(circuit, QuantumCircuit)
+        assert circuit.num_qubits <= 8
+        assert circuit.two_qubit_gate_count() > 0 or circuit.num_nonlocal_gates() > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build_workload("Shor", 8)
+
+    def test_register_custom_workload(self):
+        def builder(num_qubits, seed):
+            circuit = QuantumCircuit(num_qubits, name="custom")
+            circuit.h(0)
+            return circuit
+
+        register_workload("CustomTest", builder)
+        try:
+            circuit = build_workload("CustomTest", 3)
+            assert circuit.name == "custom"
+            with pytest.raises(ValueError):
+                register_workload("CustomTest", builder)
+            register_workload("CustomTest", builder, overwrite=True)
+        finally:
+            from repro.workloads import registry
+
+            registry._BUILDERS.pop("CustomTest", None)
+
+    def test_workloads_scale_with_width(self):
+        small = build_workload("QFT", 6)
+        large = build_workload("QFT", 12)
+        assert large.two_qubit_gate_count() > small.two_qubit_gate_count()

@@ -1,0 +1,207 @@
+"""Tests for the benchmark workload generators (construction + semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import StatevectorSimulator, circuit_unitary, statevector
+from repro.workloads import (
+    adder_circuit_for_width,
+    adder_register_layout,
+    cdkm_adder_circuit,
+    ghz_circuit,
+    qaoa_vanilla_circuit,
+    qft_circuit,
+    qft_unitary,
+    quantum_volume_circuit,
+    sk_couplings,
+    tim_hamiltonian_circuit,
+)
+
+
+class TestQuantumVolume:
+    def test_width_and_layer_structure(self):
+        circuit = quantum_volume_circuit(8, seed=0)
+        assert circuit.num_qubits == 8
+        # depth layers x floor(n/2) SU(4) blocks.
+        assert circuit.two_qubit_gate_count() == 8 * 4
+
+    def test_custom_depth(self):
+        circuit = quantum_volume_circuit(6, depth=3, seed=1)
+        assert circuit.two_qubit_gate_count() == 3 * 3
+
+    def test_odd_width_leaves_one_idle_per_layer(self):
+        circuit = quantum_volume_circuit(5, seed=2)
+        assert circuit.two_qubit_gate_count() == 5 * 2
+
+    def test_seed_reproducibility(self):
+        a = quantum_volume_circuit(4, seed=7)
+        b = quantum_volume_circuit(4, seed=7)
+        assert np.allclose(circuit_unitary(a), circuit_unitary(b))
+
+    def test_different_seeds_differ(self):
+        a = quantum_volume_circuit(4, seed=1)
+        b = quantum_volume_circuit(4, seed=2)
+        assert not np.allclose(circuit_unitary(a), circuit_unitary(b))
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            quantum_volume_circuit(1)
+
+
+class TestQFT:
+    def test_gate_count(self):
+        circuit = qft_circuit(6)
+        counts = circuit.count_ops()
+        assert counts["h"] == 6
+        assert counts["cp"] == 6 * 5 // 2
+
+    def test_qft_with_swaps_matches_dft_matrix(self):
+        for width in (2, 3, 4):
+            circuit = qft_circuit(width, do_swaps=True)
+            assert np.allclose(circuit_unitary(circuit), qft_unitary(width), atol=1e-9)
+
+    def test_qft_without_swaps_is_bit_reversed_dft(self):
+        width = 3
+        circuit = qft_circuit(width, do_swaps=False)
+        with_swaps = qft_circuit(width, do_swaps=True)
+        # Appending the reversal swaps must recover the DFT.
+        for qubit in range(width // 2):
+            circuit.swap(qubit, width - 1 - qubit)
+        assert np.allclose(circuit_unitary(circuit), circuit_unitary(with_swaps), atol=1e-9)
+
+    def test_approximation_drops_small_angles(self):
+        exact = qft_circuit(8)
+        approx = qft_circuit(8, approximation_degree=5)
+        assert approx.two_qubit_gate_count() < exact.two_qubit_gate_count()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestQAOA:
+    def test_fully_connected_interaction_graph(self):
+        circuit = qaoa_vanilla_circuit(6, seed=0)
+        pairs = set(circuit.two_qubit_interactions())
+        assert len(pairs) == 15  # complete graph K6
+
+    def test_couplings_are_plus_minus_one(self):
+        couplings = sk_couplings(5, seed=3)
+        assert set(couplings.values()) <= {-1.0, 1.0}
+        assert len(couplings) == 10
+
+    def test_layers_scale_gate_count(self):
+        one = qaoa_vanilla_circuit(5, layers=1, seed=0)
+        two = qaoa_vanilla_circuit(5, layers=2, seed=0)
+        assert two.two_qubit_gate_count() == 2 * one.two_qubit_gate_count()
+
+    def test_fixed_angles_accepted(self):
+        circuit = qaoa_vanilla_circuit(4, seed=0, gamma=0.3, beta=0.2)
+        assert circuit.num_qubits == 4
+
+    def test_seed_controls_couplings(self):
+        assert sk_couplings(4, seed=1) != sk_couplings(4, seed=2)
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            qaoa_vanilla_circuit(1)
+
+
+class TestTIMHamiltonian:
+    def test_nearest_neighbour_interactions_only(self):
+        circuit = tim_hamiltonian_circuit(7)
+        for pair in circuit.two_qubit_interactions():
+            assert abs(pair[0] - pair[1]) == 1
+
+    def test_trotter_steps_scale_gate_count(self):
+        one = tim_hamiltonian_circuit(6, time_steps=1)
+        three = tim_hamiltonian_circuit(6, time_steps=3)
+        assert three.two_qubit_gate_count() == 3 * one.two_qubit_gate_count()
+
+    def test_zero_field_conserves_z_basis_weight(self):
+        # With h=0 the evolution is diagonal: starting from |0...0> the
+        # state stays |0...0> up to phase.
+        circuit = tim_hamiltonian_circuit(4, field_strength=0.0)
+        # remove the initial Hadamard preparation layer for this check
+        from repro.circuits import QuantumCircuit
+
+        stripped = QuantumCircuit(4)
+        for instruction in list(circuit)[4:]:
+            stripped.append(instruction.gate, instruction.qubits)
+        state = statevector(stripped)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            tim_hamiltonian_circuit(1)
+
+
+class TestAdder:
+    def test_register_layout(self):
+        carry_in, a_reg, b_reg, carry_out = adder_register_layout(3)
+        assert carry_in == 0
+        assert list(a_reg) == [1, 2, 3]
+        assert list(b_reg) == [4, 5, 6]
+        assert carry_out == 7
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (2, 3), (3, 3), (1, 2)])
+    def test_two_bit_addition_is_correct(self, a, b):
+        """Simulate the adder on computational basis states."""
+        num_state = 2
+        circuit = cdkm_adder_circuit(num_state)
+        carry_in, a_reg, b_reg, carry_out = adder_register_layout(num_state)
+        from repro.circuits import QuantumCircuit
+
+        prepared = QuantumCircuit(circuit.num_qubits)
+        for bit, qubit in enumerate(a_reg):
+            if (a >> bit) & 1:
+                prepared.x(qubit)
+        for bit, qubit in enumerate(b_reg):
+            if (b >> bit) & 1:
+                prepared.x(qubit)
+        prepared.compose(circuit)
+        state = statevector(prepared)
+        outcome = int(np.argmax(np.abs(state)))
+        result_bits = sum(((outcome >> q) & 1) << i for i, q in enumerate(b_reg))
+        carry_bit = (outcome >> carry_out) & 1
+        assert result_bits + (carry_bit << num_state) == a + b
+        # The a register must be restored.
+        a_bits = sum(((outcome >> q) & 1) << i for i, q in enumerate(a_reg))
+        assert a_bits == a
+
+    def test_width_helper(self):
+        circuit = adder_circuit_for_width(10)
+        assert circuit.num_qubits == 10
+
+    def test_width_helper_rounds_down(self):
+        assert adder_circuit_for_width(11).num_qubits == 10
+
+    def test_contains_toffolis(self):
+        assert cdkm_adder_circuit(3).count_ops()["ccx"] > 0
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            adder_circuit_for_width(3)
+
+
+class TestGHZ:
+    def test_linear_structure(self):
+        circuit = ghz_circuit(6)
+        assert circuit.count_ops() == {"h": 1, "cx": 5}
+
+    def test_state_is_ghz(self):
+        state = statevector(ghz_circuit(5))
+        assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+        assert abs(state[-1]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_log_depth_variant_same_state(self):
+        linear = statevector(ghz_circuit(6, linear=True))
+        tree = statevector(ghz_circuit(6, linear=False))
+        assert np.allclose(np.abs(linear), np.abs(tree))
+
+    def test_log_depth_variant_is_shallower(self):
+        assert ghz_circuit(8, linear=False).depth() < ghz_circuit(8, linear=True).depth()
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(0)
