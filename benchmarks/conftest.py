@@ -15,8 +15,25 @@ from __future__ import annotations
 
 import json
 import sys
+from pathlib import Path
 
 import pytest
+
+
+_BENCHMARK_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full table/figure: tag them ``slow``.
+
+    The CI per-commit gate runs ``-m "not slow"`` and therefore skips the
+    benchmark tree; the smoke-benchmark and nightly jobs select it
+    explicitly by path.  (This hook sees the whole session's items, so it
+    must only touch the ones that live in this directory.)
+    """
+    for item in items:
+        if _BENCHMARK_DIR in Path(item.fspath).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

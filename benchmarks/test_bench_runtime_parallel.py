@@ -1,0 +1,90 @@
+"""Benchmark: the experiment runtime — result caching and parallel fan-out.
+
+Two claims are exercised on a multi-point sweep (two workloads x three
+sizes x two backends = 12 transpilations):
+
+* a warm :class:`~repro.runtime.ResultCache` serves a repeated sweep at
+  least 2x faster than recomputing it (in practice orders of magnitude),
+  with bit-identical records;
+* a 4-worker process pool produces records bit-identical to the serial
+  loop; its wall-clock ratio is reported (the speedup itself depends on
+  the host's core count, so it is emitted rather than asserted).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import make_backend
+from repro.core.pipeline import run_sweep
+from repro.runtime import ExperimentRunner, ResultCache
+from repro.topology import get_topology
+
+WORKLOADS = ("QuantumVolume", "GHZ")
+SIZES = (8, 10, 12)
+SEED = 11
+
+
+def _backends():
+    return [
+        make_backend(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1-siswap"),
+        make_backend(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex-CX"),
+    ]
+
+
+def _sweep(runner=None):
+    return run_sweep(WORKLOADS, SIZES, _backends(), seed=SEED, runner=runner)
+
+
+def test_bench_runtime_result_cache(benchmark, emit):
+    start = time.perf_counter()
+    serial = _sweep()
+    cold_seconds = time.perf_counter() - start
+
+    runner = ExperimentRunner(parallel=False, result_cache=ResultCache())
+    _sweep(runner)  # populate the cache
+
+    start = time.perf_counter()
+    warm = _sweep(runner)
+    warm_seconds = time.perf_counter() - start
+    benchmark.pedantic(_sweep, args=(runner,), rounds=1, iterations=1)
+
+    assert [r.as_dict() for r in warm] == [r.as_dict() for r in serial]
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    emit(
+        benchmark,
+        "Result-cache speedup on a 12-point sweep",
+        {
+            "points": len(serial),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "speedup": round(speedup, 1),
+            "cache": str(runner.result_cache.stats()),
+        },
+    )
+    # The acceptance bar: a warm runtime beats recomputation by >= 2x.
+    assert speedup >= 2.0
+
+
+def test_bench_runtime_parallel_parity(benchmark, emit):
+    start = time.perf_counter()
+    serial = _sweep()
+    serial_seconds = time.perf_counter() - start
+
+    runner = ExperimentRunner(parallel=True, max_workers=4, result_cache=None)
+    start = time.perf_counter()
+    parallel = _sweep(runner)
+    parallel_seconds = time.perf_counter() - start
+    benchmark.pedantic(_sweep, args=(runner,), rounds=1, iterations=1)
+
+    assert [r.as_dict() for r in parallel] == [r.as_dict() for r in serial]
+    emit(
+        benchmark,
+        "Parallel (4 workers) vs serial on a 12-point sweep",
+        {
+            "points": len(serial),
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        },
+    )

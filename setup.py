@@ -1,19 +1,10 @@
-"""Setup script (legacy path kept so that offline editable installs work
-without the ``wheel`` package being available)."""
-from setuptools import find_packages, setup
+"""Legacy shim; all project metadata (PEP 621), pytest/ruff configuration
+and the ``repro`` console-script entry point live in ``pyproject.toml``.
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of 'Co-Designed Architectures for Modular "
-        "Superconducting Quantum Computers' (HPCA 2023)"
-    ),
-    author="Reproduction Authors",
-    license="MIT",
-    python_requires=">=3.9",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
-)
+Kept because ``python setup.py develop`` is the one editable-install path
+that still works in fully offline environments (``pip install -e .`` goes
+through PEP 517 and needs the ``wheel`` package or network access for
+build isolation); setuptools >= 61 reads the pyproject metadata here."""
+from setuptools import setup
+
+setup()

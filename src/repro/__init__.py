@@ -21,6 +21,8 @@ The library is organised bottom-up:
 * :mod:`repro.snailsim` — device-level SNAIL exchange model (Fig. 6).
 * :mod:`repro.core` — backends, co-design points, fidelity and reliability
   models, sweeps.
+* :mod:`repro.runtime` — the experiment execution seam: process-pool
+  fan-out with ordered collection plus per-point result caching.
 * :mod:`repro.experiments` — one entry point per paper table / figure plus
   the extension studies.
 
@@ -33,6 +35,44 @@ Quick start::
     backend = Backend(corral_topology(8, (1, 1)), get_basis("siswap"))
     result = backend.transpile(quantum_volume_circuit(12, seed=1))
     print(result.metrics.total_2q, result.metrics.critical_2q)
+
+Running experiments in parallel
+-------------------------------
+
+Every experiment driver (and every ``repro`` CLI experiment command) runs
+its sweep points through an :class:`repro.runtime.ExperimentRunner`.  Sweep
+points are independent and deterministically seeded, so fanning them out
+over a process pool is bit-identical to the serial loop::
+
+    from repro import ExperimentRunner
+    from repro.experiments import figure11_study
+
+    runner = ExperimentRunner(parallel=True, max_workers=4)
+    result = figure11_study(runner=runner)        # same records, less wall-clock
+
+From the command line use ``repro swaps --parallel --workers 4`` (or set
+``REPRO_PARALLEL=1`` / ``REPRO_WORKERS=4`` process-wide).  A runner can
+carry a :class:`repro.runtime.ResultCache` (the CLI attaches one unless
+``--no-cache`` is given), so repeated points — rerun studies, overlapping
+grids — are served from memory::
+
+    runner = ExperimentRunner(parallel=True, result_cache=ResultCache())
+
+Three further caches accelerate the hot paths themselves:
+the LRU gate-unitary cache (:mod:`repro.linalg.cache`), the decomposition
+cache keyed on canonical Weyl coordinates
+(:mod:`repro.decomposition.cache`), and the fused single-qubit fast path
+of :class:`repro.simulator.StatevectorSimulator`.
+
+Continuous integration
+----------------------
+
+``.github/workflows/ci.yml`` lints (ruff), runs the fast test suite on
+Python 3.10 and 3.12 (``pytest -m "not slow"``; the ``slow`` marker tags
+long experiment regenerations), runs the full suite including benchmarks
+in a nightly-style job, and uploads smoke-benchmark ``BENCH_*.json``
+artifacts.  Locally, ``python scripts/lint.py`` and
+``python -m pytest -m "not slow"`` mirror the quick gate.
 """
 
 from repro.circuits import QuantumCircuit
@@ -49,6 +89,7 @@ from repro.core import (
     run_sweep,
 )
 from repro.decomposition import TemplateDecomposer, get_basis
+from repro.runtime import ExperimentRunner, ResultCache, point_seed
 from repro.topology import CouplingMap, get_topology, large_topologies, small_topologies
 from repro.transpiler import TranspileMetrics, TranspileResult, transpile
 from repro.workloads import build_workload
@@ -69,6 +110,9 @@ __all__ = [
     "run_sweep",
     "TemplateDecomposer",
     "get_basis",
+    "ExperimentRunner",
+    "ResultCache",
+    "point_seed",
     "CouplingMap",
     "get_topology",
     "large_topologies",

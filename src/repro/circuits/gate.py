@@ -17,6 +17,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.linalg.cache import cached_unitary
+
 
 class Gate:
     """A named unitary operation acting on ``num_qubits`` qubits."""
@@ -67,6 +69,20 @@ class Gate:
     def matrix(self) -> np.ndarray:
         """Unitary matrix of the gate (see module docstring for ordering)."""
         raise NotImplementedError(f"gate {self._name!r} does not define a matrix")
+
+    def cached_matrix(self) -> np.ndarray:
+        """Unitary of the gate, served from the process-global LRU cache.
+
+        Keyed on ``(name, num_qubits, params)``, so every instance of e.g.
+        ``CXGate`` shares one matrix.  The returned array is frozen
+        (non-writeable); use :meth:`matrix` when a mutable copy is needed.
+        """
+        key = (
+            self._name,
+            self._num_qubits,
+            tuple(round(p, 12) for p in self._params),
+        )
+        return cached_unitary(key, self.matrix)
 
     def inverse(self) -> "Gate":
         """Return a gate implementing the adjoint of this gate."""
@@ -124,6 +140,15 @@ class UnitaryGate(Gate):
 
     def matrix(self) -> np.ndarray:
         return self._matrix.copy()
+
+    def cached_matrix(self) -> np.ndarray:
+        """Frozen view of the wrapped matrix (no global cache entry needed)."""
+        frozen = self.__dict__.get("_frozen_matrix")
+        if frozen is None:
+            frozen = self._matrix.copy()
+            frozen.setflags(write=False)
+            self.__dict__["_frozen_matrix"] = frozen
+        return frozen
 
     def inverse(self) -> "UnitaryGate":
         return UnitaryGate(self._matrix.conj().T, label=f"{self.label}_dg")

@@ -16,14 +16,17 @@ Usage (after ``pip install -e .``)::
     python -m repro run QuantumVolume 12 --topology Corral1,1 --basis siswap
 
 Every sub-command prints a text report; ``--csv PATH`` additionally writes
-the raw data for external plotting.
+the raw data for external plotting.  Experiment commands accept
+``--parallel`` / ``--workers N`` to fan sweep points out over a process
+pool (identical results, less wall-clock) and ``--no-cache`` to disable
+in-process result memoization.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core import (
     ReliabilityModel,
@@ -59,11 +62,51 @@ from repro.experiments.swap_study import (
     FIG12_TOPOLOGIES,
 )
 from repro.qasm import circuit_to_qasm
+from repro.runtime import ExperimentRunner, ResultCache
 from repro.snailsim import render_ascii_chevron
 from repro.topology import get_topology
 from repro.transpiler import format_metrics_table
 from repro.visualization import sweep_to_csv
 from repro.workloads import available_workloads, build_workload
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-runtime options shared by every experiment command."""
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        default=None,
+        help="fan sweep points out over a process pool (REPRO_PARALLEL=1 "
+        "sets this by default); results are identical to serial runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker-process count for --parallel (default: CPU count or "
+        "REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable in-process memoization of repeated sweep points",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the experiment runner the parsed runtime options describe."""
+    return ExperimentRunner(
+        parallel=getattr(args, "parallel", None),
+        max_workers=getattr(args, "workers", None),
+        result_cache=None if getattr(args, "no_cache", False) else ResultCache(),
+    )
 
 
 def _add_common_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +115,7 @@ def _add_common_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workloads", nargs="*", default=None)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--csv", default=None, help="write the raw sweep data to a CSV file")
+    _add_runtime_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("tables", help="regenerate Tables 1 and 2")
+    tables_parser = commands.add_parser("tables", help="regenerate Tables 1 and 2")
+    _add_runtime_arguments(tables_parser)
 
     swaps = commands.add_parser("swaps", help="SWAP-count study (Figs. 4, 11, 12)")
     _add_common_sweep_arguments(swaps)
@@ -94,16 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
     headline = commands.add_parser("headline", help="headline QV ratios (abstract)")
     headline.add_argument("--sizes", type=int, nargs="*", default=None)
     headline.add_argument("--seed", type=int, default=11)
+    _add_runtime_arguments(headline)
 
     sensitivity = commands.add_parser("sensitivity", help="n-root iSWAP study (Fig. 15)")
     sensitivity.add_argument("--seed", type=int, default=2022)
+    _add_runtime_arguments(sensitivity)
 
-    commands.add_parser("chevron", help="SNAIL exchange chevron (Fig. 6)")
+    chevron = commands.add_parser("chevron", help="SNAIL exchange chevron (Fig. 6)")
+    _add_runtime_arguments(chevron)
 
     frequency = commands.add_parser(
         "frequency", help="frequency-crowding feasibility per (topology, modulator)"
     )
     frequency.add_argument("--scale", choices=("small", "large"), default="small")
+    _add_runtime_arguments(frequency)
 
     schedule = commands.add_parser(
         "schedule", help="duration-aware co-design study (physical pulse lengths)"
@@ -112,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--sizes", type=int, nargs="*", default=(8, 12, 16))
     schedule.add_argument("--workloads", nargs="*", default=("QuantumVolume", "GHZ"))
     schedule.add_argument("--seed", type=int, default=5)
+    _add_runtime_arguments(schedule)
 
     reliability = commands.add_parser(
         "reliability", help="wall-clock reliability ranking of the design points"
@@ -123,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--t1-us", type=float, default=100.0)
     reliability.add_argument("--t2-us", type=float, default=100.0)
     reliability.add_argument("--seed", type=int, default=0)
+    _add_runtime_arguments(reliability)
 
     qasm = commands.add_parser("qasm", help="export a workload circuit as OpenQASM 2")
     qasm.add_argument("workload", choices=available_workloads())
@@ -149,11 +200,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_tables(_args: argparse.Namespace) -> str:
+def _command_tables(args: argparse.Namespace) -> str:
+    runner = _runner_from_args(args)
     return "\n\n".join(
         [
-            format_table_comparison(table1(), "Table 1 (measured | paper)"),
-            format_table_comparison(table2(), "Table 2 (measured | paper)"),
+            format_table_comparison(table1(runner=runner), "Table 1 (measured | paper)"),
+            format_table_comparison(table2(runner=runner), "Table 2 (measured | paper)"),
         ]
     )
 
@@ -168,6 +220,7 @@ def _command_swaps(args: argparse.Namespace) -> str:
         workloads=args.workloads,
         sizes=args.sizes,
         seed=args.seed,
+        runner=_runner_from_args(args),
     )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
@@ -179,7 +232,11 @@ def _command_swaps(args: argparse.Namespace) -> str:
 
 def _command_codesign(args: argparse.Namespace) -> str:
     result = codesign_study(
-        args.scale, workloads=args.workloads, sizes=args.sizes, seed=args.seed
+        args.scale,
+        workloads=args.workloads,
+        sizes=args.sizes,
+        seed=args.seed,
+        runner=_runner_from_args(args),
     )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
@@ -190,12 +247,14 @@ def _command_codesign(args: argparse.Namespace) -> str:
 
 
 def _command_headline(args: argparse.Namespace) -> str:
-    ratios = headline_study(sizes=args.sizes, seed=args.seed)
+    ratios = headline_study(
+        sizes=args.sizes, seed=args.seed, runner=_runner_from_args(args)
+    )
     return format_headline_report(ratios)
 
 
 def _command_sensitivity(args: argparse.Namespace) -> str:
-    result = figure15_study(seed=args.seed)
+    result = figure15_study(seed=args.seed, runner=_runner_from_args(args))
     report = [format_sensitivity_report(result), ""]
     for root, values in sorted(reduction_comparison(result).items()):
         report.append(
@@ -205,13 +264,15 @@ def _command_sensitivity(args: argparse.Namespace) -> str:
     return "\n".join(report)
 
 
-def _command_chevron(_args: argparse.Namespace) -> str:
-    data = figure6_study()
+def _command_chevron(args: argparse.Namespace) -> str:
+    data = figure6_study(runner=_runner_from_args(args))
     return chevron_summary(data) + "\n\n" + render_ascii_chevron(data)
 
 
 def _command_frequency(args: argparse.Namespace) -> str:
-    return format_frequency_report(frequency_crowding_study(scale=args.scale))
+    return format_frequency_report(
+        frequency_crowding_study(scale=args.scale, runner=_runner_from_args(args))
+    )
 
 
 def _command_schedule(args: argparse.Namespace) -> str:
@@ -220,6 +281,7 @@ def _command_schedule(args: argparse.Namespace) -> str:
         workloads=tuple(args.workloads),
         sizes=tuple(args.sizes),
         seed=args.seed,
+        runner=_runner_from_args(args),
     )
     return format_scheduling_report(rows)
 
@@ -230,7 +292,12 @@ def _command_reliability(args: argparse.Namespace) -> str:
     )
     backends = list(design_backends(args.scale).values())
     ranking = reliability_ranking(
-        backends, args.workload, args.size, model=model, seed=args.seed
+        backends,
+        args.workload,
+        args.size,
+        model=model,
+        seed=args.seed,
+        runner=_runner_from_args(args),
     )
     return format_reliability_report(ranking)
 

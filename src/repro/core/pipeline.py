@@ -9,11 +9,14 @@ wrappers that pick the grids matching each figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.backend import Backend
 from repro.transpiler.metrics import TranspileMetrics
 from repro.workloads.registry import build_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass
@@ -86,6 +89,24 @@ def run_point(
     return metrics
 
 
+def sweep_grid(
+    workloads: Sequence[str], sizes: Sequence[int], backends: Sequence[Backend]
+) -> List[tuple]:
+    """The (workload, size, backend) points of a sweep, in canonical order.
+
+    Widths larger than a backend are skipped, exactly as the serial loop
+    always did; the order is the iteration order of the nested loops so
+    parallel and serial execution collect records identically.
+    """
+    return [
+        (workload, size, backend)
+        for workload in workloads
+        for size in sizes
+        for backend in backends
+        if size <= backend.num_qubits
+    ]
+
+
 def run_sweep(
     workloads: Sequence[str],
     sizes: Sequence[int],
@@ -94,6 +115,7 @@ def run_sweep(
     layout_method: str = "dense",
     routing_method: str = "sabre",
     progress: Optional[callable] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Run the full (workload x size x backend) grid.
 
@@ -105,24 +127,34 @@ def run_sweep(
             circuits are compared across backends).
         layout_method / routing_method: transpiler configuration.
         progress: optional callable invoked with a status string per point.
+        runner: optional :class:`repro.runtime.ExperimentRunner`; when
+            given, points are executed through it (process-pool fan-out
+            and/or result caching) with ordered collection, so the returned
+            records are identical to the serial loop's.
     """
+    points = sweep_grid(list(workloads), list(sizes), list(backends))
+    labels = [f"{w}-{s} on {b.name}" for w, s, b in points]
+    if runner is None:
+        # Imported lazily so the core layer has no import-time dependency
+        # on the runtime package (which itself builds on core).
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    tasks = [
+        (workload, size, backend, seed, layout_method, routing_method)
+        for workload, size, backend in points
+    ]
+    keys = None
+    if runner.result_cache is not None:
+        from repro.runtime.cache import point_cache_key
+
+        keys = [
+            point_cache_key(w, s, b, seed, layout_method, routing_method)
+            for w, s, b in points
+        ]
     result = SweepResult()
-    backends = list(backends)
-    for workload in workloads:
-        for size in sizes:
-            for backend in backends:
-                if size > backend.num_qubits:
-                    continue
-                if progress is not None:
-                    progress(f"{workload}-{size} on {backend.name}")
-                result.add(
-                    run_point(
-                        workload,
-                        size,
-                        backend,
-                        seed=seed,
-                        layout_method=layout_method,
-                        routing_method=routing_method,
-                    )
-                )
+    for record in runner.map(
+        run_point, tasks, keys=keys, labels=labels, progress=progress
+    ):
+        result.add(record)
     return result

@@ -19,7 +19,7 @@ lengths are taken into account?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.core.backend import Backend
 from repro.transpiler.scheduling import GateDurations, Schedule, schedule_asap
 from repro.workloads.registry import build_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 #: Modulator name (as used by BasisGateSpec.modulator) -> duration preset key.
 _MODULATOR_DURATIONS = {"SNAIL": "snail", "CR": "cr", "FSIM": "fsim"}
@@ -141,17 +144,36 @@ def durations_for_backend(backend: Backend) -> GateDurations:
     return GateDurations.for_modulator(key)
 
 
+def _estimate_backend(
+    model: ReliabilityModel, backend: Backend, circuit: QuantumCircuit, seed: int
+) -> ReliabilityEstimate:
+    """One backend's estimate (module-level so it pickles to workers)."""
+    return model.estimate(backend, circuit, seed=seed)
+
+
 def reliability_ranking(
     backends: Sequence[Backend],
     workload: str,
     num_qubits: int,
     model: Optional[ReliabilityModel] = None,
     seed: int = 0,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[ReliabilityEstimate]:
-    """Score every backend on one workload instance, best first."""
+    """Score every backend on one workload instance, best first.
+
+    Backends are scored independently, so ``runner`` fans them out over
+    worker processes without changing the ranking.
+    """
     model = model or ReliabilityModel()
     circuit = build_workload(workload, num_qubits, seed=seed)
-    estimates = [model.estimate(backend, circuit, seed=seed) for backend in backends]
+    tasks = [(model, backend, circuit, int(seed)) for backend in backends]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    estimates = runner.map(
+        _estimate_backend, tasks, labels=[backend.name for backend in backends]
+    )
     return sorted(estimates, key=lambda e: -e.success_probability)
 
 

@@ -11,8 +11,8 @@ for the 4th root at a 99 % iSWAP fidelity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.core.fidelity import best_total_fidelity, nth_root_pulse_fidelity
 from repro.decomposition.approximate import TemplateDecomposer
 from repro.gates import NthRootISwapGate
 from repro.linalg.random import random_unitary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,52 @@ def _mean_infidelity(
     return float(np.mean(values))
 
 
+def _study_one_root(
+    root: int,
+    targets: Sequence[np.ndarray],
+    k_values: Sequence[int],
+    iswap_fidelities: Sequence[float],
+    convergence_threshold: float,
+    seed: int,
+    restarts: int,
+) -> Tuple[RootStudyResult, Dict[float, float]]:
+    """Full study of one iSWAP root (module-level so it pickles to workers).
+
+    The decomposer is seeded per root exactly as the serial loop always
+    was, so parallel fan-out over roots reproduces the serial numbers.
+    """
+    decomposer = TemplateDecomposer(
+        NthRootISwapGate(root), restarts=restarts, seed=seed + root
+    )
+    infidelity_by_k: Dict[int, float] = {}
+    for applications in k_values:
+        infidelity_by_k[int(applications)] = _mean_infidelity(
+            decomposer, targets, int(applications)
+        )
+    converged = [
+        k for k, infidelity in infidelity_by_k.items() if infidelity <= convergence_threshold
+    ]
+    # Fall back to the *largest* template size tried when no k converges,
+    # so a non-convergent root is never reported with the cheapest pulse.
+    converged_k = min(converged) if converged else max(infidelity_by_k)
+    result = RootStudyResult(
+        root=root,
+        infidelity_by_k=infidelity_by_k,
+        converged_k=int(converged_k),
+        pulse_duration=float(converged_k) / root,
+    )
+    # Eq. 13: best total fidelity over k for each base pulse fidelity.
+    per_base: Dict[float, float] = {}
+    for iswap_fidelity in iswap_fidelities:
+        pulse_fidelity = nth_root_pulse_fidelity(iswap_fidelity, root)
+        candidates = [
+            (k, 1.0 - infidelity) for k, infidelity in infidelity_by_k.items()
+        ]
+        _, best = best_total_fidelity(candidates, pulse_fidelity)
+        per_base[float(iswap_fidelity)] = best
+    return result, per_base
+
+
 def pulse_duration_sensitivity_study(
     roots: Sequence[int] = (2, 3, 4, 5, 6, 7),
     k_values: Optional[Sequence[int]] = None,
@@ -88,6 +137,7 @@ def pulse_duration_sensitivity_study(
     convergence_threshold: float = 1e-4,
     seed: int = 2022,
     restarts: int = 2,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SensitivityStudyResult:
     """Run the Fig.-15 study.
 
@@ -102,6 +152,8 @@ def pulse_duration_sensitivity_study(
         seed: RNG seed for the Haar targets.
         restarts: optimiser restarts per decomposition (2 keeps the default
             run fast; increase for publication-grade curves).
+        runner: optional :class:`repro.runtime.ExperimentRunner`; roots are
+            independent, so they fan out with identical results.
     """
     if not roots:
         raise ValueError("at least one root index is required")
@@ -111,37 +163,30 @@ def pulse_duration_sensitivity_study(
     rng = np.random.default_rng(seed)
     targets = [random_unitary(4, rng) for _ in range(num_targets)]
 
+    tasks = [
+        (
+            int(root),
+            targets,
+            tuple(int(k) for k in k_values),
+            tuple(float(f) for f in iswap_fidelities),
+            float(convergence_threshold),
+            int(seed),
+            int(restarts),
+        )
+        for root in roots
+    ]
+    labels = [f"iswap-root {root}" for root in roots]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    per_root = runner.map(_study_one_root, tasks, labels=labels)
+
     root_results: Dict[int, RootStudyResult] = {}
     total_fidelity: Dict[int, Dict[float, float]] = {}
-    for root in roots:
-        decomposer = TemplateDecomposer(
-            NthRootISwapGate(root), restarts=restarts, seed=seed + root
-        )
-        infidelity_by_k: Dict[int, float] = {}
-        for applications in k_values:
-            infidelity_by_k[int(applications)] = _mean_infidelity(
-                decomposer, targets, int(applications)
-            )
-        converged = [
-            k for k, infidelity in infidelity_by_k.items() if infidelity <= convergence_threshold
-        ]
-        converged_k = min(converged) if converged else max(infidelity_by_k, key=lambda k: -k)
-        root_results[root] = RootStudyResult(
-            root=root,
-            infidelity_by_k=infidelity_by_k,
-            converged_k=int(converged_k),
-            pulse_duration=float(converged_k) / root,
-        )
-        # Eq. 13: best total fidelity over k for each base pulse fidelity.
-        per_base: Dict[float, float] = {}
-        for iswap_fidelity in iswap_fidelities:
-            pulse_fidelity = nth_root_pulse_fidelity(iswap_fidelity, root)
-            candidates = [
-                (k, 1.0 - infidelity) for k, infidelity in infidelity_by_k.items()
-            ]
-            _, best = best_total_fidelity(candidates, pulse_fidelity)
-            per_base[float(iswap_fidelity)] = best
-        total_fidelity[root] = per_base
+    for root, (result, per_base) in zip(roots, per_root):
+        root_results[int(root)] = result
+        total_fidelity[int(root)] = per_base
 
     return SensitivityStudyResult(
         roots=tuple(int(r) for r in roots),

@@ -17,12 +17,15 @@ any comparison seed-robust:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.backend import Backend
 from repro.core.pipeline import run_point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -66,20 +69,26 @@ def seed_sweep(
     metrics: Sequence[str] = ("total_swaps", "critical_swaps", "total_2q", "critical_2q"),
     layout_method: str = "dense",
     routing_method: str = "sabre",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> Dict[str, MetricSummary]:
-    """Run one design point over many seeds and summarise each metric."""
+    """Run one design point over many seeds and summarise each metric.
+
+    Seeds are independent trials, so ``runner`` fans them out over worker
+    processes with identical summaries.
+    """
     if not seeds:
         raise ValueError("seed_sweep needs at least one seed")
+    tasks = [
+        (workload, num_qubits, backend, int(seed), layout_method, routing_method)
+        for seed in seeds
+    ]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    records = runner.map(run_point, tasks, labels=[f"seed {seed}" for seed in seeds])
     values: Dict[str, List[float]] = {metric: [] for metric in metrics}
-    for seed in seeds:
-        record = run_point(
-            workload,
-            num_qubits,
-            backend,
-            seed=int(seed),
-            layout_method=layout_method,
-            routing_method=routing_method,
-        )
+    for record in records:
         data = record.as_dict()
         for metric in metrics:
             values[metric].append(float(data[metric]))

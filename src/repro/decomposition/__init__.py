@@ -33,6 +33,13 @@ from repro.decomposition.approximate import (
     TemplateDecomposer,
     decomposition_fidelity_curve,
 )
+from repro.decomposition.cache import (
+    GLOBAL_DECOMPOSITION_CACHE,
+    DecompositionCache,
+    clear_decomposition_cache,
+    decomposition_cache_stats,
+    weyl_key,
+)
 
 __all__ = [
     "coverage",
@@ -60,4 +67,9 @@ __all__ = [
     "ApproximateDecomposition",
     "TemplateDecomposer",
     "decomposition_fidelity_curve",
+    "GLOBAL_DECOMPOSITION_CACHE",
+    "DecompositionCache",
+    "clear_decomposition_cache",
+    "decomposition_cache_stats",
+    "weyl_key",
 ]

@@ -15,6 +15,7 @@ models need to know about a hardware-native two-qubit gate:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict
 
 import numpy as np
@@ -88,19 +89,29 @@ def syc_basis() -> BasisGateSpec:
     )
 
 
+def _nth_root_iswap_count(target, n: int) -> int:
+    """Module-level coverage rule so the resulting spec stays picklable."""
+    return coverage.nth_root_iswap_count(target, n)
+
+
 def iswap_basis() -> BasisGateSpec:
     """Full iSWAP basis (n = 1), mostly used by the sensitivity study."""
     return BasisGateSpec(
         name="iswap",
         modulator="SNAIL",
         gate_factory=ISwapGate,
-        count_fn=lambda target: coverage.nth_root_iswap_count(target, 1),
+        count_fn=partial(_nth_root_iswap_count, n=1),
         pulse_duration=1.0,
     )
 
 
 def nth_root_iswap_basis(n: int) -> BasisGateSpec:
-    """``n``-th-root iSWAP basis (SNAIL), pulse duration ``1/n``."""
+    """``n``-th-root iSWAP basis (SNAIL), pulse duration ``1/n``.
+
+    The factory and coverage rule are built with :func:`functools.partial`
+    on module-level callables (not closures) so that backends using these
+    bases can be shipped to the worker processes of the experiment runner.
+    """
     if n < 1:
         raise ValueError("root index must be positive")
     if n == 2:
@@ -110,8 +121,8 @@ def nth_root_iswap_basis(n: int) -> BasisGateSpec:
     return BasisGateSpec(
         name=f"iswap_root{n}",
         modulator="SNAIL",
-        gate_factory=lambda: NthRootISwapGate(n),
-        count_fn=lambda target: coverage.nth_root_iswap_count(target, n),
+        gate_factory=partial(NthRootISwapGate, n),
+        count_fn=partial(_nth_root_iswap_count, n=n),
         pulse_duration=1.0 / n,
     )
 

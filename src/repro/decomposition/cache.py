@@ -1,0 +1,145 @@
+"""Process-global decomposition cache keyed on canonical Weyl coordinates.
+
+Every transpile call used to rebuild its passes — and with them, every
+per-pass memo — from scratch, so a sweep over hundreds of (workload, size,
+backend) points recomputed the same Weyl coordinates, coverage counts and
+synthesized templates over and over.  This module hoists those memos into
+bounded process-global caches shared by all
+:class:`~repro.transpiler.passes.basis_translation.BasisTranslation`
+instances:
+
+* **coordinates** — matrix fingerprint -> :class:`WeylCoordinates`, so a
+  repeated two-qubit target hits the KAK/Weyl eigenvalue path exactly once
+  per process;
+* **counts** — (basis name, canonical Weyl key) -> analytic coverage
+  count.  Counts depend only on the local-equivalence class, so CX, CZ and
+  CPhase(pi) all share one entry;
+* **synthesis** — (basis name, Weyl key, matrix fingerprint) -> optimised
+  template circuit.  Synthesised circuits are *not* class-invariant (two
+  locally equivalent targets differ by single-qubit dressings), hence the
+  extra fingerprint in the key.  Entries are keyed on the *exact* target
+  and synthesis configuration, and the optimiser is deterministically
+  seeded, so a cache hit returns exactly what a fresh computation would —
+  results never depend on process history.
+
+Worker processes of :class:`repro.runtime.ExperimentRunner` each build
+their own copy, which keeps the hot path lock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.cache import LRUCache, matrix_fingerprint
+from repro.linalg.weyl import WeylCoordinates, weyl_coordinates
+
+#: Rounding applied to Weyl coordinates before they are used as cache keys;
+#: coarse enough to absorb numerical jitter of the eigenvalue path, fine
+#: enough that genuinely different interaction classes never collide.
+WEYL_KEY_DIGITS = 9
+
+WeylKey = Tuple[float, float, float]
+
+
+def weyl_key(coordinates: WeylCoordinates, digits: int = WEYL_KEY_DIGITS) -> WeylKey:
+    """Hashable canonical-chamber key of a two-qubit interaction class."""
+    return (
+        round(float(coordinates.x), digits),
+        round(float(coordinates.y), digits),
+        round(float(coordinates.z), digits),
+    )
+
+
+class DecompositionCache:
+    """Bounded caches for the two-qubit decomposition pipeline."""
+
+    def __init__(
+        self,
+        coordinate_entries: int = 4096,
+        count_entries: int = 4096,
+        synthesis_entries: int = 512,
+    ):
+        self._coordinates = LRUCache(maxsize=coordinate_entries)
+        self._counts = LRUCache(maxsize=count_entries)
+        self._synthesis = LRUCache(maxsize=synthesis_entries)
+
+    # -- Weyl coordinates ---------------------------------------------------
+
+    def coordinates(self, matrix: np.ndarray, fingerprint: Optional[Hashable] = None):
+        """Canonical Weyl coordinates of a 4x4 unitary, cached by fingerprint."""
+        key = fingerprint if fingerprint is not None else matrix_fingerprint(matrix)
+        return self._coordinates.get_or_create(
+            key, lambda: weyl_coordinates(np.asarray(matrix, dtype=complex))
+        )
+
+    # -- coverage counts ----------------------------------------------------
+
+    def count(
+        self,
+        basis_name: str,
+        coordinates: WeylCoordinates,
+        count_fn: Callable[[WeylCoordinates], int],
+    ) -> int:
+        """Coverage count for one (basis, interaction class) pair."""
+        key = (basis_name, weyl_key(coordinates))
+        return self._counts.get_or_create(key, lambda: int(count_fn(coordinates)))
+
+    # -- synthesised templates ---------------------------------------------
+
+    @staticmethod
+    def _synthesis_key(
+        basis_name: str, coordinates: WeylCoordinates, fingerprint: Hashable
+    ) -> Tuple[str, WeylKey, Hashable]:
+        return (basis_name, weyl_key(coordinates), fingerprint)
+
+    def synthesis(
+        self, basis_name: str, coordinates: WeylCoordinates, fingerprint: Hashable
+    ):
+        """Cached template circuit for an exact target, or ``None``."""
+        return self._synthesis.get(
+            self._synthesis_key(basis_name, coordinates, fingerprint)
+        )
+
+    def store_synthesis(
+        self,
+        basis_name: str,
+        coordinates: WeylCoordinates,
+        fingerprint: Hashable,
+        circuit,
+    ) -> None:
+        """Record a synthesised template for an exact target."""
+        self._synthesis.put(
+            self._synthesis_key(basis_name, coordinates, fingerprint), circuit
+        )
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._coordinates.clear()
+        self._counts.clear()
+        self._synthesis.clear()
+
+    def stats(self) -> dict:
+        """Per-store hit/miss counters."""
+        return {
+            "coordinates": self._coordinates.stats(),
+            "counts": self._counts.stats(),
+            "synthesis": self._synthesis.stats(),
+        }
+
+
+#: The cache shared by every BasisTranslation pass in this process.
+GLOBAL_DECOMPOSITION_CACHE = DecompositionCache()
+
+
+def clear_decomposition_cache() -> None:
+    """Reset the process-global decomposition cache (tests, benchmarks)."""
+    GLOBAL_DECOMPOSITION_CACHE.clear()
+
+
+def decomposition_cache_stats() -> dict:
+    """Counters of the process-global decomposition cache."""
+    return GLOBAL_DECOMPOSITION_CACHE.stats()

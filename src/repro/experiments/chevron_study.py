@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.snailsim.chevron import ChevronData, chevron_sweep
 from repro.snailsim.device import SnailExchangeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 def figure6_study(
@@ -17,6 +20,7 @@ def figure6_study(
     detuning_span_mhz: float = 1.5,
     pulse_points: int = 161,
     detuning_points: int = 41,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> ChevronData:
     """Regenerate a Fig.-6-style chevron dataset from the device model.
 
@@ -28,6 +32,7 @@ def figure6_study(
         model,
         pulse_lengths_ns=np.linspace(0.0, max_pulse_ns, pulse_points),
         detunings_mhz=np.linspace(-detuning_span_mhz, detuning_span_mhz, detuning_points),
+        runner=runner,
     )
 
 

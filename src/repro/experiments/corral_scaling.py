@@ -11,7 +11,7 @@ a hypercube trimmed to the same number of qubits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backend import make_backend
 from repro.core.pipeline import run_point
@@ -19,6 +19,9 @@ from repro.topology.analysis import topology_properties
 from repro.topology.lattices import trimmed_hypercube
 from repro.topology.snail import corral_topology
 from repro.workloads.registry import QUANTUM_VOLUME
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -47,11 +50,40 @@ class CorralScalingRow:
         }
 
 
+def _scaling_row(
+    posts: int, strides: Tuple[int, int], qv_fraction: float, seed: int
+) -> CorralScalingRow:
+    """One ring size of the study (module-level so it pickles to workers)."""
+    num_qubits = 2 * posts
+    corral = corral_topology(posts, strides, name=f"Corral-{posts}posts")
+    cube = trimmed_hypercube(num_qubits, name=f"Hypercube-{num_qubits}")
+    corral_props = topology_properties(corral)
+    cube_props = topology_properties(cube)
+    qv_width = max(4, int(round(qv_fraction * num_qubits)))
+    corral_metrics = run_point(
+        QUANTUM_VOLUME, qv_width, make_backend(corral, "siswap"), seed=seed
+    )
+    cube_metrics = run_point(
+        QUANTUM_VOLUME, qv_width, make_backend(cube, "siswap"), seed=seed
+    )
+    return CorralScalingRow(
+        num_posts=posts,
+        num_qubits=num_qubits,
+        corral_diameter=corral_props.diameter,
+        corral_avg_connectivity=corral_props.average_connectivity,
+        hypercube_diameter=cube_props.diameter,
+        hypercube_avg_connectivity=cube_props.average_connectivity,
+        corral_qv_swaps=corral_metrics.total_swaps,
+        hypercube_qv_swaps=cube_metrics.total_swaps,
+    )
+
+
 def corral_scaling_study(
     post_counts: Sequence[int] = (8, 12, 16, 20),
     strides: Tuple[int, int] = (1, 3),
     qv_fraction: float = 0.75,
     seed: int = 13,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[CorralScalingRow]:
     """Compare scaled Corrals against equally sized trimmed hypercubes.
 
@@ -60,34 +92,18 @@ def corral_scaling_study(
         strides: corral rail strides (the registry's Corral(1,2) instance).
         qv_fraction: the QV circuit width as a fraction of the machine size.
         seed: transpilation seed.
+        runner: optional runner fanning the ring sizes out over workers.
     """
-    rows: List[CorralScalingRow] = []
-    for posts in post_counts:
-        num_qubits = 2 * posts
-        corral = corral_topology(posts, strides, name=f"Corral-{posts}posts")
-        cube = trimmed_hypercube(num_qubits, name=f"Hypercube-{num_qubits}")
-        corral_props = topology_properties(corral)
-        cube_props = topology_properties(cube)
-        qv_width = max(4, int(round(qv_fraction * num_qubits)))
-        corral_metrics = run_point(
-            QUANTUM_VOLUME, qv_width, make_backend(corral, "siswap"), seed=seed
-        )
-        cube_metrics = run_point(
-            QUANTUM_VOLUME, qv_width, make_backend(cube, "siswap"), seed=seed
-        )
-        rows.append(
-            CorralScalingRow(
-                num_posts=posts,
-                num_qubits=num_qubits,
-                corral_diameter=corral_props.diameter,
-                corral_avg_connectivity=corral_props.average_connectivity,
-                hypercube_diameter=cube_props.diameter,
-                hypercube_avg_connectivity=cube_props.average_connectivity,
-                corral_qv_swaps=corral_metrics.total_swaps,
-                hypercube_qv_swaps=cube_metrics.total_swaps,
-            )
-        )
-    return rows
+    tasks = [
+        (int(posts), tuple(strides), float(qv_fraction), int(seed))
+        for posts in post_counts
+    ]
+    labels = [f"corral-{posts}posts" for posts in post_counts]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    return runner.map(_scaling_row, tasks, labels=labels)
 
 
 def format_corral_scaling(rows: Sequence[CorralScalingRow]) -> str:

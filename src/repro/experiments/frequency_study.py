@@ -12,11 +12,14 @@ many couplings collide, and how much of the band is consumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.frequency.allocation import FrequencyPlan, allocate_frequencies
+from repro.frequency.allocation import allocate_frequencies
 from repro.frequency.modulators import ModulatorSpec, get_modulator
 from repro.topology.registry import large_topologies, small_topologies
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 #: Modulators compared in the study, in paper order.
 STUDY_MODULATORS = ("CR", "FSIM", "SNAIL")
@@ -38,37 +41,51 @@ class FrequencyStudyRow:
     crowding_score: float
 
 
+def _study_topology(
+    scale: str, name: str, modulators: Sequence[str], grid_step: float
+) -> List[FrequencyStudyRow]:
+    """All modulator rows of one topology (module-level for pickling)."""
+    registry = small_topologies() if scale == "small" else large_topologies()
+    coupling_map = registry[name]
+    max_degree = max(coupling_map.degree(q) for q in range(coupling_map.num_qubits))
+    rows: List[FrequencyStudyRow] = []
+    for modulator_name in modulators:
+        spec: ModulatorSpec = get_modulator(modulator_name)
+        plan = allocate_frequencies(coupling_map, spec, grid_step=grid_step)
+        rows.append(
+            FrequencyStudyRow(
+                topology=name,
+                modulator=spec.name,
+                num_qubits=coupling_map.num_qubits,
+                num_edges=coupling_map.num_edges(),
+                max_degree=max_degree,
+                feasible=plan.is_feasible,
+                collisions=len(plan.collisions),
+                collision_fraction=plan.collision_fraction(),
+                bandwidth_used=plan.bandwidth_used(),
+                crowding_score=plan.crowding_score(),
+            )
+        )
+    return rows
+
+
 def frequency_crowding_study(
     scale: str = "small",
     topologies: Optional[Sequence[str]] = None,
     modulators: Sequence[str] = STUDY_MODULATORS,
     grid_step: float = 0.01,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[FrequencyStudyRow]:
     """Allocate pump tones for every (topology, modulator) pair at one scale."""
     registry = small_topologies() if scale == "small" else large_topologies()
     names = list(topologies or sorted(registry))
-    rows: List[FrequencyStudyRow] = []
-    for name in names:
-        coupling_map = registry[name]
-        max_degree = max(coupling_map.degree(q) for q in range(coupling_map.num_qubits))
-        for modulator_name in modulators:
-            spec: ModulatorSpec = get_modulator(modulator_name)
-            plan = allocate_frequencies(coupling_map, spec, grid_step=grid_step)
-            rows.append(
-                FrequencyStudyRow(
-                    topology=name,
-                    modulator=spec.name,
-                    num_qubits=coupling_map.num_qubits,
-                    num_edges=coupling_map.num_edges(),
-                    max_degree=max_degree,
-                    feasible=plan.is_feasible,
-                    collisions=len(plan.collisions),
-                    collision_fraction=plan.collision_fraction(),
-                    bandwidth_used=plan.bandwidth_used(),
-                    crowding_score=plan.crowding_score(),
-                )
-            )
-    return rows
+    tasks = [(scale, name, tuple(modulators), float(grid_step)) for name in names]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    per_topology = runner.map(_study_topology, tasks, labels=list(names))
+    return [row for rows in per_topology for row in rows]
 
 
 def feasible_modulators(rows: Sequence[FrequencyStudyRow]) -> Dict[str, List[str]]:

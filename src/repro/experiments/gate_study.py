@@ -9,12 +9,15 @@ decomposed into the machine's native basis, and the paper reports total
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.codesign import LARGE_DESIGN_POINTS, SMALL_DESIGN_POINTS, CodesignPoint
 from repro.core.pipeline import SweepResult, run_sweep
 from repro.experiments.swap_study import default_sizes
 from repro.workloads.registry import PAPER_WORKLOADS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 def codesign_study(
@@ -24,6 +27,7 @@ def codesign_study(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 11,
     routing_method: str = "sabre",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Run the co-design grid at the requested scale."""
     if design_points is None:
@@ -31,7 +35,14 @@ def codesign_study(
     backends = [point.backend(scale) for point in design_points]
     workloads = list(workloads or PAPER_WORKLOADS)
     sizes = list(sizes or default_sizes(scale))
-    return run_sweep(workloads, sizes, backends, seed=seed, routing_method=routing_method)
+    return run_sweep(
+        workloads,
+        sizes,
+        backends,
+        seed=seed,
+        routing_method=routing_method,
+        runner=runner,
+    )
 
 
 def figure13_study(**overrides) -> SweepResult:

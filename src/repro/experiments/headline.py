@@ -16,9 +16,12 @@ data so they can be placed next to the paper's numbers in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 from repro.core.backend import make_backend
 from repro.core.pipeline import SweepResult, run_sweep
@@ -80,7 +83,9 @@ def _mean_ratio(
 
 
 def headline_study(
-    sizes: Optional[Sequence[int]] = None, seed: int = 11
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 11,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> HeadlineRatios:
     """Recompute the paper's headline QV ratios (Heavy-Hex vs Hypercube)."""
     if sizes is None:
@@ -90,7 +95,7 @@ def headline_study(
         make_backend(registry[HEAVY_HEX], "cx", name="Heavy-Hex-CX"),
         make_backend(registry[HYPERCUBE], "siswap", name="Hypercube-siswap"),
     ]
-    result = run_sweep([QUANTUM_VOLUME], sizes, backends, seed=seed)
+    result = run_sweep([QUANTUM_VOLUME], sizes, backends, seed=seed, runner=runner)
     return HeadlineRatios(
         total_swaps_ratio=_mean_ratio(
             result, "total_swaps", "Heavy-Hex-CX", "Hypercube-siswap"

@@ -16,16 +16,15 @@ normalised figures cannot:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.codesign import design_points
-from repro.core.reliability import (
-    ReliabilityEstimate,
-    ReliabilityModel,
-    durations_for_backend,
-)
+from repro.core.codesign import CodesignPoint, design_points
+from repro.core.reliability import ReliabilityModel, durations_for_backend
 from repro.transpiler.scheduling import schedule_asap
 from repro.workloads.registry import build_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -42,41 +41,64 @@ class SchedulingStudyRow:
     success_probability: float
 
 
+def _study_design_point(
+    scale: str,
+    point: CodesignPoint,
+    workloads: Sequence[str],
+    sizes: Sequence[int],
+    model: ReliabilityModel,
+    seed: int,
+) -> List[SchedulingStudyRow]:
+    """All rows of one design point (module-level so it pickles to workers)."""
+    backend = point.backend(scale)
+    durations = durations_for_backend(backend)
+    rows: List[SchedulingStudyRow] = []
+    for workload in workloads:
+        for size in sizes:
+            if size > backend.num_qubits:
+                continue
+            circuit = build_workload(workload, size, seed=seed)
+            estimate = model.estimate(backend, circuit, durations=durations, seed=seed)
+            schedule = schedule_asap(
+                backend.transpile(circuit, seed=seed).circuit, durations
+            )
+            rows.append(
+                SchedulingStudyRow(
+                    design_point=point.label,
+                    workload=workload,
+                    circuit_qubits=size,
+                    total_2q=estimate.total_2q,
+                    critical_2q=estimate.critical_2q,
+                    duration_ns=estimate.duration_ns,
+                    average_parallelism=schedule.average_parallelism(),
+                    success_probability=estimate.success_probability,
+                )
+            )
+    return rows
+
+
 def scheduling_study(
     scale: str = "small",
     workloads: Sequence[str] = ("QuantumVolume", "GHZ"),
     sizes: Sequence[int] = (8, 12, 16),
     model: Optional[ReliabilityModel] = None,
     seed: int = 5,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[SchedulingStudyRow]:
     """Schedule every design point on the workload grid with physical durations."""
     model = model or ReliabilityModel()
-    rows: List[SchedulingStudyRow] = []
-    for point in design_points(scale):
-        backend = point.backend(scale)
-        durations = durations_for_backend(backend)
-        for workload in workloads:
-            for size in sizes:
-                if size > backend.num_qubits:
-                    continue
-                circuit = build_workload(workload, size, seed=seed)
-                estimate = model.estimate(backend, circuit, durations=durations, seed=seed)
-                schedule = schedule_asap(
-                    backend.transpile(circuit, seed=seed).circuit, durations
-                )
-                rows.append(
-                    SchedulingStudyRow(
-                        design_point=point.label,
-                        workload=workload,
-                        circuit_qubits=size,
-                        total_2q=estimate.total_2q,
-                        critical_2q=estimate.critical_2q,
-                        duration_ns=estimate.duration_ns,
-                        average_parallelism=schedule.average_parallelism(),
-                        success_probability=estimate.success_probability,
-                    )
-                )
-    return rows
+    points = design_points(scale)
+    tasks = [
+        (scale, point, tuple(workloads), tuple(sizes), model, int(seed))
+        for point in points
+    ]
+    labels = [point.label for point in points]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    per_point = runner.map(_study_design_point, tasks, labels=labels)
+    return [row for rows in per_point for row in rows]
 
 
 def duration_series(rows: Sequence[SchedulingStudyRow], workload: str) -> Dict[str, List[tuple]]:

@@ -7,7 +7,7 @@ the comparison against the paper's reported infidelity reductions.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.core.sensitivity import (
     SensitivityStudyResult,
@@ -16,12 +16,16 @@ from repro.core.sensitivity import (
 from repro.experiments.paper_values import NROOT_INFIDELITY_REDUCTION
 from repro.experiments.swap_study import full_runs_enabled
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
+
 
 def figure15_study(
     roots: Optional[Sequence[int]] = None,
     num_targets: Optional[int] = None,
     k_values: Optional[Sequence[int]] = None,
     seed: int = 2022,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SensitivityStudyResult:
     """Run the Fig.-15 study with quick defaults (full when REPRO_FULL=1).
 
@@ -42,6 +46,7 @@ def figure15_study(
         k_values=k_values,
         num_targets=num_targets,
         seed=seed,
+        runner=runner,
     )
 
 

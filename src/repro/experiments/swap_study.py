@@ -9,10 +9,13 @@ paper's measure of how efficiently a topology supports data movement.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.backend import make_backend
 from repro.core.pipeline import SweepResult, run_sweep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 from repro.topology.registry import (
     CORRAL_1_1,
     CORRAL_1_2,
@@ -65,17 +68,26 @@ def swap_study(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 11,
     routing_method: str = "sabre",
+    runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
     """Transpile the workload grid and collect SWAP metrics.
 
     The basis gate is irrelevant for SWAP counts (routing happens before
-    translation); CX is used as a placeholder.
+    translation); CX is used as a placeholder.  ``runner`` optionally fans
+    the grid points out over a process pool (results are identical).
     """
     registry = small_topologies() if scale == "small" else large_topologies()
     backends = [make_backend(registry[name], "cx", name=name) for name in topologies]
     workloads = list(workloads or PAPER_WORKLOADS)
     sizes = list(sizes or default_sizes(scale))
-    return run_sweep(workloads, sizes, backends, seed=seed, routing_method=routing_method)
+    return run_sweep(
+        workloads,
+        sizes,
+        backends,
+        seed=seed,
+        routing_method=routing_method,
+        runner=runner,
+    )
 
 
 def figure4_study(**overrides) -> SweepResult:

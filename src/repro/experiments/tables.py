@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.experiments.paper_values import TABLE1, TABLE2
 from repro.topology.analysis import TopologyProperties, topology_properties
 from repro.topology.registry import large_topologies, small_topologies
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -33,24 +36,39 @@ class TableComparison:
         }
 
 
-def table1() -> List[TableComparison]:
+def _measure_topology(scale: str, name: str) -> TopologyProperties:
+    """Structural properties of one registry topology (picklable worker)."""
+    registry = small_topologies() if scale == "small" else large_topologies()
+    return topology_properties(registry[name])
+
+
+def _table(
+    scale: str,
+    paper_table: Dict[str, Tuple[int, float, float, float]],
+    runner: Optional["ExperimentRunner"],
+) -> List[TableComparison]:
+    registry = small_topologies() if scale == "small" else large_topologies()
+    names = [name for name in paper_table if name in registry]
+    tasks = [(scale, name) for name in names]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    measured = runner.map(_measure_topology, tasks, labels=list(names))
+    return [
+        TableComparison(name, properties, paper_table[name])
+        for name, properties in zip(names, measured)
+    ]
+
+
+def table1(runner: Optional["ExperimentRunner"] = None) -> List[TableComparison]:
     """Measured vs. paper values for the 16-20 qubit machines (Table 1)."""
-    registry = small_topologies()
-    return [
-        TableComparison(name, topology_properties(registry[name]), TABLE1[name])
-        for name in TABLE1
-        if name in registry
-    ]
+    return _table("small", TABLE1, runner)
 
 
-def table2() -> List[TableComparison]:
+def table2(runner: Optional["ExperimentRunner"] = None) -> List[TableComparison]:
     """Measured vs. paper values for the 84-qubit machines (Table 2)."""
-    registry = large_topologies()
-    return [
-        TableComparison(name, topology_properties(registry[name]), TABLE2[name])
-        for name in TABLE2
-        if name in registry
-    ]
+    return _table("large", TABLE2, runner)
 
 
 def format_table_comparison(rows: List[TableComparison], title: str) -> str:

@@ -3,6 +3,8 @@
 This package provides the numerical machinery the rest of the library is
 built on:
 
+* :mod:`repro.linalg.cache` — bounded LRU caches (the process-global gate
+  unitary cache lives here).
 * :mod:`repro.linalg.matrices` — standard gate matrices, unitary predicates
   and small helpers (dagger, global-phase removal, Kronecker factoring).
 * :mod:`repro.linalg.random` — Haar-random unitary sampling.
@@ -15,6 +17,15 @@ built on:
   inner product, average gate fidelity).
 """
 
+from repro.linalg.cache import (
+    CacheStats,
+    LRUCache,
+    UNITARY_CACHE,
+    cached_unitary,
+    clear_unitary_cache,
+    matrix_fingerprint,
+    unitary_cache_stats,
+)
 from repro.linalg.matrices import (
     I2,
     PAULI_X,
@@ -54,6 +65,13 @@ from repro.linalg.fidelity import (
 )
 
 __all__ = [
+    "CacheStats",
+    "LRUCache",
+    "UNITARY_CACHE",
+    "cached_unitary",
+    "clear_unitary_cache",
+    "matrix_fingerprint",
+    "unitary_cache_stats",
     "I2",
     "PAULI_X",
     "PAULI_Y",

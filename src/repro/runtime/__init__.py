@@ -1,0 +1,52 @@
+"""Experiment runtime: parallel fan-out and result caching.
+
+This package is the execution seam between the experiment drivers in
+:mod:`repro.experiments` and the transpilation pipeline in
+:mod:`repro.core`:
+
+* :class:`ExperimentRunner` — fans independent sweep points out over a
+  process pool with ordered collection and a serial fallback, so
+  ``parallel=True`` runs are bit-identical to serial ones;
+* :class:`ResultCache` — memoizes per-point transpile metrics keyed on the
+  full point specification, so repeated sweeps skip recomputation;
+* :func:`point_seed` — deterministic derived seeding that is stable across
+  worker processes (unlike the salted builtin ``hash``), for callers that
+  want per-point seeds; the built-in drivers deliberately keep the paper's
+  shared-seed convention.
+
+Usage::
+
+    from repro.runtime import ExperimentRunner
+    from repro.experiments import swap_study
+
+    runner = ExperimentRunner(parallel=True, max_workers=4)
+    result = swap_study("small", ["Corral1,1", "Hypercube"], runner=runner)
+
+Every CLI experiment command accepts ``--parallel`` / ``--workers`` and
+builds the runner the same way; ``REPRO_PARALLEL=1`` and ``REPRO_WORKERS``
+select the defaults process-wide.
+"""
+
+from repro.runtime.cache import ResultCache, backend_cache_key, point_cache_key
+from repro.runtime.runner import (
+    PARALLEL_ENV,
+    WORKERS_ENV,
+    ExperimentRunner,
+    default_worker_count,
+    parallel_enabled_by_env,
+    point_seed,
+    serial_runner,
+)
+
+__all__ = [
+    "ResultCache",
+    "backend_cache_key",
+    "point_cache_key",
+    "PARALLEL_ENV",
+    "WORKERS_ENV",
+    "ExperimentRunner",
+    "default_worker_count",
+    "parallel_enabled_by_env",
+    "point_seed",
+    "serial_runner",
+]

@@ -1,0 +1,92 @@
+"""Result caching for experiment sweep points.
+
+A sweep point is fully determined by its specification — workload, size,
+backend identity, seed and transpiler configuration — and the transpiler
+is deterministic given that specification, so its metrics can be memoized.
+Repeated sweeps (a swap study followed by a headline study over the same
+grid, a CLI rerun with one extra size, a benchmark warm pass) then skip
+transpilation entirely for every point already seen in this process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+from typing import Hashable, Optional
+
+from repro.core.backend import Backend
+from repro.linalg.cache import CacheStats, LRUCache
+from repro.transpiler.metrics import TranspileMetrics
+
+
+def backend_cache_key(backend: Backend) -> Hashable:
+    """Stable identity of a backend: name, basis and exact topology.
+
+    The edge list participates through a digest so that two backends that
+    merely share a name (e.g. differently sized registries) never collide.
+    """
+    edges = ",".join(f"{a}-{b}" for a, b in backend.coupling_map.edges())
+    edge_digest = hashlib.sha256(edges.encode("ascii")).hexdigest()[:16]
+    return (
+        backend.name,
+        backend.basis.name,
+        backend.coupling_map.num_qubits,
+        edge_digest,
+    )
+
+
+def point_cache_key(
+    workload: str,
+    num_qubits: int,
+    backend: Backend,
+    seed: int,
+    layout_method: str,
+    routing_method: str,
+) -> Hashable:
+    """Full cache key of one sweep point."""
+    return (
+        workload,
+        int(num_qubits),
+        backend_cache_key(backend),
+        int(seed),
+        layout_method,
+        routing_method,
+    )
+
+
+class ResultCache:
+    """Bounded memo of :class:`TranspileMetrics` keyed on point specs."""
+
+    def __init__(self, maxsize: int = 8192):
+        self._lru = LRUCache(maxsize=maxsize)
+
+    @staticmethod
+    def _copy(record):
+        # TranspileMetrics carries a mutable ``extra`` dict; hand out private
+        # copies so neither side can corrupt the other.  Other result types
+        # are stored as-is (callers own their immutability contract).
+        if isinstance(record, TranspileMetrics):
+            return replace(record, extra=dict(record.extra))
+        return record
+
+    def get(self, key: Hashable) -> Optional[TranspileMetrics]:
+        """Cached result for ``key`` (metrics are copied), or ``None``."""
+        record = self._lru.get(key)
+        if record is None:
+            return None
+        return self._copy(record)
+
+    def put(self, key: Hashable, record) -> None:
+        """Store a result (metrics are copied before storage)."""
+        self._lru.put(key, self._copy(record))
+
+    def clear(self) -> None:
+        """Drop all cached results."""
+        self._lru.clear()
+
+    def stats(self) -> CacheStats:
+        """Hit/miss counters."""
+        return self._lru.stats()
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,293 @@
+"""Parallel experiment execution with ordered collection and a serial twin.
+
+:class:`ExperimentRunner` is the single execution seam every experiment
+driver funnels through.  It fans independent sweep points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, collects results *in
+submission order* (so parallel and serial runs produce identical outputs),
+consults an optional result cache before dispatching, and falls back to an
+inline serial loop whenever parallelism is disabled, unavailable (no
+``fork``/semaphores in restricted sandboxes) or pointless (one task, one
+worker).
+
+Determinism contract: a task function must depend only on its arguments —
+every driver in :mod:`repro.experiments` passes explicit seeds (the
+paper's shared-seed convention, so identical circuits are compared across
+backends) — and the runner never changes results, only wall-clock.
+:func:`point_seed` is the provided utility for callers that instead want
+*derived* per-point seeds: it is stable across processes and Python
+invocations (unlike the salted builtin ``hash``), so fan-out stays
+deterministic; no built-in driver uses it, by design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+#: Environment knobs: REPRO_PARALLEL=1 turns fan-out on by default,
+#: REPRO_WORKERS caps the pool size.
+PARALLEL_ENV = "REPRO_PARALLEL"
+WORKERS_ENV = "REPRO_WORKERS"
+
+_TRUTHY = ("1", "true", "True", "yes", "on")
+
+
+def parallel_enabled_by_env() -> bool:
+    """True when the REPRO_PARALLEL environment variable requests fan-out."""
+    return os.environ.get(PARALLEL_ENV, "0") in _TRUTHY
+
+
+def default_worker_count() -> int:
+    """Worker count from REPRO_WORKERS, defaulting to the CPU count.
+
+    A non-integer REPRO_WORKERS is reported and ignored rather than
+    crashing runner construction deep inside an experiment command.
+    """
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {WORKERS_ENV}={env!r}; "
+                "using the CPU count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return os.cpu_count() or 1
+
+
+def point_seed(base_seed: int, *parts: Any) -> int:
+    """Deterministic 31-bit seed derived from a base seed and key parts.
+
+    Stable across processes and sessions (the builtin ``hash`` is salted
+    per interpreter, so it must never be used for this).
+    """
+    token = "|".join([str(int(base_seed))] + [repr(part) for part in parts])
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+class ExperimentRunner:
+    """Fans independent experiment tasks out over a process pool.
+
+    Args:
+        parallel: enable process-pool fan-out.  ``None`` defers to the
+            ``REPRO_PARALLEL`` environment variable (default: serial).
+        max_workers: pool size; ``None`` uses ``REPRO_WORKERS`` or the CPU
+            count.
+        result_cache: an object with ``get(key)``/``put(key, value)``
+            (e.g. :class:`repro.runtime.cache.ResultCache`) consulted per
+            task when the caller supplies cache keys; ``None`` disables
+            caching.
+        progress: optional callable invoked with a status string per task.
+    """
+
+    def __init__(
+        self,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+        result_cache: Optional[Any] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self._parallel = parallel_enabled_by_env() if parallel is None else bool(parallel)
+        self._max_workers = (
+            default_worker_count() if max_workers is None else int(max_workers)
+        )
+        if self._max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._result_cache = result_cache
+        self._progress = progress
+        # The worker pool is created lazily on the first parallel map() and
+        # reused by later calls, so multi-stage drivers pay the process
+        # spawn / interpreter import cost once per runner, not per stage.
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True when this runner attempts process-pool execution."""
+        return self._parallel
+
+    @property
+    def max_workers(self) -> int:
+        """Upper bound on concurrent worker processes."""
+        return self._max_workers
+
+    @property
+    def result_cache(self) -> Optional[Any]:
+        """The attached result cache, if any."""
+        return self._result_cache
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the runner stays usable —
+        the next parallel ``map`` simply starts a fresh pool)."""
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self._discard_pool(wait=False)
+        except Exception:
+            pass
+
+    def _discard_pool(self, wait: bool) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+
+    # -- execution ----------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple],
+        keys: Optional[Sequence[Hashable]] = None,
+        labels: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task, returning results in order.
+
+        Args:
+            fn: a module-level callable (it must be picklable for the
+                parallel path) whose result depends only on its arguments.
+            tasks: argument tuples, one per task.
+            keys: optional cache keys aligned with ``tasks``; tasks whose
+                key hits the attached result cache are not dispatched.
+            labels: optional status strings aligned with ``tasks``,
+                forwarded to the progress callback.
+            progress: per-call progress callback overriding the runner's.
+
+        Returns:
+            One result per task, in task order, mixing cached and computed
+            values transparently.
+        """
+        tasks = list(tasks)
+        progress = progress if progress is not None else self._progress
+        if keys is not None and len(keys) != len(tasks):
+            raise ValueError("keys must align one-to-one with tasks")
+        if labels is not None and len(labels) != len(tasks):
+            raise ValueError("labels must align one-to-one with tasks")
+
+        results: List[Any] = [None] * len(tasks)
+        pending: List[int] = []
+        for index in range(len(tasks)):
+            cached = None
+            if self._result_cache is not None and keys is not None:
+                cached = self._result_cache.get(keys[index])
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        if pending:
+            pending_labels = None if labels is None else [labels[i] for i in pending]
+            computed = self._execute(
+                [tasks[i] for i in pending], fn, pending_labels, progress
+            )
+            for index, value in zip(pending, computed):
+                results[index] = value
+                if self._result_cache is not None and keys is not None:
+                    self._result_cache.put(keys[index], value)
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _announce(
+        progress: Optional[Callable[[str], None]],
+        labels: Optional[Sequence[str]],
+        position: int,
+    ) -> None:
+        if progress is not None and labels is not None:
+            progress(labels[position])
+
+    def _execute(
+        self,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        progress: Optional[Callable[[str], None]],
+    ) -> List[Any]:
+        workers = min(self._max_workers, len(tasks))
+        if not self._parallel or workers <= 1 or len(tasks) <= 1:
+            return self._execute_serial(tasks, fn, labels, progress)
+        # Only pool-infrastructure failures fall back to the serial twin:
+        # pool/worker creation (no fork or POSIX semaphores in restricted
+        # sandboxes) and a broken pool at collection time.  Exceptions
+        # raised by the task function itself propagate unchanged.
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            pool = self._pool
+        except (OSError, PermissionError, ImportError) as error:
+            return self._serial_fallback(tasks, fn, labels, progress, error)
+        futures = []
+        try:
+            for position, task in enumerate(tasks):
+                self._announce(progress, labels, position)
+                futures.append(pool.submit(fn, *task))
+        except (OSError, PermissionError, ImportError) as error:
+            self._discard_pool(wait=False)
+            return self._serial_fallback(tasks, fn, labels, progress, error)
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as error:
+            self._discard_pool(wait=False)
+            return self._serial_fallback(tasks, fn, labels, progress, error)
+        except BaseException:
+            # A task raised (or the caller interrupted): stop the pending
+            # work so stragglers don't keep burning CPU, keep the pool.
+            for future in futures:
+                future.cancel()
+            raise
+
+    def _serial_fallback(
+        self,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        progress: Optional[Callable[[str], None]],
+        error: BaseException,
+    ) -> List[Any]:
+        warnings.warn(
+            f"process pool unavailable ({error}); running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return self._execute_serial(tasks, fn, labels, progress)
+
+    def _execute_serial(
+        self,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        progress: Optional[Callable[[str], None]],
+    ) -> List[Any]:
+        results = []
+        for position, task in enumerate(tasks):
+            self._announce(progress, labels, position)
+            results.append(fn(*task))
+        return results
+
+
+def serial_runner(
+    result_cache: Optional[Any] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExperimentRunner:
+    """An explicitly serial runner (optionally caching), for fallbacks."""
+    return ExperimentRunner(
+        parallel=False, max_workers=1, result_cache=result_cache, progress=progress
+    )

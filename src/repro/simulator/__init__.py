@@ -1,9 +1,14 @@
 """State-vector and unitary simulators used for validation."""
 
-from repro.simulator.statevector import StatevectorSimulator, statevector
+from repro.simulator.statevector import (
+    HARD_QUBIT_LIMIT,
+    StatevectorSimulator,
+    statevector,
+)
 from repro.simulator.unitary import circuit_unitary, circuits_equivalent
 
 __all__ = [
+    "HARD_QUBIT_LIMIT",
     "StatevectorSimulator",
     "statevector",
     "circuit_unitary",

@@ -10,24 +10,53 @@ it.
 The simulator is used to *validate* circuit constructions and
 decompositions (GHZ states, adders on basis states, QFT against the DFT
 matrix, transpiled-circuit equivalence); it is not meant to scale past
-~20 qubits.
+~20 qubits, and :data:`HARD_QUBIT_LIMIT` enforces an absolute ceiling so a
+mistyped width fails with a clear error instead of a multi-gigabyte numpy
+allocation attempt.
+
+Two performance features keep validation runs fast:
+
+* gate matrices are fetched through the process-global unitary cache
+  (:meth:`~repro.circuits.gate.Gate.cached_matrix`);
+* runs of single-qubit gates acting on the same qubit are *fused* into a
+  single 2x2 matrix product before the tensor contraction, so a chain of
+  ``k`` one-qubit gates costs one contraction instead of ``k``.  Fusion
+  only reorders operations that commute (single-qubit gates on distinct
+  qubits), so the result is identical up to floating-point rounding; pass
+  ``fuse_single_qubit=False`` to disable it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 
+#: Absolute ceiling on the simulator width: a 2^28 complex state vector is
+#: already 4 GiB, far beyond the validation-scale use-case documented above.
+HARD_QUBIT_LIMIT = 26
+
+_IDENTITY_2 = np.eye(2, dtype=complex)
+
 
 class StatevectorSimulator:
     """Applies circuits to dense state vectors."""
 
-    def __init__(self, max_qubits: int = 24):
-        self._max_qubits = int(max_qubits)
+    def __init__(self, max_qubits: int = 24, fuse_single_qubit: bool = True):
+        max_qubits = int(max_qubits)
+        if max_qubits < 1:
+            raise ValueError("max_qubits must be at least 1")
+        if max_qubits > HARD_QUBIT_LIMIT:
+            raise ValueError(
+                f"max_qubits={max_qubits} exceeds the dense-simulation limit of "
+                f"{HARD_QUBIT_LIMIT} qubits (a 2**{max_qubits} state vector "
+                "cannot be allocated); use a smaller width"
+            )
+        self._max_qubits = max_qubits
+        self._fuse_single_qubit = bool(fuse_single_qubit)
 
     def run(
         self,
@@ -49,10 +78,13 @@ class StatevectorSimulator:
             if state.shape != (2 ** num_qubits,):
                 raise ValueError("initial state has the wrong dimension")
         tensor = state.reshape([2] * num_qubits)
-        for instruction in circuit:
-            if instruction.name == "barrier":
-                continue
-            tensor = _apply_instruction(tensor, instruction, num_qubits)
+        if self._fuse_single_qubit:
+            tensor = _run_fused(tensor, circuit, num_qubits)
+        else:
+            for instruction in circuit:
+                if instruction.name == "barrier":
+                    continue
+                tensor = _apply_instruction(tensor, instruction, num_qubits)
         return tensor.reshape(2 ** num_qubits)
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
@@ -87,20 +119,62 @@ class StatevectorSimulator:
         return float(total)
 
 
-def _apply_instruction(
-    tensor: np.ndarray, instruction: Instruction, num_qubits: int
+def _run_fused(
+    tensor: np.ndarray, circuit: QuantumCircuit, num_qubits: int
 ) -> np.ndarray:
-    """Apply one instruction to a state tensor of shape ``(2,) * n``."""
-    gate_qubits = instruction.qubits
+    """Apply a circuit, fusing runs of single-qubit gates per qubit.
+
+    Pending 2x2 matrices are accumulated per qubit and only contracted into
+    the state when a multi-qubit gate touches that qubit (or at the end of
+    the circuit).  Only commuting operations are reordered, so this matches
+    the unfused evaluation exactly up to floating-point associativity.
+    """
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(qubits: Sequence[int], state: np.ndarray) -> np.ndarray:
+        for qubit in qubits:
+            matrix = pending.pop(qubit, None)
+            if matrix is not None:
+                state = _apply_matrix(state, matrix, (qubit,), num_qubits)
+        return state
+
+    for instruction in circuit:
+        if instruction.name == "barrier":
+            continue
+        if instruction.num_qubits == 1:
+            qubit = instruction.qubits[0]
+            matrix = instruction.gate.cached_matrix()
+            pending[qubit] = matrix @ pending.get(qubit, _IDENTITY_2)
+        else:
+            tensor = flush(instruction.qubits, tensor)
+            tensor = _apply_instruction(tensor, instruction, num_qubits)
+    return flush(sorted(pending), tensor)
+
+
+def _apply_matrix(
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    gate_qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Contract a gate matrix into a state tensor of shape ``(2,) * n``."""
     arity = len(gate_qubits)
-    matrix = instruction.gate.matrix()
-    gate_tensor = matrix.reshape([2] * (2 * arity))
+    gate_tensor = np.asarray(matrix).reshape([2] * (2 * arity))
     # Axis of the state tensor that carries qubit ``q``.
     axes = [num_qubits - 1 - q for q in gate_qubits]
     moved = np.tensordot(
         gate_tensor, tensor, axes=(list(range(arity, 2 * arity)), axes)
     )
     return np.moveaxis(moved, range(arity), axes)
+
+
+def _apply_instruction(
+    tensor: np.ndarray, instruction: Instruction, num_qubits: int
+) -> np.ndarray:
+    """Apply one instruction to a state tensor of shape ``(2,) * n``."""
+    return _apply_matrix(
+        tensor, instruction.gate.cached_matrix(), instruction.qubits, num_qubits
+    )
 
 
 def statevector(circuit: QuantumCircuit) -> np.ndarray:

@@ -10,11 +10,14 @@ the :class:`~repro.snailsim.device.SnailExchangeModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 import numpy as np
 
 from repro.snailsim.device import SnailExchangeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -52,19 +55,45 @@ class ChevronData:
         return 2.0 * float(pulses[half_period_index])
 
 
+def _chevron_row(
+    model: SnailExchangeModel, detuning: float, pulses: Tuple[float, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Populations along one detuning row (module-level for pickling)."""
+    source = np.zeros(len(pulses))
+    target = np.zeros(len(pulses))
+    for col, pulse in enumerate(pulses):
+        source[col], target[col] = model.populations(pulse, detuning)
+    return source, target
+
+
 def chevron_sweep(
     model: SnailExchangeModel = SnailExchangeModel(),
     pulse_lengths_ns: Sequence[float] = tuple(np.linspace(0.0, 2000.0, 201)),
     detunings_mhz: Sequence[float] = tuple(np.linspace(-1.5, 1.5, 61)),
+    runner: "ExperimentRunner" = None,
 ) -> ChevronData:
-    """Sweep pulse length and pump detuning (paper Fig. 6 axes)."""
+    """Sweep pulse length and pump detuning (paper Fig. 6 axes).
+
+    ``runner`` optionally fans the detuning rows out over worker processes;
+    rows are independent, so the grid is identical either way.
+    """
     pulses = tuple(float(p) for p in pulse_lengths_ns)
     detunings = tuple(float(d) for d in detunings_mhz)
+    tasks = [(model, detuning, pulses) for detuning in detunings]
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    rows = runner.map(
+        _chevron_row,
+        tasks,
+        labels=[f"detuning {detuning:+.3f} MHz" for detuning in detunings],
+    )
     source = np.zeros((len(detunings), len(pulses)))
     target = np.zeros_like(source)
-    for row, detuning in enumerate(detunings):
-        for col, pulse in enumerate(pulses):
-            source[row, col], target[row, col] = model.populations(pulse, detuning)
+    for row, (source_row, target_row) in enumerate(rows):
+        source[row] = source_row
+        target[row] = target_row
     return ChevronData(
         pulse_lengths_ns=pulses,
         detunings_mhz=detunings,

@@ -20,15 +20,15 @@ Two modes are provided, mirroring how the paper uses decomposition:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
-
-import numpy as np
+from typing import Optional
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
 from repro.decomposition.approximate import TemplateDecomposer
 from repro.decomposition.basis import BasisGateSpec
-from repro.linalg.weyl import WeylCoordinates, weyl_coordinates
+from repro.decomposition.cache import GLOBAL_DECOMPOSITION_CACHE, DecompositionCache
+from repro.linalg.cache import matrix_fingerprint
+from repro.linalg.weyl import WeylCoordinates
 from repro.transpiler.passmanager import PropertySet, TranspilerPass
 
 
@@ -47,6 +47,7 @@ class BasisTranslation(TranspilerPass):
         mode: str = "count",
         synthesis_fidelity: float = 1.0 - 1e-6,
         max_applications: int = 6,
+        cache: Optional[DecompositionCache] = None,
     ):
         if mode not in ("count", "synthesis"):
             raise ValueError(f"unknown translation mode {mode!r}")
@@ -54,9 +55,9 @@ class BasisTranslation(TranspilerPass):
         self._mode = mode
         self._synthesis_fidelity = float(synthesis_fidelity)
         self._max_applications = int(max_applications)
-        self._coordinate_cache: Dict[object, WeylCoordinates] = {}
-        self._count_cache: Dict[object, int] = {}
-        self._synthesis_cache: Dict[object, QuantumCircuit] = {}
+        # Memos are shared process-wide (every transpile call rebuilds its
+        # passes, so per-instance caches would be cold on every sweep point).
+        self._cache = cache if cache is not None else GLOBAL_DECOMPOSITION_CACHE
         self._decomposer: Optional[TemplateDecomposer] = None
 
     # -- pass entry point --------------------------------------------------------
@@ -107,28 +108,34 @@ class BasisTranslation(TranspilerPass):
         return gate.name == basis_gate.name and gate == basis_gate
 
     @staticmethod
-    def _cache_key(instruction: Instruction) -> object:
+    def _fingerprint(instruction: Instruction) -> object:
         gate = instruction.gate
         if gate.name == "unitary":
-            return ("unitary", np.round(gate.matrix(), 10).tobytes())
+            return ("unitary", matrix_fingerprint(gate.cached_matrix()))
         return (gate.name, tuple(round(p, 10) for p in gate.params))
 
     def _coordinates(self, instruction: Instruction) -> WeylCoordinates:
-        key = self._cache_key(instruction)
-        if key not in self._coordinate_cache:
-            self._coordinate_cache[key] = weyl_coordinates(instruction.gate.matrix())
-        return self._coordinate_cache[key]
+        return self._cache.coordinates(
+            instruction.gate.cached_matrix(), fingerprint=self._fingerprint(instruction)
+        )
 
     def _count(self, instruction: Instruction) -> int:
-        key = self._cache_key(instruction)
-        if key not in self._count_cache:
-            self._count_cache[key] = self._basis.count(self._coordinates(instruction))
-        return self._count_cache[key]
+        return self._cache.count(
+            self._basis.name, self._coordinates(instruction), self._basis.count
+        )
 
     def _synthesize(self, instruction: Instruction) -> QuantumCircuit:
-        key = self._cache_key(instruction)
-        if key in self._synthesis_cache:
-            return self._synthesis_cache[key]
+        coordinates = self._coordinates(instruction)
+        # The synthesis configuration participates in the key so instances
+        # with a stricter fidelity target never reuse a looser template.
+        key = (
+            self._fingerprint(instruction),
+            round(self._synthesis_fidelity, 12),
+            self._max_applications,
+        )
+        cached = self._cache.synthesis(self._basis.name, coordinates, key)
+        if cached is not None:
+            return cached
         if self._decomposer is None:
             self._decomposer = TemplateDecomposer(
                 self._basis.gate(),
@@ -145,5 +152,5 @@ class BasisTranslation(TranspilerPass):
                 f"could not synthesise {instruction.name!r} in basis "
                 f"{self._basis.name!r}: best fidelity {result.fidelity:.6f}"
             )
-        self._synthesis_cache[key] = result.circuit
+        self._cache.store_synthesis(self._basis.name, coordinates, key, result.circuit)
         return result.circuit

@@ -10,6 +10,9 @@ import pytest
 from repro.core import pulse_duration_sensitivity_study
 from repro.core.sensitivity import format_sensitivity_report
 
+# The module fixture optimises dozens of templates (~1 min): nightly tier.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def study():
@@ -79,3 +82,19 @@ class TestValidation:
     def test_requires_roots(self):
         with pytest.raises(ValueError):
             pulse_duration_sensitivity_study(roots=())
+
+    def test_non_convergent_root_falls_back_to_largest_k(self):
+        """An impossible threshold converges nowhere: the reported template
+        must be the largest (most accurate) size tried, never the cheapest."""
+        study = pulse_duration_sensitivity_study(
+            roots=(2,),
+            k_values=(2, 3),
+            num_targets=1,
+            iswap_fidelities=(0.99,),
+            convergence_threshold=-1.0,
+            seed=3,
+            restarts=1,
+        )
+        row = study.root_results[2]
+        assert row.converged_k == 3
+        assert row.pulse_duration == pytest.approx(3 / 2)

@@ -78,6 +78,7 @@ class TestConvergence:
         assert result.applications == 2
         assert result.fidelity > 1 - 1e-6
 
+    @pytest.mark.slow
     def test_quarter_iswap_needs_more_applications_than_half(self):
         """Fig. 15 top-left behaviour: smaller fractions need larger k."""
         target = random_unitary(4, 31)
@@ -97,6 +98,7 @@ class TestConvergence:
 
 
 class TestFidelityCurve:
+    @pytest.mark.slow
     def test_curve_is_monotone_non_increasing(self):
         targets = [random_unitary(4, seed) for seed in (1, 2)]
         curve = decomposition_fidelity_curve(

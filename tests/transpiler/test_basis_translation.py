@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
-from repro.decomposition import cx_basis, sqiswap_basis, syc_basis
+from repro.decomposition import DecompositionCache, cx_basis, sqiswap_basis, syc_basis
 from repro.linalg.random import random_unitary
 from repro.simulator import circuits_equivalent
 from repro.transpiler import BasisTranslation, BasisTranslationError, PropertySet
@@ -72,10 +72,16 @@ class TestCountMode:
 
     def test_coverage_cache_reused(self):
         circuit = quantum_volume_circuit(4, seed=1)
-        translation = BasisTranslation(sqiswap_basis())
+        cache = DecompositionCache()
+        translation = BasisTranslation(sqiswap_basis(), cache=cache)
         translation.run(circuit, PropertySet())
-        # Each distinct SU(4) block maps to one cache entry.
-        assert len(translation._count_cache) == circuit.two_qubit_gate_count()
+        # Each distinct SU(4) block maps to one count entry, and a second
+        # run over the same circuit is served entirely from the cache.
+        counts = cache.stats()["counts"]
+        assert counts.currsize == circuit.two_qubit_gate_count()
+        BasisTranslation(sqiswap_basis(), cache=cache).run(circuit, PropertySet())
+        assert cache.stats()["counts"].currsize == counts.currsize
+        assert cache.stats()["counts"].hits >= circuit.two_qubit_gate_count()
 
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError):
@@ -94,6 +100,7 @@ class TestSynthesisMode:
         )
         assert circuits_equivalent(circuit, translated, atol=1e-4)
 
+    @pytest.mark.slow
     def test_random_unitary_synthesis_is_equivalent(self):
         circuit = QuantumCircuit(2)
         circuit.unitary(random_unitary(4, 21), (0, 1))
