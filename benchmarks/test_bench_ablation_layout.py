@@ -4,14 +4,15 @@ The paper uses Qiskit's DenseLayout; the ablation quantifies how much the
 SWAP counts depend on that choice on a SNAIL topology versus a lattice.
 """
 
-from repro.core import make_backend, run_sweep
+from repro.core import run_sweep
+from repro.transpiler import make_target
 from repro.topology import get_topology
 
 
 def _run(layout_method: str):
     backends = [
-        make_backend(get_topology("Square-Lattice", "small"), "cx", name="Square-Lattice"),
-        make_backend(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1"),
+        make_target(get_topology("Square-Lattice", "small"), "cx", name="Square-Lattice"),
+        make_target(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1"),
     ]
     return run_sweep(
         ["QuantumVolume"], [12, 16], backends, seed=23, layout_method=layout_method

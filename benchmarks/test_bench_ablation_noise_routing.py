@@ -11,7 +11,6 @@ survives either router.
 
 import numpy as np
 
-from repro.core import make_backend
 from repro.core.noise import NoiseModel
 from repro.topology import get_topology
 from repro.transpiler.passmanager import PropertySet

@@ -9,15 +9,15 @@ co-design, not of a lucky seed.
 
 import os
 
-from repro.core import make_backend
+from repro.transpiler import make_target
 from repro.core.statistics import compare_backends, format_comparison, ordering_stability
 from repro.topology import get_topology
 
 
 def _backends():
     return [
-        make_backend(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex-CX"),
-        make_backend(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1-siswap"),
+        make_target(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex-CX"),
+        make_target(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1-siswap"),
     ]
 
 

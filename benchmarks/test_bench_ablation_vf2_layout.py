@@ -6,7 +6,8 @@ searching for a SWAP-free embedding first and falling back to DenseLayout
 only when none exists.
 """
 
-from repro.core import make_backend, run_sweep
+from repro.core import run_sweep
+from repro.transpiler import make_target
 from repro.topology import get_topology
 
 _BACKENDS = (
@@ -18,7 +19,7 @@ _BACKENDS = (
 
 def _run(layout_method: str):
     backends = [
-        make_backend(get_topology(name, "small"), basis, name=name)
+        make_target(get_topology(name, "small"), basis, name=name)
         for name, basis in _BACKENDS
     ]
     return run_sweep(

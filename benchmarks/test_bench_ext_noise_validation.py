@@ -7,7 +7,7 @@ depolarising + relaxation channel model, and checks that the simulated
 output fidelity orders the designs the same way the count surrogate does.
 """
 
-from repro.core import make_backend
+from repro.transpiler import make_target, transpile
 from repro.noise import CircuitNoiseModel, circuit_output_fidelity
 from repro.topology import get_topology
 from repro.workloads import quantum_volume_circuit
@@ -21,8 +21,8 @@ def _validate():
         ("Heavy-Hex-CX", "Heavy-Hex", "cx"),
         ("Corral1,1-siswap", "Corral1,1", "siswap"),
     ):
-        backend = make_backend(get_topology(topology, "small"), basis, name=label)
-        result = backend.transpile(circuit, seed=1)
+        target = make_target(get_topology(topology, "small"), basis, name=label)
+        result = transpile(circuit, target, seed=1)
         compact = result.circuit.remove_idle_qubits()
         rows[label] = {
             "total_2q": result.metrics.total_2q,

@@ -8,7 +8,7 @@ Heavy-Hex + CNOT) is not an artefact of the uniformity assumption.
 
 import numpy as np
 
-from repro.core import make_backend
+from repro.transpiler import make_target, transpile
 from repro.core.noise import NoiseModel
 from repro.topology import get_topology
 from repro.workloads import quantum_volume_circuit
@@ -22,8 +22,8 @@ def _success_probabilities(seed: int):
         ("Corral1,1-siswap", "Corral1,1", "siswap"),
     ):
         coupling_map = get_topology(topology, "small")
-        backend = make_backend(coupling_map, basis, name=name)
-        transpiled = backend.transpile(circuit, seed=1).circuit
+        target = make_target(coupling_map, basis, name=name)
+        transpiled = transpile(circuit, target, seed=1).circuit
         noise = NoiseModel.random(
             coupling_map, mean_fidelity=0.995, spread=0.003, seed=seed
         )

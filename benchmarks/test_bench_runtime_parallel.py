@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core import make_backend
+from repro.transpiler import make_target
 from repro.core.pipeline import run_sweep
 from repro.runtime import ExperimentRunner, ResultCache
 from repro.topology import get_topology
@@ -27,8 +27,8 @@ SEED = 11
 
 def _backends():
     return [
-        make_backend(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1-siswap"),
-        make_backend(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex-CX"),
+        make_target(get_topology("Corral1,1", "small"), "siswap", name="Corral1,1-siswap"),
+        make_target(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex-CX"),
     ]
 
 

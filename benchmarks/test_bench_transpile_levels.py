@@ -1,0 +1,56 @@
+"""Benchmark: the optimization-level ladder of the staged compilation API.
+
+Measures, per level 0..3, the wall-clock cost and resulting 2Q gate counts
+of compiling a QV + QFT workload pair onto the co-designed prototype
+(Corral(1,1) + sqrt(iSWAP)) and the CNOT baseline (Heavy-Hex + CX).  The
+per-level table is attached to the benchmark's ``extra_info`` so it lands
+in the ``BENCH_*.json`` artifacts the CI uploads.
+"""
+
+import time
+
+from repro.transpiler import Target, transpile
+from repro.workloads import build_workload
+
+LEVELS = (0, 1, 2, 3)
+TARGETS = (("Corral1,1", "siswap"), ("Heavy-Hex", "cx"))
+WORKLOADS = (("QuantumVolume", 12), ("QFT", 12))
+SEED = 11
+
+
+def _ladder():
+    rows = {}
+    for topology, basis in TARGETS:
+        target = Target.from_names(topology, basis)
+        for workload, size in WORKLOADS:
+            circuit = build_workload(workload, size, seed=SEED)
+            for level in LEVELS:
+                start = time.perf_counter()
+                metrics = transpile(
+                    circuit, target, seed=SEED, optimization_level=level
+                ).metrics
+                elapsed = time.perf_counter() - start
+                rows[f"{target.name}/{workload}-{size}/L{level}"] = {
+                    "wall_clock_s": round(elapsed, 4),
+                    "total_2q": metrics.total_2q,
+                    "critical_2q": metrics.critical_2q,
+                    "total_swaps": metrics.total_swaps,
+                }
+    return rows
+
+
+def test_bench_transpile_levels(benchmark, run_once, emit):
+    rows = run_once(benchmark, _ladder)
+    emit(benchmark, "Optimization-level ladder (wall-clock + 2Q counts)", rows)
+    for topology, basis in TARGETS:
+        name = f"{topology}-{basis}"
+        for workload, size in WORKLOADS:
+            point = f"{name}/{workload}-{size}"
+            # The ladder must be monotone where it promises to be: level 2
+            # never costs more 2Q gates than level 1, which never costs
+            # more than the cheap level-0 router.
+            assert (
+                rows[f"{point}/L2"]["total_2q"]
+                <= rows[f"{point}/L1"]["total_2q"]
+                <= rows[f"{point}/L0"]["total_2q"]
+            )

@@ -12,7 +12,7 @@ surrogates.
 Run with:  python examples/noisy_validation.py
 """
 
-from repro.core import make_backend
+from repro.transpiler import make_target, transpile
 from repro.noise import CircuitNoiseModel, circuit_output_fidelity
 from repro.topology import get_topology
 from repro.workloads import quantum_volume_circuit
@@ -35,8 +35,8 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for label, topology, basis in design_points:
-        backend = make_backend(get_topology(topology, "small"), basis, name=label)
-        result = backend.transpile(circuit, seed=1)
+        target = make_target(get_topology(topology, "small"), basis, name=label)
+        result = transpile(circuit, target, seed=1)
         # The transpiled circuit lives on the full 16-20 qubit device; drop
         # the idle qubits so density-matrix simulation stays tractable.
         compact = result.circuit.remove_idle_qubits()

@@ -1,15 +1,22 @@
-"""Quickstart: transpile a Quantum Volume circuit onto a co-designed machine.
+"""Quickstart: the staged compilation API on the paper's headline comparison.
 
-Builds the paper's headline comparison at prototype scale: a SNAIL Corral
-with the native sqrt(iSWAP) basis versus an IBM-style Heavy-Hex machine
-with a CNOT basis, and prints the metrics the paper uses as reliability
-surrogates (total 2Q gates and critical-path 2Q gates / pulse duration).
+Builds three co-designed machines as :class:`repro.Target` design points —
+a SNAIL Corral with the native sqrt(iSWAP) basis, Google-style
+Square-Lattice + SYC, and an IBM-style Heavy-Hex machine with a CNOT
+basis — then:
+
+1. compiles a Quantum Volume circuit onto each with
+   ``transpile(circuit, target, optimization_level=...)`` and prints the
+   paper's metrics (total 2Q gates, critical-path 2Q gates),
+2. shows the optimization-level ladder on one target (level 1 is the
+   paper's Fig. 10 flow; level 2 adds gate cancellation; level 3 adds a
+   duration-aware schedule),
+3. batch-compiles a whole sweep of circuits through ``transpile_batch``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import FidelityModel, make_backend
-from repro.topology import get_topology
+from repro import FidelityModel, Target, transpile, transpile_batch
 from repro.transpiler import format_metrics_table
 from repro.workloads import quantum_volume_circuit
 
@@ -18,17 +25,15 @@ def main() -> None:
     circuit = quantum_volume_circuit(12, seed=7)
     print(f"Workload: {circuit.name} with {circuit.two_qubit_gate_count()} SU(4) blocks\n")
 
-    backends = [
-        make_backend(get_topology("Heavy-Hex", "small"), "cx", name="Heavy-Hex + CNOT"),
-        make_backend(get_topology("Square-Lattice", "small"), "syc", name="Square-Lattice + SYC"),
-        make_backend(get_topology("Corral1,1", "small"), "siswap", name="Corral(1,1) + sqrt(iSWAP)"),
+    # A Target bundles topology + native basis + gate durations (+ optional
+    # noise).  Registry constructors accept forgiving spellings.
+    targets = [
+        Target.from_names("heavy-hex", "cx", name="Heavy-Hex + CNOT"),
+        Target.from_names("square-lattice", "syc", name="Square-Lattice + SYC"),
+        Target.from_names("corral-1-1", "sqiswap", name="Corral(1,1) + sqrt(iSWAP)"),
     ]
 
-    metrics = []
-    for backend in backends:
-        result = backend.transpile(circuit, seed=1)
-        metrics.append(result.metrics)
-
+    metrics = [transpile(circuit, target, seed=1).metrics for target in targets]
     print(format_metrics_table(metrics))
 
     model = FidelityModel(two_qubit_fidelity=0.995, decoherence_per_pulse=0.999)
@@ -40,6 +45,26 @@ def main() -> None:
             f" time-limited={model.time_limited(record):.3f}"
             f" combined={model.combined(record):.3f}"
         )
+
+    # The optimization-level ladder: 0 = fastest, 1 = paper flow (default),
+    # 2 = + cancellation passes, 3 = + noise-aware routing & scheduling.
+    corral = targets[-1]
+    print(f"\nOptimization levels on {corral.name}:")
+    for level in (0, 1, 2, 3):
+        result = transpile(circuit, corral, seed=1, optimization_level=level)
+        duration = result.metrics.extra.get("duration_ns")
+        suffix = f"  scheduled={duration:.0f} ns" if duration else ""
+        print(
+            f"  level {level}: total_2q={result.metrics.total_2q:<4}"
+            f" critical_2q={result.metrics.critical_2q:<4}{suffix}"
+        )
+
+    # Batch compilation fans a circuit list out through the experiment
+    # runtime (pass runner=ExperimentRunner(parallel=True) for a pool).
+    batch = [quantum_volume_circuit(width, seed=7) for width in (6, 8, 10, 12)]
+    results = transpile_batch(batch, corral, seed=1, optimization_level=2)
+    print(f"\nBatch of {len(results)} QV circuits on {corral.name}:")
+    print(format_metrics_table([result.metrics for result in results]))
 
 
 if __name__ == "__main__":

@@ -10,13 +10,13 @@ time units.
 Run with:  python examples/wall_clock_reliability.py
 """
 
-from repro.core import ReliabilityModel, design_backends, reliability_ranking
+from repro.core import ReliabilityModel, design_targets, reliability_ranking
 from repro.core.reliability import format_reliability_report
 from repro.experiments.scheduling_study import format_scheduling_report, scheduling_study
 
 
 def main() -> None:
-    backends = list(design_backends("small").values())
+    backends = list(design_targets("small").values())
     model = ReliabilityModel(two_qubit_fidelity=0.995, t1_us=80.0, t2_us=70.0)
 
     print("Reliability ranking, Quantum Volume 12:")

@@ -28,13 +28,21 @@ The library is organised bottom-up:
 
 Quick start::
 
-    from repro import Backend, get_basis
-    from repro.topology import corral_topology
+    from repro import Target, transpile
     from repro.workloads import quantum_volume_circuit
 
-    backend = Backend(corral_topology(8, (1, 1)), get_basis("siswap"))
-    result = backend.transpile(quantum_volume_circuit(12, seed=1))
+    target = Target.from_names("corral-1-1", "sqiswap")
+    result = transpile(quantum_volume_circuit(12, seed=1), target,
+                       optimization_level=2)
     print(result.metrics.total_2q, result.metrics.critical_2q)
+
+Compilation is staged (``init -> layout -> routing -> translation ->
+optimization -> scheduling``); ``optimization_level`` 0..3 selects the
+preset schedule (level 1 is the paper's Fig. 10 flow) and every stage is
+fed from the name-based pass registry (:mod:`repro.transpiler.registry`).
+``transpile_batch`` compiles whole circuit lists through the experiment
+runner (process-pool fan-out + result caching).  The legacy ``Backend``
+bundle remains as a deprecation shim over :class:`Target`.
 
 Running experiments in parallel
 -------------------------------
@@ -83,6 +91,7 @@ from repro.core import (
     SweepResult,
     design_backends,
     design_points,
+    design_targets,
     make_backend,
     pulse_duration_sensitivity_study,
     run_point,
@@ -91,7 +100,16 @@ from repro.core import (
 from repro.decomposition import TemplateDecomposer, get_basis
 from repro.runtime import ExperimentRunner, ResultCache, point_seed
 from repro.topology import CouplingMap, get_topology, large_topologies, small_topologies
-from repro.transpiler import TranspileMetrics, TranspileResult, transpile
+from repro.transpiler import (
+    Target,
+    TranspileMetrics,
+    TranspileResult,
+    available_passes,
+    make_target,
+    register_pass,
+    transpile,
+    transpile_batch,
+)
 from repro.workloads import build_workload
 
 __version__ = "1.0.0"
@@ -104,6 +122,7 @@ __all__ = [
     "SweepResult",
     "design_backends",
     "design_points",
+    "design_targets",
     "make_backend",
     "pulse_duration_sensitivity_study",
     "run_point",
@@ -117,9 +136,14 @@ __all__ = [
     "get_topology",
     "large_topologies",
     "small_topologies",
+    "Target",
+    "make_target",
+    "available_passes",
+    "register_pass",
     "TranspileMetrics",
     "TranspileResult",
     "transpile",
+    "transpile_batch",
     "build_workload",
     "__version__",
 ]

@@ -13,7 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro schedule --scale small    # duration-aware co-design extension
     python -m repro reliability QuantumVolume 12   # wall-clock reliability ranking
     python -m repro qasm GHZ 8                # export a workload as OpenQASM 2
-    python -m repro run QuantumVolume 12 --topology Corral1,1 --basis siswap
+    python -m repro run QuantumVolume 12 --topology corral-1-1 --basis sqiswap --level 2
 
 Every sub-command prints a text report; ``--csv PATH`` additionally writes
 the raw data for external plotting.  Experiment commands accept
@@ -30,8 +30,7 @@ from typing import Optional, Sequence
 
 from repro.core import (
     ReliabilityModel,
-    design_backends,
-    make_backend,
+    design_targets,
     reliability_ranking,
     run_point,
 )
@@ -64,8 +63,13 @@ from repro.experiments.swap_study import (
 from repro.qasm import circuit_to_qasm
 from repro.runtime import ExperimentRunner, ResultCache
 from repro.snailsim import render_ascii_chevron
-from repro.topology import get_topology
-from repro.transpiler import format_metrics_table
+from repro.transpiler import (
+    Target,
+    available_levels,
+    available_passes,
+    format_metrics_table,
+    transpile,
+)
 from repro.visualization import sweep_to_csv
 from repro.workloads import available_workloads, build_workload
 
@@ -193,8 +197,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--topology", default="Corral1,1")
     run.add_argument("--basis", default="siswap")
     run.add_argument("--scale", choices=("small", "large"), default="small")
-    run.add_argument("--routing", choices=("sabre", "stochastic", "basic"), default="sabre")
-    run.add_argument("--layout", choices=("dense", "trivial", "interaction", "vf2"), default="dense")
+    # Choices are enumerated from the transpiler's pass registry, so a pass
+    # registered via @register_pass becomes addressable here with no CLI
+    # change, and a bad name errors listing the registered options.
+    run.add_argument(
+        "--routing",
+        choices=available_passes("routing"),
+        default=None,
+        help="routing pass (registered: %(choices)s; default: the level preset)",
+    )
+    run.add_argument(
+        "--layout",
+        choices=available_passes("layout"),
+        default=None,
+        help="layout pass (registered: %(choices)s; default: the level preset)",
+    )
+    run.add_argument(
+        "--level",
+        type=int,
+        choices=available_levels(),
+        default=1,
+        help="optimization level: 0 fastest, 1 paper flow (default), "
+        "2 adds gate cancellation, 3 adds noise-aware routing + scheduling",
+    )
     run.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -290,9 +315,9 @@ def _command_reliability(args: argparse.Namespace) -> str:
     model = ReliabilityModel(
         two_qubit_fidelity=args.two_qubit_fidelity, t1_us=args.t1_us, t2_us=args.t2_us
     )
-    backends = list(design_backends(args.scale).values())
+    targets = list(design_targets(args.scale).values())
     ranking = reliability_ranking(
-        backends,
+        targets,
         args.workload,
         args.size,
         model=model,
@@ -305,26 +330,28 @@ def _command_reliability(args: argparse.Namespace) -> str:
 def _command_qasm(args: argparse.Namespace) -> str:
     circuit = build_workload(args.workload, args.size, seed=args.seed)
     if args.transpile_to is not None:
-        backend = make_backend(
-            get_topology(args.transpile_to, args.scale),
+        target = Target.from_names(
+            args.transpile_to,
             args.basis,
+            scale=args.scale,
             name=f"{args.transpile_to}-{args.basis}",
         )
-        circuit = backend.transpile(circuit, translation_mode="synthesis").circuit
+        circuit = transpile(circuit, target, translation_mode="synthesis").circuit
     return circuit_to_qasm(circuit)
 
 
 def _command_run(args: argparse.Namespace) -> str:
-    backend = make_backend(
-        get_topology(args.topology, args.scale), args.basis, name=f"{args.topology}-{args.basis}"
+    target = Target.from_names(
+        args.topology, args.basis, scale=args.scale, name=f"{args.topology}-{args.basis}"
     )
     metrics = run_point(
         args.workload,
         args.size,
-        backend,
+        target,
         seed=args.seed,
         layout_method=args.layout,
         routing_method=args.routing,
+        optimization_level=args.level,
     )
     return format_metrics_table([metrics])
 

@@ -7,6 +7,7 @@ from repro.core.codesign import (
     CodesignPoint,
     design_backends,
     design_points,
+    design_targets,
 )
 from repro.core.fidelity import (
     FidelityModel,
@@ -46,6 +47,7 @@ __all__ = [
     "CodesignPoint",
     "design_backends",
     "design_points",
+    "design_targets",
     "FidelityModel",
     "best_total_fidelity",
     "compare_designs",

@@ -1,15 +1,21 @@
-"""Backend: a (topology, native basis gate) machine description.
+"""Backend: legacy (topology, native basis gate) machine description.
 
-A backend bundles the two co-designed ingredients the paper studies — the
-coupling topology produced by a modulator's connectivity and the native
-basis gate produced by its physics — together with a transpile entry
-point, so that a design point such as "Corral(1,1) + sqrt(iSWAP)" or
-"Heavy-Hex + CNOT" is a single object.
+.. deprecated::
+    :class:`Backend` is superseded by :class:`repro.transpiler.target.
+    Target`, which additionally carries gate durations and optional noise
+    rates and feeds the staged compilation pipeline.  ``Backend`` remains
+    as a thin shim — construction and attribute access are unchanged, and
+    :meth:`Backend.transpile` still works but emits a
+    ``DeprecationWarning`` and delegates to the new staged ``transpile``
+    at optimization level 1 (the paper's Fig. 10 flow, bit-identical to
+    the old behaviour).  Migrate with ``backend.to_target()`` or build
+    targets directly (``Target.from_names``, ``make_target``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.circuits.circuit import QuantumCircuit
@@ -17,11 +23,12 @@ from repro.decomposition.basis import BasisGateSpec, get_basis
 from repro.topology.coupling import CouplingMap
 from repro.topology.analysis import TopologyProperties, topology_properties
 from repro.transpiler.compile import TranspileResult, transpile
+from repro.transpiler.target import Target
 
 
 @dataclass
 class Backend:
-    """A machine design point: topology + native two-qubit basis."""
+    """A machine design point: topology + native two-qubit basis (legacy)."""
 
     coupling_map: CouplingMap
     basis: BasisGateSpec
@@ -43,6 +50,17 @@ class Backend:
         """Graph-structural properties of the topology (Tables 1-2 row)."""
         return topology_properties(self.coupling_map)
 
+    # -- migration -----------------------------------------------------------
+
+    def to_target(self) -> Target:
+        """The equivalent :class:`Target` (the supported design-point type)."""
+        return Target(
+            coupling_map=self.coupling_map,
+            basis=self.basis,
+            name=self.name,
+            description=self.description,
+        )
+
     # -- compilation -----------------------------------------------------------
 
     def transpile(
@@ -53,15 +71,25 @@ class Backend:
         translation_mode: str = "count",
         seed: int = 0,
     ) -> TranspileResult:
-        """Transpile a circuit onto this backend (paper Fig. 10 flow)."""
+        """Transpile a circuit onto this backend (paper Fig. 10 flow).
+
+        .. deprecated:: use ``transpile(circuit, backend.to_target(), ...)``.
+        """
+        warnings.warn(
+            "Backend.transpile is deprecated; build a Target "
+            "(backend.to_target() or Target.from_names) and call "
+            "repro.transpiler.transpile(circuit, target, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return transpile(
             circuit,
-            self.coupling_map,
-            basis=self.basis,
+            self.to_target(),
             layout_method=layout_method,
             routing_method=routing_method,
             translation_mode=translation_mode,
             seed=seed,
+            optimization_level=1,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -74,5 +102,8 @@ class Backend:
 def make_backend(
     coupling_map: CouplingMap, basis_name: str, name: Optional[str] = None
 ) -> Backend:
-    """Convenience constructor from a topology and a basis name."""
+    """Convenience constructor from a topology and a basis name (legacy).
+
+    New code should use :func:`repro.transpiler.target.make_target`.
+    """
     return Backend(coupling_map=coupling_map, basis=get_basis(basis_name), name=name)

@@ -17,6 +17,7 @@ from typing import Dict, List
 from repro.core.backend import Backend
 from repro.decomposition.basis import get_basis
 from repro.topology import registry as topo_registry
+from repro.transpiler.target import Target
 
 
 @dataclass(frozen=True)
@@ -27,8 +28,18 @@ class CodesignPoint:
     topology: str
     basis: str
 
-    def backend(self, scale: str = "small") -> Backend:
+    def target(self, scale: str = "small") -> Target:
         """Materialise the design point at the requested machine scale."""
+        coupling_map = topo_registry.get_topology(self.topology, scale=scale)
+        return Target(
+            coupling_map=coupling_map,
+            basis=get_basis(self.basis),
+            name=self.label,
+            description=f"{self.topology} topology with {self.basis} basis gate",
+        )
+
+    def backend(self, scale: str = "small") -> Backend:
+        """Legacy ``Backend`` view of the design point (prefer :meth:`target`)."""
         coupling_map = topo_registry.get_topology(self.topology, scale=scale)
         return Backend(
             coupling_map=coupling_map,
@@ -63,6 +74,11 @@ def design_points(scale: str = "small") -> List[CodesignPoint]:
     return list(SMALL_DESIGN_POINTS if scale == "small" else LARGE_DESIGN_POINTS)
 
 
+def design_targets(scale: str = "small") -> Dict[str, Target]:
+    """Materialised targets keyed by design-point label."""
+    return {point.label: point.target(scale) for point in design_points(scale)}
+
+
 def design_backends(scale: str = "small") -> Dict[str, Backend]:
-    """Materialised backends keyed by design-point label."""
+    """Materialised legacy backends keyed by label (prefer :func:`design_targets`)."""
     return {point.label: point.backend(scale) for point in design_points(scale)}

@@ -1,9 +1,13 @@
-"""Sweep runner: transpile workload grids over backends and collect metrics.
+"""Sweep runner: transpile workload grids over design points, collect metrics.
 
 This is the programmatic equivalent of the paper's experimental flow
 (Fig. 10) applied over a grid of circuit sizes, workloads and design
 points; the experiment modules in :mod:`repro.experiments` are thin
-wrappers that pick the grids matching each figure.
+wrappers that pick the grids matching each figure.  Design points are
+:class:`~repro.transpiler.target.Target` objects (legacy ``Backend``
+bundles are adapted transparently), and the transpiler configuration —
+layout / routing pass names and the staged ``optimization_level`` — is
+threaded through every point and into the result-cache key.
 """
 
 from __future__ import annotations
@@ -11,8 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
-from repro.core.backend import Backend
+from repro.transpiler.compile import transpile
 from repro.transpiler.metrics import TranspileMetrics
+from repro.transpiler.target import Target
 from repro.workloads.registry import build_workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -30,12 +35,18 @@ class SweepResult:
         self.records.append(metrics)
 
     def filter(self, **criteria) -> "SweepResult":
-        """Records whose attributes match all keyword criteria."""
-        selected = [
-            record
-            for record in self.records
-            if all(getattr(record, key) == value for key, value in criteria.items())
-        ]
+        """Records whose fields match all keyword criteria.
+
+        Matching goes through ``record.as_dict()`` — exactly like
+        :meth:`series` and :meth:`average` — so flattened ``extra`` fields
+        (``workload``, ``backend``, ``duration_ns``, ...) are filterable
+        too, not only dataclass attributes.
+        """
+        selected = []
+        for record in self.records:
+            data = record.as_dict()
+            if all(data.get(key) == value for key, value in criteria.items()):
+                selected.append(record)
         return SweepResult(selected)
 
     def series(self, group_by: str, x_field: str, y_field: str) -> Dict[str, List[tuple]]:
@@ -70,70 +81,86 @@ class SweepResult:
 def run_point(
     workload: str,
     num_qubits: int,
-    backend: Backend,
+    target,
     seed: int = 0,
-    layout_method: str = "dense",
-    routing_method: str = "sabre",
+    layout_method: Optional[str] = None,
+    routing_method: Optional[str] = None,
+    optimization_level: int = 1,
 ) -> TranspileMetrics:
-    """Transpile one workload instance onto one backend and return metrics."""
+    """Transpile one workload instance onto one design point, return metrics.
+
+    ``target`` is a :class:`Target`; legacy ``Backend`` objects are
+    adapted.  ``layout_method`` / ``routing_method`` default to the level
+    preset (dense + SABRE at the paper's level 1).
+    """
+    target = Target.from_backend(target)
     circuit = build_workload(workload, num_qubits, seed=seed)
-    result = backend.transpile(
+    result = transpile(
         circuit,
+        target,
         layout_method=layout_method,
         routing_method=routing_method,
         seed=seed,
+        optimization_level=optimization_level,
     )
     metrics = result.metrics
     metrics.extra["workload"] = workload
-    metrics.extra["backend"] = backend.name
+    metrics.extra["backend"] = target.name
     return metrics
 
 
 def sweep_grid(
-    workloads: Sequence[str], sizes: Sequence[int], backends: Sequence[Backend]
+    workloads: Sequence[str], sizes: Sequence[int], targets: Sequence
 ) -> List[tuple]:
-    """The (workload, size, backend) points of a sweep, in canonical order.
+    """The (workload, size, target) points of a sweep, in canonical order.
 
-    Widths larger than a backend are skipped, exactly as the serial loop
-    always did; the order is the iteration order of the nested loops so
-    parallel and serial execution collect records identically.
+    Widths larger than a design point are skipped, exactly as the serial
+    loop always did; the order is the iteration order of the nested loops
+    so parallel and serial execution collect records identically.
     """
     return [
-        (workload, size, backend)
+        (workload, size, target)
         for workload in workloads
         for size in sizes
-        for backend in backends
-        if size <= backend.num_qubits
+        for target in targets
+        if size <= target.num_qubits
     ]
 
 
 def run_sweep(
     workloads: Sequence[str],
     sizes: Sequence[int],
-    backends: Iterable[Backend],
+    targets: Iterable,
     seed: int = 0,
-    layout_method: str = "dense",
-    routing_method: str = "sabre",
+    layout_method: Optional[str] = None,
+    routing_method: Optional[str] = None,
+    optimization_level: int = 1,
     progress: Optional[callable] = None,
     runner: Optional["ExperimentRunner"] = None,
 ) -> SweepResult:
-    """Run the full (workload x size x backend) grid.
+    """Run the full (workload x size x design point) grid.
 
     Args:
         workloads: workload names from :mod:`repro.workloads.registry`.
-        sizes: circuit widths; widths larger than a backend are skipped.
-        backends: design points to evaluate.
+        sizes: circuit widths; widths larger than a design point are
+            skipped.
+        targets: design points to evaluate (:class:`Target` or legacy
+            ``Backend`` objects).
         seed: base RNG seed (shared across the grid so that identical
-            circuits are compared across backends).
-        layout_method / routing_method: transpiler configuration.
+            circuits are compared across design points).
+        layout_method / routing_method: registry pass names (``None``
+            defers to the level preset).
+        optimization_level: staged-pipeline preset (0..3); level 1 is the
+            paper's flow.
         progress: optional callable invoked with a status string per point.
         runner: optional :class:`repro.runtime.ExperimentRunner`; when
             given, points are executed through it (process-pool fan-out
             and/or result caching) with ordered collection, so the returned
             records are identical to the serial loop's.
     """
-    points = sweep_grid(list(workloads), list(sizes), list(backends))
-    labels = [f"{w}-{s} on {b.name}" for w, s, b in points]
+    targets = [Target.from_backend(target) for target in targets]
+    points = sweep_grid(list(workloads), list(sizes), targets)
+    labels = [f"{w}-{s} on {t.name}" for w, s, t in points]
     if runner is None:
         # Imported lazily so the core layer has no import-time dependency
         # on the runtime package (which itself builds on core).
@@ -141,16 +168,18 @@ def run_sweep(
 
         runner = serial_runner()
     tasks = [
-        (workload, size, backend, seed, layout_method, routing_method)
-        for workload, size, backend in points
+        (workload, size, target, seed, layout_method, routing_method, optimization_level)
+        for workload, size, target in points
     ]
     keys = None
     if runner.result_cache is not None:
         from repro.runtime.cache import point_cache_key
 
         keys = [
-            point_cache_key(w, s, b, seed, layout_method, routing_method)
-            for w, s, b in points
+            point_cache_key(
+                w, s, t, seed, layout_method, routing_method, optimization_level
+            )
+            for w, s, t in points
         ]
     result = SweepResult()
     for record in runner.map(

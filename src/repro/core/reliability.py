@@ -24,16 +24,13 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.backend import Backend
+from repro.transpiler.compile import transpile
 from repro.transpiler.scheduling import GateDurations, Schedule, schedule_asap
+from repro.transpiler.target import Target
 from repro.workloads.registry import build_workload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runner import ExperimentRunner
-
-#: Modulator name (as used by BasisGateSpec.modulator) -> duration preset key.
-_MODULATOR_DURATIONS = {"SNAIL": "snail", "CR": "cr", "FSIM": "fsim"}
-
 
 @dataclass(frozen=True)
 class ReliabilityEstimate:
@@ -103,17 +100,23 @@ class ReliabilityModel:
 
     def estimate(
         self,
-        backend: Backend,
+        backend,
         circuit: QuantumCircuit,
         durations: Optional[GateDurations] = None,
         layout_method: str = "dense",
         routing_method: str = "sabre",
         seed: int = 0,
     ) -> ReliabilityEstimate:
-        """Transpile, schedule and score one circuit on one backend."""
-        durations = durations or durations_for_backend(backend)
-        result = backend.transpile(
+        """Transpile, schedule and score one circuit on one design point.
+
+        ``backend`` is a :class:`Target` (legacy ``Backend`` objects are
+        adapted).
+        """
+        backend = Target.from_backend(backend)
+        durations = durations or backend.gate_durations()
+        result = transpile(
             circuit,
+            backend,
             layout_method=layout_method,
             routing_method=routing_method,
             translation_mode="count",
@@ -136,23 +139,25 @@ class ReliabilityModel:
         )
 
 
-def durations_for_backend(backend: Backend) -> GateDurations:
-    """The duration preset matching a backend's modulator."""
-    key = _MODULATOR_DURATIONS.get(backend.basis.modulator.upper())
-    if key is None:
-        return GateDurations()
-    return GateDurations.for_modulator(key)
+def durations_for_backend(backend) -> GateDurations:
+    """The duration model of a design point (legacy spelling).
+
+    Accepts a :class:`Target` or legacy ``Backend``;
+    :meth:`Target.gate_durations` is the preferred spelling and the single
+    home of the modulator-preset mapping.
+    """
+    return Target.from_backend(backend).gate_durations()
 
 
 def _estimate_backend(
-    model: ReliabilityModel, backend: Backend, circuit: QuantumCircuit, seed: int
+    model: ReliabilityModel, backend: Target, circuit: QuantumCircuit, seed: int
 ) -> ReliabilityEstimate:
     """One backend's estimate (module-level so it pickles to workers)."""
     return model.estimate(backend, circuit, seed=seed)
 
 
 def reliability_ranking(
-    backends: Sequence[Backend],
+    backends: Sequence,
     workload: str,
     num_qubits: int,
     model: Optional[ReliabilityModel] = None,
@@ -166,6 +171,7 @@ def reliability_ranking(
     """
     model = model or ReliabilityModel()
     circuit = build_workload(workload, num_qubits, seed=seed)
+    backends = [Target.from_backend(backend) for backend in backends]
     tasks = [(model, backend, circuit, int(seed)) for backend in backends]
     if runner is None:
         from repro.runtime.runner import serial_runner

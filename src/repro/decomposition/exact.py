@@ -10,7 +10,6 @@ simulator in the test-suite.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.backend import make_backend
 from repro.core.pipeline import run_point
+from repro.transpiler.target import make_target
 from repro.topology.analysis import topology_properties
 from repro.topology.lattices import trimmed_hypercube
 from repro.topology.snail import corral_topology
@@ -61,10 +61,10 @@ def _scaling_row(
     cube_props = topology_properties(cube)
     qv_width = max(4, int(round(qv_fraction * num_qubits)))
     corral_metrics = run_point(
-        QUANTUM_VOLUME, qv_width, make_backend(corral, "siswap"), seed=seed
+        QUANTUM_VOLUME, qv_width, make_target(corral, "siswap"), seed=seed
     )
     cube_metrics = run_point(
-        QUANTUM_VOLUME, qv_width, make_backend(cube, "siswap"), seed=seed
+        QUANTUM_VOLUME, qv_width, make_target(cube, "siswap"), seed=seed
     )
     return CorralScalingRow(
         num_posts=posts,

@@ -32,13 +32,13 @@ def codesign_study(
     """Run the co-design grid at the requested scale."""
     if design_points is None:
         design_points = SMALL_DESIGN_POINTS if scale == "small" else LARGE_DESIGN_POINTS
-    backends = [point.backend(scale) for point in design_points]
+    targets = [point.target(scale) for point in design_points]
     workloads = list(workloads or PAPER_WORKLOADS)
     sizes = list(sizes or default_sizes(scale))
     return run_sweep(
         workloads,
         sizes,
-        backends,
+        targets,
         seed=seed,
         routing_method=routing_method,
         runner=runner,

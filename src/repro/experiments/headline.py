@@ -23,8 +23,8 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runner import ExperimentRunner
 
-from repro.core.backend import make_backend
 from repro.core.pipeline import SweepResult, run_sweep
+from repro.transpiler.target import make_target
 from repro.experiments.paper_values import HEADLINE_RATIOS
 from repro.experiments.swap_study import LARGE_SIZES_FULL, LARGE_SIZES_QUICK, full_runs_enabled
 from repro.topology.registry import HEAVY_HEX, HYPERCUBE, large_topologies
@@ -91,11 +91,11 @@ def headline_study(
     if sizes is None:
         sizes = LARGE_SIZES_FULL if full_runs_enabled() else LARGE_SIZES_QUICK
     registry = large_topologies()
-    backends = [
-        make_backend(registry[HEAVY_HEX], "cx", name="Heavy-Hex-CX"),
-        make_backend(registry[HYPERCUBE], "siswap", name="Hypercube-siswap"),
+    targets = [
+        make_target(registry[HEAVY_HEX], "cx", name="Heavy-Hex-CX"),
+        make_target(registry[HYPERCUBE], "siswap", name="Hypercube-siswap"),
     ]
-    result = run_sweep([QUANTUM_VOLUME], sizes, backends, seed=seed, runner=runner)
+    result = run_sweep([QUANTUM_VOLUME], sizes, targets, seed=seed, runner=runner)
     return HeadlineRatios(
         total_swaps_ratio=_mean_ratio(
             result, "total_swaps", "Heavy-Hex-CX", "Hypercube-siswap"

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.codesign import CodesignPoint, design_points
-from repro.core.reliability import ReliabilityModel, durations_for_backend
+from repro.core.reliability import ReliabilityModel
+from repro.transpiler.compile import transpile
 from repro.transpiler.scheduling import schedule_asap
 from repro.workloads.registry import build_workload
 
@@ -50,17 +51,17 @@ def _study_design_point(
     seed: int,
 ) -> List[SchedulingStudyRow]:
     """All rows of one design point (module-level so it pickles to workers)."""
-    backend = point.backend(scale)
-    durations = durations_for_backend(backend)
+    target = point.target(scale)
+    durations = target.gate_durations()
     rows: List[SchedulingStudyRow] = []
     for workload in workloads:
         for size in sizes:
-            if size > backend.num_qubits:
+            if size > target.num_qubits:
                 continue
             circuit = build_workload(workload, size, seed=seed)
-            estimate = model.estimate(backend, circuit, durations=durations, seed=seed)
+            estimate = model.estimate(target, circuit, durations=durations, seed=seed)
             schedule = schedule_asap(
-                backend.transpile(circuit, seed=seed).circuit, durations
+                transpile(circuit, target, seed=seed).circuit, durations
             )
             rows.append(
                 SchedulingStudyRow(

@@ -11,8 +11,8 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.backend import make_backend
 from repro.core.pipeline import SweepResult, run_sweep
+from repro.transpiler.target import make_target
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runner import ExperimentRunner
@@ -77,13 +77,13 @@ def swap_study(
     the grid points out over a process pool (results are identical).
     """
     registry = small_topologies() if scale == "small" else large_topologies()
-    backends = [make_backend(registry[name], "cx", name=name) for name in topologies]
+    targets = [make_target(registry[name], "cx", name=name) for name in topologies]
     workloads = list(workloads or PAPER_WORKLOADS)
     sizes = list(sizes or default_sizes(scale))
     return run_sweep(
         workloads,
         sizes,
-        backends,
+        targets,
         seed=seed,
         routing_method=routing_method,
         runner=runner,

@@ -12,7 +12,7 @@ every channel is completely positive and trace preserving by design.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
 import numpy as np
 

@@ -20,7 +20,7 @@ experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.noise.channels import (
     depolarizing_channel,
     thermal_relaxation_channel,
 )
-from repro.noise.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.noise.density_matrix import DensityMatrixSimulator
 from repro.simulator.statevector import StatevectorSimulator
 
 

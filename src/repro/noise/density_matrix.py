@@ -10,7 +10,7 @@ needed to reconcile the two live here so callers never see them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate

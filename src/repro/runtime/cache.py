@@ -14,17 +14,24 @@ import hashlib
 from dataclasses import replace
 from typing import Hashable, Optional
 
-from repro.core.backend import Backend
 from repro.linalg.cache import CacheStats, LRUCache
+from repro.transpiler.compile import TranspileResult
 from repro.transpiler.metrics import TranspileMetrics
+from repro.transpiler.passmanager import PropertySet
+from repro.transpiler.target import Target
 
 
-def backend_cache_key(backend: Backend) -> Hashable:
-    """Stable identity of a backend: name, basis and exact topology.
+def backend_cache_key(backend) -> Hashable:
+    """Stable identity of a design point: name, basis and exact topology.
 
-    The edge list participates through a digest so that two backends that
-    merely share a name (e.g. differently sized registries) never collide.
+    Accepts a :class:`~repro.transpiler.target.Target` (delegating to its
+    own ``cache_key``, which also digests the noise model) or a legacy
+    :class:`Backend`.  The edge list participates through a digest so that
+    two design points that merely share a name (e.g. differently sized
+    registries) never collide.
     """
+    if isinstance(backend, Target):
+        return backend.cache_key()
     edges = ",".join(f"{a}-{b}" for a, b in backend.coupling_map.edges())
     edge_digest = hashlib.sha256(edges.encode("ascii")).hexdigest()[:16]
     return (
@@ -38,12 +45,13 @@ def backend_cache_key(backend: Backend) -> Hashable:
 def point_cache_key(
     workload: str,
     num_qubits: int,
-    backend: Backend,
+    backend,
     seed: int,
     layout_method: str,
     routing_method: str,
+    optimization_level: int = 1,
 ) -> Hashable:
-    """Full cache key of one sweep point."""
+    """Full cache key of one sweep point (``backend`` may be a Target)."""
     return (
         workload,
         int(num_qubits),
@@ -51,6 +59,7 @@ def point_cache_key(
         int(seed),
         layout_method,
         routing_method,
+        int(optimization_level),
     )
 
 
@@ -63,14 +72,30 @@ class ResultCache:
     @staticmethod
     def _copy(record):
         # TranspileMetrics carries a mutable ``extra`` dict; hand out private
-        # copies so neither side can corrupt the other.  Other result types
-        # are stored as-is (callers own their immutability contract).
+        # copies so neither side can corrupt the other — also when the
+        # metrics are nested inside a TranspileResult (the record type
+        # ``transpile_batch`` caches), whose PropertySet and its nested
+        # bookkeeping dicts are copied one level deep (circuits, layouts and
+        # schedules are treated as immutable by convention).  Other result
+        # types are stored as-is (callers own their immutability contract).
         if isinstance(record, TranspileMetrics):
             return replace(record, extra=dict(record.extra))
+        if isinstance(record, TranspileResult):
+            properties = PropertySet(
+                {
+                    key: dict(value) if isinstance(value, dict) else value
+                    for key, value in record.properties.items()
+                }
+            )
+            return replace(
+                record,
+                metrics=ResultCache._copy(record.metrics),
+                properties=properties,
+            )
         return record
 
-    def get(self, key: Hashable) -> Optional[TranspileMetrics]:
-        """Cached result for ``key`` (metrics are copied), or ``None``."""
+    def get(self, key: Hashable) -> Optional[object]:
+        """Cached record for ``key`` (mutable parts copied), or ``None``."""
         record = self._lru.get(key)
         if record is None:
             return None

@@ -9,7 +9,7 @@ average distance, average connectivity).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np

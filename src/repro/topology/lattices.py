@@ -15,8 +15,7 @@ are provided by :mod:`repro.topology.registry`.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

@@ -13,7 +13,7 @@ sizes, tree depths — so that every experiment in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.topology.coupling import CouplingMap
 from repro.topology.lattices import (

@@ -22,7 +22,7 @@ qubits it couples**, and a topology is the union of those cliques.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.topology.coupling import CouplingMap
 

@@ -19,7 +19,7 @@ frequency-crowding study accept any :class:`~repro.topology.coupling.CouplingMap
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.topology.coupling import CouplingMap
 from repro.topology.snail import SnailModule, modules_to_coupling_map

@@ -2,7 +2,14 @@
 
 from repro.transpiler.layout import Layout
 from repro.transpiler.metrics import TranspileMetrics, format_metrics_table
-from repro.transpiler.passmanager import PassManager, PropertySet, TranspilerPass
+from repro.transpiler.passmanager import (
+    STAGES,
+    PassManager,
+    PropertySet,
+    StagedPassManager,
+    TranspilerPass,
+)
+from repro.transpiler.target import Target, make_target
 from repro.transpiler.passes.basis_translation import (
     BasisTranslation,
     BasisTranslationError,
@@ -32,15 +39,32 @@ from repro.transpiler.scheduling import (
     schedule_alap,
     schedule_asap,
 )
-from repro.transpiler.compile import TranspileResult, build_pass_manager, transpile
+from repro.transpiler.passes.schedule_analysis import ScheduleAnalysis
+from repro.transpiler.registry import available_passes, make_pass, register_pass
+from repro.transpiler.compile import (
+    TranspileResult,
+    available_levels,
+    build_pass_manager,
+    build_staged_pass_manager,
+    transpile,
+)
+from repro.transpiler.batch import circuit_fingerprint, transpile_batch
 
 __all__ = [
     "Layout",
     "TranspileMetrics",
     "format_metrics_table",
+    "STAGES",
     "PassManager",
     "PropertySet",
+    "StagedPassManager",
     "TranspilerPass",
+    "Target",
+    "make_target",
+    "available_passes",
+    "make_pass",
+    "register_pass",
+    "ScheduleAnalysis",
     "BasisTranslation",
     "BasisTranslationError",
     "CancelAdjacentInverses",
@@ -65,6 +89,10 @@ __all__ = [
     "schedule_alap",
     "schedule_asap",
     "TranspileResult",
+    "available_levels",
     "build_pass_manager",
+    "build_staged_pass_manager",
     "transpile",
+    "transpile_batch",
+    "circuit_fingerprint",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,7 @@ class TranspileMetrics:
         total_gates: all gates after translation (excluding barriers).
         depth: plain circuit depth after translation.
         routing_method / layout_method / seed: provenance of the run.
+        optimization_level: preset schedule (0..3) the run used.
     """
 
     circuit_name: str
@@ -42,6 +43,7 @@ class TranspileMetrics:
     routing_method: str = "sabre"
     layout_method: str = "dense"
     seed: int = 0
+    optimization_level: int = 1
     extra: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:

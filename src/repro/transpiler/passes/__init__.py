@@ -16,6 +16,7 @@ from repro.transpiler.passes.noise_aware_routing import NoiseAwareLayout, NoiseA
 from repro.transpiler.passes.optimize import Optimize1qGates, RemoveBarriers
 from repro.transpiler.passes.routing import SabreRouting, StochasticRouting
 from repro.transpiler.passes.routing_extra import BasicRouting
+from repro.transpiler.passes.schedule_analysis import ScheduleAnalysis
 from repro.transpiler.passes.vf2_layout import VF2Layout, interaction_graph
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "RemoveBarriers",
     "SabreRouting",
     "StochasticRouting",
+    "ScheduleAnalysis",
     "VF2Layout",
     "interaction_graph",
 ]

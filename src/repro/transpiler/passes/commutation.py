@@ -17,7 +17,7 @@ it never changes the circuit unitary, which the tests verify directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ only record ``properties["layout"]``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -16,7 +16,7 @@ and an edge at the floor fidelity costs ``1 + noise_weight`` hops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np

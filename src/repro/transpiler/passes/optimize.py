@@ -8,12 +8,11 @@ are numerically the identity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.instruction import Instruction
 from repro.gates import U3Gate
 from repro.linalg.su2 import zyz_decomposition
 from repro.transpiler.passmanager import PropertySet, TranspilerPass

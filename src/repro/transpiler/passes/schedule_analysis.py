@@ -1,0 +1,46 @@
+"""Duration-aware scheduling as a pipeline stage.
+
+The duration model of :mod:`repro.transpiler.scheduling` was previously
+only reachable by calling :func:`schedule_asap` by hand on a transpile
+result.  :class:`ScheduleAnalysis` wires it into the staged pipeline: run
+as the ``scheduling`` stage it times the (translated, optimized) circuit
+under the target's :class:`~repro.transpiler.scheduling.GateDurations`
+and records the schedule and its aggregates into the property set, from
+where :func:`repro.transpiler.compile.transpile` copies them into
+``TranspileMetrics.extra``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.transpiler.passmanager import PropertySet, TranspilerPass
+from repro.transpiler.scheduling import GateDurations, schedule_alap, schedule_asap
+
+
+class ScheduleAnalysis(TranspilerPass):
+    """Analysis pass: schedule the circuit and record duration metrics.
+
+    The circuit is returned unchanged; the pass records
+
+    * ``properties["schedule"]`` — the full :class:`Schedule`,
+    * ``properties["scheduled_duration_ns"]`` — the makespan,
+    * ``properties["scheduled_idle_ns"]`` — summed per-qubit idle time,
+    * ``properties["scheduled_parallelism"]`` — mean concurrent gates.
+    """
+
+    name = "schedule_analysis"
+
+    def __init__(self, durations: GateDurations, discipline: str = "asap"):
+        if discipline not in ("asap", "alap"):
+            raise ValueError(f"unknown discipline {discipline!r}; use 'asap' or 'alap'")
+        self._durations = durations
+        self._discipline = discipline
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        scheduler = schedule_asap if self._discipline == "asap" else schedule_alap
+        schedule = scheduler(circuit, self._durations)
+        properties["schedule"] = schedule
+        properties["scheduled_duration_ns"] = schedule.total_duration()
+        properties["scheduled_idle_ns"] = schedule.total_idle_time()
+        properties["scheduled_parallelism"] = schedule.average_parallelism()
+        return circuit

@@ -8,9 +8,20 @@ counts, 2Q counts) into a shared :class:`PropertySet`.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
+
+#: The canonical compilation stages, in execution order.  Every preset
+#: schedule and every registered pass belongs to exactly one of these.
+STAGES: Tuple[str, ...] = (
+    "init",
+    "layout",
+    "routing",
+    "translation",
+    "optimization",
+    "scheduling",
+)
 
 
 class PropertySet(dict):
@@ -67,5 +78,85 @@ class PassManager:
             current = transpiler_pass.run(current, properties)
             elapsed = time.perf_counter() - start
             timings[transpiler_pass.name] = timings.get(transpiler_pass.name, 0.0) + elapsed
+        properties["final_circuit"] = current
+        return current
+
+
+class StagedPassManager(PassManager):
+    """A pass manager whose schedule is organised into named stages.
+
+    Stages run in :data:`STAGES` order (``init -> layout -> routing ->
+    translation -> optimization -> scheduling``); a stage may hold any
+    number of passes, including zero.  After each non-empty stage the
+    intermediate circuit is recorded in
+    ``properties["stage_circuits"][stage]`` so that metric collection can
+    inspect, e.g., the routed circuit *after* routing-level cleanup but
+    before basis translation.
+    """
+
+    def __init__(self, stages: Optional[Mapping[str, Sequence[TranspilerPass]]] = None):
+        stages = dict(stages or {})
+        unknown = set(stages) - set(STAGES)
+        if unknown:
+            raise ValueError(
+                f"unknown stage(s) {sorted(unknown)}; stages are {list(STAGES)}"
+            )
+        self._stage_passes: Dict[str, List[TranspilerPass]] = {
+            stage: list(stages.get(stage, ())) for stage in STAGES
+        }
+        super().__init__(
+            [p for stage in STAGES for p in self._stage_passes[stage]]
+        )
+
+    # -- schedule editing ----------------------------------------------------
+
+    def append_to_stage(self, stage: str, transpiler_pass: TranspilerPass) -> "StagedPassManager":
+        """Add a pass at the end of one stage."""
+        if stage not in self._stage_passes:
+            raise ValueError(f"unknown stage {stage!r}; stages are {list(STAGES)}")
+        self._stage_passes[stage].append(transpiler_pass)
+        self._passes = [p for s in STAGES for p in self._stage_passes[s]]
+        return self
+
+    def append(self, transpiler_pass: TranspilerPass) -> "PassManager":
+        """Add a pass at the end of the whole schedule (the final stage).
+
+        Overridden so the inherited API stays live: execution iterates the
+        per-stage schedule, so appending to the flat list alone would list
+        the pass in :attr:`passes` without ever running it.
+        """
+        return self.append_to_stage(STAGES[-1], transpiler_pass)
+
+    @property
+    def stages(self) -> Dict[str, List[TranspilerPass]]:
+        """The per-stage schedule (stage name -> passes, in run order)."""
+        return {stage: list(passes) for stage, passes in self._stage_passes.items()}
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        properties: Optional[PropertySet] = None,
+    ) -> QuantumCircuit:
+        """Run every stage in order, recording per-stage circuits."""
+        properties = properties if properties is not None else PropertySet()
+        timings: Dict[str, float] = properties.setdefault("pass_timings", {})
+        stage_circuits: Dict[str, QuantumCircuit] = properties.setdefault(
+            "stage_circuits", {}
+        )
+        current = circuit
+        for stage in STAGES:
+            passes = self._stage_passes[stage]
+            if not passes:
+                continue
+            for transpiler_pass in passes:
+                start = time.perf_counter()
+                current = transpiler_pass.run(current, properties)
+                elapsed = time.perf_counter() - start
+                timings[transpiler_pass.name] = (
+                    timings.get(transpiler_pass.name, 0.0) + elapsed
+                )
+            stage_circuits[stage] = current
         properties["final_circuit"] = current
         return current

@@ -23,7 +23,7 @@ iSWAP pulse scales like ``1/n`` of the full iSWAP.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 

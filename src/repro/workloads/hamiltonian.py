@@ -8,7 +8,6 @@ than QAOA — the paper uses it as the "easy" end of the workload spectrum.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 

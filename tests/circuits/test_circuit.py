@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
-from repro.gates import CXGate, SwapGate
+from repro.gates import SwapGate
 from repro.linalg.random import random_unitary
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Backend, make_backend
-from repro.decomposition import get_basis, sqiswap_basis
+from repro.decomposition import get_basis
 from repro.topology import corral_topology, square_lattice
 from repro.workloads import ghz_circuit, quantum_volume_circuit
 

@@ -1,6 +1,5 @@
 """Tests for the co-design points (paper Figs. 13/14 legends)."""
 
-import pytest
 
 from repro.core import CodesignPoint, design_backends, design_points
 from repro.core.codesign import LARGE_DESIGN_POINTS, SMALL_DESIGN_POINTS

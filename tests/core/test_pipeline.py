@@ -39,6 +39,21 @@ class TestRunSweep:
         assert len(ghz_only) == 4
         assert all(record.circuit_qubits == 8 for record in ghz_only)
 
+    def test_filter_matches_extra_fields_like_series_does(self, small_sweep):
+        """filter() goes through as_dict(), so flattened extra fields match."""
+        ghz_records = small_sweep.filter(workload="GHZ")
+        assert len(ghz_records) == 4
+        assert all(record.extra["workload"] == "GHZ" for record in ghz_records)
+        one_backend = small_sweep.filter(workload="GHZ", backend="Cube-SIS")
+        assert len(one_backend) == 2
+
+    def test_filter_unknown_field_matches_nothing(self, small_sweep):
+        assert len(small_sweep.filter(nonexistent_field=1)) == 0
+
+    def test_average_over_extra_field(self, small_sweep):
+        value = small_sweep.average("total_2q", workload="GHZ")
+        assert value > 0
+
     def test_series_grouping(self, small_sweep):
         series = small_sweep.series("topology", "circuit_qubits", "total_2q")
         assert len(series) == 2

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.decomposition import (
-    BasisGateSpec,
     cx_basis,
     get_basis,
     iswap_basis,

@@ -1,6 +1,5 @@
 """Tests for the exact named-gate translation rules."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
@@ -25,7 +24,7 @@ from repro.gates import (
     RZZGate,
     SwapGate,
 )
-from repro.simulator import circuit_unitary, circuits_equivalent
+from repro.simulator import circuits_equivalent
 
 
 def _reference(gate, num_qubits=2):

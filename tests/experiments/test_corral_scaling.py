@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.experiments.corral_scaling import (
-    CorralScalingRow,
-    corral_scaling_study,
-    format_corral_scaling,
-)
+from repro.experiments.corral_scaling import corral_scaling_study, format_corral_scaling
 
 
 @pytest.fixture(scope="module")

@@ -9,10 +9,10 @@ the transpiled circuit still implements the original algorithm.
 import numpy as np
 import pytest
 
-from repro import Backend, get_basis, make_backend, transpile
+from repro import make_target, transpile
 from repro.core import FidelityModel
-from repro.simulator import StatevectorSimulator, statevector
-from repro.topology import corral_topology, get_topology, hypercube, square_lattice
+from repro.simulator import StatevectorSimulator
+from repro.topology import corral_topology, get_topology, square_lattice
 from repro.transpiler import Layout
 from repro.workloads import build_workload, ghz_circuit, quantum_volume_circuit
 
@@ -72,31 +72,31 @@ class TestCodesignAdvantageEndToEnd:
     def test_corral_siswap_beats_square_lattice_cx(self):
         """The paper's central co-design claim at the prototype scale."""
         circuit = quantum_volume_circuit(12, seed=9)
-        corral = make_backend(corral_topology(8, (1, 1)), "siswap", name="corral-sis")
-        lattice = make_backend(square_lattice(4, 4), "cx", name="lattice-cx")
-        corral_metrics = corral.transpile(circuit, seed=1).metrics
-        lattice_metrics = lattice.transpile(circuit, seed=1).metrics
+        corral = make_target(corral_topology(8, (1, 1)), "siswap", name="corral-sis")
+        lattice = make_target(square_lattice(4, 4), "cx", name="lattice-cx")
+        corral_metrics = transpile(circuit, corral, seed=1).metrics
+        lattice_metrics = transpile(circuit, lattice, seed=1).metrics
         assert corral_metrics.total_2q < lattice_metrics.total_2q
         assert corral_metrics.critical_2q < lattice_metrics.critical_2q
         model = FidelityModel()
         assert model.combined(corral_metrics) > model.combined(lattice_metrics)
 
     def test_every_workload_transpiles_on_every_small_design_point(self):
-        from repro.core import design_backends
+        from repro.core import design_targets
         from repro.workloads import PAPER_WORKLOADS
 
-        backends = design_backends("small")
+        targets = design_targets("small")
         for workload in PAPER_WORKLOADS:
             circuit = build_workload(workload, 8, seed=0)
-            for backend in backends.values():
-                metrics = backend.transpile(circuit, seed=0).metrics
+            for target in targets.values():
+                metrics = transpile(circuit, target, seed=0).metrics
                 assert metrics.total_2q >= metrics.critical_2q > 0
 
 
 class TestLargeScaleSmoke:
     def test_tree84_accepts_40_qubit_qft(self):
         circuit = build_workload("QFT", 40)
-        backend = make_backend(get_topology("Tree", "large"), "siswap")
-        metrics = backend.transpile(circuit, seed=0).metrics
+        target = make_target(get_topology("Tree", "large"), "siswap")
+        metrics = transpile(circuit, target, seed=0).metrics
         assert metrics.circuit_qubits == 40
         assert metrics.total_2q > 0

@@ -1,6 +1,5 @@
 """Tests for the headline-ratio and chevron experiments."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import chevron_summary, figure6_study, headline_study, format_headline_report

@@ -10,7 +10,7 @@ from repro.experiments.frequency_study import (
     frequency_crowding_study,
 )
 from repro.frequency.allocation import FrequencyAllocator, allocate_frequencies
-from repro.frequency.modulators import ModulatorSpec, cr_modulator, get_modulator, snail_modulator
+from repro.frequency.modulators import ModulatorSpec, cr_modulator, snail_modulator
 from repro.topology import CouplingMap, get_topology
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit
-from repro.gates import CXGate, SwapGate
 from repro.linalg.matrices import kron
 from repro.linalg.random import random_unitary
 from repro.simulator import circuit_unitary, circuits_equivalent, statevector

@@ -27,6 +27,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "Shor", "10"])
 
+    def test_layout_and_routing_choices_come_from_pass_registry(self):
+        from repro.transpiler import available_passes
+
+        parser = build_parser()
+        run_parser = parser._subparsers._group_actions[0].choices["run"]
+        by_dest = {action.dest: action for action in run_parser._actions}
+        assert list(by_dest["layout"].choices) == available_passes("layout")
+        assert list(by_dest["routing"].choices) == available_passes("routing")
+        assert "noise_aware" in by_dest["routing"].choices
+
+    def test_bad_routing_name_errors_listing_registered_options(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "GHZ", "8", "--routing", "teleport"])
+        message = capsys.readouterr().err
+        assert "teleport" in message
+        assert "sabre" in message and "noise_aware" in message
+
+    def test_run_level_option(self, capsys):
+        assert main(["run", "GHZ", "8", "--level", "2"]) == 0
+        assert "total_swaps" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "GHZ", "8", "--level", "9"])
+
+    def test_level_choices_come_from_preset_table(self):
+        from repro.transpiler import available_levels
+
+        run_parser = build_parser()._subparsers._group_actions[0].choices["run"]
+        by_dest = {action.dest: action for action in run_parser._actions}
+        assert list(by_dest["level"].choices) == available_levels()
+
+    def test_run_topology_name_normalised(self, capsys):
+        assert main(["run", "GHZ", "8", "--topology", "corral-1-1"]) == 0
+        assert "Corral1,1" in capsys.readouterr().out
+
 
 class TestExecution:
     def test_tables_command(self, capsys):

@@ -35,14 +35,27 @@ class TestPublicAPI:
 
     def test_quickstart_snippet_from_docstring(self):
         """The README / package-docstring quickstart must actually run."""
+        from repro import Target, transpile
+        from repro.workloads import quantum_volume_circuit
+
+        target = Target.from_names("corral-1-1", "sqiswap")
+        result = transpile(quantum_volume_circuit(8, seed=1), target, optimization_level=2)
+        assert result.metrics.total_2q > 0
+        assert result.metrics.critical_2q <= result.metrics.total_2q
+
+    def test_legacy_backend_shim_still_transpiles(self):
+        """Backend.transpile keeps working but warns about the migration."""
         from repro import Backend, get_basis
         from repro.topology import corral_topology
         from repro.workloads import quantum_volume_circuit
 
         backend = Backend(corral_topology(8, (1, 1)), get_basis("siswap"))
-        result = backend.transpile(quantum_volume_circuit(8, seed=1))
-        assert result.metrics.total_2q > 0
-        assert result.metrics.critical_2q <= result.metrics.total_2q
+        with pytest.warns(DeprecationWarning, match="Target"):
+            result = backend.transpile(quantum_volume_circuit(8, seed=1))
+        target_result = backend.to_target().transpile(
+            quantum_volume_circuit(8, seed=1), seed=0
+        )
+        assert result.metrics == target_result.metrics
 
     def test_main_module_entry_point(self, capsys):
         from repro.__main__ import main

@@ -1,6 +1,5 @@
 """Tests for the basis-translation pass."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit

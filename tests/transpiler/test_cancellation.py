@@ -1,6 +1,5 @@
 """Tests for the gate-cancellation pass."""
 
-import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.simulator import circuits_equivalent

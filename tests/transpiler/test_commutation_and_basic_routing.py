@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
-from repro.gates import CXGate, CZGate, RZGate, SwapGate, XGate
+from repro.gates import CXGate, CZGate, RZGate, XGate
 from repro.linalg.fidelity import hilbert_schmidt_fidelity
 from repro.topology import CouplingMap, get_topology
 from repro.transpiler import transpile

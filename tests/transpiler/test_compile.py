@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.circuits import QuantumCircuit
 from repro.decomposition import get_basis, sqiswap_basis
-from repro.topology import hypercube, square_lattice, tree_topology
+from repro.topology import hypercube, square_lattice
 from repro.transpiler import (
     PassManager,
     PropertySet,

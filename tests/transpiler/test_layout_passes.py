@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import QuantumCircuit
-from repro.topology import CouplingMap, square_lattice, tree_topology
+from repro.topology import CouplingMap
 from repro.transpiler import (
     DenseLayout,
     InteractionGraphLayout,

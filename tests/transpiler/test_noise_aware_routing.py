@@ -1,6 +1,5 @@
 """Tests for the noise-aware router."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.circuit import QuantumCircuit

@@ -1,0 +1,184 @@
+"""Optimization-level semantics: monotonicity and unitary equivalence.
+
+Two properties anchor the level ladder (satellite of the staged-API
+redesign):
+
+* metric monotonicity — on a QFT + QAOA pair, level 2 never increases the
+  2Q count relative to level 1, and the ladder never beats the cheaper
+  level 0 router with *more* gates; and
+* semantics — at every level, the compiled circuit implements the original
+  unitary up to the virtual->physical permutations tracked by the layouts
+  (checked exactly via :mod:`repro.simulator.unitary` in synthesis mode).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core.noise import NoiseModel
+from repro.linalg.matrices import matrices_equal
+from repro.simulator.unitary import circuit_unitary
+from repro.topology import square_lattice
+from repro.transpiler import Target, make_target, transpile
+from repro.workloads import build_workload
+
+LEVELS = (0, 1, 2, 3)
+
+
+def _permutation_matrix(layout, num_qubits: int) -> np.ndarray:
+    """Basis permutation sending virtual qubit v's bit to layout[v]'s bit."""
+    dim = 2 ** num_qubits
+    matrix = np.zeros((dim, dim))
+    for source in range(dim):
+        destination = 0
+        for virtual in range(num_qubits):
+            if (source >> virtual) & 1:
+                destination |= 1 << layout.physical(virtual)
+        matrix[destination, source] = 1.0
+    return matrix
+
+
+class TestMetricMonotonicity:
+    @pytest.mark.parametrize("workload", ["QFT", "QAOAVanilla"])
+    @pytest.mark.parametrize(
+        "topology,basis",
+        [("Heavy-Hex", "cx"), ("Corral1,1", "siswap")],
+    )
+    def test_level2_never_increases_2q_vs_level1(self, workload, topology, basis):
+        circuit = build_workload(workload, 10, seed=2)
+        target = Target.from_names(topology, basis)
+        metrics = {
+            level: transpile(circuit, target, seed=2, optimization_level=level).metrics
+            for level in (0, 1, 2)
+        }
+        assert metrics[2].total_2q <= metrics[1].total_2q <= metrics[0].total_2q
+        assert metrics[2].critical_2q <= metrics[1].critical_2q
+        assert metrics[2].total_swaps <= metrics[1].total_swaps
+        assert metrics[2].weighted_duration <= metrics[1].weighted_duration
+
+    def test_level_recorded_in_metrics(self):
+        target = Target.from_names("Tree", "siswap")
+        circuit = build_workload("GHZ", 6, seed=0)
+        for level in LEVELS:
+            metrics = transpile(circuit, target, optimization_level=level).metrics
+            assert metrics.optimization_level == level
+            assert metrics.as_dict()["optimization_level"] == level
+
+    def test_unknown_level_rejected(self):
+        target = Target.from_names("Tree", "siswap")
+        with pytest.raises(ValueError, match="optimization level"):
+            transpile(build_workload("GHZ", 4), target, optimization_level=7)
+
+    def test_available_levels_lists_presets(self):
+        from repro.transpiler import available_levels
+
+        assert available_levels() == [0, 1, 2, 3]
+
+    def test_basis_alongside_target_rejected(self):
+        """A Target carries its basis; a conflicting one must not be dropped."""
+        from repro.decomposition import get_basis
+
+        target = Target.from_names("Tree", "siswap")
+        circuit = build_workload("GHZ", 4)
+        with pytest.raises(ValueError, match="inside the Target"):
+            transpile(circuit, target, basis=get_basis("cx"))
+        with pytest.raises(ValueError, match="inside the Target"):
+            transpile(circuit, target, basis_name="cx")
+
+    @pytest.mark.slow
+    def test_level2_at_most_level0_across_workload_registry(self):
+        """Acceptance sweep: level 2 <= level 0 on the paper workload suite."""
+        from repro.workloads import PAPER_WORKLOADS
+
+        for topology, basis in (("Heavy-Hex", "cx"), ("Corral1,1", "siswap")):
+            target = Target.from_names(topology, basis)
+            for workload in PAPER_WORKLOADS:
+                circuit = build_workload(workload, 8, seed=0)
+                level0 = transpile(circuit, target, seed=0, optimization_level=0).metrics
+                level2 = transpile(circuit, target, seed=0, optimization_level=2).metrics
+                assert level2.total_2q <= level0.total_2q, (topology, workload)
+
+
+class TestLevel2Cleanup:
+    def test_redundant_gates_cancelled(self):
+        """Back-to-back inverse pairs vanish at level 2 but survive level 1."""
+        circuit = QuantumCircuit(4, name="redundant")
+        circuit.cx(0, 1)
+        circuit.h(2)
+        circuit.cx(0, 1)
+        circuit.swap(1, 2)
+        circuit.swap(1, 2)
+        target = make_target(square_lattice(2, 2), "cx")
+        level1 = transpile(circuit, target, seed=0, optimization_level=1).metrics
+        level2 = transpile(circuit, target, seed=0, optimization_level=2).metrics
+        assert level1.total_2q > 0
+        assert level2.total_2q == 0
+        assert level2.extra["cancelled_gates"] >= 4
+
+    def test_commuting_separation_cancelled(self):
+        """An RZ on the control commutes; the CX pair still cancels."""
+        circuit = QuantumCircuit(4, name="commuting")
+        circuit.cx(0, 1)
+        circuit.rz(0.7, 0)
+        circuit.cx(0, 1)
+        target = make_target(square_lattice(2, 2), "cx")
+        level2 = transpile(circuit, target, seed=0, optimization_level=2).metrics
+        assert level2.total_2q == 0
+        assert level2.extra["commutative_cancelled"] >= 2
+
+
+class TestUnitaryEquivalence:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("workload", ["QFT", "QAOAVanilla"])
+    def test_synthesis_output_implements_the_algorithm(self, level, workload):
+        """Permutation-adjusted unitary equality at every level."""
+        circuit = build_workload(workload, 4, seed=3)
+        target = make_target(square_lattice(2, 2), "siswap")
+        result = transpile(
+            circuit,
+            target,
+            translation_mode="synthesis",
+            seed=5,
+            optimization_level=level,
+        )
+        original = circuit_unitary(circuit)
+        physical = circuit_unitary(result.circuit)
+        p_initial = _permutation_matrix(result.initial_layout, 4)
+        p_final = _permutation_matrix(result.final_layout, 4)
+        assert matrices_equal(
+            physical @ p_initial,
+            p_final @ original,
+            up_to_global_phase=True,
+            atol=1e-4,
+        )
+
+
+class TestLevel3:
+    def test_schedule_attached(self):
+        target = Target.from_names("Corral1,1", "siswap")
+        circuit = build_workload("QuantumVolume", 8, seed=1)
+        result = transpile(circuit, target, seed=1, optimization_level=3)
+        assert result.schedule is not None
+        assert result.metrics.extra["duration_ns"] > 0
+        assert result.metrics.extra["parallelism"] > 0
+        # The schedule times the final circuit under the SNAIL preset.
+        assert result.schedule.total_duration() == result.metrics.extra["duration_ns"]
+
+    def test_noise_model_engages_noise_aware_routing(self):
+        base = Target.from_names("Corral1,1", "siswap")
+        noisy = base.with_noise(NoiseModel.random(base.coupling_map, seed=3))
+        circuit = build_workload("QuantumVolume", 8, seed=1)
+        uniform = transpile(circuit, base, seed=1, optimization_level=3)
+        aware = transpile(circuit, noisy, seed=1, optimization_level=3)
+        assert uniform.metrics.routing_method == "sabre"
+        assert aware.metrics.routing_method == "noise_aware"
+        for instruction in aware.circuit:
+            if instruction.is_two_qubit:
+                assert base.coupling_map.has_edge(*instruction.qubits)
+
+    def test_scheduling_method_forces_schedule_at_any_level(self):
+        target = Target.from_names("Tree", "siswap")
+        circuit = build_workload("GHZ", 6, seed=0)
+        result = transpile(circuit, target, scheduling_method="alap", optimization_level=1)
+        assert result.schedule is not None
+        assert result.schedule.discipline == "alap"

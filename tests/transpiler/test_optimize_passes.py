@@ -1,6 +1,5 @@
 """Tests for the clean-up passes and the multi-qubit expansion pass."""
 
-import numpy as np
 
 from repro.circuits import QuantumCircuit
 from repro.simulator import circuits_equivalent

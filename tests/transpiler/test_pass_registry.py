@@ -1,0 +1,186 @@
+"""Tests for the name-based pass registry and the staged pass manager."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.topology import square_lattice
+from repro.transpiler import (
+    STAGES,
+    PropertySet,
+    StagedPassManager,
+    TranspilerPass,
+    available_passes,
+    make_pass,
+    make_target,
+    register_pass,
+    transpile,
+)
+from repro.transpiler.registry import _REGISTRY
+from repro.workloads import ghz_circuit
+
+
+class TestRegistryContents:
+    def test_stage_names(self):
+        assert STAGES == (
+            "init",
+            "layout",
+            "routing",
+            "translation",
+            "optimization",
+            "scheduling",
+        )
+
+    def test_builtin_passes_registered(self):
+        assert set(available_passes("layout")) >= {
+            "trivial",
+            "dense",
+            "interaction",
+            "vf2",
+            "noise_aware",
+        }
+        assert set(available_passes("routing")) >= {
+            "sabre",
+            "stochastic",
+            "basic",
+            "noise_aware",
+        }
+        assert set(available_passes("translation")) == {"count", "synthesis"}
+        assert set(available_passes("optimization")) >= {
+            "cancel_inverses",
+            "commutative_cancellation",
+            "merge_1q",
+        }
+        assert set(available_passes("scheduling")) == {"asap", "alap"}
+
+    def test_available_passes_without_stage_maps_all(self):
+        catalogue = available_passes()
+        assert set(catalogue) == set(STAGES)
+        assert "sabre" in catalogue["routing"]
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            available_passes("postprocessing")
+        with pytest.raises(ValueError, match="unknown stage"):
+            make_pass("postprocessing", "x", make_target(square_lattice(2, 2), "cx"))
+
+    def test_unknown_pass_error_lists_registered_options(self):
+        target = make_target(square_lattice(4, 4), "cx")
+        with pytest.raises(ValueError) as excinfo:
+            make_pass("routing", "teleport", target)
+        message = str(excinfo.value)
+        assert "teleport" in message
+        for option in available_passes("routing"):
+            assert option in message
+
+
+class TestCustomRegistration:
+    def test_registered_pass_usable_by_name(self):
+        class TagCircuit(TranspilerPass):
+            name = "tag_circuit"
+
+            def run(self, circuit, properties):
+                properties["tagged"] = True
+                return circuit
+
+        @register_pass("init", "tag")
+        def _tag(target, seed=0):
+            return TagCircuit()
+
+        try:
+            target = make_target(square_lattice(4, 4), "cx")
+            built = make_pass("init", "tag", target)
+            assert isinstance(built, TagCircuit)
+            assert "tag" in available_passes("init")
+        finally:
+            del _REGISTRY["init"]["tag"]
+
+    def test_register_pass_rejects_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            register_pass("finalize", "x")
+
+
+class TestStagedPassManager:
+    def test_runs_stages_in_canonical_order(self):
+        order = []
+
+        class Recorder(TranspilerPass):
+            def __init__(self, label):
+                self.name = f"rec_{label}"
+                self._label = label
+
+            def run(self, circuit, properties):
+                order.append(self._label)
+                return circuit
+
+        manager = StagedPassManager(
+            {"translation": [Recorder("t")], "layout": [Recorder("l")], "init": [Recorder("i")]}
+        )
+        manager.run(QuantumCircuit(2), PropertySet())
+        assert order == ["i", "l", "t"]
+
+    def test_stage_circuits_recorded(self):
+        target = make_target(square_lattice(4, 4), "siswap")
+        result = transpile(ghz_circuit(5), target, seed=1)
+        stage_circuits = result.properties["stage_circuits"]
+        assert set(stage_circuits) == {"init", "layout", "routing", "translation"}
+        assert stage_circuits["translation"] is result.circuit
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            StagedPassManager({"cleanup": []})
+
+    def test_append_to_stage(self):
+        class Noop(TranspilerPass):
+            name = "noop"
+
+            def run(self, circuit, properties):
+                return circuit
+
+        manager = StagedPassManager()
+        assert manager.passes == []
+        manager.append_to_stage("routing", Noop())
+        assert len(manager.passes) == 1
+        with pytest.raises(ValueError, match="unknown stage"):
+            manager.append_to_stage("cleanup", Noop())
+
+    def test_plain_append_still_executes(self):
+        """The inherited append() must feed execution, not just .passes."""
+        ran = []
+
+        class Marker(TranspilerPass):
+            name = "marker"
+
+            def run(self, circuit, properties):
+                ran.append(True)
+                return circuit
+
+        manager = StagedPassManager()
+        manager.append(Marker())
+        manager.run(QuantumCircuit(2), PropertySet())
+        assert ran == [True]
+
+    def test_custom_router_without_private_properties(self):
+        """A registered router that only sets the layout contract works."""
+
+        class IdentityRouter(TranspilerPass):
+            name = "identity_router"
+
+            def run(self, circuit, properties):
+                properties["final_layout"] = properties.require("layout").copy()
+                return circuit  # GHZ on a line is already routable
+
+        @register_pass("routing", "identity")
+        def _identity(target, seed=0):
+            return IdentityRouter()
+
+        try:
+            from repro.topology import CouplingMap
+
+            target = make_target(CouplingMap.line(5), "cx")
+            result = transpile(
+                ghz_circuit(5), target, routing_method="identity", layout_method="trivial"
+            )
+            assert result.metrics.total_swaps == 0
+            assert result.metrics.routing_method == "identity"
+        finally:
+            del _REGISTRY["routing"]["identity"]

@@ -10,7 +10,6 @@ from repro.circuits.instruction import Instruction
 from repro.gates import CXGate, HGate, NthRootISwapGate, SqrtISwapGate, SwapGate
 from repro.transpiler.scheduling import (
     GateDurations,
-    Schedule,
     critical_path_duration,
     schedule_alap,
     schedule_asap,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simulator import StatevectorSimulator, circuit_unitary, statevector
+from repro.simulator import circuit_unitary, statevector
 from repro.workloads import (
     adder_circuit_for_width,
     adder_register_layout,
