@@ -1,13 +1,13 @@
 """Validate the paper's count surrogates against density-matrix simulation.
 
 The paper never simulates noise: it argues that fewer 2Q gates and shorter
-critical paths imply higher fidelity.  This example checks that argument at
-a width where full density-matrix simulation is possible (8 qubits): two
-design points compile the same Quantum Volume circuit, both compiled
-circuits are simulated under an identical depolarising + relaxation noise
-model (after dropping idle device qubits), and the simulated output
-fidelity / heavy-output probability are compared against the gate-count
-surrogates.
+critical paths imply higher fidelity.  This example checks that argument
+with the vectorized density-matrix engine (local tensor contractions plus
+cached channel superoperators, usable up to 14 qubits): two design points
+compile the same Quantum Volume circuit, both compiled circuits are
+simulated under an identical depolarising + relaxation noise model (after
+dropping idle device qubits), and the simulated output fidelity /
+heavy-output probability are compared against the gate-count surrogates.
 
 Run with:  python examples/noisy_validation.py
 """
@@ -41,7 +41,7 @@ def main() -> None:
         # the idle qubits so density-matrix simulation stays tractable.
         compact = result.circuit.remove_idle_qubits()
         estimate = noise.estimated_success_probability(compact)
-        fidelity = circuit_output_fidelity(compact, noise, max_qubits=12)
+        fidelity = circuit_output_fidelity(compact, noise, max_qubits=14)
         print(
             f"{label:<28}{result.metrics.total_2q:>10}{result.metrics.critical_2q:>9}"
             f"{estimate:>17.3f}{fidelity:>20.3f}"

@@ -24,6 +24,7 @@ from repro.core.reliability import (
     durations_for_backend,
     format_reliability_report,
     reliability_ranking,
+    simulated_reliability_check,
 )
 from repro.core.sensitivity import (
     RootStudyResult,
@@ -59,6 +60,7 @@ __all__ = [
     "durations_for_backend",
     "format_reliability_report",
     "reliability_ranking",
+    "simulated_reliability_check",
     "SweepResult",
     "run_point",
     "run_sweep",

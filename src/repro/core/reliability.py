@@ -96,6 +96,29 @@ class ReliabilityModel:
         rate_per_ns = 0.5 * (1.0 / (self.t1_us * 1e3) + 1.0 / (self.t2_us * 1e3))
         return float(np.exp(-rate_per_ns * schedule.total_idle_time()))
 
+    def to_noise_model(self, pulse_duration_ns: float = 100.0):
+        """Channel-level noise model with the same physical parameters.
+
+        Bridges the closed-form EPS surrogate to full density-matrix
+        simulation: the gate fidelities become depolarising error rates and
+        T1/T2 are rescaled from microseconds into pulse-duration units (one
+        native 2Q pulse = ``pulse_duration_ns``), so a design point scored
+        by :meth:`estimate` can be cross-checked against the vectorized
+        :class:`~repro.noise.density_matrix.DensityMatrixSimulator` at
+        widths up to its 14-qubit ceiling.
+        """
+        from repro.noise.circuit_noise import CircuitNoiseModel
+
+        if pulse_duration_ns <= 0.0:
+            raise ValueError("pulse_duration_ns must be positive")
+        pulses_per_us = 1e3 / pulse_duration_ns
+        return CircuitNoiseModel.from_gate_fidelity(
+            self.two_qubit_fidelity,
+            t1=self.t1_us * pulses_per_us,
+            t2=self.t2_us * pulses_per_us,
+            one_qubit_fidelity=self.one_qubit_fidelity,
+        )
+
     # -- full estimate --------------------------------------------------------------
 
     def estimate(
@@ -122,6 +145,24 @@ class ReliabilityModel:
             translation_mode="count",
             seed=seed,
         )
+        return self.score_transpiled(backend, circuit, result, durations)
+
+    def score_transpiled(
+        self,
+        backend,
+        circuit: QuantumCircuit,
+        result,
+        durations: Optional[GateDurations] = None,
+    ) -> ReliabilityEstimate:
+        """Score an already-transpiled circuit (no recompilation).
+
+        ``result`` is the :func:`~repro.transpiler.compile.transpile`
+        output for ``circuit`` on ``backend``; callers that need both the
+        compiled circuit and its estimate (e.g.
+        :func:`simulated_reliability_check`) transpile once and score here.
+        """
+        backend = Target.from_backend(backend)
+        durations = durations or backend.gate_durations()
         # Schedule the routed circuit with per-gate 2Q counts expanded: the
         # translated circuit in "count" mode keeps original gate identities,
         # so schedule the translated circuit directly.
@@ -147,6 +188,48 @@ def durations_for_backend(backend) -> GateDurations:
     home of the modulator-preset mapping.
     """
     return Target.from_backend(backend).gate_durations()
+
+
+def simulated_reliability_check(
+    model: ReliabilityModel,
+    backend,
+    circuit: QuantumCircuit,
+    pulse_duration_ns: float = 100.0,
+    seed: int = 0,
+) -> dict:
+    """Cross-check the closed-form EPS against a density-matrix simulation.
+
+    Transpiles ``circuit`` onto the design point exactly as
+    :meth:`ReliabilityModel.estimate` does, drops idle device qubits, and
+    simulates the compiled circuit under the equivalent channel-level noise
+    model (:meth:`ReliabilityModel.to_noise_model`).  Returns the
+    closed-form estimate next to the simulated output fidelity so sweeps
+    can assert the surrogate orders design points the same way the full
+    noise simulation does.  Only usable when the compiled circuit fits the
+    density-matrix ceiling (14 qubits after idle-qubit removal).
+    """
+    from repro.noise.circuit_noise import circuit_output_fidelity
+
+    backend = Target.from_backend(backend)
+    result = transpile(
+        circuit,
+        backend,
+        layout_method="dense",
+        routing_method="sabre",
+        translation_mode="count",
+        seed=seed,
+    )
+    estimate = model.score_transpiled(backend, circuit, result)
+    compact = result.circuit.remove_idle_qubits()
+    simulated = circuit_output_fidelity(
+        compact, model.to_noise_model(pulse_duration_ns)
+    )
+    return {
+        "backend": backend.name,
+        "qubits": compact.num_qubits,
+        "estimated_success": estimate.success_probability,
+        "simulated_fidelity": simulated,
+    }
 
 
 def _estimate_backend(

@@ -8,17 +8,20 @@ machinery needed to *check* that abstraction end to end:
 * :mod:`repro.noise.channels` — completely-positive trace-preserving
   (CPTP) channels in Kraus form: depolarising, amplitude damping, phase
   damping, thermal relaxation, Pauli channels.
-* :mod:`repro.noise.density_matrix` — a dense density-matrix simulator
-  that applies gates and channels to mixed states.
+* :mod:`repro.noise.density_matrix` — a vectorized density-matrix engine
+  that applies gates as local tensor contractions and channels through
+  cached superoperators (O(4^n * 4^k) per k-qubit operation, not the
+  O(8^n) of full-register embedding).
 * :mod:`repro.noise.circuit_noise` — a circuit-level noise model that
   attaches channels to gates (by error rate) and idle decoherence (by
   duration), plus helpers that turn a transpiled circuit into a simulated
   output fidelity.
 
-The density-matrix simulation cost is ``O(4^n)`` memory, so these tools
-are meant for validation at small widths (<= ~8 qubits), which is enough
-to confirm that the count-based surrogates of the main experiments order
-design points the same way a physical noise model does.
+The density-matrix state costs ``O(4^n)`` memory, so these tools top out
+at 14 qubits (:data:`repro.noise.density_matrix.HARD_QUBIT_LIMIT`) —
+enough to confirm that the count-based surrogates of the main experiments
+order design points the same way a physical noise model does, including
+on compiled circuits that spill past the logical width during routing.
 """
 
 from repro.noise.channels import (

@@ -16,7 +16,15 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.linalg.cache import LRUCache, matrix_fingerprint
+
 _ATOL = 1e-9
+
+#: Process-global cache of channel superoperators keyed on the Kraus set.
+#: Mirrors the gate-unitary cache: noise models rebuild equal channels
+#: freely (one depolarising channel per instruction, say) and still share
+#: one superoperator buffer per distinct channel.
+SUPEROPERATOR_CACHE = LRUCache(maxsize=256)
 
 _PAULI_I = np.eye(2, dtype=complex)
 _PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
@@ -45,6 +53,7 @@ class QuantumChannel:
         self._dim = dim
         self._num_qubits = num_qubits
         self._name = name
+        self._superoperator: Optional[np.ndarray] = None
 
     # -- basic properties --------------------------------------------------
 
@@ -67,6 +76,32 @@ class QuantumChannel:
     def kraus_operators(self) -> List[np.ndarray]:
         """Copies of the Kraus operators."""
         return [op.copy() for op in self._kraus]
+
+    def superoperator(self) -> np.ndarray:
+        """The channel as a ``d^2 x d^2`` matrix on row-major ``vec(rho)``.
+
+        With row-major (C-order) vectorisation, ``vec(K rho K^dagger) =
+        (K (x) K.conj()) vec(rho)``, so the superoperator is
+        ``sum_i K_i (x) K_i.conj()``.  Built on first use and memoized both
+        on the instance and in the process-global
+        :data:`SUPEROPERATOR_CACHE` (keyed on the Kraus set, so equal
+        channels built independently share one buffer); the density-matrix
+        engine applies channels through this matrix instead of looping
+        over Kraus operators.  The returned array is frozen.
+        """
+        if self._superoperator is None:
+            key = (self._dim, tuple(matrix_fingerprint(op) for op in self._kraus))
+            self._superoperator = SUPEROPERATOR_CACHE.get_or_create(
+                key, self._build_superoperator
+            )
+        return self._superoperator
+
+    def _build_superoperator(self) -> np.ndarray:
+        matrix = np.zeros((self._dim ** 2, self._dim ** 2), dtype=complex)
+        for op in self._kraus:
+            matrix += np.kron(op, op.conj())
+        matrix.setflags(write=False)
+        return matrix
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QuantumChannel({self._name!r}, qubits={self._num_qubits}, kraus={len(self._kraus)})"

@@ -19,8 +19,8 @@ experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.noise.channels import (
     depolarizing_channel,
     thermal_relaxation_channel,
 )
-from repro.noise.density_matrix import DensityMatrixSimulator
+from repro.noise.density_matrix import DEFAULT_MAX_QUBITS, DensityMatrixSimulator
 from repro.simulator.statevector import StatevectorSimulator
 
 
@@ -53,6 +53,15 @@ class CircuitNoiseModel:
     t1: float = 100.0
     t2: float = 100.0
     duration_scale: float = 1.0
+    # Channels are pure functions of the model parameters (plus arity or
+    # duration), so each distinct channel is built exactly once and its
+    # cached superoperator is reused across every instruction.  The model
+    # parameters are part of each cache key because the dataclass is
+    # mutable: a sweep that reassigns error rates on a shared model must
+    # not be served channels built from the old values.
+    _channel_cache: Dict[Tuple, Optional[QuantumChannel]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for rate in (self.one_qubit_error, self.two_qubit_error):
@@ -101,21 +110,30 @@ class CircuitNoiseModel:
         """Depolarising channel attached to one instruction (None when noiseless)."""
         if instruction.name == "barrier":
             return None
-        if instruction.num_qubits == 1:
+        key = (
+            "gate",
+            instruction.num_qubits,
+            self.one_qubit_error,
+            self.two_qubit_error,
+        )
+        if key not in self._channel_cache:
+            self._channel_cache[key] = self._build_gate_channel(instruction.num_qubits)
+        return self._channel_cache[key]
+
+    def _build_gate_channel(self, num_qubits: int) -> Optional[QuantumChannel]:
+        if num_qubits == 1:
             if self.one_qubit_error <= 0.0:
                 return None
             return depolarizing_channel(self.one_qubit_error, num_qubits=1)
-        if instruction.num_qubits == 2:
-            if self.two_qubit_error <= 0.0:
-                return None
+        if self.two_qubit_error <= 0.0:
+            return None
+        if num_qubits == 2:
             return depolarizing_channel(self.two_qubit_error, num_qubits=2)
         # Multi-qubit gates are charged as if decomposed into 2Q gates later;
         # attach a single 2Q-strength depolarising channel per extra qubit pair.
-        if self.two_qubit_error <= 0.0:
-            return None
         return depolarizing_channel(
-            min(1.0, self.two_qubit_error * (instruction.num_qubits - 1)),
-            num_qubits=instruction.num_qubits,
+            min(1.0, self.two_qubit_error * (num_qubits - 1)),
+            num_qubits=num_qubits,
         )
 
     def idle_channel_for(
@@ -127,7 +145,12 @@ class CircuitNoiseModel:
             return None
         if self.t1 > 1e8 and self.t2 > 1e8:
             return None
-        return thermal_relaxation_channel(duration, self.t1, self.t2)
+        key = ("idle", round(float(duration), 12), self.t1, self.t2)
+        if key not in self._channel_cache:
+            self._channel_cache[key] = thermal_relaxation_channel(
+                duration, self.t1, self.t2
+            )
+        return self._channel_cache[key]
 
     # -- closed-form estimate (no simulation) ----------------------------------------
 
@@ -157,7 +180,7 @@ class CircuitNoiseModel:
 def circuit_output_fidelity(
     circuit: QuantumCircuit,
     noise_model: CircuitNoiseModel,
-    max_qubits: int = 10,
+    max_qubits: int = DEFAULT_MAX_QUBITS,
 ) -> float:
     """Fidelity of the noisy output state against the ideal output state."""
     ideal_state = StatevectorSimulator(max_qubits=max_qubits).run(circuit)
@@ -168,7 +191,7 @@ def circuit_output_fidelity(
 def heavy_output_probability(
     circuit: QuantumCircuit,
     noise_model: Optional[CircuitNoiseModel] = None,
-    max_qubits: int = 10,
+    max_qubits: int = DEFAULT_MAX_QUBITS,
 ) -> float:
     """Quantum-Volume heavy output probability of the (noisy) output distribution.
 

@@ -6,6 +6,18 @@ significant bit of the computational-basis index).  Gate matrices follow
 the argument-order convention of :mod:`repro.circuits.gate` (first gate
 argument = most significant bit of the gate matrix); the index gymnastics
 needed to reconcile the two live here so callers never see them.
+
+Evolution is *vectorized*: the density matrix is treated as a rank-``2n``
+tensor (``n`` row axes then ``n`` column axes) and a ``k``-qubit unitary
+is contracted directly into the row axes (and its conjugate into the
+column axes) — O(4^n * 2^k) per gate instead of the O(8^n) cost of
+embedding every operator into the full ``2^n x 2^n`` register.  Channels
+are applied through their cached ``4^k x 4^k`` superoperators
+(:meth:`repro.noise.channels.QuantumChannel.superoperator`) in a single
+contraction over the ``2k`` affected axes, so the cost is independent of
+the number of Kraus operators.  The legacy full-expansion path is kept as
+the ``engine="expand"`` reference implementation; the equivalence test
+suite pins the two engines against each other to float tolerance.
 """
 
 from __future__ import annotations
@@ -16,6 +28,21 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.noise.channels import QuantumChannel
+from repro.simulator.fusion import SingleQubitFusion, apply_matrix_to_axes
+from repro.simulator.statevector import sample_probability_counts
+
+#: Absolute ceiling on the density-matrix width: a 2^28-entry complex
+#: matrix (14 qubits) is already 4 GiB; anything wider cannot realistically
+#: be allocated, so a mistyped width fails with a clear error instead of a
+#: multi-gigabyte numpy allocation attempt.
+HARD_QUBIT_LIMIT = 14
+
+#: Default simulator ceiling (the full hard limit: local contractions make
+#: 12-14 qubit noisy runs practical where the old full-expansion engine
+#: was capped at 10).  Mind the memory at the top of the range: each
+#: contraction allocates fresh output/transpose buffers, so peak RSS is
+#: roughly 3x the state (~12 GiB at 14 qubits, ~0.75 GiB at 12).
+DEFAULT_MAX_QUBITS = 14
 
 
 class DensityMatrix:
@@ -75,7 +102,7 @@ class DensityMatrix:
 
     def purity(self) -> float:
         """Tr(rho^2); 1 for pure states, 1/2^n for the maximally mixed state."""
-        return float(np.real(np.trace(self._matrix @ self._matrix)))
+        return float(np.real(np.einsum("ij,ji->", self._matrix, self._matrix)))
 
     def is_valid(self, atol: float = 1e-7) -> bool:
         """Hermitian, unit-trace, positive semidefinite (within tolerance)."""
@@ -97,7 +124,8 @@ class DensityMatrix:
         observable = np.asarray(observable, dtype=complex)
         if observable.shape != self._matrix.shape:
             raise ValueError("observable dimension mismatch")
-        return float(np.real(np.trace(self._matrix @ observable)))
+        # Tr(A @ B) without materialising the product.
+        return float(np.real(np.einsum("ij,ji->", self._matrix, observable)))
 
     def fidelity(self, other: "DensityMatrix") -> float:
         """Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2."""
@@ -105,11 +133,10 @@ class DensityMatrix:
             raise ValueError("states act on different numbers of qubits")
         rho = self._matrix
         sigma = other._matrix
-        # Fast path: either state pure -> F = <psi| sigma |psi>.
-        if self.purity() > 1.0 - 1e-9:
-            return float(np.real(np.trace(rho @ sigma)))
-        if other.purity() > 1.0 - 1e-9:
-            return float(np.real(np.trace(sigma @ rho)))
+        # Fast path: either state pure -> F = Tr(rho sigma), again without
+        # materialising the product.
+        if self.purity() > 1.0 - 1e-9 or other.purity() > 1.0 - 1e-9:
+            return float(np.real(np.einsum("ij,ji->", rho, sigma)))
         eigenvalues, eigenvectors = np.linalg.eigh(rho)
         eigenvalues = np.clip(eigenvalues, 0.0, None)
         sqrt_rho = (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.conj().T
@@ -134,47 +161,101 @@ class DensityMatrix:
                 raise ValueError(f"qubit {qubit} out of range")
         n = self._num_qubits
         tensor = self._matrix.reshape([2] * (2 * n))
-        # Axis q of the row (column) indices corresponds to qubit n-1-q.
-        keep_axes_row = [n - 1 - q for q in keep]
-        traced_axes = [axis for axis in range(n) if axis not in keep_axes_row]
-        for offset, axis in enumerate(sorted(traced_axes)):
-            tensor = np.trace(
-                tensor, axis1=axis - offset, axis2=axis - offset + n - offset
-            )
+        # One einsum does both the trace and the reindexing: give every
+        # traced qubit's column axis the same label as its row axis
+        # (repeated label = summed), and order the kept axes so that
+        # keep[i] becomes qubit i of the output (axis p of the k output
+        # row axes carries output qubit k-1-p).
+        labels = list(range(2 * n))
+        keep_set = set(keep)
+        for qubit in range(n):
+            if qubit not in keep_set:
+                labels[2 * n - 1 - qubit] = n - 1 - qubit
+        out_rows = [n - 1 - q for q in reversed(keep)]
+        out_cols = [2 * n - 1 - q for q in reversed(keep)]
         dim = 2 ** len(keep)
-        result = tensor.reshape(dim, dim)
-        # Reorder the kept qubits so that keep[i] becomes qubit i of the output.
-        current_order = sorted(keep, reverse=True)
-        desired_order = list(reversed(keep))
-        if current_order != desired_order:
-            k = len(keep)
-            tensor = result.reshape([2] * (2 * k))
-            permutation = [current_order.index(q) for q in desired_order]
-            tensor = np.transpose(
-                tensor, permutation + [p + k for p in permutation]
-            )
-            result = tensor.reshape(dim, dim)
+        result = np.einsum(tensor, labels, out_rows + out_cols).reshape(dim, dim)
         return DensityMatrix(result)
 
     # -- evolution -----------------------------------------------------------------
 
+    def _validated_qubits(self, qubits: Sequence[int]) -> tuple:
+        """Distinct, in-range qubit indices (negative axis wrap-around would
+        otherwise silently land an operator on the wrong qubit)."""
+        qubits = tuple(int(q) for q in qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("qubit indices must be distinct")
+        for qubit in qubits:
+            if qubit < 0 or qubit >= self._num_qubits:
+                raise ValueError(f"qubit {qubit} out of range")
+        return qubits
+
     def evolve_unitary(self, unitary: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
         """Apply a unitary acting on the listed qubits (gate-argument order)."""
-        expanded = _expand_operator(np.asarray(unitary, dtype=complex), qubits, self._num_qubits)
-        return DensityMatrix(expanded @ self._matrix @ expanded.conj().T)
+        unitary = np.asarray(unitary, dtype=complex)
+        qubits = self._validated_qubits(qubits)
+        if unitary.shape != (2 ** len(qubits), 2 ** len(qubits)):
+            raise ValueError("operator dimension does not match the qubit list")
+        n = self._num_qubits
+        tensor = self._matrix.reshape([2] * (2 * n))
+        tensor = _apply_unitary_tensor(tensor, unitary, qubits, n)
+        return DensityMatrix(tensor.reshape(2 ** n, 2 ** n))
 
     def evolve_channel(self, channel: QuantumChannel, qubits: Sequence[int]) -> "DensityMatrix":
         """Apply a channel acting on the listed qubits (gate-argument order)."""
-        if channel.num_qubits != len(tuple(qubits)):
+        qubits = self._validated_qubits(qubits)
+        if channel.num_qubits != len(qubits):
             raise ValueError("channel arity does not match the qubit list")
-        result = np.zeros_like(self._matrix)
-        for op in channel.kraus_operators:
-            expanded = _expand_operator(op, qubits, self._num_qubits)
-            result += expanded @ self._matrix @ expanded.conj().T
-        return DensityMatrix(result)
+        n = self._num_qubits
+        tensor = self._matrix.reshape([2] * (2 * n))
+        tensor = _apply_channel_tensor(tensor, channel, qubits, n)
+        return DensityMatrix(tensor.reshape(2 ** n, 2 ** n))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DensityMatrix(qubits={self._num_qubits}, purity={self.purity():.4f})"
+
+
+# -- local-contraction engine ----------------------------------------------------
+#
+# The density matrix as a rank-2n tensor: axes 0..n-1 are the row bits and
+# axes n..2n-1 the column bits, most-significant first, so the row (column)
+# axis carrying qubit ``q`` is ``n - 1 - q`` (``2n - 1 - q``).
+
+
+def _row_axes(qubits: Sequence[int], num_qubits: int) -> list:
+    return [num_qubits - 1 - q for q in qubits]
+
+
+def _col_axes(qubits: Sequence[int], num_qubits: int) -> list:
+    return [2 * num_qubits - 1 - q for q in qubits]
+
+
+def _apply_unitary_tensor(
+    tensor: np.ndarray, unitary: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """rho -> U rho U^dagger via two local contractions.
+
+    ``U`` contracts into the row axes; ``U.conj()`` into the column axes
+    (``(rho U^dagger)_{ij} = sum_m U*_{jm} rho_{im}``).
+    """
+    tensor = apply_matrix_to_axes(tensor, unitary, _row_axes(qubits, num_qubits))
+    return apply_matrix_to_axes(tensor, unitary.conj(), _col_axes(qubits, num_qubits))
+
+
+def _apply_channel_tensor(
+    tensor: np.ndarray, channel: QuantumChannel, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit channel through its cached 4^k x 4^k superoperator.
+
+    The superoperator acts on row-major ``vec(rho)`` of the affected
+    subsystem, i.e. jointly on the k row axes followed by the k column
+    axes — exactly the axis list ``row_axes + col_axes``.
+    """
+    axes = _row_axes(qubits, num_qubits) + _col_axes(qubits, num_qubits)
+    return apply_matrix_to_axes(tensor, channel.superoperator(), axes)
+
+
+# -- legacy full-expansion engine -------------------------------------------------
 
 
 def _expand_operator(operator: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
@@ -182,7 +263,8 @@ def _expand_operator(operator: np.ndarray, qubits: Sequence[int], num_qubits: in
 
     ``operator`` follows the gate convention (first listed qubit = most
     significant bit); the returned matrix acts on the little-endian full
-    register.
+    register.  This is the legacy O(8^n)-per-gate path, kept as the
+    reference implementation for the equivalence tests and benchmarks.
     """
     qubits = [int(q) for q in qubits]
     arity = len(qubits)
@@ -203,11 +285,50 @@ def _expand_operator(operator: np.ndarray, qubits: Sequence[int], num_qubits: in
     return moved.reshape(dim, dim)
 
 
-class DensityMatrixSimulator:
-    """Runs circuits on density matrices, optionally inserting noise channels."""
+def _evolve_unitary_expand(
+    matrix: np.ndarray, unitary: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Legacy unitary evolution: embed into the full register, two matmuls."""
+    expanded = _expand_operator(np.asarray(unitary, dtype=complex), qubits, num_qubits)
+    return expanded @ matrix @ expanded.conj().T
 
-    def __init__(self, max_qubits: int = 10):
-        self._max_qubits = int(max_qubits)
+
+def _evolve_channel_expand(
+    matrix: np.ndarray, channel: QuantumChannel, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Legacy channel evolution: one full-register expansion per Kraus operator."""
+    result = np.zeros_like(matrix)
+    for op in channel.kraus_operators:
+        expanded = _expand_operator(op, qubits, num_qubits)
+        result += expanded @ matrix @ expanded.conj().T
+    return result
+
+
+class DensityMatrixSimulator:
+    """Runs circuits on density matrices, optionally inserting noise channels.
+
+    ``engine`` selects the evolution strategy:
+
+    * ``"local"`` (default) — in-place rank-``2n`` tensor contractions with
+      single-qubit fusion and cached channel superoperators,
+    * ``"expand"`` — the legacy full-register embedding, kept as a slow
+      reference implementation for equivalence testing.
+    """
+
+    def __init__(self, max_qubits: int = DEFAULT_MAX_QUBITS, engine: str = "local"):
+        max_qubits = int(max_qubits)
+        if max_qubits < 1:
+            raise ValueError("max_qubits must be at least 1")
+        if max_qubits > HARD_QUBIT_LIMIT:
+            raise ValueError(
+                f"max_qubits={max_qubits} exceeds the density-matrix limit of "
+                f"{HARD_QUBIT_LIMIT} qubits (a 4**{max_qubits}-entry matrix "
+                "cannot be allocated); use a smaller width"
+            )
+        if engine not in ("local", "expand"):
+            raise ValueError("engine must be 'local' or 'expand'")
+        self._max_qubits = max_qubits
+        self._engine = engine
 
     def run(
         self,
@@ -222,28 +343,91 @@ class DensityMatrixSimulator:
         channel at the end (``idle_channel_for(circuit, qubit)``); either
         hook may return ``None``.
         """
-        if circuit.num_qubits > self._max_qubits:
+        num_qubits = circuit.num_qubits
+        if num_qubits > self._max_qubits:
             raise ValueError(
-                f"circuit has {circuit.num_qubits} qubits which exceeds the "
+                f"circuit has {num_qubits} qubits which exceeds the "
                 f"density-matrix limit of {self._max_qubits}"
             )
-        state = initial_state or DensityMatrix.ground_state(circuit.num_qubits)
-        if state.num_qubits != circuit.num_qubits:
+        state = initial_state or DensityMatrix.ground_state(num_qubits)
+        if state.num_qubits != num_qubits:
             raise ValueError("initial state size does not match the circuit")
+        if self._engine == "expand":
+            matrix = self._run_expand(circuit, state.matrix, noise_model)
+        else:
+            matrix = self._run_local(circuit, state.matrix, noise_model)
+        return DensityMatrix(matrix)
+
+    def _run_local(
+        self,
+        circuit: QuantumCircuit,
+        matrix: np.ndarray,
+        noise_model: Optional["object"],
+    ) -> np.ndarray:
+        """Vectorized evolution: one rank-2n tensor updated in place.
+
+        Runs of noiseless single-qubit gates are fused per qubit (the same
+        optimisation as the state-vector simulator); a pending run is only
+        contracted when a wider gate or a noise channel touches its qubit.
+        """
+        n = circuit.num_qubits
+        tensor = matrix.reshape([2] * (2 * n))
+        fusion = SingleQubitFusion()
+
+        def flush(qubits: Optional[Sequence[int]] = None) -> None:
+            nonlocal tensor
+            for qubit, fused in fusion.drain(qubits):
+                tensor = _apply_unitary_tensor(tensor, fused, (qubit,), n)
+
         for instruction in circuit:
             if instruction.name == "barrier":
                 continue
-            state = state.evolve_unitary(instruction.gate.matrix(), instruction.qubits)
+            channel = (
+                noise_model.channel_for(instruction) if noise_model is not None else None
+            )
+            if instruction.num_qubits == 1 and channel is None:
+                fusion.push(instruction.qubits[0], instruction.gate.cached_matrix())
+                continue
+            flush(instruction.qubits)
+            tensor = _apply_unitary_tensor(
+                tensor, instruction.gate.cached_matrix(), instruction.qubits, n
+            )
+            if channel is not None:
+                tensor = _apply_channel_tensor(tensor, channel, instruction.qubits, n)
+        flush()
+        if noise_model is not None:
+            for qubit in range(n):
+                idle = noise_model.idle_channel_for(circuit, qubit)
+                if idle is not None:
+                    tensor = _apply_channel_tensor(tensor, idle, (qubit,), n)
+        return tensor.reshape(2 ** n, 2 ** n)
+
+    def _run_expand(
+        self,
+        circuit: QuantumCircuit,
+        matrix: np.ndarray,
+        noise_model: Optional["object"],
+    ) -> np.ndarray:
+        """Legacy evolution: embed every operator into the full register."""
+        n = circuit.num_qubits
+        for instruction in circuit:
+            if instruction.name == "barrier":
+                continue
+            matrix = _evolve_unitary_expand(
+                matrix, instruction.gate.matrix(), instruction.qubits, n
+            )
             if noise_model is not None:
                 channel = noise_model.channel_for(instruction)
                 if channel is not None:
-                    state = state.evolve_channel(channel, instruction.qubits)
+                    matrix = _evolve_channel_expand(
+                        matrix, channel, instruction.qubits, n
+                    )
         if noise_model is not None:
-            for qubit in range(circuit.num_qubits):
+            for qubit in range(n):
                 idle = noise_model.idle_channel_for(circuit, qubit)
                 if idle is not None:
-                    state = state.evolve_channel(idle, (qubit,))
-        return state
+                    matrix = _evolve_channel_expand(matrix, idle, (qubit,), n)
+        return matrix
 
     def probabilities(
         self, circuit: QuantumCircuit, noise_model: Optional["object"] = None
@@ -258,14 +442,15 @@ class DensityMatrixSimulator:
         noise_model: Optional["object"] = None,
         seed: Optional[int] = None,
     ) -> Dict[str, int]:
-        """Sample measurement outcomes; keys are little-endian bitstrings."""
-        probabilities = self.probabilities(circuit, noise_model=noise_model)
-        probabilities = probabilities / probabilities.sum()
-        rng = np.random.default_rng(seed)
-        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
-        width = circuit.num_qubits
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        """Sample measurement outcomes; keys are little-endian bitstrings.
+
+        Raises :class:`ValueError` when the probability vector is all zero
+        (a numerically collapsed state) instead of producing ``NaN``
+        sampling weights.
+        """
+        return sample_probability_counts(
+            self.probabilities(circuit, noise_model=noise_model),
+            circuit.num_qubits,
+            shots,
+            seed=seed,
+        )

@@ -1,8 +1,10 @@
 """State-vector and unitary simulators used for validation."""
 
+from repro.simulator.fusion import SingleQubitFusion, apply_matrix_to_axes
 from repro.simulator.statevector import (
     HARD_QUBIT_LIMIT,
     StatevectorSimulator,
+    sample_probability_counts,
     statevector,
 )
 from repro.simulator.unitary import circuit_unitary, circuits_equivalent
@@ -11,6 +13,9 @@ __all__ = [
     "HARD_QUBIT_LIMIT",
     "StatevectorSimulator",
     "statevector",
+    "sample_probability_counts",
+    "SingleQubitFusion",
+    "apply_matrix_to_axes",
     "circuit_unitary",
     "circuits_equivalent",
 ]

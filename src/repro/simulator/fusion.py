@@ -1,0 +1,86 @@
+"""Shared contraction and gate-fusion helpers for the dense simulators.
+
+Both dense simulators — the state-vector simulator and the density-matrix
+engine — evolve a rank-``n`` (respectively rank-``2n``) tensor of local
+dimension 2 by contracting small operator tensors into a subset of its
+axes.  This module is the single home of that contraction primitive and of
+the *single-qubit fusion* optimisation layered on top of it:
+
+* :func:`apply_matrix_to_axes` contracts a ``2^k x 2^k`` matrix into ``k``
+  chosen axes of a ``(2,) * m`` tensor — O(2^m * 2^k) instead of the
+  O(4^m) full-operator embedding.
+* :class:`SingleQubitFusion` accumulates runs of single-qubit gate
+  matrices per qubit and hands back one fused 2x2 product per run, so a
+  chain of ``k`` one-qubit gates costs one contraction instead of ``k``.
+  Only commuting operations are reordered (single-qubit gates on distinct
+  qubits), so fused evaluation matches unfused evaluation exactly up to
+  floating-point associativity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def apply_matrix_to_axes(
+    tensor: np.ndarray, matrix: np.ndarray, axes: Sequence[int]
+) -> np.ndarray:
+    """Contract ``matrix`` into the listed axes of a ``(2,) * m`` tensor.
+
+    ``matrix`` is ``2^k x 2^k`` over the ordered basis of the ``k`` listed
+    axes (first axis = most significant bit, matching the gate-matrix
+    convention of :mod:`repro.circuits.gate`).  The matrix's column
+    (input) indices are contracted with the listed tensor axes and the
+    resulting output indices are moved back into their places, so the
+    returned tensor has the same shape as the input.
+    """
+    axes = list(axes)
+    arity = len(axes)
+    op_tensor = np.asarray(matrix).reshape([2] * (2 * arity))
+    moved = np.tensordot(
+        op_tensor, tensor, axes=(list(range(arity, 2 * arity)), axes)
+    )
+    return np.moveaxis(moved, range(arity), axes)
+
+
+class SingleQubitFusion:
+    """Accumulates single-qubit gate matrices per qubit into fused products.
+
+    Usage: :meth:`push` 2x2 matrices as single-qubit instructions stream
+    by; before touching a qubit with a multi-qubit operation (or a noise
+    channel), :meth:`drain` the pending product for the involved qubits
+    and contract each returned matrix; :meth:`drain` with no argument at
+    the end of the circuit.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, np.ndarray] = {}
+
+    def push(self, qubit: int, matrix: np.ndarray) -> None:
+        """Append ``matrix`` to the pending product on ``qubit``."""
+        previous = self._pending.get(qubit)
+        if previous is None:
+            self._pending[qubit] = np.asarray(matrix)
+        else:
+            self._pending[qubit] = matrix @ previous
+
+    def drain(
+        self, qubits: Optional[Iterable[int]] = None
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield and clear ``(qubit, fused_matrix)`` pairs.
+
+        With ``qubits`` given, only those qubits are drained (in the given
+        order); otherwise every pending qubit is drained in ascending
+        qubit order so the flush order is deterministic.
+        """
+        if qubits is None:
+            qubits = sorted(self._pending)
+        for qubit in qubits:
+            matrix = self._pending.pop(qubit, None)
+            if matrix is not None:
+                yield qubit, matrix
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)

@@ -34,12 +34,11 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import Instruction
+from repro.simulator.fusion import SingleQubitFusion, apply_matrix_to_axes
 
 #: Absolute ceiling on the simulator width: a 2^28 complex state vector is
 #: already 4 GiB, far beyond the validation-scale use-case documented above.
 HARD_QUBIT_LIMIT = 26
-
-_IDENTITY_2 = np.eye(2, dtype=complex)
 
 
 class StatevectorSimulator:
@@ -96,15 +95,9 @@ class StatevectorSimulator:
         self, circuit: QuantumCircuit, shots: int, seed: Optional[int] = None
     ) -> Dict[str, int]:
         """Sample measurement outcomes; keys are little-endian bitstrings."""
-        probabilities = self.probabilities(circuit)
-        rng = np.random.default_rng(seed)
-        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
-        width = circuit.num_qubits
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return sample_probability_counts(
+            self.probabilities(circuit), circuit.num_qubits, shots, seed=seed
+        )
 
     def expectation_z(self, circuit: QuantumCircuit, qubits: Sequence[int]) -> float:
         """Expectation value of the Z-string on ``qubits``."""
@@ -129,26 +122,19 @@ def _run_fused(
     the circuit).  Only commuting operations are reordered, so this matches
     the unfused evaluation exactly up to floating-point associativity.
     """
-    pending: Dict[int, np.ndarray] = {}
-
-    def flush(qubits: Sequence[int], state: np.ndarray) -> np.ndarray:
-        for qubit in qubits:
-            matrix = pending.pop(qubit, None)
-            if matrix is not None:
-                state = _apply_matrix(state, matrix, (qubit,), num_qubits)
-        return state
-
+    fusion = SingleQubitFusion()
     for instruction in circuit:
         if instruction.name == "barrier":
             continue
         if instruction.num_qubits == 1:
-            qubit = instruction.qubits[0]
-            matrix = instruction.gate.cached_matrix()
-            pending[qubit] = matrix @ pending.get(qubit, _IDENTITY_2)
+            fusion.push(instruction.qubits[0], instruction.gate.cached_matrix())
         else:
-            tensor = flush(instruction.qubits, tensor)
+            for qubit, matrix in fusion.drain(instruction.qubits):
+                tensor = _apply_matrix(tensor, matrix, (qubit,), num_qubits)
             tensor = _apply_instruction(tensor, instruction, num_qubits)
-    return flush(sorted(pending), tensor)
+    for qubit, matrix in fusion.drain():
+        tensor = _apply_matrix(tensor, matrix, (qubit,), num_qubits)
+    return tensor
 
 
 def _apply_matrix(
@@ -158,14 +144,35 @@ def _apply_matrix(
     num_qubits: int,
 ) -> np.ndarray:
     """Contract a gate matrix into a state tensor of shape ``(2,) * n``."""
-    arity = len(gate_qubits)
-    gate_tensor = np.asarray(matrix).reshape([2] * (2 * arity))
     # Axis of the state tensor that carries qubit ``q``.
     axes = [num_qubits - 1 - q for q in gate_qubits]
-    moved = np.tensordot(
-        gate_tensor, tensor, axes=(list(range(arity, 2 * arity)), axes)
-    )
-    return np.moveaxis(moved, range(arity), axes)
+    return apply_matrix_to_axes(tensor, matrix, axes)
+
+
+def sample_probability_counts(
+    probabilities: np.ndarray, width: int, shots: int, seed: Optional[int] = None
+) -> Dict[str, int]:
+    """Sample shots from a probability vector into a bitstring-count dict.
+
+    Guards against an all-zero (or negative-sum) probability vector, which
+    would otherwise turn into ``NaN`` probabilities inside ``rng.choice``;
+    outcome counting is vectorised through :func:`numpy.unique`.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    total = probabilities.sum()
+    if not total > 0.0:
+        raise ValueError(
+            "cannot sample from an all-zero probability vector (the state "
+            "has no population; check the circuit and noise model)"
+        )
+    probabilities = probabilities / total
+    rng = np.random.default_rng(seed)
+    outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+    values, frequencies = np.unique(outcomes, return_counts=True)
+    return {
+        format(int(value), f"0{width}b"): int(count)
+        for value, count in zip(values, frequencies)
+    }
 
 
 def _apply_instruction(

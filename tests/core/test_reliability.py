@@ -8,6 +8,7 @@ from repro.core.reliability import (
     durations_for_backend,
     format_reliability_report,
     reliability_ranking,
+    simulated_reliability_check,
 )
 from repro.topology import get_topology
 from repro.workloads import build_workload
@@ -30,6 +31,28 @@ class TestReliabilityModel:
         model = ReliabilityModel(two_qubit_fidelity=0.99, one_qubit_fidelity=1.0)
         circuit = build_workload("GHZ", 4)
         assert model.gate_success(circuit) == pytest.approx(0.99 ** 3)
+
+    def test_to_noise_model_rescales_decoherence_to_pulse_units(self):
+        model = ReliabilityModel(
+            two_qubit_fidelity=0.99, one_qubit_fidelity=1.0, t1_us=50.0, t2_us=40.0
+        )
+        noise = model.to_noise_model(pulse_duration_ns=100.0)
+        # 50 us / 100 ns per pulse = 500 pulse units.
+        assert noise.t1 == pytest.approx(500.0)
+        assert noise.t2 == pytest.approx(400.0)
+        assert noise.two_qubit_error == pytest.approx((1.0 - 0.99) * 5.0 / 4.0)
+        assert noise.one_qubit_error == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            model.to_noise_model(pulse_duration_ns=0.0)
+
+    def test_simulated_check_tracks_the_closed_form_estimate(self):
+        backend = backend_for("Corral1,1", "siswap")
+        model = ReliabilityModel(two_qubit_fidelity=0.995)
+        circuit = build_workload("GHZ", 5, seed=1)
+        row = simulated_reliability_check(model, backend, circuit, seed=1)
+        assert 0.0 < row["estimated_success"] <= 1.0
+        assert 0.0 < row["simulated_fidelity"] <= 1.0 + 1e-9
+        assert row["qubits"] <= 14
 
     def test_estimate_has_consistent_fields(self):
         backend = backend_for("Corral1,1", "siswap")

@@ -83,6 +83,28 @@ class TestChannelsForInstructions:
         model = CircuitNoiseModel()
         assert model.idle_channel_for(QuantumCircuit(2), 0) is None
 
+    def test_channel_cache_is_reused_per_instruction(self):
+        model = CircuitNoiseModel(two_qubit_error=0.02)
+        first = model.channel_for(Instruction(CXGate(), (0, 1)))
+        second = model.channel_for(Instruction(CXGate(), (1, 2)))
+        assert first is second
+
+    def test_mutating_the_model_invalidates_cached_channels(self):
+        # The dataclass is mutable; reassigned parameters must not be
+        # served channels built from the old values.
+        model = CircuitNoiseModel(two_qubit_error=0.02, t1=20.0, t2=20.0)
+        instruction = Instruction(CXGate(), (0, 1))
+        before = model.channel_for(instruction)
+        model.two_qubit_error = 0.2
+        after = model.channel_for(instruction)
+        assert after is not before
+        assert after.process_fidelity() < before.process_fidelity()
+        circuit = ghz(2)
+        idle_before = model.idle_channel_for(circuit, 0)
+        model.t1 = model.t2 = 5.0
+        idle_after = model.idle_channel_for(circuit, 0)
+        assert idle_after is not idle_before
+
 
 class TestOutputMetrics:
     def test_ideal_fidelity_is_one(self):

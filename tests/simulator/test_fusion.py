@@ -1,0 +1,85 @@
+"""Tests for the shared contraction / single-qubit fusion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.random import random_unitary
+from repro.simulator.fusion import SingleQubitFusion, apply_matrix_to_axes
+from repro.simulator.statevector import sample_probability_counts
+
+
+class TestApplyMatrixToAxes:
+    def test_single_axis_matches_full_kron(self):
+        rng = np.random.default_rng(3)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        unitary = random_unitary(2, seed=5)
+        # Axis 1 of a (2, 2, 2) tensor is the middle bit of the index.
+        result = apply_matrix_to_axes(state.reshape(2, 2, 2), unitary, [1])
+        full = np.kron(np.kron(np.eye(2), unitary), np.eye(2))
+        assert np.allclose(result.reshape(8), full @ state)
+
+    def test_two_axes_respect_significance_order(self):
+        rng = np.random.default_rng(7)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        unitary = random_unitary(4, seed=9)
+        # Axes (0, 2): first listed axis = most significant bit of the
+        # operator basis, so the embedding permutes accordingly.
+        result = apply_matrix_to_axes(state.reshape(2, 2, 2), unitary, [0, 2])
+        tensor = unitary.reshape(2, 2, 2, 2)
+        reference = np.einsum(
+            "acbd,bed->aec", tensor, state.reshape(2, 2, 2)
+        )
+        assert np.allclose(result, reference)
+
+    def test_preserves_tensor_shape(self):
+        tensor = np.zeros((2, 2, 2, 2), dtype=complex)
+        tensor[0, 0, 0, 0] = 1.0
+        result = apply_matrix_to_axes(tensor, random_unitary(4, seed=1), [3, 0])
+        assert result.shape == tensor.shape
+
+
+class TestSingleQubitFusion:
+    def test_fuses_runs_in_application_order(self):
+        a = random_unitary(2, seed=11)
+        b = random_unitary(2, seed=12)
+        fusion = SingleQubitFusion()
+        fusion.push(0, a)
+        fusion.push(0, b)
+        drained = dict(fusion.drain())
+        # b applied after a means the fused product is b @ a.
+        assert np.allclose(drained[0], b @ a)
+        assert not fusion
+
+    def test_partial_drain_leaves_other_qubits_pending(self):
+        fusion = SingleQubitFusion()
+        fusion.push(0, np.eye(2))
+        fusion.push(2, np.eye(2))
+        drained = list(fusion.drain([0, 1]))
+        assert [qubit for qubit, _ in drained] == [0]
+        assert fusion
+        assert [qubit for qubit, _ in fusion.drain()] == [2]
+
+    def test_full_drain_is_sorted_by_qubit(self):
+        fusion = SingleQubitFusion()
+        for qubit in (3, 1, 2):
+            fusion.push(qubit, np.eye(2))
+        assert [qubit for qubit, _ in fusion.drain()] == [1, 2, 3]
+
+
+class TestSampleProbabilityCounts:
+    def test_counts_sum_to_shots(self):
+        counts = sample_probability_counts(
+            np.array([0.5, 0.0, 0.0, 0.5]), width=2, shots=100, seed=2
+        )
+        assert sum(counts.values()) == 100
+        assert set(counts) <= {"00", "11"}
+
+    def test_unnormalised_input_is_rescaled(self):
+        counts = sample_probability_counts(
+            np.array([2.0, 2.0]), width=1, shots=50, seed=4
+        )
+        assert sum(counts.values()) == 50
+
+    def test_all_zero_vector_raises(self):
+        with pytest.raises(ValueError, match="all-zero probability"):
+            sample_probability_counts(np.zeros(4), width=2, shots=10, seed=0)
