@@ -61,7 +61,11 @@ from repro.experiments.swap_study import (
     FIG12_TOPOLOGIES,
 )
 from repro.qasm import circuit_to_qasm
-from repro.runtime import ExperimentRunner, ResultCache
+from repro.runtime import (
+    ExperimentRunner,
+    PersistentResultCache,
+    resolve_result_cache,
+)
 from repro.snailsim import render_ascii_chevron
 from repro.transpiler import (
     Target,
@@ -102,14 +106,43 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable in-process memoization of repeated sweep points",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for a disk-backed result cache shared across "
+        "processes (REPRO_CACHE_DIR sets the default); repeated runs "
+        "skip transpilation for every point already on disk",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
-    """Build the experiment runner the parsed runtime options describe."""
-    return ExperimentRunner(
+    """Build the experiment runner the parsed runtime options describe.
+
+    The runner is remembered on the namespace so that :func:`main` can
+    report cache statistics once the command has finished.
+    """
+    runner = ExperimentRunner(
         parallel=getattr(args, "parallel", None),
         max_workers=getattr(args, "workers", None),
-        result_cache=None if getattr(args, "no_cache", False) else ResultCache(),
+        result_cache=resolve_result_cache(
+            cache_dir=getattr(args, "cache_dir", None),
+            no_cache=getattr(args, "no_cache", False),
+        ),
+    )
+    args._runner = runner
+    return runner
+
+
+def _cache_report(args: argparse.Namespace) -> Optional[str]:
+    """One status line about the persistent cache, if one was used."""
+    runner = getattr(args, "_runner", None)
+    if runner is None or not isinstance(runner.result_cache, PersistentResultCache):
+        return None
+    stats = runner.result_cache.stats()
+    return (
+        f"result cache [{runner.result_cache.cache_dir}]: "
+        f"{stats.hits} memory hits, {stats.disk_hits} disk hits, "
+        f"{stats.computed} transpiled"
     )
 
 
@@ -221,8 +254,25 @@ def build_parser() -> argparse.ArgumentParser:
         "2 adds gate cancellation, 3 adds noise-aware routing + scheduling",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--timing",
+        action="store_true",
+        help="append a per-stage wall-time report for the compilation",
+    )
 
     return parser
+
+
+def _format_stage_times(stage_times) -> str:
+    """Fixed-width per-stage timing table (the CLI ``--timing`` report)."""
+    total = sum(stage_times.values()) or 1.0
+    lines = [f"{'stage':<14}{'time [ms]':>12}{'share':>8}", "-" * 34]
+    for stage, elapsed in stage_times.items():  # insertion order = run order
+        lines.append(
+            f"{stage:<14}{1e3 * elapsed:>12.2f}{100 * elapsed / total:>7.1f}%"
+        )
+    lines.append(f"{'total':<14}{1e3 * sum(stage_times.values()):>12.2f}{'':>8}")
+    return "\n".join(lines)
 
 
 def _command_tables(args: argparse.Namespace) -> str:
@@ -353,7 +403,11 @@ def _command_run(args: argparse.Namespace) -> str:
         routing_method=args.routing,
         optimization_level=args.level,
     )
-    return format_metrics_table([metrics])
+    report = format_metrics_table([metrics])
+    if args.timing:
+        stage_times = metrics.extra.get("stage_times") or {}
+        report += "\n\n" + _format_stage_times(stage_times)
+    return report
 
 
 _COMMANDS = {
@@ -377,6 +431,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     output = _COMMANDS[args.command](args)
     print(output)
+    cache_line = _cache_report(args)
+    if cache_line is not None:
+        print(cache_line, file=sys.stderr)
     return 0
 
 

@@ -23,18 +23,32 @@ import numpy as np
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one cache."""
+    """Hit/miss counters of one cache.
+
+    ``disk_hits`` / ``disk_misses`` stay 0 for purely in-memory caches;
+    a disk-backed cache (``repro.runtime.disk_cache``) fills them in for
+    lookups that fell through the memory tier.  A disk hit therefore
+    also counts as a memory *miss*: ``misses - disk_hits`` is the number
+    of lookups that had to be recomputed.
+    """
 
     hits: int
     misses: int
     currsize: int
     maxsize: int
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
+        """Fraction of lookups served from either tier (0.0 when unused)."""
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+    @property
+    def computed(self) -> int:
+        """Lookups served by neither tier (i.e. actually recomputed)."""
+        return self.misses - self.disk_hits
 
 
 class LRUCache:

@@ -9,6 +9,9 @@ This package is the execution seam between the experiment drivers in
   ``parallel=True`` runs are bit-identical to serial ones;
 * :class:`ResultCache` — memoizes per-point transpile metrics keyed on the
   full point specification, so repeated sweeps skip recomputation;
+* :class:`PersistentResultCache` — the same cache backed by a directory of
+  compressed records (``--cache-dir`` / ``REPRO_CACHE_DIR``), so repeated
+  CLI *processes* skip transpilation too;
 * :func:`point_seed` — deterministic derived seeding that is stable across
   worker processes (unlike the salted builtin ``hash``), for callers that
   want per-point seeds; the built-in drivers deliberately keep the paper's
@@ -28,6 +31,13 @@ select the defaults process-wide.
 """
 
 from repro.runtime.cache import ResultCache, backend_cache_key, point_cache_key
+from repro.runtime.disk_cache import (
+    CACHE_DIR_ENV,
+    PersistentResultCache,
+    cache_dir_from_env,
+    key_digest,
+    resolve_result_cache,
+)
 from repro.runtime.runner import (
     PARALLEL_ENV,
     WORKERS_ENV,
@@ -42,6 +52,11 @@ __all__ = [
     "ResultCache",
     "backend_cache_key",
     "point_cache_key",
+    "CACHE_DIR_ENV",
+    "PersistentResultCache",
+    "cache_dir_from_env",
+    "key_digest",
+    "resolve_result_cache",
     "PARALLEL_ENV",
     "WORKERS_ENV",
     "ExperimentRunner",

@@ -1,0 +1,218 @@
+"""Disk-backed result cache shared across processes and CLI invocations.
+
+The in-process :class:`~repro.runtime.cache.ResultCache` dies with its
+process, so every fresh CLI run and every cold worker pool re-transpiles
+sweep points an earlier run already paid for.
+:class:`PersistentResultCache` keeps the memory LRU in front and adds a
+content-addressed directory of compressed pickle records behind it:
+
+* **keys** are digested with SHA-256 over their canonical ``repr`` — the
+  same point/batch cache keys used in memory are stable across processes
+  (they are tuples of primitives and hex digests, never ``id``/``hash``);
+* **records** are ``zlib``-compressed pickles behind a small magic/length
+  header, written atomically (temp file + ``os.replace``) so concurrent
+  writers can share one cache directory;
+* **corruption tolerance**: a truncated, garbled or foreign file is
+  treated as a miss (and removed best-effort), never an error — a crash
+  mid-write costs one cache entry, not the sweep.
+
+``REPRO_CACHE_DIR`` (or the CLI's ``--cache-dir``) selects the directory;
+:func:`resolve_result_cache` is the single decision point the CLI and
+:func:`repro.transpiler.batch.transpile_batch` funnel through.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import time
+import zlib
+from hashlib import sha256
+from pathlib import Path
+from typing import Hashable, Optional, Union
+
+from repro.linalg.cache import CacheStats
+from repro.runtime.cache import ResultCache
+
+#: Environment variable selecting a default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: File magic + format version; bumping it invalidates old records safely
+#: (they simply read as misses).
+_MAGIC = b"RPRC1\n"
+_HEADER = struct.Struct(">Q")  # payload length, for truncation detection
+
+
+def cache_dir_from_env() -> Optional[str]:
+    """The ``REPRO_CACHE_DIR`` directory, or ``None`` when unset/empty."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return value or None
+
+
+def key_digest(key: Hashable) -> str:
+    """Stable content digest of a cache key.
+
+    Cache keys are tuples of primitives (strings, ints, ``None``, nested
+    tuples, hex digests), whose ``repr`` is deterministic across processes
+    and Python invocations — unlike the salted builtin ``hash``.
+    """
+    return sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class PersistentResultCache(ResultCache):
+    """A :class:`ResultCache` whose records survive the process.
+
+    Lookups try the in-memory LRU first, then the cache directory; disk
+    hits are promoted into the LRU.  Writes go to both tiers.  All disk
+    failures degrade to cache misses — a read-only or full disk makes the
+    cache slower, never wrong.
+    """
+
+    #: Temp files older than this are leftovers of writers that died
+    #: between ``mkstemp`` and ``os.replace``; anything younger may be a
+    #: concurrent writer's live staging file and is left alone.
+    _STALE_TMP_SECONDS = 3600.0
+
+    def __init__(self, cache_dir: Union[str, Path], maxsize: int = 8192):
+        super().__init__(maxsize=maxsize)
+        self._dir = Path(cache_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._sweep_stale_temp_files()
+
+    def _sweep_stale_temp_files(self) -> None:
+        cutoff = time.time() - self._STALE_TMP_SECONDS
+        for path in self._dir.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass
+
+    @property
+    def cache_dir(self) -> Path:
+        """The backing directory."""
+        return self._dir
+
+    def _path(self, key: Hashable) -> Path:
+        return self._dir / f"{key_digest(key)}.rpc"
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _read(self, path: Path):
+        """Decode one record file; any failure is a miss (file removed)."""
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            (length,) = _HEADER.unpack_from(blob, len(_MAGIC))
+            payload = blob[len(_MAGIC) + _HEADER.size :]
+            if len(payload) != length:
+                raise ValueError("truncated record")
+            return pickle.loads(zlib.decompress(payload))
+        except Exception:
+            # Truncated write, stale format, disk corruption: drop the file
+            # so the slot heals itself on the next put.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write(self, path: Path, record) -> None:
+        """Atomically publish one record; failures are silently dropped."""
+        try:
+            payload = zlib.compress(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+            blob = _MAGIC + _HEADER.pack(len(payload)) + payload
+            handle, temp_name = tempfile.mkstemp(
+                dir=self._dir, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(blob)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Unpicklable record, read-only directory, full disk, ...: the
+            # memory tier still serves this entry; persistence is best-effort.
+            pass
+
+    # -- cache protocol --------------------------------------------------------
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Memory first, then disk (promoting disk hits into the LRU)."""
+        record = super().get(key)
+        if record is not None:
+            return record
+        payload = self._read(self._path(key))
+        if payload is None:
+            self._disk_misses += 1
+            return None
+        self._disk_hits += 1
+        self._lru.put(key, self._copy(payload))
+        return payload
+
+    def put(self, key: Hashable, record) -> None:
+        """Store in the LRU and publish to disk."""
+        super().put(key, record)
+        # pickling never mutates the record, so no defensive copy is needed
+        # on the write path (the LRU already holds its own private copy).
+        self._write(self._path(key), record)
+
+    def clear(self) -> None:
+        """Drop the memory tier and every record file in the directory."""
+        super().clear()
+        self._disk_hits = 0
+        self._disk_misses = 0
+        for pattern in ("*.rpc", "*.tmp"):
+            for path in self._dir.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def stats(self) -> CacheStats:
+        """Memory counters plus the disk tier's hit/miss counters."""
+        memory = super().stats()
+        return CacheStats(
+            hits=memory.hits,
+            misses=memory.misses,
+            currsize=memory.currsize,
+            maxsize=memory.maxsize,
+            disk_hits=self._disk_hits,
+            disk_misses=self._disk_misses,
+        )
+
+    def disk_entries(self) -> int:
+        """Number of record files currently on disk."""
+        return sum(1 for _ in self._dir.glob("*.rpc"))
+
+
+def resolve_result_cache(
+    cache_dir: Optional[Union[str, Path]] = None,
+    no_cache: bool = False,
+    maxsize: int = 8192,
+) -> Optional[ResultCache]:
+    """Build the result cache a runtime entry point should use.
+
+    ``no_cache`` wins over everything; an explicit ``cache_dir`` (or the
+    ``REPRO_CACHE_DIR`` environment default) selects the persistent cache;
+    otherwise the plain in-process LRU is returned.
+    """
+    if no_cache:
+        return None
+    directory = cache_dir if cache_dir is not None else cache_dir_from_env()
+    if directory is not None:
+        return PersistentResultCache(directory, maxsize=maxsize)
+    return ResultCache(maxsize=maxsize)

@@ -14,6 +14,37 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+try:  # pragma: no cover - exercised implicitly on import
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    csr_matrix = None
+    _csgraph_shortest_path = None
+
+
+def _bfs_distance_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """All-pairs hop distances by frontier BFS on a boolean adjacency matrix.
+
+    Fallback used when scipy is unavailable: each iteration advances every
+    source's frontier one hop via a single boolean matrix product, so the
+    loop runs ``diameter`` times rather than ``n**2``.
+    """
+    n = adjacency.shape[0]
+    distance = np.full((n, n), np.inf)
+    np.fill_diagonal(distance, 0.0)
+    frontier = np.eye(n, dtype=bool)
+    visited = frontier.copy()
+    hops = 0
+    while frontier.any():
+        hops += 1
+        reached = (frontier @ adjacency) & ~visited
+        if not reached.any():
+            break
+        distance[reached] = hops
+        visited |= reached
+        frontier = reached
+    return distance
+
 
 class CouplingMap:
     """Undirected qubit-connectivity graph with cached distance queries."""
@@ -36,6 +67,9 @@ class CouplingMap:
         self._graph.add_nodes_from(range(self._num_qubits))
         self._graph.add_edges_from(edge_list)
         self._distance: Optional[np.ndarray] = None
+        self._adjacency: Optional[np.ndarray] = None
+        self._neighbor_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._edge_index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # -- constructors --------------------------------------------------------
 
@@ -112,15 +146,89 @@ class CouplingMap:
 
     # -- metrics ---------------------------------------------------------------
 
+    def adjacency_matrix(self) -> np.ndarray:
+        """Boolean adjacency matrix (cached, read-only).
+
+        ``adjacency_matrix()[a, b]`` answers :meth:`has_edge` without a
+        graph lookup — the form the vectorized routers consume.
+        """
+        if self._adjacency is None:
+            n = self._num_qubits
+            adjacency = np.zeros((n, n), dtype=bool)
+            for a, b in self._graph.edges():
+                adjacency[a, b] = True
+                adjacency[b, a] = True
+            adjacency.setflags(write=False)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def neighbor_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR neighbor lists ``(indptr, indices)`` (cached, read-only).
+
+        The neighbors of qubit ``q`` are
+        ``indices[indptr[q]:indptr[q + 1]]``, sorted ascending — the same
+        order :meth:`neighbors` returns.
+        """
+        if self._neighbor_csr is None:
+            adjacency = self.adjacency_matrix()
+            counts = adjacency.sum(axis=1)
+            indptr = np.zeros(self._num_qubits + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.nonzero(adjacency)[1].astype(np.int64)
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._neighbor_csr = (indptr, indices)
+        return self._neighbor_csr
+
+    def edge_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edge table + per-qubit incidence ``(edge_pairs, indptr, edge_ids)``.
+
+        ``edge_pairs`` is the (E, 2) array of couplings in lexicographic
+        ``(min, max)`` order (edge id = row index); the edges incident to
+        qubit ``q`` are ``edge_ids[indptr[q]:indptr[q + 1]]``.  Cached and
+        read-only — the routers mark incident edges in an edge-id mask
+        instead of deduplicating candidate tuples per SWAP decision.
+        """
+        if self._edge_index is None:
+            edge_pairs = np.asarray(self.edges(), dtype=np.int64).reshape(-1, 2)
+            num_edges = len(edge_pairs)
+            endpoints = np.concatenate((edge_pairs[:, 0], edge_pairs[:, 1]))
+            ids = np.tile(np.arange(num_edges, dtype=np.int64), 2)
+            order = np.argsort(endpoints, kind="stable")
+            counts = np.bincount(endpoints, minlength=self._num_qubits)
+            indptr = np.zeros(self._num_qubits + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            edge_ids = ids[order]
+            for array in (edge_pairs, indptr, edge_ids):
+                array.setflags(write=False)
+            self._edge_index = (edge_pairs, indptr, edge_ids)
+        return self._edge_index
+
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs shortest-path distances (hops); cached."""
+        """All-pairs shortest-path distances (hops); cached, read-only.
+
+        Computed via ``scipy.sparse.csgraph`` (vectorized BFS fallback when
+        scipy is absent) instead of networkx dict-of-dicts.  Connected
+        graphs are stored as compact ``uint16`` — the form every router
+        gathers from millions of times per sweep; a disconnected graph
+        keeps the float matrix so unreachable pairs stay ``inf``.
+        """
         if self._distance is None:
             n = self._num_qubits
-            matrix = np.full((n, n), np.inf)
-            lengths = dict(nx.all_pairs_shortest_path_length(self._graph))
-            for source, targets in lengths.items():
-                for target, dist in targets.items():
-                    matrix[source, target] = dist
+            if n == 0:
+                matrix = np.zeros((0, 0))
+            elif _csgraph_shortest_path is not None:
+                sparse = csr_matrix(
+                    self.adjacency_matrix().astype(np.int8), shape=(n, n)
+                )
+                matrix = _csgraph_shortest_path(
+                    sparse, method="D", directed=False, unweighted=True
+                )
+            else:
+                matrix = _bfs_distance_matrix(self.adjacency_matrix())
+            if matrix.size and np.all(np.isfinite(matrix)) and matrix.max() < 2**16:
+                matrix = matrix.astype(np.uint16)
+            matrix.setflags(write=False)
             self._distance = matrix
         return self._distance
 

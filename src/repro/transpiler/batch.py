@@ -94,6 +94,7 @@ def transpile_batch(
     seed: int = 0,
     runner: Optional[object] = None,
     progress: Optional[callable] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[TranspileResult]:
     """Transpile every circuit onto ``target``, in input order.
 
@@ -110,6 +111,10 @@ def transpile_batch(
             correct, just sequential).
         progress: optional callable invoked with a status string per
             circuit.
+        cache_dir: directory for a disk-backed result cache shared across
+            processes (only used when ``runner`` is ``None``; a provided
+            runner brings its own cache).  ``REPRO_CACHE_DIR`` supplies a
+            default.
 
     Returns:
         One :class:`TranspileResult` per circuit, aligned with the input.
@@ -119,9 +124,12 @@ def transpile_batch(
     if runner is None:
         # Imported lazily: the runtime package builds on core, which builds
         # on this package, so a module-level import would be cyclic.
+        from repro.runtime.disk_cache import cache_dir_from_env, resolve_result_cache
         from repro.runtime.runner import serial_runner
 
-        runner = serial_runner()
+        directory = cache_dir if cache_dir is not None else cache_dir_from_env()
+        cache = resolve_result_cache(directory) if directory is not None else None
+        runner = serial_runner(result_cache=cache)
     tasks = [
         (
             circuit,

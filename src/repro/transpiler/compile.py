@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import SHARED_DAG_PROPERTY
 from repro.decomposition.basis import BasisGateSpec, get_basis
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
@@ -296,6 +297,9 @@ def transpile(
     if resolved.noise_model is not None:
         properties["noise_model"] = resolved.noise_model
     final_circuit = manager.run(circuit, properties)
+    # The shared DAG only serves passes *within* this compilation; dropping
+    # it keeps TranspileResult lean for pickling (worker IPC, disk cache).
+    properties.pop(SHARED_DAG_PROPERTY, None)
     # The routing *stage* output includes post-routing cleanup (levels 2+),
     # so SWAP metrics reflect what translation actually consumes.  Custom
     # registered routers may not set the "routed_circuit" property, so it
@@ -303,7 +307,7 @@ def transpile(
     routed = properties["stage_circuits"].get("routing")
     if routed is None:
         routed = properties.require("routed_circuit")
-    extra: Dict[str, float] = {}
+    extra: Dict[str, object] = {}
     for source_key, extra_key in (
         ("cancelled_gates", "cancelled_gates"),
         ("commutative_cancelled", "commutative_cancelled"),
@@ -313,6 +317,13 @@ def transpile(
     ):
         if source_key in properties:
             extra[extra_key] = float(properties[source_key])
+    if properties.get("stage_times"):
+        # Wall-time per compilation stage, surfaced by the CLI's --timing
+        # report and the routing benchmarks.
+        extra["stage_times"] = {
+            stage: float(elapsed)
+            for stage, elapsed in properties["stage_times"].items()
+        }
     metrics = TranspileMetrics(
         circuit_name=circuit.name,
         circuit_qubits=circuit.num_qubits,

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict
 
+#: ``extra`` keys that describe the *run* (wall-clock diagnostics) rather
+#: than the *result*.  They are excluded from equality and ``as_dict`` so
+#: that serial/parallel/cached executions of the same point stay
+#: bit-identical — the determinism contract every parity test rests on.
+DIAGNOSTIC_EXTRAS = ("stage_times",)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class TranspileMetrics:
     """All counters the paper reports for one (circuit, topology, basis) point.
 
@@ -27,6 +33,11 @@ class TranspileMetrics:
         depth: plain circuit depth after translation.
         routing_method / layout_method / seed: provenance of the run.
         optimization_level: preset schedule (0..3) the run used.
+        extra: additional per-point values (``workload``, ``backend``,
+            ``duration_ns``, ...).  Keys in :data:`DIAGNOSTIC_EXTRAS`
+            (currently the per-stage ``stage_times`` mapping) are
+            wall-clock diagnostics: readable from ``extra`` but ignored by
+            ``==`` and absent from :meth:`as_dict`.
     """
 
     circuit_name: str
@@ -46,11 +57,40 @@ class TranspileMetrics:
     optimization_level: int = 1
     extra: Dict[str, float] = field(default_factory=dict)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TranspileMetrics):
+            return NotImplemented
+        return self._comparable() == other._comparable()
+
+    def __hash__(self) -> int:
+        name_fields = tuple(
+            getattr(self, spec.name) for spec in fields(self) if spec.name != "extra"
+        )
+        return hash(name_fields)
+
+    def _comparable(self):
+        extra = {
+            key: value
+            for key, value in self.extra.items()
+            if key not in DIAGNOSTIC_EXTRAS
+        }
+        values = [
+            getattr(self, spec.name) for spec in fields(self) if spec.name != "extra"
+        ]
+        values.append(extra)
+        return values
+
     def as_dict(self) -> Dict[str, object]:
-        """Flat dictionary (used by the experiment harness and benchmarks)."""
+        """Flat dictionary (used by the experiment harness and benchmarks).
+
+        Diagnostic extras (see :data:`DIAGNOSTIC_EXTRAS`) are omitted, so
+        serialized records of one point are identical run-to-run.
+        """
         record = asdict(self)
         extra = record.pop("extra")
         record.update(extra)
+        for key in DIAGNOSTIC_EXTRAS:
+            record.pop(key, None)
         return record
 
 

@@ -16,6 +16,7 @@ from typing import Dict
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DAGCircuit
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
 from repro.transpiler.passmanager import PropertySet, TranspilerPass
@@ -70,8 +71,11 @@ class DenseLayout(TranspilerPass):
         }
         physical_ranked = sorted(subset, key=lambda q: (-internal_degree[q], q))
         # Rank virtual qubits by how often they participate in 2Q gates.
+        # The interaction counts come from the shared DAG, so the DAG built
+        # here is reused by the routing stage instead of being rebuilt.
         activity: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
-        for pair, count in circuit.two_qubit_interactions().items():
+        interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
+        for pair, count in interactions.items():
             activity[pair[0]] += count
             activity[pair[1]] += count
         virtual_ranked = sorted(
@@ -105,7 +109,7 @@ class InteractionGraphLayout(TranspilerPass):
             raise ValueError("circuit does not fit on the device")
         rng = np.random.default_rng(self._seed)
         distance = device.distance_matrix()
-        interactions = circuit.two_qubit_interactions()
+        interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
         weight: Dict[int, Dict[int, int]] = {}
         for (a, b), count in interactions.items():
             weight.setdefault(a, {})[b] = count

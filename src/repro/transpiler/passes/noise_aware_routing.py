@@ -16,7 +16,7 @@ and an edge at the floor fidelity costs ``1 + noise_weight`` hops.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -27,6 +27,15 @@ from repro.core.noise import NoiseModel
 from repro.gates import SwapGate
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
+from repro.transpiler.passes.routing import (
+    _candidate_swap_array,
+    _layout_arrays,
+    _layout_from_array,
+    _remapped_pair_costs,
+    _sequential_tie_break,
+    _swap_in_arrays,
+    _TIE_EPS,
+)
 from repro.transpiler.passmanager import PropertySet, TranspilerPass
 
 
@@ -76,7 +85,8 @@ class NoiseAwareLayout(TranspilerPass):
         }
         physical_ranked = sorted(subset, key=lambda q: (-quality[q], q))
         activity = {q: 0 for q in range(circuit.num_qubits)}
-        for pair, count in circuit.two_qubit_interactions().items():
+        interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
+        for pair, count in interactions.items():
             activity[pair[0]] += count
             activity[pair[1]] += count
         virtual_ranked = sorted(range(circuit.num_qubits), key=lambda q: (-activity[q], q))
@@ -145,16 +155,20 @@ class NoiseAwareRouting(TranspilerPass):
         noise_weight: float = 2.0,
         fidelity_floor: float = 0.9,
         seed: int = 0,
+        engine: str = "vector",
     ):
         if noise_weight < 0.0:
             raise ValueError("noise_weight must be non-negative")
         if not 0.0 < fidelity_floor < 1.0:
             raise ValueError("fidelity_floor must lie strictly between 0 and 1")
+        if engine not in ("vector", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self._coupling_map = coupling_map
         self._noise_model = noise_model
         self._noise_weight = float(noise_weight)
         self._fidelity_floor = float(fidelity_floor)
         self._seed = int(seed)
+        self._engine = engine
 
     # -- cost model -----------------------------------------------------------
 
@@ -178,6 +192,15 @@ class NoiseAwareRouting(TranspilerPass):
                 distance[source, target] = value
         return distance
 
+    def _edge_cost_matrix(
+        self, coupling_map: CouplingMap, noise_model: NoiseModel
+    ) -> np.ndarray:
+        """Per-edge cost as a dense symmetric matrix (non-edges stay 0)."""
+        cost = np.zeros((coupling_map.num_qubits, coupling_map.num_qubits))
+        for a, b in coupling_map.edges():
+            cost[a, b] = cost[b, a] = self.edge_cost(noise_model, a, b)
+        return cost
+
     # -- pass entry point ---------------------------------------------------------
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
@@ -187,14 +210,20 @@ class NoiseAwareRouting(TranspilerPass):
             or properties.get("noise_model")
             or NoiseModel.uniform()
         )
-        layout: Layout = properties.require("layout").copy()
+        layout: Layout = properties.require("layout")
         rng = np.random.default_rng(self._seed)
         distance = self._weighted_distance(coupling_map, noise_model)
+        swap_costs = 3.0 * self._edge_cost_matrix(coupling_map, noise_model)
 
-        dag = DAGCircuit(circuit)
-        remaining_predecessors = {
-            node.index: len(node.predecessors) for node in dag.nodes
-        }
+        dag = DAGCircuit.shared(circuit, properties)
+        instructions = dag.instructions
+        remaining = dag.predecessor_counts()
+        succ_indptr = dag.successor_indptr
+        succ_indices = dag.successor_indices
+        needs_coupling = dag.coupling_mask
+        pairs = dag.qubit_pairs
+        adjacency = coupling_map.adjacency_matrix()
+        v2p, p2v = _layout_arrays(layout, coupling_map.num_qubits)
         front: List[int] = dag.front_layer()
         output = QuantumCircuit(
             coupling_map.num_qubits, name=f"{circuit.name}@{coupling_map.name}"
@@ -203,28 +232,27 @@ class NoiseAwareRouting(TranspilerPass):
         stall_counter = 0
         stall_limit = 10 * max(4, coupling_map.num_qubits)
 
-        def executable(node_index: int) -> bool:
-            instruction = dag.node(node_index).instruction
-            if instruction.num_qubits == 1 or instruction.name == "barrier":
-                return True
-            physical = [layout[q] for q in instruction.qubits]
-            return coupling_map.has_edge(physical[0], physical[1])
-
         def emit(node_index: int) -> None:
-            instruction = dag.node(node_index).instruction
-            physical = tuple(layout[q] for q in instruction.qubits)
+            instruction = instructions[node_index]
+            physical = tuple(int(v2p[q]) for q in instruction.qubits)
             output.append(instruction.gate, physical, induced=instruction.induced)
 
         def advance(executed: Sequence[int]) -> None:
             for node_index in executed:
                 front.remove(node_index)
-                for successor in dag.successors(node_index):
-                    remaining_predecessors[successor] -= 1
-                    if remaining_predecessors[successor] == 0:
-                        front.append(successor)
+                start, stop = succ_indptr[node_index], succ_indptr[node_index + 1]
+                for successor in succ_indices[start:stop]:
+                    remaining[successor] -= 1
+                    if remaining[successor] == 0:
+                        front.append(int(successor))
 
         while front:
-            ready = [index for index in front if executable(index)]
+            ready = [
+                index
+                for index in front
+                if not needs_coupling[index]
+                or adjacency[v2p[pairs[index, 0]], v2p[pairs[index, 1]]]
+            ]
             if ready:
                 for node_index in ready:
                     emit(node_index)
@@ -234,54 +262,55 @@ class NoiseAwareRouting(TranspilerPass):
             if stall_counter > stall_limit:
                 # Escape rare greedy oscillations by routing the first
                 # blocked gate directly along a shortest (hop-count) path.
-                instruction = dag.node(front[0]).instruction
+                instruction = instructions[front[0]]
                 path = coupling_map.shortest_path(
-                    layout[instruction.qubits[0]], layout[instruction.qubits[1]]
+                    int(v2p[instruction.qubits[0]]), int(v2p[instruction.qubits[1]])
                 )
                 for hop in range(len(path) - 2):
                     output.append(SwapGate(), (path[hop], path[hop + 1]), induced=True)
-                    layout.swap_physical(path[hop], path[hop + 1])
+                    _swap_in_arrays(v2p, p2v, path[hop], path[hop + 1])
                     swaps_inserted += 1
                 stall_counter = 0
                 continue
-            front_pairs = np.array(
-                [
-                    [layout[q] for q in dag.node(index).instruction.qubits]
-                    for index in front
-                ]
-            )
-            best_swap = self._select_swap(
-                front_pairs, coupling_map, noise_model, distance, rng
-            )
+            front_pairs = v2p[pairs[front]]
+            candidates = _candidate_swap_array(front_pairs, coupling_map)
+            if self._engine == "vector":
+                scores = (
+                    _remapped_pair_costs(candidates, front_pairs, distance)
+                    + swap_costs[candidates[:, 0], candidates[:, 1]]
+                )
+                choice = _sequential_tie_break(scores, rng)
+            else:
+                choice = self._select_swap_reference(
+                    candidates, front_pairs, noise_model, distance, rng
+                )
+            best_swap = (int(candidates[choice, 0]), int(candidates[choice, 1]))
             output.append(SwapGate(), best_swap, induced=True)
-            layout.swap_physical(*best_swap)
+            _swap_in_arrays(v2p, p2v, *best_swap)
             swaps_inserted += 1
             stall_counter += 1
 
-        properties["final_layout"] = layout
+        properties["final_layout"] = _layout_from_array(v2p)
         properties["routing_swaps"] = swaps_inserted
         properties["routed_circuit"] = output
         return output
 
     # -- SWAP selection ----------------------------------------------------------------
 
-    def _select_swap(
+    def _select_swap_reference(
         self,
+        candidates: np.ndarray,
         front_pairs: np.ndarray,
-        coupling_map: CouplingMap,
         noise_model: NoiseModel,
         distance: np.ndarray,
         rng: np.random.Generator,
-    ) -> Tuple[int, int]:
-        """Candidate SWAP minimising weighted front distance plus its own cost."""
-        involved = {int(q) for q in front_pairs.ravel()}
-        candidates: Set[Tuple[int, int]] = set()
-        for qubit in involved:
-            for neighbor in coupling_map.neighbors(qubit):
-                candidates.add(tuple(sorted((qubit, neighbor))))
+    ) -> int:
+        """The pre-vectorization scorer (Python loop), kept as parity oracle."""
         best_score = np.inf
-        best_choices: List[Tuple[int, int]] = []
-        for physical_a, physical_b in sorted(candidates):
+        best_choices: List[int] = []
+        for index in range(len(candidates)):
+            physical_a = int(candidates[index, 0])
+            physical_b = int(candidates[index, 1])
             remapped = front_pairs.copy()
             remapped[front_pairs == physical_a] = -1
             remapped[front_pairs == physical_b] = physical_a
@@ -289,10 +318,9 @@ class NoiseAwareRouting(TranspilerPass):
             front_cost = float(distance[remapped[:, 0], remapped[:, 1]].sum())
             swap_cost = 3.0 * self.edge_cost(noise_model, physical_a, physical_b)
             score = front_cost + swap_cost
-            if score < best_score - 1e-12:
+            if score < best_score - _TIE_EPS:
                 best_score = score
-                best_choices = [(physical_a, physical_b)]
-            elif abs(score - best_score) <= 1e-12:
-                best_choices.append((physical_a, physical_b))
-        index = int(rng.integers(len(best_choices)))
-        return best_choices[index]
+                best_choices = [index]
+            elif abs(score - best_score) <= _TIE_EPS:
+                best_choices.append(index)
+        return best_choices[int(rng.integers(len(best_choices)))]

@@ -18,11 +18,24 @@ layout pass, and produce a *physical* circuit (qubit indices refer to
 device qubits) with routing SWAPs marked ``induced=True`` so that the
 metric collection can separate them from algorithmic SWAPs — the
 quantity reported in paper Figs. 4, 11 and 12.
+
+Hot path: SWAP selection scores every candidate at once with a single
+NumPy broadcast — all front/extended pairs are remapped for all candidate
+swaps simultaneously and costs gathered from the topology's distance
+matrix — instead of a Python loop per candidate.  The dependency
+structure comes from the CSR arrays of
+:class:`~repro.circuits.dag.DAGCircuit` (shared through the PropertySet,
+so stochastic trials never rebuild it) and the virtual-to-physical map is
+a flat integer array, rebuilt into a :class:`Layout` only at the end.
+The original per-candidate scorer survives as ``engine="reference"``; the
+two engines draw identical RNG streams and produce bit-identical SWAP
+sequences (pinned by ``tests/transpiler/test_routing_vectorized.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -39,6 +52,11 @@ _EXTENDED_SET_WEIGHT = 0.5
 _DECAY_INCREMENT = 0.001
 _DECAY_RESET_INTERVAL = 5
 
+#: Score-comparison tolerance shared by both scorer engines.
+_TIE_EPS = 1e-12
+
+_ENGINES = ("vector", "reference")
+
 
 class RoutingError(RuntimeError):
     """Raised when a router cannot make progress."""
@@ -46,6 +64,94 @@ class RoutingError(RuntimeError):
 
 def _physical_circuit(num_physical: int, name: str) -> QuantumCircuit:
     return QuantumCircuit(num_physical, name=name)
+
+
+def _layout_arrays(layout: Layout, num_physical: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat ``virtual -> physical`` / ``physical -> virtual`` maps (-1 empty)."""
+    v2p = np.full(num_physical, -1, dtype=np.int64)
+    p2v = np.full(num_physical, -1, dtype=np.int64)
+    for virtual, physical in layout.to_dict().items():
+        v2p[virtual] = physical
+        p2v[physical] = virtual
+    return v2p, p2v
+
+
+def _layout_from_array(v2p: np.ndarray) -> Layout:
+    """Rebuild a :class:`Layout` from the flat virtual -> physical array."""
+    return Layout(
+        {int(v): int(p) for v, p in enumerate(v2p) if p >= 0}
+    )
+
+
+def _swap_in_arrays(v2p: np.ndarray, p2v: np.ndarray, a: int, b: int) -> None:
+    """Exchange whatever virtual qubits live on physical ``a`` and ``b``."""
+    va, vb = p2v[a], p2v[b]
+    p2v[a], p2v[b] = vb, va
+    if va >= 0:
+        v2p[va] = b
+    if vb >= 0:
+        v2p[vb] = a
+
+
+def _candidate_swap_array(
+    front_phys: np.ndarray, coupling_map: CouplingMap
+) -> np.ndarray:
+    """All SWAPs on edges incident to a blocked qubit, as a sorted (C, 2) array.
+
+    Incident edges are marked in an edge-id mask (no tuple set, no sort):
+    ascending edge ids are exactly the legacy ``sorted(set(...))``
+    lexicographic ``(min, max)`` order.
+    """
+    edge_pairs, indptr, edge_ids = coupling_map.edge_index_arrays()
+    mask = np.zeros(len(edge_pairs), dtype=bool)
+    for qubit in front_phys.ravel():
+        mask[edge_ids[indptr[qubit] : indptr[qubit + 1]]] = True
+    return edge_pairs[mask]
+
+
+def _remapped_pair_costs(
+    candidates: np.ndarray, pairs_phys: np.ndarray, distance: np.ndarray
+) -> np.ndarray:
+    """Total pair distance after each candidate SWAP, for all candidates at once.
+
+    ``candidates`` is (C, 2), ``pairs_phys`` is (P, 2); the result is the
+    length-C vector of post-SWAP distance sums — the broadcast equivalent
+    of the legacy per-candidate ``_pair_cost`` loop.
+    """
+    a = candidates[:, 0][:, None]
+    b = candidates[:, 1][:, None]
+    left = pairs_phys[:, 0][None, :]
+    right = pairs_phys[:, 1][None, :]
+    remapped_left = np.where(left == a, b, np.where(left == b, a, left))
+    remapped_right = np.where(right == a, b, np.where(right == b, a, right))
+    return distance[remapped_left, remapped_right].sum(axis=1)
+
+
+def _sequential_tie_break(scores: np.ndarray, rng: np.random.Generator) -> int:
+    """Index of the best score under the legacy sequential tie semantics.
+
+    The legacy scorer updated a running best while iterating candidates in
+    sorted order, collecting near-ties within ``_TIE_EPS`` of the *current*
+    best; a plain global argmin-with-tolerance can select a different tie
+    set.  The walk's final best score always lies within ``_TIE_EPS`` of
+    the global minimum and its tie set within ``2 * _TIE_EPS``, so when
+    that window holds a single candidate (the common case) the answer is
+    just the argmin — one RNG draw over one element, exactly as the walk
+    would make.  Only genuine near-ties replay the sequential walk.
+    """
+    minimum = scores.min()
+    if np.count_nonzero(scores <= minimum + 2 * _TIE_EPS) == 1:
+        rng.integers(1)  # keep the RNG stream aligned with the walk's draw
+        return int(np.argmin(scores))
+    best_score = np.inf
+    best: List[int] = []
+    for index, score in enumerate(scores):
+        if score < best_score - _TIE_EPS:
+            best_score = score
+            best = [index]
+        elif abs(score - best_score) <= _TIE_EPS:
+            best.append(index)
+    return best[int(rng.integers(len(best)))]
 
 
 class SabreRouting(TranspilerPass):
@@ -60,25 +166,35 @@ class SabreRouting(TranspilerPass):
         extended_set_size: int = _EXTENDED_SET_SIZE,
         extended_set_weight: float = _EXTENDED_SET_WEIGHT,
         decay_increment: float = _DECAY_INCREMENT,
+        engine: str = "vector",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; engines are {_ENGINES}")
         self._coupling_map = coupling_map
         self._seed = int(seed)
         self._extended_set_size = int(extended_set_size)
         self._extended_set_weight = float(extended_set_weight)
         self._decay_increment = float(decay_increment)
+        self._engine = engine
 
     # -- pass entry point -----------------------------------------------------
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         coupling_map: CouplingMap = self._coupling_map or properties.require("coupling_map")
-        layout: Layout = properties.require("layout").copy()
+        layout: Layout = properties.require("layout")
         rng = np.random.default_rng(self._seed)
         distance = coupling_map.distance_matrix()
 
-        dag = DAGCircuit(circuit)
-        remaining_predecessors = {
-            node.index: len(node.predecessors) for node in dag.nodes
-        }
+        dag = DAGCircuit.shared(circuit, properties)
+        instructions = dag.instructions
+        remaining = dag.predecessor_counts()
+        succ_indptr = dag.successor_indptr
+        succ_indices = dag.successor_indices
+        needs_coupling = dag.coupling_mask
+        pairs = dag.qubit_pairs
+        adjacency = coupling_map.adjacency_matrix()
+        v2p, p2v = _layout_arrays(layout, coupling_map.num_qubits)
+
         front: List[int] = dag.front_layer()
         output = _physical_circuit(coupling_map.num_qubits, f"{circuit.name}@{coupling_map.name}")
         decay = np.ones(coupling_map.num_qubits)
@@ -87,28 +203,27 @@ class SabreRouting(TranspilerPass):
         stall_counter = 0
         stall_limit = 10 * max(4, coupling_map.num_qubits)
 
-        def executable(node_index: int) -> bool:
-            instruction = dag.node(node_index).instruction
-            if instruction.num_qubits == 1 or instruction.name == "barrier":
-                return True
-            physical = [layout[q] for q in instruction.qubits]
-            return coupling_map.has_edge(physical[0], physical[1])
-
         def emit(node_index: int) -> None:
-            instruction = dag.node(node_index).instruction
-            physical = tuple(layout[q] for q in instruction.qubits)
+            instruction = instructions[node_index]
+            physical = tuple(int(v2p[q]) for q in instruction.qubits)
             output.append(instruction.gate, physical, induced=instruction.induced)
 
         def advance(executed: Sequence[int]) -> None:
             for node_index in executed:
                 front.remove(node_index)
-                for successor in dag.successors(node_index):
-                    remaining_predecessors[successor] -= 1
-                    if remaining_predecessors[successor] == 0:
-                        front.append(successor)
+                start, stop = succ_indptr[node_index], succ_indptr[node_index + 1]
+                for successor in succ_indices[start:stop]:
+                    remaining[successor] -= 1
+                    if remaining[successor] == 0:
+                        front.append(int(successor))
 
         while front:
-            ready = [index for index in front if executable(index)]
+            ready = [
+                index
+                for index in front
+                if not needs_coupling[index]
+                or adjacency[v2p[pairs[index, 0]], v2p[pairs[index, 1]]]
+            ]
             if ready:
                 for node_index in ready:
                     emit(node_index)
@@ -117,22 +232,24 @@ class SabreRouting(TranspilerPass):
                 continue
 
             # Every front gate is a blocked two-qubit gate: pick a SWAP.
-            front_pairs = np.array(
-                [
-                    [layout[q] for q in dag.node(index).instruction.qubits]
-                    for index in front
-                ]
-            )
-            extended_pairs = self._extended_set(dag, remaining_predecessors, front, layout)
-            candidates = self._candidate_swaps(front_pairs, coupling_map)
-            if not candidates:  # pragma: no cover - connected devices always have candidates
+            front_pairs = v2p[pairs[front]]
+            extended_pairs = self._extended_set(dag, front, v2p)
+            candidates = _candidate_swap_array(front_pairs, coupling_map)
+            if not len(candidates):  # pragma: no cover - connected devices always have candidates
                 raise RoutingError("no candidate SWAPs available; is the device connected?")
-            best_swap = self._select_swap(
-                candidates, front_pairs, extended_pairs, distance, decay, rng
-            )
-            physical_a, physical_b = best_swap
+            if self._engine == "vector":
+                scores = self._score_candidates(
+                    candidates, front_pairs, extended_pairs, distance, decay
+                )
+                choice = _sequential_tie_break(scores, rng)
+            else:
+                choice = self._select_swap_reference(
+                    candidates, front_pairs, extended_pairs, distance, decay, rng
+                )
+            physical_a = int(candidates[choice, 0])
+            physical_b = int(candidates[choice, 1])
             output.append(SwapGate(), (physical_a, physical_b), induced=True)
-            layout.swap_physical(physical_a, physical_b)
+            _swap_in_arrays(v2p, p2v, physical_a, physical_b)
             swaps_inserted += 1
             stall_counter += 1
             decay[physical_a] += self._decay_increment
@@ -145,12 +262,13 @@ class SabreRouting(TranspilerPass):
                 # Escape pathological stalls by routing the first blocked gate
                 # directly along a shortest path.
                 swaps_inserted += self._force_route(
-                    dag.node(front[0]).instruction, layout, coupling_map, output
+                    instructions[front[0]], v2p, p2v, coupling_map, output
                 )
                 decay[:] = 1.0
                 stall_counter = 0
 
-        properties["final_layout"] = layout
+        final_layout = _layout_from_array(v2p)
+        properties["final_layout"] = final_layout
         properties["routing_swaps"] = swaps_inserted
         properties["routed_circuit"] = output
         return output
@@ -158,55 +276,70 @@ class SabreRouting(TranspilerPass):
     # -- helpers -----------------------------------------------------------------
 
     def _extended_set(
-        self,
-        dag: DAGCircuit,
-        remaining_predecessors: Dict[int, int],
-        front: Sequence[int],
-        layout: Layout,
+        self, dag: DAGCircuit, front: Sequence[int], v2p: np.ndarray
     ) -> np.ndarray:
         """Two-qubit gates just behind the front layer (lookahead window)."""
-        pairs: List[List[int]] = []
+        indptr = dag.successor_indptr
+        indices = dag.successor_indices
+        is_two_qubit = dag.two_qubit_mask
+        qubit_pairs = dag.qubit_pairs
+        pairs: List[Tuple[int, int]] = []
         visited: Set[int] = set()
-        queue = list(front)
+        queue = deque(front)
         while queue and len(pairs) < self._extended_set_size:
-            node_index = queue.pop(0)
-            for successor in dag.successors(node_index):
+            node_index = queue.popleft()
+            for successor in indices[indptr[node_index] : indptr[node_index + 1]].tolist():
                 if successor in visited:
                     continue
                 visited.add(successor)
-                instruction = dag.node(successor).instruction
-                if instruction.is_two_qubit:
-                    pairs.append([layout[q] for q in instruction.qubits])
+                if is_two_qubit[successor]:
+                    pairs.append(
+                        (v2p[qubit_pairs[successor, 0]], v2p[qubit_pairs[successor, 1]])
+                    )
                 queue.append(successor)
                 if len(pairs) >= self._extended_set_size:
                     break
         return np.array(pairs) if pairs else np.empty((0, 2), dtype=int)
 
-    @staticmethod
-    def _candidate_swaps(
-        front_pairs: np.ndarray, coupling_map: CouplingMap
-    ) -> List[Tuple[int, int]]:
-        """SWAPs on edges incident to any qubit involved in a blocked gate."""
-        involved = set(int(q) for q in front_pairs.ravel())
-        candidates: Set[Tuple[int, int]] = set()
-        for qubit in involved:
-            for neighbor in coupling_map.neighbors(qubit):
-                candidates.add(tuple(sorted((qubit, neighbor))))
-        return sorted(candidates)
-
-    def _select_swap(
+    def _score_candidates(
         self,
-        candidates: Sequence[Tuple[int, int]],
+        candidates: np.ndarray,
+        front_pairs: np.ndarray,
+        extended_pairs: np.ndarray,
+        distance: np.ndarray,
+        decay: np.ndarray,
+    ) -> np.ndarray:
+        """Heuristic scores of all candidate SWAPs in one broadcast."""
+        front_costs = _remapped_pair_costs(candidates, front_pairs, distance)
+        scores = front_costs.astype(np.float64) / max(len(front_pairs), 1)
+        if len(extended_pairs):
+            extended_costs = _remapped_pair_costs(candidates, extended_pairs, distance)
+            scores = scores + (
+                self._extended_set_weight * extended_costs.astype(np.float64)
+            ) / len(extended_pairs)
+        scores *= np.maximum(decay[candidates[:, 0]], decay[candidates[:, 1]])
+        return scores
+
+    def _select_swap_reference(
+        self,
+        candidates: np.ndarray,
         front_pairs: np.ndarray,
         extended_pairs: np.ndarray,
         distance: np.ndarray,
         decay: np.ndarray,
         rng: np.random.Generator,
-    ) -> Tuple[int, int]:
-        """Score every candidate SWAP and return the best one."""
+    ) -> int:
+        """The pre-vectorization scorer: a Python loop over candidates.
+
+        Kept as the equivalence oracle for the parity tests and the
+        routing-hot-path benchmark; scores each candidate with the exact
+        float operations of :meth:`_score_candidates`.
+        """
         best_score = np.inf
-        best_choices: List[Tuple[int, int]] = []
-        for physical_a, physical_b in candidates:
+        best_choices: List[int] = []
+        for index in range(len(candidates)):
+            physical_a = int(candidates[index, 0])
+            physical_b = int(candidates[index, 1])
             front_cost = self._pair_cost(front_pairs, physical_a, physical_b, distance)
             score = front_cost / max(len(front_pairs), 1)
             if len(extended_pairs):
@@ -215,13 +348,12 @@ class SabreRouting(TranspilerPass):
                 )
                 score += self._extended_set_weight * extended_cost / len(extended_pairs)
             score *= max(decay[physical_a], decay[physical_b])
-            if score < best_score - 1e-12:
+            if score < best_score - _TIE_EPS:
                 best_score = score
-                best_choices = [(physical_a, physical_b)]
-            elif abs(score - best_score) <= 1e-12:
-                best_choices.append((physical_a, physical_b))
-        index = int(rng.integers(len(best_choices)))
-        return best_choices[index]
+                best_choices = [index]
+            elif abs(score - best_score) <= _TIE_EPS:
+                best_choices.append(index)
+        return best_choices[int(rng.integers(len(best_choices)))]
 
     @staticmethod
     def _pair_cost(
@@ -238,18 +370,19 @@ class SabreRouting(TranspilerPass):
     @staticmethod
     def _force_route(
         instruction: Instruction,
-        layout: Layout,
+        v2p: np.ndarray,
+        p2v: np.ndarray,
         coupling_map: CouplingMap,
         output: QuantumCircuit,
     ) -> int:
         """Bring the two qubits of ``instruction`` adjacent along a shortest path."""
-        physical_a = layout[instruction.qubits[0]]
-        physical_b = layout[instruction.qubits[1]]
+        physical_a = int(v2p[instruction.qubits[0]])
+        physical_b = int(v2p[instruction.qubits[1]])
         path = coupling_map.shortest_path(physical_a, physical_b)
         inserted = 0
         for hop in range(len(path) - 2):
             output.append(SwapGate(), (path[hop], path[hop + 1]), induced=True)
-            layout.swap_physical(path[hop], path[hop + 1])
+            _swap_in_arrays(v2p, p2v, path[hop], path[hop + 1])
             inserted += 1
         return inserted
 
@@ -272,12 +405,16 @@ class StochasticRouting(TranspilerPass):
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         coupling_map: CouplingMap = self._coupling_map or properties.require("coupling_map")
         layout: Layout = properties.require("layout")
+        # One DAG serves every trial (and any later pass on this circuit):
+        # each trial only needs the instruction sequence and operand arrays,
+        # which are immutable, so nothing is rebuilt per trial.
+        dag = DAGCircuit.shared(circuit, properties)
         best_output: Optional[QuantumCircuit] = None
         best_layout: Optional[Layout] = None
         best_swaps = np.inf
         for trial in range(self._trials):
             output, final_layout, swaps = self._route_once(
-                circuit, coupling_map, layout.copy(), self._seed + 7919 * trial
+                circuit, dag, coupling_map, layout, self._seed + 7919 * trial
             )
             if swaps < best_swaps:
                 best_swaps = swaps
@@ -292,45 +429,56 @@ class StochasticRouting(TranspilerPass):
     def _route_once(
         self,
         circuit: QuantumCircuit,
+        dag: DAGCircuit,
         coupling_map: CouplingMap,
         layout: Layout,
         seed: int,
     ) -> Tuple[QuantumCircuit, Layout, int]:
         rng = np.random.default_rng(seed)
         distance = coupling_map.distance_matrix()
+        adjacency = coupling_map.adjacency_matrix()
+        nbr_indptr, nbr_indices = coupling_map.neighbor_arrays()
+        v2p, p2v = _layout_arrays(layout, coupling_map.num_qubits)
         output = _physical_circuit(
             coupling_map.num_qubits, f"{circuit.name}@{coupling_map.name}"
         )
         swaps = 0
-        for instruction in circuit:
+        for instruction in dag.instructions:
             if instruction.num_qubits == 1 or instruction.name == "barrier":
                 output.append(
                     instruction.gate,
-                    tuple(layout[q] for q in instruction.qubits),
+                    tuple(int(v2p[q]) for q in instruction.qubits),
                     induced=instruction.induced,
                 )
                 continue
             virtual_a, virtual_b = instruction.qubits
             while True:
-                physical_a = layout[virtual_a]
-                physical_b = layout[virtual_b]
-                if coupling_map.has_edge(physical_a, physical_b):
+                physical_a = int(v2p[virtual_a])
+                physical_b = int(v2p[virtual_b])
+                if adjacency[physical_a, physical_b]:
                     break
                 current = distance[physical_a, physical_b]
                 improving: List[Tuple[int, int]] = []
                 for endpoint, other in ((physical_a, physical_b), (physical_b, physical_a)):
-                    for neighbor in coupling_map.neighbors(endpoint):
+                    for neighbor in nbr_indices[
+                        nbr_indptr[endpoint] : nbr_indptr[endpoint + 1]
+                    ]:
                         if distance[neighbor, other] < current:
-                            improving.append(tuple(sorted((endpoint, neighbor))))
+                            neighbor = int(neighbor)
+                            improving.append(
+                                (endpoint, neighbor)
+                                if endpoint < neighbor
+                                else (neighbor, endpoint)
+                            )
                 if not improving:  # pragma: no cover - connected devices always improve
                     raise RoutingError("stochastic router cannot reduce distance")
                 choice = improving[int(rng.integers(len(improving)))]
                 output.append(SwapGate(), choice, induced=True)
-                layout.swap_physical(*choice)
+                _swap_in_arrays(v2p, p2v, *choice)
                 swaps += 1
             output.append(
                 instruction.gate,
-                (layout[virtual_a], layout[virtual_b]),
+                (int(v2p[virtual_a]), int(v2p[virtual_b])),
                 induced=instruction.induced,
             )
-        return output, layout, swaps
+        return output, _layout_from_array(v2p), swaps

@@ -139,9 +139,10 @@ class StagedPassManager(PassManager):
         circuit: QuantumCircuit,
         properties: Optional[PropertySet] = None,
     ) -> QuantumCircuit:
-        """Run every stage in order, recording per-stage circuits."""
+        """Run every stage in order, recording per-stage circuits and times."""
         properties = properties if properties is not None else PropertySet()
         timings: Dict[str, float] = properties.setdefault("pass_timings", {})
+        stage_times: Dict[str, float] = properties.setdefault("stage_times", {})
         stage_circuits: Dict[str, QuantumCircuit] = properties.setdefault(
             "stage_circuits", {}
         )
@@ -150,6 +151,7 @@ class StagedPassManager(PassManager):
             passes = self._stage_passes[stage]
             if not passes:
                 continue
+            stage_start = time.perf_counter()
             for transpiler_pass in passes:
                 start = time.perf_counter()
                 current = transpiler_pass.run(current, properties)
@@ -158,5 +160,8 @@ class StagedPassManager(PassManager):
                     timings.get(transpiler_pass.name, 0.0) + elapsed
                 )
             stage_circuits[stage] = current
+            stage_times[stage] = (
+                stage_times.get(stage, 0.0) + time.perf_counter() - stage_start
+            )
         properties["final_circuit"] = current
         return current

@@ -135,7 +135,16 @@ def sweep_to_csv(result: SweepResult, columns: Optional[Sequence[str]] = None) -
         return ""
     if columns is None:
         columns = sorted({key for row in rows for key in row})
-    lines = [",".join(str(column) for column in columns)]
+
+    def _cell(value) -> str:
+        # RFC-4180-style quoting for values containing separators (e.g. the
+        # nested ``stage_times`` mapping in the metric extras).
+        text = str(value)
+        if any(ch in text for ch in ",\"\n"):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(_cell(column) for column in columns)]
     for row in rows:
-        lines.append(",".join(str(row.get(column, "")) for column in columns))
+        lines.append(",".join(_cell(row.get(column, "")) for column in columns))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,113 @@
+"""CSR-array DAG equivalence against a naive set-based reference.
+
+The array-backed :class:`DAGCircuit` must expose exactly the dependency
+structure the old per-node-set implementation did; the reference is
+rebuilt here from first principles (last-writer-per-wire) and compared on
+randomized circuits.
+"""
+
+import numpy as np
+
+from repro.circuits import DAGCircuit, QuantumCircuit
+from repro.gates import RZZGate
+
+
+def _random_circuit(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        kind = rng.integers(4)
+        if kind == 0:
+            circuit.h(int(rng.integers(num_qubits)))
+        elif kind == 1:
+            circuit.rx(float(rng.uniform(0, np.pi)), int(rng.integers(num_qubits)))
+        elif kind == 2:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.append(RZZGate(float(rng.uniform(0, np.pi))), (int(a), int(b)))
+    return circuit
+
+
+def _reference_edges(circuit):
+    """(predecessors, successors) per node via per-wire last-writer sets."""
+    predecessors = [set() for _ in circuit]
+    successors = [set() for _ in circuit]
+    last_on_wire = {}
+    for index, instruction in enumerate(circuit):
+        for qubit in instruction.qubits:
+            if qubit in last_on_wire:
+                previous = last_on_wire[qubit]
+                predecessors[index].add(previous)
+                successors[previous].add(index)
+            last_on_wire[qubit] = index
+    return predecessors, successors
+
+
+class TestCSREquivalence:
+    def test_randomized_adjacency_matches_reference(self):
+        for seed in range(12):
+            circuit = _random_circuit(num_qubits=6, num_gates=40, seed=seed)
+            dag = DAGCircuit(circuit)
+            predecessors, successors = _reference_edges(circuit)
+            for index in range(len(circuit)):
+                assert dag.predecessors(index) == tuple(sorted(predecessors[index]))
+                assert dag.successors(index) == tuple(sorted(successors[index]))
+            expected_front = [
+                index for index in range(len(circuit)) if not predecessors[index]
+            ]
+            assert dag.front_layer() == expected_front
+
+    def test_predecessor_counts_match_and_are_private(self):
+        circuit = _random_circuit(5, 25, seed=3)
+        dag = DAGCircuit(circuit)
+        predecessors, _ = _reference_edges(circuit)
+        counts = dag.predecessor_counts()
+        assert counts.tolist() == [len(p) for p in predecessors]
+        counts[:] = -1  # a copy: mutating it must not corrupt the DAG
+        assert dag.predecessor_counts().tolist() == [len(p) for p in predecessors]
+
+    def test_qubit_pair_arrays(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cx(1, 2)
+        circuit.barrier()
+        circuit.cx(3, 0)
+        dag = DAGCircuit(circuit)
+        assert dag.two_qubit_mask.tolist() == [False, True, False, True]
+        assert dag.qubit_pairs[1].tolist() == [1, 2]
+        assert dag.qubit_pairs[3].tolist() == [3, 0]
+        assert dag.qubit_pairs[0].tolist() == [-1, -1]
+
+    def test_two_qubit_interactions_match_circuit(self):
+        for seed in (0, 4, 9):
+            circuit = _random_circuit(6, 30, seed=seed)
+            assert DAGCircuit(circuit).two_qubit_interactions() == (
+                circuit.two_qubit_interactions()
+            )
+
+    def test_layers_and_longest_path_against_reference(self):
+        for seed in (2, 8):
+            circuit = _random_circuit(5, 30, seed=seed)
+            dag = DAGCircuit(circuit)
+            predecessors, _ = _reference_edges(circuit)
+            level = {}
+            for index in range(len(circuit)):
+                level[index] = max(
+                    (level[p] + 1 for p in predecessors[index]), default=0
+                )
+            expected_layers = {}
+            for index, depth in level.items():
+                expected_layers.setdefault(depth, []).append(index)
+            assert dag.layers() == [
+                expected_layers[d] for d in sorted(expected_layers)
+            ]
+            assert dag.longest_path_length() == max(level.values()) + 1
+
+    def test_empty_circuit(self):
+        dag = DAGCircuit(QuantumCircuit(3))
+        assert len(dag) == 0
+        assert dag.front_layer() == []
+        assert dag.layers() == []
+        assert dag.longest_path_length() == 0.0

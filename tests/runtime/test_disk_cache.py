@@ -1,0 +1,181 @@
+"""Disk-backed result cache: round-trip, cross-instance reuse, corruption."""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.core.pipeline import run_point
+from repro.runtime import (
+    CACHE_DIR_ENV,
+    PersistentResultCache,
+    cache_dir_from_env,
+    key_digest,
+    resolve_result_cache,
+    ResultCache,
+)
+from repro.runtime.cache import point_cache_key
+from repro.topology.registry import small_topologies
+from repro.transpiler.target import make_target
+
+
+@pytest.fixture
+def target():
+    return make_target(small_topologies()["Corral1,1"], "siswap", name="Corral1,1-siswap")
+
+
+@pytest.fixture
+def record(target):
+    return run_point("GHZ", 5, target, seed=1)
+
+
+class TestPersistentResultCache:
+    def test_round_trip_same_instance(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        cached = cache.get("key")
+        assert cached is not record
+        assert cached.as_dict() == record.as_dict()
+
+    def test_second_instance_reads_from_disk(self, tmp_path, record):
+        PersistentResultCache(tmp_path).put("key", record)
+        fresh = PersistentResultCache(tmp_path)  # simulates a new process
+        cached = fresh.get("key")
+        assert cached is not None
+        assert cached.as_dict() == record.as_dict()
+        stats = fresh.stats()
+        assert stats.disk_hits == 1
+        assert stats.computed == 0
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path, record):
+        PersistentResultCache(tmp_path).put("key", record)
+        fresh = PersistentResultCache(tmp_path)
+        fresh.get("key")
+        assert fresh.get("key") is not None
+        stats = fresh.stats()
+        assert stats.hits == 1  # second lookup served by the LRU
+        assert stats.disk_hits == 1
+
+    def test_missing_key_counts_disk_miss(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        assert cache.get("absent") is None
+        stats = cache.stats()
+        assert stats.disk_misses == 1
+        assert stats.hit_rate == 0.0
+
+    def test_truncated_file_is_a_miss_not_a_crash(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        (path,) = tmp_path.glob("*.rpc")
+        path.write_bytes(path.read_bytes()[:-7])
+        fresh = PersistentResultCache(tmp_path)
+        assert fresh.get("key") is None
+        assert not path.exists()  # corrupt record removed so the slot heals
+
+    def test_garbage_file_is_a_miss(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        (path,) = tmp_path.glob("*.rpc")
+        path.write_bytes(b"not a cache record at all")
+        assert PersistentResultCache(tmp_path).get("key") is None
+
+    def test_valid_header_corrupt_payload_is_a_miss(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        (path,) = tmp_path.glob("*.rpc")
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF  # flip a payload byte; zlib/pickle must reject it
+        path.write_bytes(bytes(blob))
+        assert PersistentResultCache(tmp_path).get("key") is None
+
+    def test_unpicklable_record_degrades_to_memory_only(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", lambda: None)  # lambdas cannot pickle
+        assert cache.disk_entries() == 0
+        assert cache.get("key") is not None  # the LRU still serves it
+
+    def test_clear_removes_disk_records(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        assert cache.disk_entries() == 1
+        cache.clear()
+        assert cache.disk_entries() == 0
+        assert PersistentResultCache(tmp_path).get("key") is None
+
+    def test_stale_temp_files_are_swept(self, tmp_path):
+        import os
+
+        stale = tmp_path / "deadbeef1234.tmp"
+        stale.write_bytes(b"partial write of a crashed process")
+        old = 1_000_000_000  # well past the staleness cutoff
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "cafecafe5678.tmp"
+        fresh.write_bytes(b"a concurrent writer's live staging file")
+        PersistentResultCache(tmp_path)
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_clear_also_removes_temp_files(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        (tmp_path / "orphan.tmp").write_bytes(b"leftover")
+        cache.clear()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_point_keys_digest_identically_across_processes(self, target):
+        key = point_cache_key("GHZ", 5, target, 1, "dense", "sabre")
+        assert key_digest(key) == key_digest(
+            point_cache_key("GHZ", 5, target, 1, "dense", "sabre")
+        )
+        assert key_digest(key) != key_digest(
+            point_cache_key("GHZ", 6, target, 1, "dense", "sabre")
+        )
+
+    def test_record_format_is_compressed_pickle(self, tmp_path, record):
+        PersistentResultCache(tmp_path).put("key", record)
+        (path,) = tmp_path.glob("*.rpc")
+        blob = path.read_bytes()
+        assert blob.startswith(b"RPRC1\n")
+        payload = blob[len(b"RPRC1\n") + 8 :]
+        restored = pickle.loads(zlib.decompress(payload))
+        assert restored.as_dict() == record.as_dict()
+
+
+class TestResolveResultCache:
+    def test_no_cache_wins(self, tmp_path):
+        assert resolve_result_cache(cache_dir=tmp_path, no_cache=True) is None
+
+    def test_explicit_dir_builds_persistent_cache(self, tmp_path):
+        cache = resolve_result_cache(cache_dir=tmp_path)
+        assert isinstance(cache, PersistentResultCache)
+        assert cache.cache_dir == tmp_path
+
+    def test_env_dir_builds_persistent_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert cache_dir_from_env() == str(tmp_path)
+        cache = resolve_result_cache()
+        assert isinstance(cache, PersistentResultCache)
+
+    def test_default_is_memory_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = resolve_result_cache()
+        assert isinstance(cache, ResultCache)
+        assert not isinstance(cache, PersistentResultCache)
+
+
+class TestCliIntegration:
+    def test_second_cli_invocation_transpiles_nothing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["headline", "--sizes", "4", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "transpiled" in cold.err
+        assert "0 disk hits" in cold.err
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert " 0 transpiled" in warm.err

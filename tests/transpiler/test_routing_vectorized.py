@@ -1,0 +1,179 @@
+"""Equivalence of the vectorized SWAP scorer and the legacy reference.
+
+The vectorized engine must be *bit-identical* to the pre-vectorization
+Python-loop scorer: same scores, same tie sets, same RNG draws, hence the
+same SWAP sequence gate for gate.  These tests pin that contract at fixed
+seeds across the paper's topology families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.dag import SHARED_DAG_PROPERTY, DAGCircuit
+from repro.core.noise import NoiseModel
+from repro.topology import CouplingMap, corral_topology, square_lattice
+from repro.transpiler import DenseLayout, PropertySet, SabreRouting, StochasticRouting
+from repro.transpiler.passes.noise_aware_routing import NoiseAwareRouting
+from repro.workloads import qaoa_vanilla_circuit, quantum_volume_circuit
+
+TOPOLOGIES = {
+    "corral": corral_topology(8, (1, 1)),
+    "lattice": square_lattice(4, 4),
+    "line": CouplingMap.line(12),
+}
+
+
+def _route(circuit, coupling_map, **router_options):
+    properties = PropertySet()
+    DenseLayout(coupling_map).run(circuit, properties)
+    routed = SabreRouting(coupling_map, **router_options).run(circuit, properties)
+    return routed, properties
+
+
+def _signature(circuit):
+    return [(inst.name, inst.qubits, inst.induced) for inst in circuit]
+
+
+class TestSabreEngineParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_identical_swap_sequence_qv(self, topology, seed):
+        coupling_map = TOPOLOGIES[topology]
+        circuit = quantum_volume_circuit(min(10, coupling_map.num_qubits), seed=seed)
+        vector, vector_props = _route(circuit, coupling_map, seed=seed)
+        reference, reference_props = _route(
+            circuit, coupling_map, seed=seed, engine="reference"
+        )
+        assert _signature(vector) == _signature(reference)
+        assert vector_props["routing_swaps"] == reference_props["routing_swaps"]
+        assert vector_props["final_layout"] == reference_props["final_layout"]
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_identical_swap_sequence_qaoa(self, seed):
+        coupling_map = TOPOLOGIES["lattice"]
+        circuit = qaoa_vanilla_circuit(12, seed=seed)
+        vector, _ = _route(circuit, coupling_map, seed=seed)
+        reference, _ = _route(circuit, coupling_map, seed=seed, engine="reference")
+        assert _signature(vector) == _signature(reference)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SabreRouting(TOPOLOGIES["line"], engine="turbo")
+
+    def test_deterministic_across_calls(self):
+        coupling_map = TOPOLOGIES["corral"]
+        circuit = quantum_volume_circuit(10, seed=5)
+        first, _ = _route(circuit, coupling_map, seed=9)
+        second, _ = _route(circuit, coupling_map, seed=9)
+        assert _signature(first) == _signature(second)
+
+    def test_three_qubit_gates_are_routed_not_passed_through(self):
+        """Direct router use (no decompose stage): a ccx on distant qubits
+        must still come out with its first two operands on a coupling."""
+        from repro.gates import CCXGate
+
+        coupling_map = TOPOLOGIES["line"]
+        circuit = QuantumCircuit(12)
+        circuit.append(CCXGate(), (0, 11, 5))
+        routed, properties = _route(circuit, coupling_map, seed=0)
+        assert properties["routing_swaps"] > 0
+        (ccx,) = [inst for inst in routed if inst.name == "ccx"]
+        assert coupling_map.has_edge(ccx.qubits[0], ccx.qubits[1])
+
+
+class TestNoiseAwareEngineParity:
+    def _noise_model(self, coupling_map, spread=0.099):
+        edges = coupling_map.edges()
+        fidelity = {
+            edge: 0.90 + spread * ((7 * index) % 10) / 10
+            for index, edge in enumerate(edges)
+        }
+        return NoiseModel(edge_fidelity=fidelity, default_fidelity=0.99)
+
+    @pytest.mark.parametrize("topology", ["corral", "lattice"])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_identical_swap_sequence(self, topology, seed):
+        coupling_map = TOPOLOGIES[topology]
+        noise_model = self._noise_model(coupling_map)
+        circuit = quantum_volume_circuit(10, seed=seed)
+        outputs = {}
+        for engine in ("vector", "reference"):
+            properties = PropertySet()
+            DenseLayout(coupling_map).run(circuit, properties)
+            routed = NoiseAwareRouting(
+                coupling_map, noise_model=noise_model, seed=seed, engine=engine
+            ).run(circuit, properties)
+            outputs[engine] = (_signature(routed), properties["routing_swaps"])
+        assert outputs["vector"] == outputs["reference"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            NoiseAwareRouting(TOPOLOGIES["corral"], engine="fast")
+
+
+class TestSharedDag:
+    def test_router_records_shared_dag(self):
+        coupling_map = TOPOLOGIES["lattice"]
+        circuit = quantum_volume_circuit(8, seed=2)
+        _, properties = _route(circuit, coupling_map, seed=2)
+        recorded_circuit, dag = properties[SHARED_DAG_PROPERTY]
+        assert recorded_circuit is circuit
+        assert isinstance(dag, DAGCircuit)
+
+    def test_shared_dag_reused_for_same_circuit(self):
+        circuit = quantum_volume_circuit(6, seed=1)
+        properties = PropertySet()
+        first = DAGCircuit.shared(circuit, properties)
+        second = DAGCircuit.shared(circuit, properties)
+        assert first is second
+
+    def test_shared_dag_rebuilt_for_new_circuit(self):
+        properties = PropertySet()
+        first = DAGCircuit.shared(quantum_volume_circuit(6, seed=1), properties)
+        second = DAGCircuit.shared(quantum_volume_circuit(6, seed=2), properties)
+        assert first is not second
+
+    def _count_dag_builds(self, monkeypatch):
+        builds = []
+        original = DAGCircuit.__init__
+
+        def counting_init(self, circuit):
+            builds.append(circuit)
+            original(self, circuit)
+
+        monkeypatch.setattr(DAGCircuit, "__init__", counting_init)
+        return builds
+
+    def test_stochastic_trials_share_one_dag(self, monkeypatch):
+        """All stochastic trials must reuse the DAG built on entry."""
+        builds = self._count_dag_builds(monkeypatch)
+        coupling_map = TOPOLOGIES["lattice"]
+        circuit = quantum_volume_circuit(8, seed=4)
+        properties = PropertySet()
+        DenseLayout(coupling_map).run(circuit, properties)
+        StochasticRouting(coupling_map, seed=0, trials=5).run(circuit, properties)
+        assert len(builds) == 1
+
+    def test_layout_and_routing_share_one_dag(self, monkeypatch):
+        """The DAG built by the layout pass is the one routing consumes."""
+        builds = self._count_dag_builds(monkeypatch)
+        coupling_map = TOPOLOGIES["corral"]
+        circuit = quantum_volume_circuit(10, seed=6)
+        properties = PropertySet()
+        DenseLayout(coupling_map).run(circuit, properties)
+        SabreRouting(coupling_map, seed=6).run(circuit, properties)
+        assert len(builds) == 1
+
+    def test_sabre_results_unchanged_with_prebuilt_dag(self):
+        """A DAG left in the property set by an earlier pass is picked up."""
+        coupling_map = TOPOLOGIES["corral"]
+        circuit = quantum_volume_circuit(10, seed=3)
+        cold, cold_props = _route(circuit, coupling_map, seed=3)
+
+        properties = PropertySet()
+        DenseLayout(coupling_map).run(circuit, properties)
+        DAGCircuit.shared(circuit, properties)  # prebuild
+        warm = SabreRouting(coupling_map, seed=3).run(circuit, properties)
+        assert _signature(warm) == _signature(cold)
+        assert properties["routing_swaps"] == cold_props["routing_swaps"]
