@@ -243,6 +243,41 @@ class DAGCircuit:
             }
         )
 
+    def qubit_activity(self) -> np.ndarray:
+        """Per-qubit two-qubit-gate participation counts (read-only int64).
+
+        ``qubit_activity()[q]`` equals the sum over
+        :meth:`two_qubit_interactions` entries containing ``q`` — the
+        ranking signal of the layout passes, without building a Counter.
+        Cached on the DAG, which is immutable.
+        """
+        if getattr(self, "_qubit_activity", None) is None:
+            pairs = self._qubit_pairs[self._is_two_qubit]
+            activity = np.bincount(
+                pairs.ravel(), minlength=self._num_qubits
+            ).astype(np.int64)
+            activity.setflags(write=False)
+            self._qubit_activity = activity
+        return self._qubit_activity
+
+    def interaction_matrix(self) -> np.ndarray:
+        """Symmetric (n, n) matrix of unordered-pair interaction counts.
+
+        The dense form of :meth:`two_qubit_interactions`, consumed by the
+        vectorized layout scorers (one gather per candidate row instead of
+        a dict walk).  Cached on the DAG, read-only.
+        """
+        if getattr(self, "_interaction_matrix", None) is None:
+            n = self._num_qubits
+            matrix = np.zeros((n, n), dtype=np.int64)
+            pairs = self._qubit_pairs[self._is_two_qubit]
+            if len(pairs):
+                np.add.at(matrix, (pairs[:, 0], pairs[:, 1]), 1)
+                matrix = matrix + matrix.T
+            matrix.setflags(write=False)
+            self._interaction_matrix = matrix
+        return self._interaction_matrix
+
     # -- analysis -----------------------------------------------------------
 
     def longest_path_length(

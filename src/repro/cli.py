@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
     python -m repro reliability QuantumVolume 12   # wall-clock reliability ranking
     python -m repro qasm GHZ 8                # export a workload as OpenQASM 2
     python -m repro run QuantumVolume 12 --topology corral-1-1 --basis sqiswap --level 2
+    python -m repro cache gc --cache-dir .repro-cache --max-bytes 100000000
 
 Every sub-command prints a text report; ``--csv PATH`` additionally writes
 the raw data for external plotting.  Experiment commands accept
@@ -64,6 +65,9 @@ from repro.qasm import circuit_to_qasm
 from repro.runtime import (
     ExperimentRunner,
     PersistentResultCache,
+    cache_dir_from_env,
+    collect_garbage,
+    max_bytes_from_env,
     resolve_result_cache,
 )
 from repro.snailsim import render_ascii_chevron
@@ -223,6 +227,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qasm.add_argument("--basis", default="siswap")
     qasm.add_argument("--scale", choices=("small", "large"), default="small")
+
+    cache = commands.add_parser(
+        "cache", help="inspect or garbage-collect a shared result-cache directory"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_commands.add_parser(
+        "gc", help="evict records by total-size and/or age budget, oldest first"
+    )
+    cache_gc.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory to collect (REPRO_CACHE_DIR sets the default)",
+    )
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="keep at most this many bytes of records "
+        "(REPRO_CACHE_MAX_BYTES sets the default)",
+    )
+    cache_gc.add_argument(
+        "--max-age-hours",
+        type=float,
+        default=None,
+        help="evict records older than this many hours",
+    )
+    cache_info = cache_commands.add_parser(
+        "info", help="report the record count and total size of a cache directory"
+    )
+    cache_info.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory to inspect (REPRO_CACHE_DIR sets the default)",
+    )
 
     run = commands.add_parser("run", help="transpile one workload on one design point")
     run.add_argument("workload", choices=available_workloads())
@@ -390,6 +428,31 @@ def _command_qasm(args: argparse.Namespace) -> str:
     return circuit_to_qasm(circuit)
 
 
+def _command_cache(args: argparse.Namespace) -> str:
+    directory = args.cache_dir if args.cache_dir is not None else cache_dir_from_env()
+    if directory is None:
+        raise SystemExit(
+            "repro cache: no cache directory given (use --cache-dir or REPRO_CACHE_DIR)"
+        )
+    if args.cache_command == "info":
+        # A policy-free, sweep-free garbage-collection pass is a pure scan;
+        # its report carries exactly the record count and byte totals.
+        report = collect_garbage(directory, sweep_tmp=False)
+        return (
+            f"result cache [{directory}]: "
+            f"{report.kept} records, {report.kept_bytes} bytes"
+        )
+    max_bytes = args.max_bytes if args.max_bytes is not None else max_bytes_from_env()
+    max_age = None if args.max_age_hours is None else args.max_age_hours * 3600.0
+    if max_bytes is None and max_age is None:
+        raise SystemExit(
+            "repro cache gc: provide --max-bytes and/or --max-age-hours "
+            "(REPRO_CACHE_MAX_BYTES sets a default budget)"
+        )
+    report = collect_garbage(directory, max_bytes=max_bytes, max_age_seconds=max_age)
+    return f"cache gc [{directory}]: {report.describe()}"
+
+
 def _command_run(args: argparse.Namespace) -> str:
     target = Target.from_names(
         args.topology, args.basis, scale=args.scale, name=f"{args.topology}-{args.basis}"
@@ -421,6 +484,7 @@ _COMMANDS = {
     "schedule": _command_schedule,
     "reliability": _command_reliability,
     "qasm": _command_qasm,
+    "cache": _command_cache,
     "run": _command_run,
 }
 

@@ -33,9 +33,13 @@ select the defaults process-wide.
 from repro.runtime.cache import ResultCache, backend_cache_key, point_cache_key
 from repro.runtime.disk_cache import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
+    GCReport,
     PersistentResultCache,
     cache_dir_from_env,
+    collect_garbage,
     key_digest,
+    max_bytes_from_env,
     resolve_result_cache,
 )
 from repro.runtime.runner import (
@@ -53,9 +57,13 @@ __all__ = [
     "backend_cache_key",
     "point_cache_key",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "GCReport",
     "PersistentResultCache",
     "cache_dir_from_env",
+    "collect_garbage",
     "key_digest",
+    "max_bytes_from_env",
     "resolve_result_cache",
     "PARALLEL_ENV",
     "WORKERS_ENV",

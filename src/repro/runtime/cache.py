@@ -105,6 +105,25 @@ class ResultCache:
         """Store a result (metrics are copied before storage)."""
         self._lru.put(key, self._copy(record))
 
+    def peek_memory(self, key: Hashable) -> Optional[object]:
+        """Memory-tier-only lookup.
+
+        For the plain in-process cache this *is* :meth:`get`; a disk-backed
+        subclass overrides :meth:`get` to fall through to disk but keeps
+        this memory-only probe, which the experiment runner uses when pool
+        workers will consult the disk tier themselves (the parent then
+        skips the serial decompress-per-record walk).
+        """
+        return ResultCache.get(self, key)
+
+    def put_local(self, key: Hashable, record) -> None:
+        """Memory-tier-only store (no persistence side effects).
+
+        Used for results a worker process already persisted: the parent
+        only needs its LRU warmed, not a second disk write.
+        """
+        ResultCache.put(self, key, record)
+
     def clear(self) -> None:
         """Drop all cached results."""
         self._lru.clear()

@@ -28,16 +28,23 @@ import pickle
 import struct
 import tempfile
 import time
+import warnings
 import zlib
+from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
-from typing import Hashable, Optional, Union
+from typing import AbstractSet, Dict, Hashable, Optional, Set, Union
 
 from repro.linalg.cache import CacheStats
 from repro.runtime.cache import ResultCache
 
 #: Environment variable selecting a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the cache directory size (bytes); when a
+#: persistent cache is resolved with this set, records are garbage
+#: collected oldest-first down to the budget before the run starts.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: File magic + format version; bumping it invalidates old records safely
 #: (they simply read as misses).
@@ -61,6 +68,109 @@ def key_digest(key: Hashable) -> str:
     return sha256(repr(key).encode("utf-8")).hexdigest()
 
 
+def max_bytes_from_env() -> Optional[int]:
+    """The ``REPRO_CACHE_MAX_BYTES`` budget, or ``None`` when unset/invalid."""
+    value = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if not value:
+        return None
+    try:
+        budget = int(value)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {CACHE_MAX_BYTES_ENV}={value!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return budget if budget >= 0 else None
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one garbage-collection pass over a cache directory."""
+
+    scanned: int  #: record files examined
+    removed: int  #: record files deleted
+    reclaimed_bytes: int  #: total size of the deleted records
+    kept: int  #: record files surviving the pass
+    kept_bytes: int  #: total size of the surviving records
+    protected: int  #: records exempted (written during the current run)
+
+    def describe(self) -> str:
+        """One human-readable status line (the CLI ``cache gc`` output)."""
+        return (
+            f"removed {self.removed}/{self.scanned} records "
+            f"({self.reclaimed_bytes} bytes reclaimed), "
+            f"{self.kept} kept ({self.kept_bytes} bytes)"
+            + (f", {self.protected} protected" if self.protected else "")
+        )
+
+
+def collect_garbage(
+    cache_dir: Union[str, Path],
+    max_bytes: Optional[int] = None,
+    max_age_seconds: Optional[float] = None,
+    protected: AbstractSet[str] = frozenset(),
+    now: Optional[float] = None,
+    sweep_tmp: bool = True,
+) -> GCReport:
+    """Evict cache records by age and total size, oldest first.
+
+    Eviction never errors a reader: a GC'd record simply reads as a miss
+    and is recomputed.  ``protected`` names record files (``<digest>.rpc``)
+    that must survive regardless of policy — the persistent cache passes
+    the records written during the current run.  Stale temp files (crashed
+    writers) are swept as a side effect unless ``sweep_tmp`` is False
+    (read-only inspection must not race a slow live writer's staging
+    file).  Missing-directory and per-file ``OSError`` (a concurrent GC
+    or writer) are tolerated silently.
+    """
+    directory = Path(cache_dir)
+    now = time.time() if now is None else float(now)
+    if sweep_tmp:
+        for path in directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < now - PersistentResultCache._STALE_TMP_SECONDS:
+                    path.unlink()
+            except OSError:
+                pass
+    records = []
+    for path in directory.glob("*.rpc"):
+        try:
+            status = path.stat()
+        except OSError:
+            continue
+        records.append((status.st_mtime, path.name, status.st_size, path))
+    records.sort()  # oldest first; name breaks mtime ties deterministically
+    scanned = len(records)
+    protected_count = sum(1 for _, name, _, _ in records if name in protected)
+    removed = 0
+    reclaimed = 0
+    total = sum(size for _, _, size, _ in records)
+    for mtime, name, size, path in records:
+        if name in protected:
+            continue
+        expired = max_age_seconds is not None and now - mtime > max_age_seconds
+        oversize = max_bytes is not None and total > max_bytes
+        if not (expired or oversize):
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        reclaimed += size
+        total -= size
+    return GCReport(
+        scanned=scanned,
+        removed=removed,
+        reclaimed_bytes=reclaimed,
+        kept=scanned - removed,
+        kept_bytes=total,
+        protected=protected_count,
+    )
+
+
 class PersistentResultCache(ResultCache):
     """A :class:`ResultCache` whose records survive the process.
 
@@ -75,13 +185,27 @@ class PersistentResultCache(ResultCache):
     #: concurrent writer's live staging file and is left alone.
     _STALE_TMP_SECONDS = 3600.0
 
-    def __init__(self, cache_dir: Union[str, Path], maxsize: int = 8192):
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        maxsize: int = 8192,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ):
         super().__init__(maxsize=maxsize)
         self._dir = Path(cache_dir)
         self._dir.mkdir(parents=True, exist_ok=True)
+        self._maxsize = int(maxsize)
+        self._max_bytes = max_bytes
+        self._max_age_seconds = max_age_seconds
         self._disk_hits = 0
         self._disk_misses = 0
+        #: Record files written by *this* instance — i.e. during the
+        #: current run — which garbage collection must never evict.
+        self._written: Set[str] = set()
         self._sweep_stale_temp_files()
+        if max_bytes is not None or max_age_seconds is not None:
+            self.gc()
 
     def _sweep_stale_temp_files(self) -> None:
         cutoff = time.time() - self._STALE_TMP_SECONDS
@@ -143,6 +267,7 @@ class PersistentResultCache(ResultCache):
                 except OSError:
                     pass
                 raise
+            self._written.add(path.name)
         except Exception:
             # Unpicklable record, read-only directory, full disk, ...: the
             # memory tier still serves this entry; persistence is best-effort.
@@ -155,6 +280,16 @@ class PersistentResultCache(ResultCache):
         record = super().get(key)
         if record is not None:
             return record
+        return self.probe_disk(key)
+
+    def probe_disk(self, key: Hashable) -> Optional[object]:
+        """Disk-tier-only lookup (promoting hits into the LRU).
+
+        Counter semantics match the fall-through half of :meth:`get`, so a
+        :meth:`~repro.runtime.cache.ResultCache.peek_memory` followed by a
+        ``probe_disk`` counts exactly like one full ``get`` — the sequence
+        the experiment runner performs around worker dispatch.
+        """
         payload = self._read(self._path(key))
         if payload is None:
             self._disk_misses += 1
@@ -169,6 +304,15 @@ class PersistentResultCache(ResultCache):
         # pickling never mutates the record, so no defensive copy is needed
         # on the write path (the LRU already holds its own private copy).
         self._write(self._path(key), record)
+
+    def put_local(self, key: Hashable, record) -> None:
+        """Memory-only store for a record a *worker* already persisted.
+
+        The worker wrote the file, but the write belongs to the current
+        run all the same — register it so :meth:`gc` cannot evict it.
+        """
+        super().put_local(key, record)
+        self._written.add(self._path(key).name)
 
     def clear(self) -> None:
         """Drop the memory tier and every record file in the directory."""
@@ -198,21 +342,83 @@ class PersistentResultCache(ResultCache):
         """Number of record files currently on disk."""
         return sum(1 for _ in self._dir.glob("*.rpc"))
 
+    def disk_bytes(self) -> int:
+        """Total size of the record files currently on disk."""
+        total = 0
+        for path in self._dir.glob("*.rpc"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    # -- garbage collection ----------------------------------------------------
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> GCReport:
+        """Evict old records by the instance (or overriding) policy.
+
+        Records written during the current run (by this instance) are
+        always kept — a sweep must never evict its own fresh results out
+        from under a rerun.  Runs automatically at construction when a
+        policy was configured, so long-lived cache directories stay
+        bounded without a separate maintenance step.
+        """
+        return collect_garbage(
+            self._dir,
+            max_bytes=self._max_bytes if max_bytes is None else max_bytes,
+            max_age_seconds=(
+                self._max_age_seconds if max_age_seconds is None else max_age_seconds
+            ),
+            protected=frozenset(self._written),
+        )
+
+    # -- worker-pool sharing ---------------------------------------------------
+
+    def worker_spec(self) -> Dict[str, object]:
+        """Constructor arguments for a worker-process twin of this cache.
+
+        Workers share the directory but never a GC policy: eviction is the
+        parent's job, and a worker evicting mid-run could drop records the
+        parent just counted on.
+        """
+        return {"cache_dir": str(self._dir), "maxsize": self._maxsize}
+
+    def note_worker_hit(self, key: Hashable, record) -> None:
+        """Account a lookup a pool worker served from the shared disk tier.
+
+        The parent deliberately probed only its memory tier before
+        dispatching (see :meth:`~repro.runtime.cache.ResultCache.
+        peek_memory`), so the worker's disk hit is credited here — keeping
+        the ``computed == misses - disk_hits`` invariant of
+        :class:`~repro.linalg.cache.CacheStats` intact — and the record is
+        promoted into the parent's LRU.
+        """
+        self._disk_hits += 1
+        self._lru.put(key, self._copy(record))
+
 
 def resolve_result_cache(
     cache_dir: Optional[Union[str, Path]] = None,
     no_cache: bool = False,
     maxsize: int = 8192,
+    max_bytes: Optional[int] = None,
 ) -> Optional[ResultCache]:
     """Build the result cache a runtime entry point should use.
 
     ``no_cache`` wins over everything; an explicit ``cache_dir`` (or the
     ``REPRO_CACHE_DIR`` environment default) selects the persistent cache;
-    otherwise the plain in-process LRU is returned.
+    otherwise the plain in-process LRU is returned.  ``max_bytes`` (or the
+    ``REPRO_CACHE_MAX_BYTES`` default) bounds a long-lived cache directory:
+    the persistent cache garbage-collects down to the budget on startup.
     """
     if no_cache:
         return None
     directory = cache_dir if cache_dir is not None else cache_dir_from_env()
     if directory is not None:
-        return PersistentResultCache(directory, maxsize=maxsize)
+        budget = max_bytes if max_bytes is not None else max_bytes_from_env()
+        return PersistentResultCache(directory, maxsize=maxsize, max_bytes=budget)
     return ResultCache(maxsize=maxsize)

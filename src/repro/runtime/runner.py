@@ -72,6 +72,55 @@ def point_seed(base_seed: int, *parts: Any) -> int:
     return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
 
 
+# -- worker-side shared disk cache --------------------------------------------
+#
+# When the runner's result cache is disk-backed, every pool worker opens its
+# own cache instance over the same directory (atomic record writes make
+# concurrent writers safe).  Workers then consult and populate the shared
+# tier directly: a warm parallel rerun fans the record decompression out
+# across the pool instead of serialising it in the parent, and a record
+# computed by one worker is visible to every other process immediately.
+
+#: Per-worker-process cache instance, set by the pool initializer.
+_WORKER_CACHE: Optional[Any] = None
+
+#: Result tags of one dispatched task (the first tuple element returned by
+#: :func:`_call_with_worker_cache` and the serial twin):
+#: ``computed`` — parent must store the value in both tiers;
+#: ``stored`` — worker computed *and* persisted it (parent warms its LRU);
+#: ``shared`` — worker served it from the shared cache (a worker disk hit);
+#: ``cached`` — the parent's own cache served it during serial execution.
+TASK_COMPUTED = "computed"
+TASK_STORED = "stored"
+TASK_SHARED = "shared"
+TASK_CACHED = "cached"
+
+
+def _init_worker_cache(spec: dict) -> None:
+    """Pool initializer: open this worker's view of the shared cache dir."""
+    global _WORKER_CACHE
+    from repro.runtime.disk_cache import PersistentResultCache
+
+    try:
+        _WORKER_CACHE = PersistentResultCache(**spec)
+    except Exception:  # pragma: no cover - unwritable dir in a worker
+        _WORKER_CACHE = None
+
+
+def _call_with_worker_cache(fn: Callable[..., Any], key: Hashable, task: Tuple):
+    """Run one task inside a worker, consulting the shared cache first."""
+    cache = _WORKER_CACHE
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return (TASK_SHARED, cached)
+    value = fn(*task)
+    if cache is None:
+        return (TASK_COMPUTED, value)
+    cache.put(key, value)
+    return (TASK_STORED, value)
+
+
 class ExperimentRunner:
     """Fans independent experiment tasks out over a process pool.
 
@@ -181,12 +230,18 @@ class ExperimentRunner:
         if labels is not None and len(labels) != len(tasks):
             raise ValueError("labels must align one-to-one with tasks")
 
+        cache = self._result_cache
+        share = self._shares_cache_with_workers(keys, len(tasks))
         results: List[Any] = [None] * len(tasks)
         pending: List[int] = []
         for index in range(len(tasks)):
             cached = None
-            if self._result_cache is not None and keys is not None:
-                cached = self._result_cache.get(keys[index])
+            if cache is not None and keys is not None:
+                # When workers will consult the shared disk tier themselves,
+                # the parent probes only its memory LRU: the per-record
+                # decompression then fans out across the pool instead of
+                # running serially here.
+                cached = cache.peek_memory(keys[index]) if share else cache.get(keys[index])
             if cached is not None:
                 results[index] = cached
             else:
@@ -194,13 +249,21 @@ class ExperimentRunner:
 
         if pending:
             pending_labels = None if labels is None else [labels[i] for i in pending]
-            computed = self._execute(
-                [tasks[i] for i in pending], fn, pending_labels, progress
+            pending_keys = [keys[i] for i in pending] if share else None
+            outcomes = self._execute(
+                [tasks[i] for i in pending], fn, pending_labels, progress, pending_keys
             )
-            for index, value in zip(pending, computed):
+            for index, (outcome, value) in zip(pending, outcomes):
                 results[index] = value
-                if self._result_cache is not None and keys is not None:
-                    self._result_cache.put(keys[index], value)
+                if cache is not None and keys is not None:
+                    if outcome == TASK_SHARED:
+                        cache.note_worker_hit(keys[index], value)
+                    elif outcome == TASK_STORED:
+                        cache.put_local(keys[index], value)
+                    elif outcome == TASK_COMPUTED:
+                        cache.put(keys[index], value)
+                    # TASK_CACHED: the parent cache served (and counted) it
+                    # during serial execution; nothing left to record.
         return results
 
     # -- internals ----------------------------------------------------------
@@ -214,45 +277,88 @@ class ExperimentRunner:
         if progress is not None and labels is not None:
             progress(labels[position])
 
+    def _shares_cache_with_workers(
+        self, keys: Optional[Sequence[Hashable]], task_count: int
+    ) -> bool:
+        """True when dispatched tasks should consult the disk cache in-worker.
+
+        Requires a disk-backed cache (anything exposing ``worker_spec``)
+        and a ``map`` call that will actually fan out.
+        """
+        if keys is None or getattr(self._result_cache, "worker_spec", None) is None:
+            return False
+        return (
+            self._parallel
+            and task_count > 1
+            and min(self._max_workers, task_count) > 1
+        )
+
+    def _create_pool(self) -> ProcessPoolExecutor:
+        """Build the worker pool, wiring up the shared cache dir if any."""
+        spec = getattr(self._result_cache, "worker_spec", None)
+        if spec is not None:
+            return ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_init_worker_cache,
+                initargs=(spec(),),
+            )
+        return ProcessPoolExecutor(max_workers=self._max_workers)
+
     def _execute(
         self,
         tasks: Sequence[Tuple],
         fn: Callable[..., Any],
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
-    ) -> List[Any]:
+        keys: Optional[Sequence[Hashable]] = None,
+    ) -> List[Tuple[str, Any]]:
+        """Run the pending tasks, returning ``(outcome, value)`` pairs.
+
+        ``keys`` is only passed when the parent skipped its own disk probe
+        in favour of worker-side lookups; the serial twin then probes the
+        parent cache's disk tier itself so a pool failure never recomputes
+        a record that is already on disk.
+        """
         workers = min(self._max_workers, len(tasks))
         if not self._parallel or workers <= 1 or len(tasks) <= 1:
-            return self._execute_serial(tasks, fn, labels, progress)
+            return self._execute_serial(tasks, fn, labels, progress, keys)
         # Only pool-infrastructure failures fall back to the serial twin:
         # pool/worker creation (no fork or POSIX semaphores in restricted
         # sandboxes) and a broken pool at collection time.  Exceptions
         # raised by the task function itself propagate unchanged.
         try:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+                self._pool = self._create_pool()
             pool = self._pool
         except (OSError, PermissionError, ImportError) as error:
-            return self._serial_fallback(tasks, fn, labels, progress, error)
+            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
         futures = []
         try:
             for position, task in enumerate(tasks):
                 self._announce(progress, labels, position)
-                futures.append(pool.submit(fn, *task))
+                if keys is not None:
+                    futures.append(
+                        pool.submit(_call_with_worker_cache, fn, keys[position], task)
+                    )
+                else:
+                    futures.append(pool.submit(fn, *task))
         except (OSError, PermissionError, ImportError) as error:
             self._discard_pool(wait=False)
-            return self._serial_fallback(tasks, fn, labels, progress, error)
+            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
         try:
-            return [future.result() for future in futures]
+            collected = [future.result() for future in futures]
         except BrokenProcessPool as error:
             self._discard_pool(wait=False)
-            return self._serial_fallback(tasks, fn, labels, progress, error)
+            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
         except BaseException:
             # A task raised (or the caller interrupted): stop the pending
             # work so stragglers don't keep burning CPU, keep the pool.
             for future in futures:
                 future.cancel()
             raise
+        if keys is not None:
+            return collected
+        return [(TASK_COMPUTED, value) for value in collected]
 
     def _serial_fallback(
         self,
@@ -260,14 +366,15 @@ class ExperimentRunner:
         fn: Callable[..., Any],
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
+        keys: Optional[Sequence[Hashable]],
         error: BaseException,
-    ) -> List[Any]:
+    ) -> List[Tuple[str, Any]]:
         warnings.warn(
             f"process pool unavailable ({error}); running serially",
             RuntimeWarning,
             stacklevel=3,
         )
-        return self._execute_serial(tasks, fn, labels, progress)
+        return self._execute_serial(tasks, fn, labels, progress, keys)
 
     def _execute_serial(
         self,
@@ -275,11 +382,20 @@ class ExperimentRunner:
         fn: Callable[..., Any],
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
-    ) -> List[Any]:
-        results = []
+        keys: Optional[Sequence[Hashable]] = None,
+    ) -> List[Tuple[str, Any]]:
+        results: List[Tuple[str, Any]] = []
         for position, task in enumerate(tasks):
             self._announce(progress, labels, position)
-            results.append(fn(*task))
+            if keys is not None:
+                # The parent only peeked its memory tier before dispatch;
+                # finish the lookup against the disk tier here (counter
+                # semantics identical to a full fall-through get()).
+                cached = self._result_cache.probe_disk(keys[position])
+                if cached is not None:
+                    results.append((TASK_CACHED, cached))
+                    continue
+            results.append((TASK_COMPUTED, fn(*task)))
         return results
 
 

@@ -9,7 +9,7 @@ average distance, average connectivity).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -70,6 +70,7 @@ class CouplingMap:
         self._adjacency: Optional[np.ndarray] = None
         self._neighbor_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._edge_index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._densest_cache: Dict[Tuple[int, str], List[int]] = {}
 
     # -- constructors --------------------------------------------------------
 
@@ -275,17 +276,81 @@ class CouplingMap:
         ]
         return CouplingMap(edges, num_qubits=len(qubits), name=name or f"{self._name}_sub")
 
-    def densest_subset(self, size: int) -> List[int]:
+    def densest_subset(self, size: int, engine: str = "vector") -> List[int]:
         """Greedy densest connected subset of ``size`` qubits.
 
         Used by the dense layout pass: starting from the highest-degree
         qubit, repeatedly add the frontier qubit with the most neighbours
         already inside the subset.
+
+        ``engine="vector"`` grows every candidate subset with incremental
+        NumPy inside-neighbour counters over :meth:`adjacency_matrix`;
+        ``engine="reference"`` is the original per-candidate Python loop.
+        Both engines select bit-identical subsets (the greedy tie-break key
+        ends in ``-q``, so every choice is unique); results are memoized
+        per ``(size, engine)`` — the subset for a device is a pure function
+        of its topology, and one sweep asks for the same few sizes
+        thousands of times.
         """
+        if engine not in ("vector", "reference"):
+            raise ValueError(f"unknown engine {engine!r}; engines are ('vector', 'reference')")
         if size > self._num_qubits:
             raise ValueError("requested subset larger than the device")
         if size == self._num_qubits:
             return list(range(self._num_qubits))
+        cached = self._densest_cache.get((size, engine))
+        if cached is not None:
+            return list(cached)
+        if engine == "vector":
+            subset = self._densest_subset_vector(size)
+        else:
+            subset = self._densest_subset_reference(size)
+        self._densest_cache[(size, engine)] = subset
+        return list(subset)
+
+    def _densest_subset_vector(self, size: int) -> List[int]:
+        """Vectorized greedy growth: one argmax over the frontier per step.
+
+        The greedy choice maximises ``(inside_neighbours, degree, -q)``;
+        the three integer keys are packed into a single int64 score so the
+        whole frontier is compared in one reduction.
+        """
+        n = self._num_qubits
+        adjacency = self.adjacency_matrix().astype(np.int64)
+        degrees = adjacency.sum(axis=1)
+        seeds = np.argsort(-degrees, kind="stable")[: max(4, n // 8)]
+        # Pack (inside, degree, n - q) lexicographically; every component
+        # is bounded by n, so base n + 1 keeps the packing collision-free.
+        base = np.int64(n + 1)
+        degree_and_index = degrees * base + (np.int64(n) - np.arange(n, dtype=np.int64))
+        best_subset: Optional[np.ndarray] = None
+        best_internal = -1
+        for seed in seeds:
+            in_subset = np.zeros(n, dtype=bool)
+            inside = np.zeros(n, dtype=np.int64)
+            in_subset[seed] = True
+            inside += adjacency[seed]
+            internal = 0
+            for _ in range(size - 1):
+                frontier = np.flatnonzero((inside > 0) & ~in_subset)
+                if not len(frontier):
+                    remaining = np.flatnonzero(~in_subset)
+                    if not len(remaining):
+                        break
+                    frontier = remaining[:1]
+                scores = inside[frontier] * (base * base) + degree_and_index[frontier]
+                choice = int(frontier[np.argmax(scores)])
+                internal += int(inside[choice])
+                in_subset[choice] = True
+                inside += adjacency[choice]
+            if internal > best_internal:
+                best_internal = internal
+                best_subset = np.flatnonzero(in_subset)
+        assert best_subset is not None
+        return [int(q) for q in best_subset]
+
+    def _densest_subset_reference(self, size: int) -> List[int]:
+        """The original per-candidate Python-loop growth (parity oracle)."""
         best_subset: List[int] = []
         best_internal = -1
         degrees = dict(self._graph.degree())

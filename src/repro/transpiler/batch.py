@@ -95,6 +95,8 @@ def transpile_batch(
     runner: Optional[object] = None,
     progress: Optional[callable] = None,
     cache_dir: Optional[str] = None,
+    parallel: bool = False,
+    workers: Optional[int] = None,
 ) -> List[TranspileResult]:
     """Transpile every circuit onto ``target``, in input order.
 
@@ -107,29 +109,37 @@ def transpile_batch(
             circuit.
         runner: optional :class:`repro.runtime.ExperimentRunner`; when
             given, compilations fan out over its process pool and repeated
-            points hit its result cache.  ``None`` runs serially (still
-            correct, just sequential).
+            points hit its result cache.  ``None`` builds a private runner
+            from ``parallel`` / ``workers`` / ``cache_dir`` (serial by
+            default) and shuts it down afterwards.
         progress: optional callable invoked with a status string per
             circuit.
         cache_dir: directory for a disk-backed result cache shared across
             processes (only used when ``runner`` is ``None``; a provided
             runner brings its own cache).  ``REPRO_CACHE_DIR`` supplies a
-            default.
+            default.  With ``parallel=True`` the cache dir is plumbed into
+            every pool worker, which consults and populates it directly.
+        parallel / workers: fan the batch out over a process pool when no
+            ``runner`` is given (ignored otherwise).
 
     Returns:
         One :class:`TranspileResult` per circuit, aligned with the input.
     """
     target = Target.from_backend(target)
     circuits = list(circuits)
+    owns_runner = False
     if runner is None:
         # Imported lazily: the runtime package builds on core, which builds
         # on this package, so a module-level import would be cyclic.
         from repro.runtime.disk_cache import cache_dir_from_env, resolve_result_cache
-        from repro.runtime.runner import serial_runner
+        from repro.runtime.runner import ExperimentRunner
 
         directory = cache_dir if cache_dir is not None else cache_dir_from_env()
         cache = resolve_result_cache(directory) if directory is not None else None
-        runner = serial_runner(result_cache=cache)
+        runner = ExperimentRunner(
+            parallel=parallel, max_workers=workers, result_cache=cache
+        )
+        owns_runner = True
     tasks = [
         (
             circuit,
@@ -157,4 +167,10 @@ def transpile_batch(
             for circuit in circuits
         ]
     labels = [f"{circuit.name} on {target.name}" for circuit in circuits]
-    return runner.map(_transpile_task, tasks, keys=keys, labels=labels, progress=progress)
+    try:
+        return runner.map(
+            _transpile_task, tasks, keys=keys, labels=labels, progress=progress
+        )
+    finally:
+        if owns_runner:
+            runner.close()

@@ -7,6 +7,16 @@ and an interaction-aware greedy layout are also provided for ablation.
 
 Layout passes are *analysis* passes: they do not change the circuit, they
 only record ``properties["layout"]``.
+
+Hot path: like the routers, the layout scorers run on NumPy arrays — the
+cached :meth:`~repro.topology.coupling.CouplingMap.adjacency_matrix` /
+:meth:`~repro.topology.coupling.CouplingMap.distance_matrix` and the
+shared DAG's interaction counts (:meth:`~repro.circuits.dag.DAGCircuit.
+qubit_activity` / :meth:`~repro.circuits.dag.DAGCircuit.
+interaction_matrix`) — instead of per-candidate Python loops.  The
+original scorers survive as ``engine="reference"`` and select
+bit-identical layouts (pinned by
+``tests/transpiler/test_layout_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -20,6 +30,14 @@ from repro.circuits.dag import DAGCircuit
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
 from repro.transpiler.passmanager import PropertySet, TranspilerPass
+
+_ENGINES = ("vector", "reference")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; engines are {_ENGINES}")
+    return engine
 
 
 class TrivialLayout(TranspilerPass):
@@ -52,8 +70,9 @@ class DenseLayout(TranspilerPass):
 
     name = "dense_layout"
 
-    def __init__(self, coupling_map: CouplingMap):
+    def __init__(self, coupling_map: CouplingMap, engine: str = "vector"):
         self._coupling_map = coupling_map
+        self._engine = _check_engine(engine)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         device = self._coupling_map
@@ -62,17 +81,45 @@ class DenseLayout(TranspilerPass):
                 f"circuit needs {circuit.num_qubits} qubits but the device has "
                 f"{device.num_qubits}"
             )
-        subset = device.densest_subset(circuit.num_qubits)
-        # Rank physical qubits by connectivity *within* the chosen subset.
+        if self._engine == "vector":
+            layout = self._select_vector(circuit, properties)
+        else:
+            layout = self._select_reference(circuit, properties)
+        properties["layout"] = layout
+        properties["coupling_map"] = device
+        return circuit
+
+    def _select_vector(self, circuit: QuantumCircuit, properties: PropertySet) -> Layout:
+        """Subset growth, connectivity ranking and activity ranking on arrays."""
+        device = self._coupling_map
+        subset = np.asarray(device.densest_subset(circuit.num_qubits), dtype=np.int64)
+        # Rank physical qubits by connectivity *within* the chosen subset:
+        # row sums of the induced adjacency submatrix, sorted by
+        # (-degree, qubit) — `subset` is ascending, so a stable lexsort on
+        # the negated degrees reproduces the reference tuple sort exactly.
+        adjacency = device.adjacency_matrix()
+        internal_degree = adjacency[np.ix_(subset, subset)].sum(axis=1)
+        physical_ranked = subset[np.lexsort((subset, -internal_degree))]
+        # Rank virtual qubits by 2Q activity from the shared DAG (reused by
+        # the routing stage instead of being rebuilt).
+        activity = DAGCircuit.shared(circuit, properties).qubit_activity()
+        activity = activity[: circuit.num_qubits]
+        virtual_indices = np.arange(circuit.num_qubits, dtype=np.int64)
+        virtual_ranked = virtual_indices[np.lexsort((virtual_indices, -activity))]
+        return Layout(
+            {int(virtual): int(physical) for virtual, physical in zip(virtual_ranked, physical_ranked)}
+        )
+
+    def _select_reference(self, circuit: QuantumCircuit, properties: PropertySet) -> Layout:
+        """The pre-vectorization scorer (Python loops), kept as parity oracle."""
+        device = self._coupling_map
+        subset = device.densest_subset(circuit.num_qubits, engine="reference")
         subset_set = set(subset)
         internal_degree = {
             qubit: sum(1 for nb in device.neighbors(qubit) if nb in subset_set)
             for qubit in subset
         }
         physical_ranked = sorted(subset, key=lambda q: (-internal_degree[q], q))
-        # Rank virtual qubits by how often they participate in 2Q gates.
-        # The interaction counts come from the shared DAG, so the DAG built
-        # here is reused by the routing stage instead of being rebuilt.
         activity: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
         interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
         for pair, count in interactions.items():
@@ -81,12 +128,9 @@ class DenseLayout(TranspilerPass):
         virtual_ranked = sorted(
             range(circuit.num_qubits), key=lambda q: (-activity[q], q)
         )
-        layout = Layout(
+        return Layout(
             {virtual: physical for virtual, physical in zip(virtual_ranked, physical_ranked)}
         )
-        properties["layout"] = layout
-        properties["coupling_map"] = device
-        return circuit
 
 
 class InteractionGraphLayout(TranspilerPass):
@@ -99,14 +143,68 @@ class InteractionGraphLayout(TranspilerPass):
 
     name = "interaction_layout"
 
-    def __init__(self, coupling_map: CouplingMap, seed: int = 0):
+    def __init__(self, coupling_map: CouplingMap, seed: int = 0, engine: str = "vector"):
         self._coupling_map = coupling_map
         self._seed = seed
+        self._engine = _check_engine(engine)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         device = self._coupling_map
         if circuit.num_qubits > device.num_qubits:
             raise ValueError("circuit does not fit on the device")
+        if self._engine == "vector":
+            placement = self._place_vector(circuit, properties)
+        else:
+            placement = self._place_reference(circuit, properties)
+        properties["layout"] = Layout(placement)
+        properties["coupling_map"] = device
+        return circuit
+
+    def _place_vector(
+        self, circuit: QuantumCircuit, properties: PropertySet
+    ) -> Dict[int, int]:
+        """Score all free seats for each placement in one gather/matmul.
+
+        Cost sums are exact integer arithmetic (identical to the reference
+        regardless of summation order) and the per-seat jitter draws the
+        same RNG stream the reference consumes inside ``min`` — iteration
+        over the reference's ``free`` set of qubit indices is ascending,
+        matching ``np.flatnonzero`` — so placements are bit-identical.
+        """
+        device = self._coupling_map
+        n_virtual = circuit.num_qubits
+        rng = np.random.default_rng(self._seed)
+        distance = device.distance_matrix().astype(np.int64)
+        weights = DAGCircuit.shared(circuit, properties).interaction_matrix()
+        weights = weights[:n_virtual, :n_virtual]
+        totals = weights.sum(axis=1)
+        order = np.argsort(-totals, kind="stable")
+        free_mask = np.ones(device.num_qubits, dtype=bool)
+        seat_of_virtual = np.full(n_virtual, -1, dtype=np.int64)
+        placed: list = []
+        placement: Dict[int, int] = {}
+        for virtual in order:
+            free = np.flatnonzero(free_mask)
+            jitter = rng.uniform(0, 1e-6, size=len(free))
+            partner_counts = weights[virtual, placed] if placed else np.empty(0, np.int64)
+            if not partner_counts.any():
+                # Seed unconnected (or first) qubits near the device centre.
+                cost = distance[np.ix_(free, free)].sum(axis=1)
+            else:
+                seats = seat_of_virtual[placed]
+                cost = distance[np.ix_(free, seats)] @ partner_counts
+            choice = int(free[np.argmin(cost.astype(np.float64) + jitter)])
+            placement[int(virtual)] = choice
+            seat_of_virtual[virtual] = choice
+            placed.append(int(virtual))
+            free_mask[choice] = False
+        return placement
+
+    def _place_reference(
+        self, circuit: QuantumCircuit, properties: PropertySet
+    ) -> Dict[int, int]:
+        """The pre-vectorization placer (Python loops), kept as parity oracle."""
+        device = self._coupling_map
         rng = np.random.default_rng(self._seed)
         distance = device.distance_matrix()
         interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
@@ -144,6 +242,4 @@ class InteractionGraphLayout(TranspilerPass):
                 )
                 placement[virtual] = best
             free.remove(placement[virtual])
-        properties["layout"] = Layout(placement)
-        properties["coupling_map"] = device
-        return circuit
+        return placement

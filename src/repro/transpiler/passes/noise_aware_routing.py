@@ -84,14 +84,14 @@ class NoiseAwareLayout(TranspilerPass):
             for qubit in subset
         }
         physical_ranked = sorted(subset, key=lambda q: (-quality[q], q))
-        activity = {q: 0 for q in range(circuit.num_qubits)}
-        interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
-        for pair, count in interactions.items():
-            activity[pair[0]] += count
-            activity[pair[1]] += count
-        virtual_ranked = sorted(range(circuit.num_qubits), key=lambda q: (-activity[q], q))
+        # Activity ranking from the shared DAG's precomputed count array
+        # (same integers the dense/interaction layouts consume, same
+        # (-activity, q) order as the old Counter walk).
+        activity = DAGCircuit.shared(circuit, properties).qubit_activity()
+        virtual_indices = np.arange(circuit.num_qubits, dtype=np.int64)
+        virtual_ranked = virtual_indices[np.lexsort((virtual_indices, -activity))]
         properties["layout"] = Layout(
-            {virtual: physical for virtual, physical in zip(virtual_ranked, physical_ranked)}
+            {int(virtual): int(physical) for virtual, physical in zip(virtual_ranked, physical_ranked)}
         )
         properties["coupling_map"] = device
         properties["noise_model"] = noise_model

@@ -15,23 +15,33 @@ that it can be used as a drop-in ``layout_method`` in
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import networkx as nx
 from networkx.algorithms import isomorphism
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DAGCircuit
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
 from repro.transpiler.passmanager import PropertySet, TranspilerPass
 from repro.transpiler.passes.layout_passes import DenseLayout
 
 
-def interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
-    """The circuit's two-qubit interaction graph (edge weight = gate count)."""
+def interaction_graph(
+    circuit: QuantumCircuit,
+    interactions: Optional[Mapping[Tuple[int, int], int]] = None,
+) -> nx.Graph:
+    """The circuit's two-qubit interaction graph (edge weight = gate count).
+
+    ``interactions`` lets callers that already hold the counts (e.g. from a
+    shared :class:`~repro.circuits.dag.DAGCircuit`) skip the circuit walk.
+    """
     graph = nx.Graph()
     graph.add_nodes_from(range(circuit.num_qubits))
-    for (a, b), count in circuit.two_qubit_interactions().items():
+    if interactions is None:
+        interactions = circuit.two_qubit_interactions()
+    for (a, b), count in interactions.items():
         graph.add_edge(a, b, weight=count)
     return graph
 
@@ -66,7 +76,7 @@ class VF2Layout(TranspilerPass):
                 f"circuit needs {circuit.num_qubits} qubits but the device has "
                 f"{device.num_qubits}"
             )
-        mapping = self._find_embedding(circuit)
+        mapping = self._find_embedding(circuit, properties)
         if mapping is not None:
             properties["layout"] = Layout(mapping)
             properties["coupling_map"] = device
@@ -83,9 +93,18 @@ class VF2Layout(TranspilerPass):
 
     # -- embedding search ----------------------------------------------------
 
-    def _find_embedding(self, circuit: QuantumCircuit) -> Optional[Dict[int, int]]:
+    def _find_embedding(
+        self, circuit: QuantumCircuit, properties: Optional[PropertySet] = None
+    ) -> Optional[Dict[int, int]]:
         """Virtual -> physical mapping realising every interaction edge, or None."""
-        pattern = interaction_graph(circuit)
+        if properties is not None:
+            # The interaction counts come off the shared DAG, so the DAG
+            # built here is reused by the fallback layout and the routing
+            # stage instead of walking the circuit again.
+            interactions = DAGCircuit.shared(circuit, properties).two_qubit_interactions()
+        else:
+            interactions = None
+        pattern = interaction_graph(circuit, interactions)
         if pattern.number_of_edges() == 0:
             # Any assignment works; keep it trivial.
             return {v: v for v in range(circuit.num_qubits)}

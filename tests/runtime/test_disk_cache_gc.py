@@ -1,0 +1,180 @@
+"""Garbage collection of the disk-backed result cache.
+
+Policies: ``max_age_seconds`` evicts expired records, ``max_bytes`` evicts
+oldest-first down to the budget.  Two invariants matter more than the
+policies themselves: records written during the *current run* are never
+evicted out from under the sweep that produced them, and a GC'd record
+degrades to a clean miss (recompute-and-heal), never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import (
+    CACHE_MAX_BYTES_ENV,
+    PersistentResultCache,
+    collect_garbage,
+    max_bytes_from_env,
+    resolve_result_cache,
+)
+
+
+def _backdate(path, seconds: float) -> None:
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def _fill(cache_dir, keys, payload="x" * 200):
+    """Write records through a throwaway instance (a *previous* run)."""
+    cache = PersistentResultCache(cache_dir)
+    for key in keys:
+        cache.put(key, {"key": key, "payload": payload})
+    return sorted(cache_dir.glob("*.rpc"), key=lambda p: p.name)
+
+
+class TestAgePolicy:
+    def test_expired_records_removed_fresh_kept(self, tmp_path):
+        old_key, new_key = "old", "new"
+        _fill(tmp_path, [old_key, new_key])
+        old_path = PersistentResultCache(tmp_path)._path(old_key)
+        _backdate(old_path, 7200)
+        report = collect_garbage(tmp_path, max_age_seconds=3600)
+        assert report.removed == 1
+        assert not old_path.exists()
+        assert PersistentResultCache(tmp_path).get(new_key) is not None
+
+    def test_no_policy_removes_nothing(self, tmp_path):
+        _fill(tmp_path, ["a", "b"])
+        report = collect_garbage(tmp_path)
+        assert report.removed == 0
+        assert report.kept == 2
+        assert report.kept_bytes > 0
+
+
+class TestSizePolicy:
+    def test_evicts_oldest_first_down_to_budget(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        for index, key in enumerate(("first", "second", "third")):
+            cache.put(key, {"payload": "x" * 300, "key": key})
+            _backdate(cache._path(key), 300 - 100 * index)
+        sizes = {key: cache._path(key).stat().st_size for key in ("first", "second", "third")}
+        budget = sizes["third"] + sizes["second"]
+        report = collect_garbage(tmp_path, max_bytes=budget)
+        assert report.removed == 1
+        assert not cache._path("first").exists()  # oldest evicted
+        fresh = PersistentResultCache(tmp_path)
+        assert fresh.get("second") is not None
+        assert fresh.get("third") is not None
+
+    def test_zero_budget_clears_unprotected_directory(self, tmp_path):
+        _fill(tmp_path, ["a", "b", "c"])
+        report = collect_garbage(tmp_path, max_bytes=0)
+        assert report.removed == 3
+        assert report.kept == 0
+        assert list(tmp_path.glob("*.rpc")) == []
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        report = collect_garbage(tmp_path / "never-created", max_bytes=0)
+        assert report.scanned == 0 and report.removed == 0
+
+
+class TestCurrentRunProtection:
+    def test_gc_never_evicts_records_written_this_run(self, tmp_path):
+        stale_paths = _fill(tmp_path, ["stale-1", "stale-2"])
+        for path in stale_paths:
+            _backdate(path, 7200)
+        cache = PersistentResultCache(tmp_path)
+        cache.put("fresh", {"payload": "y" * 500})
+        report = cache.gc(max_bytes=0, max_age_seconds=1)
+        assert report.protected == 1
+        assert report.removed == 2
+        assert cache._path("fresh").exists()
+        assert PersistentResultCache(tmp_path).get("fresh") is not None
+
+    def test_constructor_policy_runs_gc_before_any_write(self, tmp_path):
+        for path in _fill(tmp_path, ["stale-1", "stale-2", "stale-3"]):
+            _backdate(path, 7200)
+        cache = PersistentResultCache(tmp_path, max_bytes=0)
+        assert cache.disk_entries() == 0
+        # ... and the bound instance still works normally afterwards.
+        cache.put("fresh", {"value": 1})
+        assert cache.disk_entries() == 1
+
+    def test_worker_stored_records_are_protected_too(self, tmp_path):
+        """A record persisted by a pool worker counts as written this run."""
+        worker_twin = PersistentResultCache(tmp_path)
+        worker_twin.put("worker-key", {"value": 7})  # the worker's disk write
+        parent = PersistentResultCache(tmp_path)
+        parent.put_local("worker-key", {"value": 7})  # the parent's absorb step
+        report = parent.gc(max_bytes=0)
+        assert report.protected == 1
+        assert report.removed == 0
+        assert PersistentResultCache(tmp_path).get("worker-key") == {"value": 7}
+
+    def test_gcd_entry_is_a_miss_then_heals(self, tmp_path):
+        writer = PersistentResultCache(tmp_path)
+        writer.put("key", {"value": 41})
+        # A *different* run's GC may evict it (no protection across runs).
+        collect_garbage(tmp_path, max_bytes=0)
+        reader = PersistentResultCache(tmp_path)
+        assert reader.get("key") is None  # clean miss, not an error
+        stats = reader.stats()
+        assert stats.disk_misses == 1
+        reader.put("key", {"value": 42})  # recompute heals the slot
+        assert PersistentResultCache(tmp_path).get("key") == {"value": 42}
+
+
+class TestResolutionAndEnv:
+    def test_env_budget_applies_on_resolution(self, tmp_path, monkeypatch):
+        for path in _fill(tmp_path, ["a", "b"]):
+            _backdate(path, 60)
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
+        assert max_bytes_from_env() == 0
+        cache = resolve_result_cache(cache_dir=tmp_path)
+        assert cache.disk_entries() == 0
+
+    def test_invalid_env_budget_ignored_with_warning(self, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "lots")
+        with pytest.warns(RuntimeWarning):
+            assert max_bytes_from_env() is None
+
+
+class TestCliCacheCommands:
+    def test_cache_gc_verb(self, tmp_path, capsys):
+        for path in _fill(tmp_path, ["a", "b"]):
+            _backdate(path, 7200)
+        code = main(
+            ["cache", "gc", "--cache-dir", str(tmp_path), "--max-age-hours", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 2/2 records" in out
+        assert list(tmp_path.glob("*.rpc")) == []
+
+    def test_cache_info_verb(self, tmp_path, capsys):
+        _fill(tmp_path, ["a", "b", "c"])
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "3 records" in capsys.readouterr().out
+
+    def test_cache_info_is_read_only(self, tmp_path):
+        """Inspection must not unlink even hour-stale writer staging files."""
+        _fill(tmp_path, ["a"])
+        staging = tmp_path / "deadbeef0000.tmp"
+        staging.write_bytes(b"slow writer's live staging file")
+        _backdate(staging, 7200)
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert staging.exists()
+
+    def test_cache_gc_requires_a_policy(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--cache-dir", str(tmp_path)])
+
+    def test_cache_gc_requires_a_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--max-bytes", "0"])

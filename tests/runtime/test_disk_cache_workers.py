@@ -1,0 +1,151 @@
+"""Pool workers sharing one disk-backed result cache directory.
+
+PR 4 left workers blind to the persistent cache: only the parent process
+consulted it, so a parallel run re-transpiled everything a previous run
+had already paid for unless the parent pre-served it.  These tests pin the
+closed loop: the cache dir is plumbed into every worker (pool
+initializer), workers consult *and* populate the shared tier directly,
+concurrent writers never corrupt or lose records, and the parent's
+:class:`~repro.linalg.cache.CacheStats` stays internally consistent
+(``hits + misses`` lookups, ``computed == misses - disk_hits``).
+
+The stress test tolerates sandboxes without process pools: the runner's
+serial twin consults the same disk tier, so every assertion below holds
+either way (a RuntimeWarning marks the fallback).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.runtime import ExperimentRunner, PersistentResultCache
+from repro.runtime.runner import _call_with_worker_cache, _init_worker_cache
+
+
+def _weigh(token: str, repeats: int):
+    """Cheap deterministic task: value depends only on the arguments."""
+    return {"token": token, "weight": sum(ord(ch) for ch in token) * repeats}
+
+
+def _run_hammer(cache_dir, tasks, keys, max_workers=4):
+    runner = ExperimentRunner(
+        parallel=True,
+        max_workers=max_workers,
+        result_cache=PersistentResultCache(cache_dir),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with runner:
+            results = runner.map(_weigh, tasks, keys=keys)
+    return results, runner.result_cache
+
+
+class TestWorkerSharedCache:
+    def _grid(self, copies):
+        """``copies`` interleaved repetitions of 8 unique points."""
+        unique = [(f"point-{i}", i + 1) for i in range(8)]
+        tasks = unique * copies
+        keys = [("weigh", token, repeats) for token, repeats in tasks]
+        return tasks, keys, unique
+
+    def test_concurrent_writers_no_lost_or_corrupt_records(self, tmp_path):
+        tasks, keys, unique = self._grid(copies=3)
+        results, cache = _run_hammer(tmp_path, tasks, keys)
+        assert results == [_weigh(*task) for task in tasks]
+        # No lost writes: every unique point has a record file on disk.
+        assert cache.disk_entries() == len(unique)
+        # No corrupt records: a fresh instance (a "new process") reads all.
+        fresh = PersistentResultCache(tmp_path)
+        for key, task in zip(keys[: len(unique)], tasks[: len(unique)]):
+            assert fresh.get(key) == _weigh(*task)
+
+    def test_cache_stats_sum_consistently(self, tmp_path):
+        tasks, keys, _ = self._grid(copies=3)
+        _, cache = _run_hammer(tmp_path, tasks, keys)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == len(tasks)
+        assert stats.computed == stats.misses - stats.disk_hits
+        assert stats.hits + stats.disk_hits + stats.computed == len(tasks)
+        assert stats.computed >= 1  # somebody did the cold work
+
+    def test_parallel_warm_rerun_computes_nothing(self, tmp_path):
+        tasks, keys, unique = self._grid(copies=1)
+        _run_hammer(tmp_path, tasks, keys)
+        # A fresh runner over the same directory models a rerun: its memory
+        # LRU starts empty, so every point must come off the shared disk
+        # tier (through the workers), not be recomputed.
+        results, cache = _run_hammer(tmp_path, tasks, keys)
+        assert results == [_weigh(*task) for task in tasks]
+        stats = cache.stats()
+        assert stats.computed == 0
+        assert stats.disk_hits == len(unique)
+
+    def test_second_map_in_same_runner_hits_parent_memory(self, tmp_path):
+        tasks, keys, _ = self._grid(copies=1)
+        runner = ExperimentRunner(
+            parallel=True,
+            max_workers=4,
+            result_cache=PersistentResultCache(tmp_path),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with runner:
+                runner.map(_weigh, tasks, keys=keys)
+                before = runner.result_cache.stats()
+                runner.map(_weigh, tasks, keys=keys)
+        after = runner.result_cache.stats()
+        # The first map warmed the parent LRU (promotion of worker results),
+        # so the repeat is pure memory hits: no new misses, nothing computed.
+        assert after.hits == before.hits + len(tasks)
+        assert after.misses == before.misses
+        assert after.computed == before.computed
+
+    def test_serial_runner_unchanged_by_sharing_machinery(self, tmp_path):
+        """A serial runner must keep the PR-4 parent-side disk behaviour."""
+        tasks, keys, unique = self._grid(copies=1)
+        runner = ExperimentRunner(
+            parallel=False, result_cache=PersistentResultCache(tmp_path)
+        )
+        first = runner.map(_weigh, tasks, keys=keys)
+        rerun_cache = PersistentResultCache(tmp_path)
+        rerun = ExperimentRunner(parallel=False, result_cache=rerun_cache)
+        assert rerun.map(_weigh, tasks, keys=keys) == first
+        stats = rerun_cache.stats()
+        assert stats.computed == 0
+        assert stats.disk_hits == len(unique)
+
+
+class TestWorkerCacheInternals:
+    def test_initializer_and_wrapper_round_trip(self, tmp_path):
+        """The worker-side path, driven in-process for determinism."""
+        import repro.runtime.runner as runner_module
+
+        _init_worker_cache({"cache_dir": str(tmp_path), "maxsize": 64})
+        try:
+            outcome, value = _call_with_worker_cache(_weigh, ("k", 1), ("token", 2))
+            assert (outcome, value) == ("stored", _weigh("token", 2))
+            outcome, value = _call_with_worker_cache(_weigh, ("k", 1), ("token", 2))
+            assert (outcome, value) == ("shared", _weigh("token", 2))
+        finally:
+            runner_module._WORKER_CACHE = None
+
+    def test_wrapper_without_cache_reports_computed(self):
+        import repro.runtime.runner as runner_module
+
+        assert runner_module._WORKER_CACHE is None
+        outcome, value = _call_with_worker_cache(_weigh, ("k", 2), ("token", 3))
+        assert (outcome, value) == ("computed", _weigh("token", 3))
+
+    def test_worker_spec_never_carries_gc_policy(self, tmp_path):
+        cache = PersistentResultCache(tmp_path, maxsize=32, max_bytes=10_000)
+        spec = cache.worker_spec()
+        assert spec == {"cache_dir": str(tmp_path), "maxsize": 32}
+
+    def test_note_worker_hit_promotes_and_counts(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache.peek_memory("key")  # one memory miss, as before dispatch
+        cache.note_worker_hit("key", {"value": 1})
+        stats = cache.stats()
+        assert stats.disk_hits == 1
+        assert stats.computed == 0
+        assert cache.peek_memory("key") == {"value": 1}  # promoted into LRU

@@ -1,0 +1,212 @@
+"""Equivalence of the vectorized layout scorers and the legacy reference.
+
+Mirror of ``test_routing_vectorized.py`` for the layout stage: the
+vectorized engines of :class:`DenseLayout` and
+:class:`InteractionGraphLayout` (and the vectorized
+``CouplingMap.densest_subset`` they build on) must select *bit-identical*
+layouts to the pre-vectorization Python-loop scorers, pinned at fixed
+seeds across the paper's topology families — including the downstream
+routing result, which consumes the layout.
+"""
+
+import pytest
+
+from repro.circuits.dag import SHARED_DAG_PROPERTY, DAGCircuit
+from repro.topology import CouplingMap, corral_topology, square_lattice
+from repro.transpiler import (
+    DenseLayout,
+    InteractionGraphLayout,
+    PropertySet,
+    SabreRouting,
+)
+from repro.transpiler.passes.vf2_layout import VF2Layout
+from repro.workloads import ghz_circuit, qaoa_vanilla_circuit, quantum_volume_circuit
+
+TOPOLOGIES = {
+    "corral": corral_topology(8, (1, 1)),
+    "lattice": square_lattice(4, 4),
+    "line": CouplingMap.line(12),
+    "ring": CouplingMap.ring(14),
+}
+
+
+def _layout(pass_cls, coupling_map, circuit, engine, **options):
+    properties = PropertySet()
+    pass_cls(coupling_map, engine=engine, **options).run(circuit, properties)
+    return properties["layout"], properties
+
+
+class TestDenseLayoutEngineParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_identical_layout_qv(self, topology, seed):
+        coupling_map = TOPOLOGIES[topology]
+        circuit = quantum_volume_circuit(min(10, coupling_map.num_qubits), seed=seed)
+        vector, _ = _layout(DenseLayout, coupling_map, circuit, "vector")
+        reference, _ = _layout(DenseLayout, coupling_map, circuit, "reference")
+        assert vector == reference
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_identical_layout_qaoa(self, seed):
+        coupling_map = TOPOLOGIES["lattice"]
+        circuit = qaoa_vanilla_circuit(12, seed=seed)
+        vector, _ = _layout(DenseLayout, coupling_map, circuit, "vector")
+        reference, _ = _layout(DenseLayout, coupling_map, circuit, "reference")
+        assert vector == reference
+
+    def test_identical_layout_without_two_qubit_gates(self):
+        from repro.circuits import QuantumCircuit
+        from repro.gates import HGate
+
+        circuit = QuantumCircuit(5)
+        for qubit in range(5):
+            circuit.append(HGate(), (qubit,))
+        coupling_map = TOPOLOGIES["corral"]
+        vector, _ = _layout(DenseLayout, coupling_map, circuit, "vector")
+        reference, _ = _layout(DenseLayout, coupling_map, circuit, "reference")
+        assert vector == reference
+
+    @pytest.mark.parametrize("topology", ["corral", "lattice"])
+    def test_downstream_routing_identical(self, topology):
+        """The engines must agree all the way through the routed circuit."""
+        coupling_map = TOPOLOGIES[topology]
+        circuit = quantum_volume_circuit(10, seed=5)
+        outputs = {}
+        for engine in ("vector", "reference"):
+            _, properties = _layout(DenseLayout, coupling_map, circuit, engine)
+            routed = SabreRouting(coupling_map, seed=5).run(circuit, properties)
+            outputs[engine] = (
+                [(inst.name, inst.qubits, inst.induced) for inst in routed],
+                properties["routing_swaps"],
+            )
+        assert outputs["vector"] == outputs["reference"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            DenseLayout(TOPOLOGIES["line"], engine="turbo")
+
+
+class TestInteractionLayoutEngineParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_identical_layout_qv(self, topology, seed):
+        coupling_map = TOPOLOGIES[topology]
+        circuit = quantum_volume_circuit(min(10, coupling_map.num_qubits), seed=seed)
+        vector, _ = _layout(
+            InteractionGraphLayout, coupling_map, circuit, "vector", seed=seed
+        )
+        reference, _ = _layout(
+            InteractionGraphLayout, coupling_map, circuit, "reference", seed=seed
+        )
+        assert vector == reference
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_identical_layout_sparse_interactions(self, seed):
+        """GHZ interacts only along a chain: exercises the centre branch."""
+        coupling_map = TOPOLOGIES["lattice"]
+        circuit = ghz_circuit(9)
+        vector, _ = _layout(
+            InteractionGraphLayout, coupling_map, circuit, "vector", seed=seed
+        )
+        reference, _ = _layout(
+            InteractionGraphLayout, coupling_map, circuit, "reference", seed=seed
+        )
+        assert vector == reference
+
+    def test_idle_qubits_placed_identically(self):
+        """Qubits with no interactions at all take the centre branch."""
+        from repro.circuits import QuantumCircuit
+        from repro.gates import CXGate
+
+        circuit = QuantumCircuit(6)
+        circuit.append(CXGate(), (0, 1))  # qubits 2..5 stay idle
+        coupling_map = TOPOLOGIES["lattice"]
+        vector, _ = _layout(InteractionGraphLayout, coupling_map, circuit, "vector")
+        reference, _ = _layout(
+            InteractionGraphLayout, coupling_map, circuit, "reference"
+        )
+        assert vector == reference
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            InteractionGraphLayout(TOPOLOGIES["line"], engine="fast")
+
+
+class TestDensestSubsetEngines:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_engines_agree_for_every_size(self, topology):
+        coupling_map = TOPOLOGIES[topology]
+        for size in range(1, coupling_map.num_qubits + 1):
+            assert coupling_map.densest_subset(size, engine="vector") == (
+                coupling_map.densest_subset(size, engine="reference")
+            )
+
+    def test_memoized_subset_is_copied(self):
+        coupling_map = CouplingMap.line(8)
+        first = coupling_map.densest_subset(4)
+        first.append(99)  # mutating the returned list must not poison the cache
+        assert 99 not in coupling_map.densest_subset(4)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            TOPOLOGIES["line"].densest_subset(3, engine="warp")
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap.line(4).densest_subset(5)
+
+    def test_disconnected_graph_backfills(self):
+        """Two components: the greedy growth falls back to unplaced qubits."""
+        coupling_map = CouplingMap([(0, 1), (2, 3)], num_qubits=4)
+        for size in (2, 3):
+            assert coupling_map.densest_subset(size, engine="vector") == (
+                coupling_map.densest_subset(size, engine="reference")
+            )
+
+
+class TestSharedDagReuse:
+    def _count_dag_builds(self, monkeypatch):
+        builds = []
+        original = DAGCircuit.__init__
+
+        def counting_init(self, circuit):
+            builds.append(circuit)
+            original(self, circuit)
+
+        monkeypatch.setattr(DAGCircuit, "__init__", counting_init)
+        return builds
+
+    def test_vectorized_dense_layout_and_routing_share_one_dag(self, monkeypatch):
+        builds = self._count_dag_builds(monkeypatch)
+        coupling_map = TOPOLOGIES["corral"]
+        circuit = quantum_volume_circuit(10, seed=6)
+        properties = PropertySet()
+        DenseLayout(coupling_map).run(circuit, properties)
+        SabreRouting(coupling_map, seed=6).run(circuit, properties)
+        assert len(builds) == 1
+
+    def test_vf2_layout_and_routing_share_one_dag(self, monkeypatch):
+        builds = self._count_dag_builds(monkeypatch)
+        coupling_map = TOPOLOGIES["corral"]
+        circuit = quantum_volume_circuit(6, seed=2)
+        properties = PropertySet()
+        VF2Layout(coupling_map).run(circuit, properties)
+        SabreRouting(coupling_map, seed=2).run(circuit, properties)
+        assert len(builds) == 1
+        assert SHARED_DAG_PROPERTY in properties
+
+    def test_dag_interaction_arrays_match_counter(self):
+        circuit = quantum_volume_circuit(8, seed=4)
+        dag = DAGCircuit(circuit)
+        counter = dag.two_qubit_interactions()
+        activity = dag.qubit_activity()
+        matrix = dag.interaction_matrix()
+        for qubit in range(8):
+            expected = sum(
+                count for pair, count in counter.items() if qubit in pair
+            )
+            assert activity[qubit] == expected
+        for (a, b), count in counter.items():
+            assert matrix[a, b] == count
+            assert matrix[b, a] == count
+        assert matrix.sum() == 2 * sum(counter.values())
