@@ -1,0 +1,120 @@
+"""Soak benchmark: a warm server vs. repeated one-shot CLI invocations.
+
+The headline claim of ``repro serve`` (docs/architecture.md) is that a
+resident process amortizes interpreter startup, imports and cache warmup
+across requests.  This benchmark pins it down: 8 concurrent clients each
+running a cached QuantumVolume sweep against one warm server must finish
+at least 5x faster end-to-end than 8 sequential cold ``python -m repro``
+invocations of the equivalent sweep on an equally warm disk cache.
+
+Both sides read fully cached results, so the comparison isolates the
+per-request overhead (process start + imports + cache probing for the
+CLI, one local HTTP round-trip for the server) rather than raw
+transpilation throughput.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.experiments import FIG11_TOPOLOGIES
+from repro.server import ServeClient, ServerHandle
+
+WORKLOAD = "QuantumVolume"
+SIZES = (6, 8, 10)
+SEED = 0
+CLIENTS = 8
+
+
+def _cli_invocation(cache_dir):
+    """One cold-process CLI sweep: the Fig. 11 swap study on a QV grid."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "swaps",
+        "--workloads",
+        WORKLOAD,
+        "--sizes",
+        *[str(size) for size in SIZES],
+        "--seed",
+        str(SEED),
+        "--cache-dir",
+        str(cache_dir),
+    ]
+
+
+def _server_sweep(port):
+    """The equivalent grid through ``/v1/sweep`` (same points as the CLI)."""
+    client = ServeClient(port=port, timeout=300.0)
+    result = client.sweep(
+        [WORKLOAD],
+        list(SIZES),
+        [{"topology": name, "basis": "cx"} for name in FIG11_TOPOLOGIES],
+        routing="sabre",
+        seed=SEED,
+    )
+    assert result["count"] == len(SIZES) * len(FIG11_TOPOLOGIES)
+    return result
+
+
+def test_bench_serve_soak(benchmark, emit, tmp_path):
+    cli_cache = tmp_path / "cli-cache"
+    serve_cache = tmp_path / "serve-cache"
+
+    # Warm both caches untimed: one CLI run persists the grid to disk, one
+    # server request fills the resident LRU (and the server's disk tier).
+    warmup = subprocess.run(
+        _cli_invocation(cli_cache), capture_output=True, text=True, timeout=900
+    )
+    assert warmup.returncode == 0, warmup.stderr
+
+    with ServerHandle(port=0, parallel=False, cache_dir=str(serve_cache)) as handle:
+        first = _server_sweep(handle.port)
+        assert first["cache"]["computed"] == first["count"]
+
+        # Timed: 8 sequential cold CLI processes on the warm disk cache.
+        start = time.perf_counter()
+        for _ in range(CLIENTS):
+            run = subprocess.run(
+                _cli_invocation(cli_cache), capture_output=True, text=True, timeout=900
+            )
+            assert run.returncode == 0, run.stderr
+        cli_seconds = time.perf_counter() - start
+
+        # Timed: 8 concurrent clients against the warm server.
+        def _soak():
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                return list(pool.map(_server_sweep, [handle.port] * CLIENTS))
+
+        start = time.perf_counter()
+        results = _soak()
+        serve_seconds = time.perf_counter() - start
+        benchmark.pedantic(_soak, rounds=1, iterations=1)
+
+        # Every concurrent client saw the same fully cached records.
+        for result in results:
+            assert result["records"] == first["records"]
+            assert result["cache"]["computed"] == 0
+
+        metrics = ServeClient(port=handle.port, timeout=30.0).metrics()
+        assert metrics["jobs"]["failed"] == 0
+
+    speedup = cli_seconds / max(serve_seconds, 1e-9)
+    emit(
+        benchmark,
+        f"Warm server ({CLIENTS} concurrent clients) vs {CLIENTS} cold CLI runs",
+        {
+            "grid_points": first["count"],
+            "cli_seconds": round(cli_seconds, 4),
+            "serve_seconds": round(serve_seconds, 4),
+            "speedup": round(speedup, 1),
+            "server_cache": metrics["cache"],
+        },
+    )
+    # The acceptance bar: the resident server amortizes startup at least
+    # 5x over one-shot processes doing identical fully cached work.
+    assert speedup >= 5.0

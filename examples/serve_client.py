@@ -1,0 +1,94 @@
+"""Walk-through client for a running ``repro serve`` instance.
+
+Checks health, compiles one point, then streams a small QuantumVolume
+sweep with live progress and reports the request's cache outcome.  Used
+by CI as the server smoke test: ``--expect computed`` on a cold cache,
+``--expect disk`` after a server restart on the same cache directory,
+``--expect memory`` against a warm resident cache.
+
+Run with:  python examples/serve_client.py --port 8537
+(start the server first:  repro serve --port 8537)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.server import ServeClient, ServeError
+
+
+def classify(cache) -> str:
+    """Name the dominant cache outcome of one request's stats delta."""
+    if cache is None:
+        return "uncached"
+    if cache["computed"] > 0:
+        return "computed"
+    if cache["disk_hits"] > 0:
+        return "disk"
+    return "memory"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8537)
+    parser.add_argument("--token", default=None, help="bearer token if the server requires auth")
+    parser.add_argument(
+        "--expect",
+        choices=("computed", "disk", "memory"),
+        default=None,
+        help="fail unless the sweep's cache outcome matches (CI smoke assertion)",
+    )
+    args = parser.parse_args(argv)
+
+    client = ServeClient(host=args.host, port=args.port, token=args.token, timeout=300.0)
+    if not client.wait_until_ready(timeout=30.0):
+        print(f"error: no server answering on {args.host}:{args.port}", file=sys.stderr)
+        return 2
+
+    health = client.health()
+    print(f"health: {health['status']} (uptime {health['uptime_seconds']:.1f}s, "
+          f"workers={health['workers']}, auth={'on' if health['auth'] else 'off'})")
+
+    try:
+        single = client.transpile({"workload": "GHZ", "size": 8})
+    except ServeError as error:
+        print(f"error: transpile failed: {error}", file=sys.stderr)
+        return 2
+    record = single["results"][0]
+    print(f"transpile: GHZ(8) -> {record['total_2q']} 2q gates, "
+          f"{record['total_swaps']} swaps, depth {record['depth']} "
+          f"[{classify(single['cache'])} in {single['elapsed_seconds']:.3f}s]")
+
+    def progress(event) -> None:
+        if event["type"] == "start":
+            print(f"sweep: {event['total']} points in {event['chunks']} chunks")
+        else:
+            print(f"  progress: {event['completed']}/{event['total']} "
+                  f"({event['chunk_seconds']:.3f}s)")
+
+    try:
+        sweep = client.sweep(
+            ["QuantumVolume"],
+            [6, 8, 10],
+            [{"topology": "Corral1,1", "basis": "siswap"}],
+            on_progress=progress,
+            chunk_size=1,
+        )
+    except ServeError as error:
+        print(f"error: sweep failed: {error}", file=sys.stderr)
+        return 2
+    outcome = classify(sweep["cache"])
+    print(f"sweep: {sweep['count']} records in {sweep['elapsed_seconds']:.3f}s "
+          f"[{outcome}] cache={sweep['cache']}")
+
+    if args.expect is not None and outcome != args.expect:
+        print(f"error: expected cache outcome {args.expect!r}, got {outcome!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

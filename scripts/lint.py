@@ -2,9 +2,12 @@
 """Repository lint gate.
 
 Runs ``ruff check`` (configured in ``pyproject.toml``) when ruff is
-installed — that is what CI does after ``pip install ruff``.  In offline
-environments without ruff it falls back to byte-compiling every Python
-tree, which still catches syntax errors, so the gate always has teeth and
+installed — that is what CI does after ``pip install ruff`` — plus a
+stricter docstring pass (the pydocstyle ``D1xx`` "missing docstring"
+subset) scoped to the packages whose inter-process protocols live in
+prose: ``repro.runtime`` and ``repro.server``.  In offline environments
+without ruff it falls back to byte-compiling every Python tree, which
+still catches syntax errors, so the gate always has teeth and
 ``python scripts/lint.py`` passes or fails for the same code everywhere.
 """
 
@@ -18,12 +21,30 @@ from pathlib import Path
 
 TARGETS = ("src", "tests", "benchmarks", "examples", "scripts")
 
+#: Packages where every public module/class/function/method must carry a
+#: docstring (ruff pydocstyle D100-D104 + D106; magic methods and
+#: ``__init__`` are documented via their class docstrings instead).
+DOCSTRING_TARGETS = ("src/repro/runtime", "src/repro/server")
+DOCSTRING_RULES = "D100,D101,D102,D103,D104,D106"
+
 
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     targets = [str(root / target) for target in TARGETS if (root / target).exists()]
     if shutil.which("ruff"):
-        return subprocess.call(["ruff", "check", *targets], cwd=root)
+        status = subprocess.call(["ruff", "check", *targets], cwd=root)
+        if status:
+            return status
+        return subprocess.call(
+            [
+                "ruff",
+                "check",
+                "--extend-select",
+                DOCSTRING_RULES,
+                *[str(root / target) for target in DOCSTRING_TARGETS],
+            ],
+            cwd=root,
+        )
     print("ruff not installed; falling back to a syntax-only gate", file=sys.stderr)
     ok = all(
         compileall.compile_dir(target, quiet=1, force=False) for target in targets

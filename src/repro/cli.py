@@ -15,6 +15,7 @@ Usage (after ``pip install -e .``)::
     python -m repro qasm GHZ 8                # export a workload as OpenQASM 2
     python -m repro run QuantumVolume 12 --topology corral-1-1 --basis sqiswap --level 2
     python -m repro cache gc --cache-dir .repro-cache --max-bytes 100000000
+    python -m repro serve --port 8537 --workers 4 --cache-dir .repro-cache
 
 Every sub-command prints a text report; ``--csv PATH`` additionally writes
 the raw data for external plotting.  Experiment commands accept
@@ -27,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core import (
@@ -262,6 +264,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory to inspect (REPRO_CACHE_DIR sets the default)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the persistent compilation server (warm pool + resident cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8537,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="process-pool size for the resident runner (default: CPU count "
+        "or REPRO_WORKERS)",
+    )
+    serve.add_argument(
+        "--serial",
+        action="store_true",
+        help="run the resident runner without a process pool",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the resident shared result cache "
+        "(REPRO_CACHE_DIR sets the default)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching entirely",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=64,
+        help="bound on queued requests; a full queue answers 503",
+    )
+
     run = commands.add_parser("run", help="transpile one workload on one design point")
     run.add_argument("workload", choices=available_workloads())
     run.add_argument("size", type=int)
@@ -437,9 +480,16 @@ def _command_cache(args: argparse.Namespace) -> str:
     if args.cache_command == "info":
         # A policy-free, sweep-free garbage-collection pass is a pure scan;
         # its report carries exactly the record count and byte totals.
+        resolved = Path(directory).expanduser().resolve()
         report = collect_garbage(directory, sweep_tmp=False)
+        if report.kept == 0:
+            # An empty or not-yet-created directory deserves an explicit
+            # answer (with the path actually inspected), not a bare zero
+            # report that reads like a formatting bug.
+            state = "no cache directory" if not resolved.is_dir() else "empty cache"
+            return f"result cache [{resolved}]: {state} (0 records)"
         return (
-            f"result cache [{directory}]: "
+            f"result cache [{resolved}]: "
             f"{report.kept} records, {report.kept_bytes} bytes"
         )
     max_bytes = args.max_bytes if args.max_bytes is not None else max_bytes_from_env()
@@ -451,6 +501,23 @@ def _command_cache(args: argparse.Namespace) -> str:
         )
     report = collect_garbage(directory, max_bytes=max_bytes, max_age_seconds=max_age)
     return f"cache gc [{directory}]: {report.describe()}"
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    # Imported lazily: the server pulls in asyncio machinery no other
+    # command needs, and keeping it out of module import keeps `repro run`
+    # startup unchanged.
+    from repro.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        parallel=not args.serial,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        queue_size=args.queue_size,
+    )
 
 
 def _command_run(args: argparse.Namespace) -> str:
@@ -485,6 +552,7 @@ _COMMANDS = {
     "reliability": _command_reliability,
     "qasm": _command_qasm,
     "cache": _command_cache,
+    "serve": _command_serve,
     "run": _command_run,
 }
 

@@ -6,6 +6,27 @@ is deterministic given that specification, so its metrics can be memoized.
 Repeated sweeps (a swap study followed by a headline study over the same
 grid, a CLI rerun with one extra size, a benchmark warm pass) then skip
 transpilation entirely for every point already seen in this process.
+
+Two-tier protocol
+-----------------
+
+:class:`ResultCache` is the single-tier (memory-only) base of a two-tier
+protocol shared with :class:`~repro.runtime.disk_cache.
+PersistentResultCache`.  Besides plain ``get``/``put`` it exposes the
+tier-selective hooks the experiment runner's worker-shared cache protocol
+(see :mod:`repro.runtime.runner`) is built on:
+
+* :meth:`ResultCache.peek_memory` — memory-tier-only lookup, used by the
+  parent before dispatching tasks whose workers will probe the disk tier
+  themselves;
+* :meth:`ResultCache.put_local` — memory-tier-only store, used for
+  values a worker already persisted (outcome ``"stored"``);
+* ``probe_disk`` / ``note_worker_hit`` — disk-tier counterparts that only
+  the persistent subclass implements meaningfully.
+
+For this in-memory class the memory tier *is* the whole cache, so
+``peek_memory`` behaves exactly like ``get`` and ``put_local`` exactly
+like ``put``.
 """
 
 from __future__ import annotations

@@ -17,8 +17,25 @@ content-addressed directory of compressed pickle records behind it:
   mid-write costs one cache entry, not the sweep.
 
 ``REPRO_CACHE_DIR`` (or the CLI's ``--cache-dir``) selects the directory;
-:func:`resolve_result_cache` is the single decision point the CLI and
-:func:`repro.transpiler.batch.transpile_batch` funnel through.
+:func:`resolve_result_cache` is the single decision point the CLI, the
+``repro serve`` server and :func:`repro.transpiler.batch.transpile_batch`
+funnel through.  An explicit ``--cache-dir`` always wins over
+``REPRO_CACHE_DIR``, an explicit ``max_bytes`` over
+``REPRO_CACHE_MAX_BYTES``, and ``--no-cache`` over everything (see
+``docs/architecture.md`` for the precedence table).
+
+Worker-pool sharing
+-------------------
+
+One cache directory may be shared by many processes at once: the
+experiment runner's pool workers each open their own
+:class:`PersistentResultCache` over the directory named by
+:meth:`PersistentResultCache.worker_spec` and then consult/populate the
+disk tier directly, reporting ``("computed"|"stored"|"shared"|"cached",
+value)`` outcome tuples back to the parent (the full protocol is
+documented in :mod:`repro.runtime.runner`).  Atomic record writes make
+the concurrent writers safe; GC policies deliberately do *not* propagate
+into workers — eviction is the parent's job alone.
 """
 
 from __future__ import annotations

@@ -17,6 +17,39 @@ backends) — and the runner never changes results, only wall-clock.
 *derived* per-point seeds: it is stable across processes and Python
 invocations (unlike the salted builtin ``hash``), so fan-out stays
 deterministic; no built-in driver uses it, by design.
+
+Worker-shared cache protocol
+----------------------------
+
+When the attached result cache is disk-backed (it exposes a
+``worker_spec()``), a parallel ``map`` does not funnel every lookup
+through the parent.  Instead the pool initializer opens a per-worker
+:class:`~repro.runtime.disk_cache.PersistentResultCache` over the same
+directory, the parent probes only its memory LRU before dispatch
+(:meth:`~repro.runtime.cache.ResultCache.peek_memory`), and each worker
+consults and populates the shared disk tier itself — so a warm parallel
+rerun fans the per-record decompression out across the pool and performs
+zero recomputes.  Every dispatched task reports back an
+``(outcome, value)`` tuple whose first element is one of:
+
+* ``"computed"`` — the worker had no cache; the parent stores the value
+  in both of its tiers;
+* ``"stored"`` — the worker computed the value *and* persisted it to the
+  shared directory; the parent only warms its memory LRU
+  (:meth:`~repro.runtime.cache.ResultCache.put_local`);
+* ``"shared"`` — the worker served the value from the shared disk tier;
+  the parent credits a disk hit into its own
+  :class:`~repro.linalg.cache.CacheStats`
+  (:meth:`~repro.runtime.disk_cache.PersistentResultCache.note_worker_hit`);
+* ``"cached"`` — the *parent's* cache served the value during serial
+  execution (the serial twin finishing a ``peek_memory`` with
+  :meth:`~repro.runtime.disk_cache.PersistentResultCache.probe_disk`);
+  nothing is left to record.
+
+The bookkeeping keeps the ``computed == misses - disk_hits`` invariant of
+:class:`~repro.linalg.cache.CacheStats` intact whichever process did the
+work, so cache reports are comparable between serial, parallel, cold and
+warm runs.
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Thin stdlib HTTP client for the compilation server.
+
+:class:`ServeClient` wraps :mod:`http.client` so tests, benchmarks and
+examples can talk to a running ``repro serve`` without any dependency
+beyond the standard library.  Each call opens one connection (the server
+answers with ``Connection: close``); :meth:`ServeClient.sweep` reads the
+chunked newline-delimited JSON stream incrementally and invokes an
+optional progress callback per line.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.server.app import DEFAULT_PORT
+
+
+class ServeError(Exception):
+    """A non-2xx (or in-stream error) response from the server."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServeClient:
+    """Client for one ``repro serve`` endpoint.
+
+    Args:
+        host / port: where the server listens.
+        token: bearer token matching the server's ``REPRO_SERVE_TOKEN``
+            (``None`` sends no ``Authorization`` header).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        token: Optional[str] = None,
+        timeout: float = 300.0,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._token = token
+        self._timeout = float(timeout)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _headers(self, has_body: bool) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self._token is not None:
+            headers["Authorization"] = f"Bearer {self._token}"
+        return headers
+
+    def _open(
+        self, method: str, path: str, payload: Any = None
+    ) -> http.client.HTTPResponse:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        connection.request(method, path, body=body, headers=self._headers(body is not None))
+        return connection.getresponse()
+
+    def request(self, method: str, path: str, payload: Any = None) -> Any:
+        """One non-streaming request; returns the decoded JSON body.
+
+        Raises :class:`ServeError` on any non-2xx status.
+        """
+        response = self._open(method, path, payload)
+        try:
+            data = response.read()
+        finally:
+            response.close()
+        decoded = json.loads(data.decode("utf-8")) if data else None
+        if not 200 <= response.status < 300:
+            raise ServeError(response.status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self.request("GET", "/v1/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics``."""
+        return self.request("GET", "/v1/metrics")
+
+    def transpile(self, point_or_points: Any) -> Dict[str, Any]:
+        """``POST /v1/transpile`` with one point dict or a list of them."""
+        payload = (
+            {"points": list(point_or_points)}
+            if isinstance(point_or_points, (list, tuple))
+            else dict(point_or_points)
+        )
+        return self.request("POST", "/v1/transpile", payload)
+
+    def sweep(
+        self,
+        workloads: List[str],
+        sizes: List[int],
+        targets: List[Dict[str, str]],
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/sweep``; blocks until the final result line.
+
+        ``targets`` is a list of ``{"topology": ..., "basis": ...}`` dicts;
+        ``options`` passes through ``scale`` / ``level`` / ``layout`` /
+        ``routing`` / ``seed`` / ``chunk_size``.  Every streamed line
+        (``start`` and ``progress`` types) is handed to ``on_progress``;
+        the final ``result`` line is returned.  An in-stream ``error``
+        line, a truncated stream or a non-2xx status raises
+        :class:`ServeError`.
+        """
+        payload = {
+            "workloads": list(workloads),
+            "sizes": list(sizes),
+            "targets": list(targets),
+            **options,
+        }
+        response = self._open("POST", "/v1/sweep", payload)
+        try:
+            if response.status != 200:
+                decoded = json.loads(response.read().decode("utf-8") or "null")
+                raise ServeError(response.status, decoded)
+            for line in iter(response.readline, b""):
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                kind = event.get("type")
+                if kind == "result":
+                    return event
+                if kind == "error":
+                    raise ServeError(500, event)
+                if on_progress is not None:
+                    on_progress(event)
+        finally:
+            response.close()
+        raise ServeError(500, {"error": "stream ended without a result line"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """``POST /v1/shutdown``: ask the server to drain and exit."""
+        return self.request("POST", "/v1/shutdown")
+
+    # -- convenience ---------------------------------------------------------
+
+    def wait_until_ready(self, timeout: float = 30.0, interval: float = 0.05) -> bool:
+        """Poll ``/v1/health`` until the server answers (or time runs out)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.health()
+                return True
+            except (ConnectionError, socket.error, ServeError):
+                time.sleep(interval)
+        return False

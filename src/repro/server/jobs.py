@@ -1,0 +1,372 @@
+"""Request-to-work translation for the compilation server.
+
+The HTTP layer in :mod:`repro.server.app` stays protocol-only; everything
+that understands *compilation* lives here: parsing JSON request payloads
+into validated :class:`PointSpec` grids, executing them through the
+server's resident :class:`~repro.runtime.runner.ExperimentRunner` (so the
+warm process pool and the shared result cache are reused across
+requests), and snapshotting per-request
+:class:`~repro.linalg.cache.CacheStats` deltas for the response bodies.
+
+A malformed payload raises :class:`RequestError`, which the HTTP layer
+maps onto a 4xx response; the job functions themselves run inside the
+server's single dispatcher slot, so the before/after cache snapshots they
+take are consistent without locking.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import run_point
+from repro.runtime.cache import point_cache_key
+from repro.transpiler.compile import available_levels
+from repro.transpiler.registry import available_passes
+from repro.transpiler.target import Target
+from repro.workloads import available_workloads
+
+#: Upper bound on the points of one request, so a single client cannot
+#: park an unbounded sweep in the queue's one dispatcher slot.
+MAX_POINTS_PER_REQUEST = 4096
+
+#: Streaming sweeps execute this many points per chunk by default; one
+#: progress line is emitted per chunk.
+DEFAULT_CHUNK_SIZE = 16
+
+
+class RequestError(Exception):
+    """A request payload the server must reject with a 4xx response."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise a 400 :class:`RequestError` unless ``condition`` holds."""
+    if not condition:
+        raise RequestError(message)
+
+
+def _as_int(value: Any, field: str) -> int:
+    """Coerce a JSON value to ``int``, rejecting bools and non-numbers."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{field!r} must be an integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One validated compilation point of a ``/v1/transpile`` request.
+
+    Mirrors the knobs of ``repro run`` (and of
+    :func:`repro.core.pipeline.run_point`): a workload instance, a design
+    point named by registry entries, and the transpiler configuration.
+    """
+
+    workload: str
+    size: int
+    topology: str
+    basis: str
+    scale: str = "small"
+    optimization_level: int = 1
+    layout: Optional[str] = None
+    routing: Optional[str] = None
+    seed: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "PointSpec":
+        """Validate one JSON object into a spec (raising :class:`RequestError`)."""
+        _require(isinstance(payload, dict), "each point must be a JSON object")
+        known = {
+            "workload",
+            "size",
+            "topology",
+            "basis",
+            "scale",
+            "level",
+            "layout",
+            "routing",
+            "seed",
+        }
+        unknown = sorted(set(payload) - known)
+        _require(not unknown, f"unknown point fields: {unknown}")
+        _require("workload" in payload, "point is missing 'workload'")
+        _require("size" in payload, "point is missing 'size'")
+        workload = payload["workload"]
+        _require(
+            workload in available_workloads(),
+            f"unknown workload {workload!r}; available: {available_workloads()}",
+        )
+        level = _as_int(payload.get("level", 1), "level")
+        _require(
+            level in available_levels(),
+            f"unknown optimization level {level}; available: {available_levels()}",
+        )
+        scale = payload.get("scale", "small")
+        _require(scale in ("small", "large"), "'scale' must be 'small' or 'large'")
+        for stage in ("layout", "routing"):
+            name = payload.get(stage)
+            if name is not None:
+                _require(
+                    name in available_passes(stage),
+                    f"unknown {stage} pass {name!r}; "
+                    f"available: {available_passes(stage)}",
+                )
+        size = _as_int(payload["size"], "size")
+        _require(size >= 1, "'size' must be at least 1")
+        return cls(
+            workload=workload,
+            size=size,
+            topology=str(payload.get("topology", "Corral1,1")),
+            basis=str(payload.get("basis", "siswap")),
+            scale=scale,
+            optimization_level=level,
+            layout=payload.get("layout"),
+            routing=payload.get("routing"),
+            seed=_as_int(payload.get("seed", 0), "seed"),
+        )
+
+    def resolve_target(self) -> Target:
+        """The design point this spec names (raising 400 on a bad name).
+
+        Resolution is memoized per ``(topology, basis, scale)``: building a
+        target constructs the topology graph and its distance structures,
+        which would otherwise dominate fully cached requests.  Targets are
+        treated as read-only by the pipeline, so sharing one instance
+        across requests is safe (the single dispatcher serializes jobs).
+        """
+        try:
+            return _resolve_target(self.topology, self.basis, self.scale)
+        except (ValueError, KeyError) as error:
+            raise RequestError(str(error)) from None
+
+
+@functools.lru_cache(maxsize=256)
+def _resolve_target(topology: str, basis: str, scale: str) -> Target:
+    """Build (once) the target named by registry strings."""
+    return Target.from_names(topology, basis, scale=scale, name=f"{topology}-{basis}")
+
+
+def parse_transpile_request(payload: Any) -> List[PointSpec]:
+    """Validate a ``/v1/transpile`` body (single point or ``{"points": []}``)."""
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    if "points" in payload:
+        points = payload["points"]
+        _require(isinstance(points, list) and points, "'points' must be a non-empty list")
+        _require(
+            len(points) <= MAX_POINTS_PER_REQUEST,
+            f"at most {MAX_POINTS_PER_REQUEST} points per request",
+        )
+        specs = [PointSpec.from_payload(point) for point in points]
+    else:
+        specs = [PointSpec.from_payload(payload)]
+    for spec in specs:
+        # Resolve eagerly so a bad topology/basis name is a 400 at parse
+        # time, not a 500 once the job is already on the queue.
+        spec.resolve_target()
+    return specs
+
+
+def parse_sweep_request(payload: Any) -> Tuple[List[PointSpec], int]:
+    """Validate a ``/v1/sweep`` body into a point grid plus a chunk size.
+
+    The grid is the cross product ``workloads x sizes x targets`` in
+    canonical order (the same nested-loop order as
+    :func:`repro.core.pipeline.sweep_grid`), with sizes wider than a
+    target skipped.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    known = {
+        "workloads",
+        "sizes",
+        "targets",
+        "scale",
+        "level",
+        "layout",
+        "routing",
+        "seed",
+        "chunk_size",
+    }
+    unknown = sorted(set(payload) - known)
+    _require(not unknown, f"unknown sweep fields: {unknown}")
+    for field in ("workloads", "sizes", "targets"):
+        _require(
+            isinstance(payload.get(field), list) and payload[field],
+            f"'{field}' must be a non-empty list",
+        )
+    chunk_size = _as_int(payload.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size")
+    _require(chunk_size >= 1, "'chunk_size' must be at least 1")
+    scale = payload.get("scale", "small")
+    shared = {
+        "scale": scale,
+        "level": payload.get("level", 1),
+        "layout": payload.get("layout"),
+        "routing": payload.get("routing"),
+        "seed": payload.get("seed", 0),
+    }
+    targets = []
+    for entry in payload["targets"]:
+        _require(
+            isinstance(entry, dict) and "topology" in entry,
+            "each target must be an object with at least 'topology'",
+        )
+        spec = dict(entry)
+        topology = spec.pop("topology")
+        basis = spec.pop("basis", "siswap")
+        _require(not spec, f"unknown target fields: {sorted(spec)}")
+        targets.append((str(topology), str(basis)))
+    grid: List[PointSpec] = []
+    for workload in payload["workloads"]:
+        for size in payload["sizes"]:
+            for topology, basis in targets:
+                point = PointSpec.from_payload(
+                    {
+                        "workload": workload,
+                        "size": size,
+                        "topology": topology,
+                        "basis": basis,
+                        **{k: v for k, v in shared.items() if v is not None},
+                    }
+                )
+                if point.size <= point.resolve_target().num_qubits:
+                    grid.append(point)
+    _require(bool(grid), "sweep grid is empty (every size exceeds its target)")
+    _require(
+        len(grid) <= MAX_POINTS_PER_REQUEST,
+        f"at most {MAX_POINTS_PER_REQUEST} points per request",
+    )
+    return grid, chunk_size
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def stats_snapshot(cache: Optional[Any]) -> Optional[Dict[str, int]]:
+    """The cache's counters as a JSON-ready dict (``None`` when uncached)."""
+    if cache is None:
+        return None
+    stats = cache.stats()
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "disk_hits": stats.disk_hits,
+        "disk_misses": stats.disk_misses,
+        "computed": stats.computed,
+        "currsize": stats.currsize,
+        "maxsize": stats.maxsize,
+    }
+
+
+def stats_delta(
+    before: Optional[Dict[str, int]], after: Optional[Dict[str, int]]
+) -> Optional[Dict[str, int]]:
+    """Per-request cache counters (cumulative ``after`` minus ``before``)."""
+    if before is None or after is None:
+        return None
+    delta = {
+        key: after[key] - before[key]
+        for key in ("hits", "misses", "disk_hits", "disk_misses", "computed")
+    }
+    delta["currsize"] = after["currsize"]
+    delta["maxsize"] = after["maxsize"]
+    return delta
+
+
+def execute_points(specs: Sequence[PointSpec], runner: Any) -> List[Dict[str, Any]]:
+    """Transpile every spec through the resident runner, in request order.
+
+    Tasks are dispatched exactly like :func:`repro.core.pipeline.run_sweep`
+    dispatches its grid — same task tuples, same
+    :func:`~repro.runtime.cache.point_cache_key` keys — so server requests
+    and CLI sweeps share cache records for identical points.
+    """
+    targets = [spec.resolve_target() for spec in specs]
+    tasks = [
+        (
+            spec.workload,
+            spec.size,
+            target,
+            spec.seed,
+            spec.layout,
+            spec.routing,
+            spec.optimization_level,
+        )
+        for spec, target in zip(specs, targets)
+    ]
+    keys = None
+    if runner.result_cache is not None:
+        keys = [
+            point_cache_key(
+                spec.workload,
+                spec.size,
+                target,
+                spec.seed,
+                spec.layout,
+                spec.routing,
+                spec.optimization_level,
+            )
+            for spec, target in zip(specs, targets)
+        ]
+    return [metrics.as_dict() for metrics in runner.map(run_point, tasks, keys=keys)]
+
+
+def run_transpile_job(specs: Sequence[PointSpec], runner: Any) -> Dict[str, Any]:
+    """The ``/v1/transpile`` work item: execute and package one response body."""
+    cache = runner.result_cache
+    before = stats_snapshot(cache)
+    start = time.perf_counter()
+    results = execute_points(specs, runner)
+    return {
+        "results": results,
+        "count": len(results),
+        "elapsed_seconds": round(time.perf_counter() - start, 6),
+        "cache": stats_delta(before, stats_snapshot(cache)),
+    }
+
+
+def run_sweep_job(
+    specs: Sequence[PointSpec],
+    chunk_size: int,
+    runner: Any,
+    emit: Callable[[Dict[str, Any]], None],
+) -> int:
+    """The ``/v1/sweep`` work item: execute chunk by chunk, streaming lines.
+
+    ``emit`` receives one ``{"type": "start"}`` line, one
+    ``{"type": "progress"}`` line per completed chunk and a final
+    ``{"type": "result"}`` line carrying every record plus the
+    per-request cache delta.  Returns the number of points executed.
+    """
+    cache = runner.result_cache
+    before = stats_snapshot(cache)
+    start = time.perf_counter()
+    chunks = [specs[i : i + chunk_size] for i in range(0, len(specs), chunk_size)]
+    emit({"type": "start", "total": len(specs), "chunks": len(chunks)})
+    records: List[Dict[str, Any]] = []
+    completed = 0
+    for chunk in chunks:
+        chunk_start = time.perf_counter()
+        records.extend(execute_points(chunk, runner))
+        completed += len(chunk)
+        emit(
+            {
+                "type": "progress",
+                "completed": completed,
+                "total": len(specs),
+                "chunk_seconds": round(time.perf_counter() - chunk_start, 6),
+            }
+        )
+    emit(
+        {
+            "type": "result",
+            "records": records,
+            "count": len(records),
+            "elapsed_seconds": round(time.perf_counter() - start, 6),
+            "cache": stats_delta(before, stats_snapshot(cache)),
+        }
+    )
+    return completed

@@ -1,0 +1,30 @@
+"""Fixtures for the compilation-server suite: live servers on ephemeral ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import ServeClient, ServerHandle
+
+
+@pytest.fixture(autouse=True)
+def _isolated_server_env(monkeypatch):
+    """Keep ambient cache/auth environment out of server construction."""
+    monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A serial-runner server on an ephemeral port with a tmp cache dir."""
+    with ServerHandle(
+        port=0, parallel=False, cache_dir=str(tmp_path / "serve-cache")
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(live_server):
+    """A client bound to the live server."""
+    return ServeClient(port=live_server.port, timeout=30.0)

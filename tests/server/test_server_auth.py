@@ -1,0 +1,66 @@
+"""Bearer-token authentication: rejection, acceptance, health exemption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import ReproServer, ServeClient, ServeError, ServerHandle
+
+pytestmark = pytest.mark.fast
+
+TOKEN = "sekrit-token"
+
+
+@pytest.fixture
+def auth_server():
+    with ServerHandle(port=0, parallel=False, no_cache=True, token=TOKEN) as handle:
+        yield handle
+
+
+def test_missing_token_is_401(auth_server):
+    client = ServeClient(port=auth_server.port, timeout=10.0)
+    with pytest.raises(ServeError) as excinfo:
+        client.metrics()
+    assert excinfo.value.status == 401
+    with pytest.raises(ServeError) as excinfo:
+        client.transpile({"workload": "GHZ", "size": 4})
+    assert excinfo.value.status == 401
+
+
+def test_wrong_token_is_401(auth_server):
+    client = ServeClient(port=auth_server.port, token="wrong", timeout=10.0)
+    with pytest.raises(ServeError) as excinfo:
+        client.metrics()
+    assert excinfo.value.status == 401
+
+
+def test_health_is_exempt_from_auth(auth_server):
+    client = ServeClient(port=auth_server.port, timeout=10.0)
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert payload["auth"] is True
+
+
+def test_correct_token_is_accepted(auth_server):
+    client = ServeClient(port=auth_server.port, token=TOKEN, timeout=10.0)
+    response = client.transpile({"workload": "GHZ", "size": 4})
+    assert response["count"] == 1
+    assert client.metrics()["responses"]["200"] >= 1
+
+
+def test_token_defaults_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_TOKEN", "from-env")
+    server = ReproServer(parallel=False, no_cache=True)
+    try:
+        assert server.token == "from-env"
+    finally:
+        server.runner.close()
+
+
+def test_empty_environment_token_disables_auth(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_TOKEN", "")
+    server = ReproServer(parallel=False, no_cache=True)
+    try:
+        assert server.token is None
+    finally:
+        server.runner.close()

@@ -1,0 +1,74 @@
+"""Streaming ``/v1/sweep`` behaviour: progress lines, parity, cache reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_sweep
+from repro.server import ServeError
+from repro.transpiler.target import Target
+
+pytestmark = pytest.mark.fast
+
+TARGETS = [{"topology": "Corral1,1", "basis": "siswap"}]
+
+
+def test_sweep_streams_start_progress_result(client):
+    events = []
+    result = client.sweep(
+        ["GHZ"], [4, 5, 6], TARGETS, on_progress=events.append, chunk_size=2
+    )
+    assert result["type"] == "result"
+    assert result["count"] == 3
+    assert [e["type"] for e in events] == ["start", "progress", "progress"]
+    assert events[0] == {"type": "start", "total": 3, "chunks": 2}
+    assert [e["completed"] for e in events[1:]] == [2, 3]
+    assert all(e["total"] == 3 for e in events[1:])
+    assert all(e["chunk_seconds"] >= 0 for e in events[1:])
+
+
+def test_sweep_records_match_direct_run_sweep(client):
+    result = client.sweep(["GHZ"], [4, 6], TARGETS)
+    target = Target.from_names(
+        "Corral1,1", "siswap", scale="small", name="Corral1,1-siswap"
+    )
+    direct = run_sweep(["GHZ"], [4, 6], [target])
+    assert result["records"] == [record.as_dict() for record in direct.records]
+
+
+def test_sweep_warm_repeat_is_all_hits(client):
+    cold = client.sweep(["GHZ"], [4, 5], TARGETS)
+    assert cold["cache"]["computed"] == 2
+    warm = client.sweep(["GHZ"], [4, 5], TARGETS)
+    assert warm["cache"]["computed"] == 0
+    assert warm["cache"]["hits"] == 2
+    assert warm["records"] == cold["records"]
+
+
+def test_sweep_skips_sizes_wider_than_target(client):
+    # The small Corral1,1 target has a finite qubit count; an absurd width
+    # is silently dropped from the grid, exactly like run_sweep's grid.
+    result = client.sweep(["GHZ"], [4, 10_000], TARGETS)
+    assert result["count"] == 1
+    assert result["records"][0]["circuit_qubits"] == 4
+
+
+def test_sweep_empty_grid_is_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.sweep(["GHZ"], [10_000], TARGETS)
+    assert excinfo.value.status == 400
+
+
+def test_sweep_unknown_field_is_400(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.sweep(["GHZ"], [4], TARGETS, bogus_option=1)
+    assert excinfo.value.status == 400
+
+
+def test_sweep_shares_cache_with_transpile(client):
+    client.transpile({"workload": "GHZ", "size": 6})
+    result = client.sweep(["GHZ"], [6], TARGETS)
+    # The sweep point is identical to the transpile point, so it must be
+    # served from the cache rather than recomputed.
+    assert result["cache"]["computed"] == 0
+    assert result["cache"]["hits"] == 1
