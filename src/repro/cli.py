@@ -36,6 +36,7 @@ from repro.core import (
     design_targets,
     reliability_ranking,
     run_point,
+    run_sweep_sharded,
 )
 from repro.core.reliability import format_reliability_report
 from repro.core.sensitivity import format_sensitivity_report
@@ -71,6 +72,7 @@ from repro.runtime import (
     collect_garbage,
     max_bytes_from_env,
     resolve_result_cache,
+    segment_stats,
 )
 from repro.snailsim import render_ascii_chevron
 from repro.transpiler import (
@@ -305,6 +307,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on queued requests; a full queue answers 503",
     )
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="checkpointed grid sweep: deterministic shards with --resume "
+        "recomputing only what is missing",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory for the shard manifest and per-shard record files",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an existing checkpoint (recompute only missing "
+        "shards); without it an existing checkpoint is an error",
+    )
+    sweep.add_argument(
+        "--shard-points",
+        type=_positive_int,
+        default=256,
+        help="points per shard — the granularity of crash loss and of "
+        "progress reporting (default: 256)",
+    )
+    sweep.add_argument(
+        "--workloads", nargs="*", default=("QuantumVolume", "GHZ"),
+        help="workload names (default: QuantumVolume GHZ)",
+    )
+    sweep.add_argument(
+        "--sizes", type=int, nargs="*", default=(4, 8, 12),
+        help="circuit widths (default: 4 8 12)",
+    )
+    sweep.add_argument(
+        "--topologies",
+        nargs="*",
+        default=None,
+        help="topology names (default: the scale's co-design points)",
+    )
+    sweep.add_argument("--basis", default="siswap")
+    sweep.add_argument("--scale", choices=("small", "large"), default="small")
+    sweep.add_argument(
+        "--layout",
+        choices=available_passes("layout"),
+        default=None,
+        help="layout pass (default: the level preset)",
+    )
+    sweep.add_argument(
+        "--routing",
+        choices=available_passes("routing"),
+        default=None,
+        help="routing pass (default: the level preset)",
+    )
+    sweep.add_argument(
+        "--level", type=int, choices=available_levels(), default=1
+    )
+    sweep.add_argument("--seed", type=int, default=11)
+    sweep.add_argument("--csv", default=None, help="write the sweep records to a CSV file")
+    _add_runtime_arguments(sweep)
+
     run = commands.add_parser("run", help="transpile one workload on one design point")
     run.add_argument("workload", choices=available_workloads())
     run.add_argument("size", type=int)
@@ -478,29 +538,73 @@ def _command_cache(args: argparse.Namespace) -> str:
             "repro cache: no cache directory given (use --cache-dir or REPRO_CACHE_DIR)"
         )
     if args.cache_command == "info":
-        # A policy-free, sweep-free garbage-collection pass is a pure scan;
-        # its report carries exactly the record count and byte totals.
+        # A pure read-only scan: segment_stats never rewrites, truncates or
+        # sweeps anything, so `info` is safe to run beside a live writer.
         resolved = Path(directory).expanduser().resolve()
-        report = collect_garbage(directory, sweep_tmp=False)
-        if report.kept == 0:
+        report = segment_stats(resolved) if resolved.is_dir() else None
+        if report is None or report.live_records == 0:
             # An empty or not-yet-created directory deserves an explicit
             # answer (with the path actually inspected), not a bare zero
             # report that reads like a formatting bug.
             state = "no cache directory" if not resolved.is_dir() else "empty cache"
             return f"result cache [{resolved}]: {state} (0 records)"
-        return (
-            f"result cache [{resolved}]: "
-            f"{report.kept} records, {report.kept_bytes} bytes"
-        )
+        return f"result cache [{resolved}]:\n{report.describe()}"
     max_bytes = args.max_bytes if args.max_bytes is not None else max_bytes_from_env()
     max_age = None if args.max_age_hours is None else args.max_age_hours * 3600.0
-    if max_bytes is None and max_age is None:
-        raise SystemExit(
-            "repro cache gc: provide --max-bytes and/or --max-age-hours "
-            "(REPRO_CACHE_MAX_BYTES sets a default budget)"
-        )
-    report = collect_garbage(directory, max_bytes=max_bytes, max_age_seconds=max_age)
+    # Without an eviction policy `cache gc` is still useful: it compacts
+    # dead bytes out of the segments and migrates legacy records.
+    report = collect_garbage(
+        directory, max_bytes=max_bytes, max_age_seconds=max_age, compact=True
+    )
     return f"cache gc [{directory}]: {report.describe()}"
+
+
+def _command_sweep(args: argparse.Namespace) -> str:
+    from repro.runtime.checkpoint import CheckpointMismatch
+
+    if args.topologies:
+        targets = [
+            Target.from_names(
+                name, args.basis, scale=args.scale, name=f"{name}-{args.basis}"
+            )
+            for name in args.topologies
+        ]
+    else:
+        targets = list(design_targets(args.scale).values())
+    statuses = {"restored": 0, "computed": 0}
+
+    def _shard_progress(index: int, total: int, status: str, points: int) -> None:
+        statuses[status] += 1
+        print(
+            f"shard {index + 1}/{total}: {status} ({points} points)",
+            file=sys.stderr,
+        )
+
+    try:
+        result = run_sweep_sharded(
+            args.workloads,
+            args.sizes,
+            targets,
+            checkpoint_dir=args.checkpoint_dir,
+            seed=args.seed,
+            layout_method=args.layout,
+            routing_method=args.routing,
+            optimization_level=args.level,
+            shard_points=args.shard_points,
+            resume=args.resume,
+            shard_progress=_shard_progress,
+            runner=_runner_from_args(args),
+        )
+    except CheckpointMismatch as error:
+        raise SystemExit(f"repro sweep: {error}") from error
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(sweep_to_csv(result))
+    return (
+        f"sweep complete: {len(result)} points "
+        f"({statuses['restored']} shards restored, "
+        f"{statuses['computed']} computed) [{args.checkpoint_dir}]"
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> str:
@@ -552,6 +656,7 @@ _COMMANDS = {
     "reliability": _command_reliability,
     "qasm": _command_qasm,
     "cache": _command_cache,
+    "sweep": _command_sweep,
     "serve": _command_serve,
     "run": _command_run,
 }

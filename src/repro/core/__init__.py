@@ -17,7 +17,13 @@ from repro.core.fidelity import (
     nth_root_pulse_fidelity,
 )
 from repro.core.noise import NoiseModel
-from repro.core.pipeline import SweepResult, run_point, run_sweep
+from repro.core.pipeline import (
+    SweepResult,
+    run_point,
+    run_sweep,
+    run_sweep_sharded,
+    sweep_spec_digest,
+)
 from repro.core.reliability import (
     ReliabilityEstimate,
     ReliabilityModel,
@@ -64,6 +70,8 @@ __all__ = [
     "SweepResult",
     "run_point",
     "run_sweep",
+    "run_sweep_sharded",
+    "sweep_spec_digest",
     "RootStudyResult",
     "SensitivityStudyResult",
     "format_sensitivity_report",

@@ -87,6 +87,19 @@ class NoiseModel:
         """Two-qubit gate fidelity on a physical edge."""
         return self.edge_fidelity.get(tuple(sorted((qubit_a, qubit_b))), self.default_fidelity)
 
+    def fidelity_matrix(self, coupling_map: CouplingMap) -> np.ndarray:
+        """Fidelity-weighted adjacency matrix of a device (non-edges are 0).
+
+        ``fidelity_matrix(device)[a, b]`` answers :meth:`fidelity` for
+        coupled pairs without a dict lookup — the form the vectorized
+        noise-aware layout scorer consumes.
+        """
+        n = coupling_map.num_qubits
+        matrix = np.zeros((n, n))
+        for a, b in coupling_map.edges():
+            matrix[a, b] = matrix[b, a] = self.fidelity(a, b)
+        return matrix
+
     def average_fidelity(self) -> float:
         """Mean edge fidelity (default when the map is empty)."""
         if not self.edge_fidelity:

@@ -187,3 +187,148 @@ def run_sweep(
     ):
         result.add(record)
     return result
+
+
+def sweep_spec_digest(
+    workloads: Sequence[str],
+    sizes: Sequence[int],
+    targets: Sequence,
+    seed: int,
+    layout_method: Optional[str],
+    routing_method: Optional[str],
+    optimization_level: int,
+) -> str:
+    """Content digest of a full sweep specification.
+
+    Two invocations describing the same sweep — same workloads, sizes,
+    design points (by their cache identity, which includes topology and
+    noise model), seed and transpiler configuration — digest identically
+    across processes, so a checkpoint written by one run is recognized by
+    its resume.
+    """
+    from repro.runtime import backend_cache_key, key_digest
+
+    targets = [Target.from_backend(target) for target in targets]
+    return key_digest(
+        (
+            tuple(workloads),
+            tuple(int(size) for size in sizes),
+            tuple(backend_cache_key(target) for target in targets),
+            int(seed),
+            layout_method,
+            routing_method,
+            int(optimization_level),
+        )
+    )
+
+
+def run_sweep_sharded(
+    workloads: Sequence[str],
+    sizes: Sequence[int],
+    targets: Iterable,
+    checkpoint_dir,
+    seed: int = 0,
+    layout_method: Optional[str] = None,
+    routing_method: Optional[str] = None,
+    optimization_level: int = 1,
+    shard_points: int = 256,
+    resume: bool = True,
+    progress: Optional[callable] = None,
+    shard_progress: Optional[callable] = None,
+    runner: Optional["ExperimentRunner"] = None,
+) -> SweepResult:
+    """Run a sweep as deterministic shards with checkpoint/resume.
+
+    The grid is split into contiguous shards of ``shard_points`` points
+    (canonical :func:`sweep_grid` order), each persisted to
+    ``checkpoint_dir`` the moment it completes.  A rerun over the same
+    specification recomputes only the missing shards — a crashed or
+    killed sweep resumes where it stopped, and a finished sweep replays
+    entirely from the checkpoint.  The returned :class:`SweepResult` is
+    record-for-record identical to :func:`run_sweep` over the same
+    arguments.
+
+    Args:
+        checkpoint_dir: directory for the shard manifest and shard files
+            (created if missing).
+        shard_points: points per shard — the granularity of loss on a
+            crash and of progress reporting.
+        resume: continue an existing checkpoint.  When False, an existing
+            manifest raises instead of silently recomputing or mixing —
+            pass ``resume=True`` or point at a fresh directory.
+        shard_progress: optional callable invoked as
+            ``shard_progress(index, num_shards, status, points)`` after
+            each shard, with ``status`` one of ``"restored"`` /
+            ``"computed"``.
+        (The remaining arguments match :func:`run_sweep`.)
+
+    Raises:
+        repro.runtime.checkpoint.CheckpointMismatch: the directory
+            checkpoints a different sweep, or ``resume=False`` found an
+            existing checkpoint.
+    """
+    from repro.runtime.checkpoint import CheckpointMismatch, SweepCheckpoint
+
+    targets = [Target.from_backend(target) for target in targets]
+    workloads = list(workloads)
+    sizes = list(sizes)
+    points = sweep_grid(workloads, sizes, targets)
+    digest = sweep_spec_digest(
+        workloads,
+        sizes,
+        targets,
+        seed,
+        layout_method,
+        routing_method,
+        optimization_level,
+    )
+    checkpoint = SweepCheckpoint(checkpoint_dir)
+    if not resume and checkpoint.exists():
+        raise CheckpointMismatch(
+            f"checkpoint at {checkpoint.directory} already exists; resume it "
+            "or choose a fresh directory"
+        )
+    checkpoint.initialize(digest, len(points), shard_points)
+    shard_points = checkpoint.manifest["shard_points"]
+
+    if runner is None:
+        from repro.runtime.runner import serial_runner
+
+        runner = serial_runner()
+    completed = checkpoint.completed_shards() if resume else set()
+    result = SweepResult()
+    for index in range(checkpoint.num_shards):
+        chunk = points[index * shard_points : (index + 1) * shard_points]
+        records = None
+        if index in completed:
+            records = checkpoint.load_shard(index)
+            if records is not None and len(records) != len(chunk):
+                records = None  # stale/corrupt shard: recompute it
+        status = "restored"
+        if records is None:
+            status = "computed"
+            labels = [f"{w}-{s} on {t.name}" for w, s, t in chunk]
+            tasks = [
+                (w, s, t, seed, layout_method, routing_method, optimization_level)
+                for w, s, t in chunk
+            ]
+            keys = None
+            if runner.result_cache is not None:
+                from repro.runtime.cache import point_cache_key
+
+                keys = [
+                    point_cache_key(
+                        w, s, t, seed, layout_method, routing_method,
+                        optimization_level,
+                    )
+                    for w, s, t in chunk
+                ]
+            records = runner.map(
+                run_point, tasks, keys=keys, labels=labels, progress=progress
+            )
+            checkpoint.store_shard(index, records)
+        for record in records:
+            result.add(record)
+        if shard_progress is not None:
+            shard_progress(index, checkpoint.num_shards, status, len(chunk))
+    return result

@@ -34,13 +34,17 @@ from repro.runtime.cache import ResultCache, backend_cache_key, point_cache_key
 from repro.runtime.disk_cache import (
     CACHE_DIR_ENV,
     CACHE_MAX_BYTES_ENV,
+    DEFAULT_SEGMENT_MAX_BYTES,
     GCReport,
     PersistentResultCache,
+    SegmentReport,
     cache_dir_from_env,
     collect_garbage,
+    human_bytes,
     key_digest,
     max_bytes_from_env,
     resolve_result_cache,
+    segment_stats,
 )
 from repro.runtime.runner import (
     PARALLEL_ENV,
@@ -58,13 +62,17 @@ __all__ = [
     "point_cache_key",
     "CACHE_DIR_ENV",
     "CACHE_MAX_BYTES_ENV",
+    "DEFAULT_SEGMENT_MAX_BYTES",
     "GCReport",
     "PersistentResultCache",
+    "SegmentReport",
     "cache_dir_from_env",
     "collect_garbage",
+    "human_bytes",
     "key_digest",
     "max_bytes_from_env",
     "resolve_result_cache",
+    "segment_stats",
     "PARALLEL_ENV",
     "WORKERS_ENV",
     "ExperimentRunner",

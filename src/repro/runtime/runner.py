@@ -140,6 +140,22 @@ def _init_worker_cache(spec: dict) -> None:
         _WORKER_CACHE = None
 
 
+def _init_worker(cache_spec: Optional[dict], array_specs: Optional[list]) -> None:
+    """Pool initializer: wire up the shared cache and shared arrays.
+
+    Runs once per worker *process*, and the pool outlives individual
+    ``map`` calls — so the cache handle (warm LRU + open segment index)
+    and the attached arrays stay hot across every stage a multi-stage
+    driver fans out.
+    """
+    if cache_spec is not None:
+        _init_worker_cache(cache_spec)
+    if array_specs:
+        from repro.runtime.shared import register_shared_arrays
+
+        register_shared_arrays(array_specs)
+
+
 def _call_with_worker_cache(fn: Callable[..., Any], key: Hashable, task: Tuple):
     """Run one task inside a worker, consulting the shared cache first."""
     cache = _WORKER_CACHE
@@ -186,8 +202,11 @@ class ExperimentRunner:
         self._progress = progress
         # The worker pool is created lazily on the first parallel map() and
         # reused by later calls, so multi-stage drivers pay the process
-        # spawn / interpreter import cost once per runner, not per stage.
+        # spawn / interpreter import cost once per runner, not per stage —
+        # and each worker's cache handle (warm LRU, open segment index)
+        # stays hot across stages too.
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._shared_arrays = None
 
     # -- introspection ------------------------------------------------------
 
@@ -206,12 +225,40 @@ class ExperimentRunner:
         """The attached result cache, if any."""
         return self._result_cache
 
+    @property
+    def pool_alive(self) -> bool:
+        """True while a worker pool is up (persisting across ``map`` calls)."""
+        return self._pool is not None
+
+    # -- shared read-only arrays --------------------------------------------
+
+    def share_arrays(self, arrays) -> None:
+        """Publish hot read-only arrays to the pool via shared memory.
+
+        Task functions then fetch them with
+        :func:`repro.runtime.shared.get_shared_array` instead of receiving
+        the data as a per-task (re-pickled) argument.  Works in serial
+        fallbacks too — the parent's registry serves its own copies.  An
+        already-running pool is discarded so the next ``map`` starts
+        workers that see the arrays.
+        """
+        from repro.runtime.shared import share_arrays
+
+        if self._shared_arrays is not None:
+            self._shared_arrays.close()
+        self._discard_pool(wait=True)
+        self._shared_arrays = share_arrays(arrays)
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; the runner stays usable —
-        the next parallel ``map`` simply starts a fresh pool)."""
+        """Shut the worker pool down and release any shared-memory arrays
+        (idempotent; the runner stays usable — the next parallel ``map``
+        simply starts a fresh pool)."""
         self._discard_pool(wait=True)
+        if self._shared_arrays is not None:
+            self._shared_arrays.close()
+            self._shared_arrays = None
 
     def __enter__(self) -> "ExperimentRunner":
         return self
@@ -327,15 +374,20 @@ class ExperimentRunner:
         )
 
     def _create_pool(self) -> ProcessPoolExecutor:
-        """Build the worker pool, wiring up the shared cache dir if any."""
+        """Build the worker pool, wiring up the shared cache dir and any
+        shared read-only arrays."""
         spec = getattr(self._result_cache, "worker_spec", None)
-        if spec is not None:
-            return ProcessPoolExecutor(
-                max_workers=self._max_workers,
-                initializer=_init_worker_cache,
-                initargs=(spec(),),
-            )
-        return ProcessPoolExecutor(max_workers=self._max_workers)
+        cache_spec = None if spec is None else spec()
+        array_specs = (
+            None if self._shared_arrays is None else self._shared_arrays.specs
+        )
+        if cache_spec is None and array_specs is None:
+            return ProcessPoolExecutor(max_workers=self._max_workers)
+        return ProcessPoolExecutor(
+            max_workers=self._max_workers,
+            initializer=_init_worker,
+            initargs=(cache_spec, array_specs),
+        )
 
     def _execute(
         self,

@@ -1,0 +1,221 @@
+"""Zero-copy sharing of hot read-only arrays with pool workers.
+
+Tasks dispatched over a process pool pickle their arguments per call, so
+a large read-only array referenced by every task — a distance matrix, a
+fidelity table — is re-serialized thousands of times per sweep.  This
+module provides the one-shot alternative: the parent publishes named
+arrays once (:func:`share_arrays`), the pool initializer registers the
+resulting *specs* in each worker (:func:`register_shared_arrays`), and
+task functions fetch attached views by name (:func:`get_shared_array`)
+instead of receiving the data as an argument.
+
+The transport is :mod:`multiprocessing.shared_memory` when available —
+one copy total, attached read-only by every worker — with a transparent
+fallback that embeds the array bytes in the spec (one pickled copy per
+*worker*, still amortized over all of that worker's tasks).  Callers
+never need to know which transport was used.
+
+Lifecycle: the parent owns the memory.  :class:`SharedArrayBundle.close`
+(called by :meth:`repro.runtime.runner.ExperimentRunner.close`) unlinks
+the blocks; workers only ever attach and detach.  Shared views are
+read-only by construction — a worker mutating its view would corrupt
+every sibling, so ``writeable`` is simply never granted.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import availability is platform-dependent
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable recipe a worker needs to reconstruct one shared array.
+
+    Exactly one of ``block`` (a shared-memory block name) and ``payload``
+    (pickled array bytes, the degraded transport) is set.
+    """
+
+    name: str  #: caller-chosen array name
+    shape: Tuple[int, ...]  #: array shape
+    dtype: str  #: numpy dtype string
+    block: Optional[str] = None  #: shared-memory block name
+    payload: Optional[bytes] = None  #: pickled bytes fallback
+
+
+class SharedArrayBundle:
+    """Parent-side handle over a set of published arrays.
+
+    Owns the shared-memory blocks: :meth:`close` unlinks them, after which
+    newly attaching workers fail (and existing attachments keep their
+    mapping alive until they detach — ordinary POSIX shm semantics).
+    """
+
+    def __init__(self, specs: List[SharedArraySpec], blocks: List[object]):
+        self._specs = specs
+        self._blocks = blocks
+
+    @property
+    def specs(self) -> List[SharedArraySpec]:
+        """The picklable specs to hand to the pool initializer."""
+        return self._specs
+
+    def close(self) -> None:
+        """Release (close + unlink) the parent-owned blocks; idempotent."""
+        for block in self._blocks:
+            try:
+                block.close()
+                # The create-time registration was already withdrawn (manual
+                # ownership), so re-register just before unlink to keep the
+                # tracker's unregister-on-unlink balanced.
+                _register_with_resource_tracker(block)
+                block.unlink()
+            except Exception:
+                pass
+        self._blocks = []
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Per-process registry: name -> (spec, attached array or None).
+_REGISTRY: Dict[str, List] = {}
+
+#: Shared-memory attachments held open by this process (a view into an
+#: shm block is only valid while the mapping object is alive).
+_ATTACHMENTS: List[object] = []
+
+
+def share_arrays(arrays: Mapping[str, np.ndarray]) -> SharedArrayBundle:
+    """Publish named read-only arrays for pool workers to attach.
+
+    Tries one shared-memory block per array; any failure (no ``/dev/shm``,
+    exhausted shm quota, missing module) degrades that array to the
+    pickled-bytes transport.  The parent's own registry is populated too,
+    so :func:`get_shared_array` works identically in serial fallbacks.
+    """
+    specs: List[SharedArraySpec] = []
+    blocks: List[object] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        spec = None
+        if _shm is not None:
+            try:
+                block = _shm.SharedMemory(create=True, size=max(1, array.nbytes))
+                # Ownership is manual (the bundle unlinks in close()); taking
+                # the block out of the resource tracker immediately keeps the
+                # tracker bookkeeping balanced whichever start method the
+                # worker processes use.
+                _unregister_from_resource_tracker(block)
+                block.buf[: array.nbytes] = array.tobytes()
+                blocks.append(block)
+                spec = SharedArraySpec(
+                    name=name,
+                    shape=array.shape,
+                    dtype=str(array.dtype),
+                    block=block.name,
+                )
+            except Exception:
+                spec = None
+        if spec is None:
+            spec = SharedArraySpec(
+                name=name,
+                shape=array.shape,
+                dtype=str(array.dtype),
+                payload=pickle.dumps(array, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        specs.append(spec)
+        view = array.view()
+        view.flags.writeable = False
+        _REGISTRY[name] = [spec, view]  # the parent serves its own copy
+    return SharedArrayBundle(specs, blocks)
+
+
+def register_shared_arrays(specs: List[SharedArraySpec]) -> None:
+    """Record specs in this process's registry (the pool-initializer hook).
+
+    Attachment is lazy — a worker that never touches an array never maps
+    its block.
+    """
+    for spec in specs:
+        _REGISTRY[spec.name] = [spec, None]
+
+
+def get_shared_array(name: str) -> np.ndarray:
+    """The read-only view of a published array, attaching on first use.
+
+    Raises ``KeyError`` for names never published to this process, and
+    falls back to the pickled payload if the shared block disappeared
+    (closed early or unlinked by a dying parent) — unless the spec carried
+    no payload, in which case the underlying ``FileNotFoundError``
+    propagates.
+    """
+    entry = _REGISTRY[name]
+    spec, view = entry
+    if view is not None:
+        return view
+    if spec.block is not None:
+        try:
+            block = _shm.SharedMemory(name=spec.block)
+            _unregister_from_resource_tracker(block)
+            _ATTACHMENTS.append(block)  # keep the mapping alive
+            view = np.frombuffer(block.buf, dtype=np.dtype(spec.dtype))[
+                : int(np.prod(spec.shape, dtype=np.int64))
+            ].reshape(spec.shape)
+            view.flags.writeable = False
+        except FileNotFoundError:
+            if spec.payload is None:
+                raise
+            view = None
+    if view is None:
+        view = pickle.loads(spec.payload)
+        view.flags.writeable = False
+    entry[1] = view
+    return view
+
+
+def shared_array_names() -> List[str]:
+    """Names currently published to this process, in registration order."""
+    return list(_REGISTRY)
+
+
+def _register_with_resource_tracker(block) -> None:
+    """Hand a manually-owned block back to the tracker just before unlink.
+
+    ``SharedMemory.unlink`` unregisters unconditionally; re-registering
+    first keeps the tracker's bookkeeping balanced (no KeyError noise in
+    the tracker process at interpreter shutdown).
+    """
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(block._name, "shared_memory")
+    except Exception:  # pragma: no cover
+        pass
+
+
+def _unregister_from_resource_tracker(block) -> None:
+    """Stop the resource tracker from double-managing an attached block.
+
+    Attaching registers the block with this process's resource tracker
+    (CPython < 3.13), which then complains about — or worse, unlinks — a
+    block the *parent* owns when the worker exits.  Ownership lives with
+    the parent alone, so attachments are unregistered.
+    """
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:  # pragma: no cover
+        pass

@@ -17,11 +17,12 @@ take are consistent without locking.
 from __future__ import annotations
 
 import functools
+import re
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.core.pipeline import run_point
+from repro.core.pipeline import run_point, run_sweep_sharded
 from repro.runtime.cache import point_cache_key
 from repro.transpiler.compile import available_levels
 from repro.transpiler.registry import available_passes
@@ -171,13 +172,47 @@ def parse_transpile_request(payload: Any) -> List[PointSpec]:
     return specs
 
 
-def parse_sweep_request(payload: Any) -> Tuple[List[PointSpec], int]:
-    """Validate a ``/v1/sweep`` body into a point grid plus a chunk size.
+#: Filesystem-safe checkpoint run identifiers (no separators, no dots at
+#: the front — a ``run_id`` becomes a directory name under the cache dir).
+_RUN_ID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One validated ``/v1/sweep`` request.
+
+    ``specs`` is the flattened point grid in canonical order; the raw
+    components (``workloads``/``sizes``/``targets`` plus the shared
+    transpiler configuration) are kept alongside because the checkpointed
+    execution path (``run_id`` set) drives
+    :func:`repro.core.pipeline.run_sweep_sharded` from them directly.
+    """
+
+    specs: List[PointSpec]
+    chunk_size: int
+    run_id: Optional[str] = None
+    shard_points: Optional[int] = None
+    workloads: List[str] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+    targets: List[Target] = field(default_factory=list)
+    level: int = 1
+    layout: Optional[str] = None
+    routing: Optional[str] = None
+    seed: int = 0
+
+
+def parse_sweep_request(payload: Any) -> SweepRequest:
+    """Validate a ``/v1/sweep`` body into a :class:`SweepRequest`.
 
     The grid is the cross product ``workloads x sizes x targets`` in
     canonical order (the same nested-loop order as
     :func:`repro.core.pipeline.sweep_grid`), with sizes wider than a
-    target skipped.
+    target skipped.  An optional ``run_id`` selects checkpointed
+    execution: the sweep runs as deterministic shards persisted under the
+    server's cache directory, and re-POSTing the same body with the same
+    ``run_id`` recomputes only the shards a crashed or interrupted run
+    left missing.  ``shard_points`` sets the shard size (default: the
+    chunk size).
     """
     _require(isinstance(payload, dict), "request body must be a JSON object")
     known = {
@@ -190,16 +225,32 @@ def parse_sweep_request(payload: Any) -> Tuple[List[PointSpec], int]:
         "routing",
         "seed",
         "chunk_size",
+        "run_id",
+        "shard_points",
     }
     unknown = sorted(set(payload) - known)
     _require(not unknown, f"unknown sweep fields: {unknown}")
-    for field in ("workloads", "sizes", "targets"):
+    for name in ("workloads", "sizes", "targets"):
         _require(
-            isinstance(payload.get(field), list) and payload[field],
-            f"'{field}' must be a non-empty list",
+            isinstance(payload.get(name), list) and payload[name],
+            f"'{name}' must be a non-empty list",
         )
     chunk_size = _as_int(payload.get("chunk_size", DEFAULT_CHUNK_SIZE), "chunk_size")
     _require(chunk_size >= 1, "'chunk_size' must be at least 1")
+    run_id = payload.get("run_id")
+    if run_id is not None:
+        _require(
+            isinstance(run_id, str) and _RUN_ID_PATTERN.fullmatch(run_id) is not None,
+            "'run_id' must be 1-64 characters of [A-Za-z0-9._-] "
+            "(starting alphanumeric)",
+        )
+    shard_points = payload.get("shard_points")
+    if shard_points is not None:
+        shard_points = _as_int(shard_points, "shard_points")
+        _require(shard_points >= 1, "'shard_points' must be at least 1")
+        _require(
+            run_id is not None, "'shard_points' is only meaningful with 'run_id'"
+        )
     scale = payload.get("scale", "small")
     shared = {
         "scale": scale,
@@ -239,7 +290,22 @@ def parse_sweep_request(payload: Any) -> Tuple[List[PointSpec], int]:
         len(grid) <= MAX_POINTS_PER_REQUEST,
         f"at most {MAX_POINTS_PER_REQUEST} points per request",
     )
-    return grid, chunk_size
+    first = grid[0]
+    return SweepRequest(
+        specs=grid,
+        chunk_size=chunk_size,
+        run_id=run_id,
+        shard_points=shard_points if shard_points is not None else chunk_size,
+        workloads=[str(workload) for workload in payload["workloads"]],
+        sizes=[_as_int(size, "sizes") for size in payload["sizes"]],
+        targets=[
+            _resolve_target(topology, basis, scale) for topology, basis in targets
+        ],
+        level=first.optimization_level,
+        layout=first.layout,
+        routing=first.routing,
+        seed=first.seed,
+    )
 
 
 # -- execution ----------------------------------------------------------------
@@ -370,3 +436,76 @@ def run_sweep_job(
         }
     )
     return completed
+
+
+def run_sweep_checkpoint_job(
+    request: SweepRequest,
+    checkpoint_dir: Any,
+    runner: Any,
+    emit: Callable[[Dict[str, Any]], None],
+) -> int:
+    """The checkpointed ``/v1/sweep`` work item (``run_id`` given).
+
+    Runs the sweep through
+    :func:`repro.core.pipeline.run_sweep_sharded`: deterministic shards
+    persisted under ``checkpoint_dir``, restored shards skipped, one
+    ``{"type": "shard"}`` progress line per shard.  Re-POSTing the same
+    body with the same ``run_id`` after a crash recomputes only the
+    missing shards; the final ``{"type": "result"}`` line always carries
+    the complete record set.  Returns the number of points *computed*
+    this time (restored points are free).
+    """
+    cache = runner.result_cache
+    before = stats_snapshot(cache)
+    start = time.perf_counter()
+    total = len(request.specs)
+    computed_points = 0
+
+    def _shard_progress(index: int, shards: int, status: str, points: int) -> None:
+        nonlocal computed_points
+        if status == "computed":
+            computed_points += points
+        emit(
+            {
+                "type": "shard",
+                "shard": index + 1,
+                "shards": shards,
+                "status": status,
+                "points": points,
+            }
+        )
+
+    shard_points = request.shard_points or request.chunk_size
+    emit(
+        {
+            "type": "start",
+            "total": total,
+            "run_id": request.run_id,
+            "shards": max(1, -(-total // shard_points)),
+        }
+    )
+    result = run_sweep_sharded(
+        request.workloads,
+        request.sizes,
+        request.targets,
+        checkpoint_dir=checkpoint_dir,
+        seed=request.seed,
+        layout_method=request.layout,
+        routing_method=request.routing,
+        optimization_level=request.level,
+        shard_points=shard_points,
+        resume=True,
+        shard_progress=_shard_progress,
+        runner=runner,
+    )
+    emit(
+        {
+            "type": "result",
+            "records": result.as_dicts(),
+            "count": len(result),
+            "computed": computed_points,
+            "elapsed_seconds": round(time.perf_counter() - start, 6),
+            "cache": stats_delta(before, stats_snapshot(cache)),
+        }
+    )
+    return computed_points

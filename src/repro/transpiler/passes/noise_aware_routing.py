@@ -27,6 +27,7 @@ from repro.core.noise import NoiseModel
 from repro.gates import SwapGate
 from repro.topology.coupling import CouplingMap
 from repro.transpiler.layout import Layout
+from repro.transpiler.passes.layout_passes import _check_engine
 from repro.transpiler.passes.routing import (
     _candidate_swap_array,
     _layout_arrays,
@@ -47,6 +48,12 @@ class NoiseAwareLayout(TranspilerPass):
     with edge weights equal to each coupling's fidelity, so the circuit is
     placed where gates are *good*, not merely where they are plentiful.
     Falls back to plain DenseLayout behaviour under a uniform noise model.
+
+    Hot path: ``engine="vector"`` scores subset growth and qubit quality
+    on the :meth:`~repro.core.noise.NoiseModel.fidelity_matrix` array —
+    sequential-order sums via ``cumsum``, so the float scores (and hence
+    every tie-break) are bit-identical to the ``engine="reference"``
+    Python-loop scorer it replaced.
     """
 
     name = "noise_aware_layout"
@@ -55,9 +62,11 @@ class NoiseAwareLayout(TranspilerPass):
         self,
         coupling_map: CouplingMap,
         noise_model: Optional[NoiseModel] = None,
+        engine: str = "vector",
     ):
         self._coupling_map = coupling_map
         self._noise_model = noise_model
+        self._engine = _check_engine(engine)
 
     def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
         device = self._coupling_map
@@ -71,19 +80,14 @@ class NoiseAwareLayout(TranspilerPass):
             or properties.get("noise_model")
             or NoiseModel.uniform()
         )
-        subset = self._best_subset(circuit.num_qubits, device, noise_model)
-        subset_set = set(subset)
-        # Rank physical qubits by the total fidelity of their couplings
-        # inside the chosen subset; rank virtual qubits by activity.
-        quality = {
-            qubit: sum(
-                noise_model.fidelity(qubit, neighbor)
-                for neighbor in device.neighbors(qubit)
-                if neighbor in subset_set
+        if self._engine == "vector":
+            physical_ranked = self._rank_physical_vector(
+                circuit.num_qubits, device, noise_model
             )
-            for qubit in subset
-        }
-        physical_ranked = sorted(subset, key=lambda q: (-quality[q], q))
+        else:
+            physical_ranked = self._rank_physical_reference(
+                circuit.num_qubits, device, noise_model
+            )
         # Activity ranking from the shared DAG's precomputed count array
         # (same integers the dense/interaction layouts consume, same
         # (-activity, q) order as the old Counter walk).
@@ -96,6 +100,92 @@ class NoiseAwareLayout(TranspilerPass):
         properties["coupling_map"] = device
         properties["noise_model"] = noise_model
         return circuit
+
+    # -- vectorized scorer ---------------------------------------------------
+
+    @staticmethod
+    def _rank_physical_vector(
+        size: int, device: CouplingMap, noise_model: NoiseModel
+    ) -> List[int]:
+        """Subset search and quality ranking on the fidelity matrix.
+
+        Every float sum the reference takes over ascending neighbour /
+        edge order is reproduced as a ``cumsum`` over ascending indices
+        (adding the zeros of non-edges is exact), so scores round
+        identically and the greedy choices match bit for bit.
+        """
+        weights = noise_model.fidelity_matrix(device)
+        subset = np.asarray(
+            NoiseAwareLayout._best_subset_vector(size, device, weights),
+            dtype=np.int64,
+        )
+        # Quality = total fidelity of a qubit's couplings inside the
+        # subset: sequential row sums of the induced submatrix.
+        quality = np.cumsum(weights[np.ix_(subset, subset)], axis=1)[:, -1]
+        return [int(q) for q in subset[np.lexsort((subset, -quality))]]
+
+    @staticmethod
+    def _best_subset_vector(
+        size: int, device: CouplingMap, weights: np.ndarray
+    ) -> List[int]:
+        """Greedy connected subset maximising total internal edge fidelity."""
+        n = device.num_qubits
+        if size >= n:
+            return list(range(n))
+        adjacency = device.adjacency_matrix()
+        degrees = adjacency.sum(axis=1).astype(np.int64)
+        qubits = np.arange(n, dtype=np.int64)
+        seed_count = max(4, n // 8)
+        seeds = qubits[np.lexsort((qubits, -degrees))][:seed_count]
+        edges = np.asarray(device.edges(), dtype=np.int64).reshape(-1, 2)
+        best_subset: List[int] = []
+        best_score = -np.inf
+        for seed in seeds:
+            in_subset = np.zeros(n, dtype=bool)
+            in_subset[seed] = True
+            for _ in range(size - 1):
+                frontier = np.flatnonzero(
+                    adjacency[:, in_subset].any(axis=1) & ~in_subset
+                )
+                if frontier.size == 0:
+                    remaining = np.flatnonzero(~in_subset)
+                    if remaining.size == 0:
+                        break
+                    frontier = remaining[:1]
+                # Gain of each candidate = sequential sum of its edge
+                # fidelities into the subset (ascending column order).
+                members = np.flatnonzero(in_subset)
+                gains = np.cumsum(weights[np.ix_(frontier, members)], axis=1)[:, -1]
+                order = np.lexsort((frontier, -degrees[frontier], -gains))
+                in_subset[frontier[order[0]]] = True
+            internal = in_subset[edges[:, 0]] & in_subset[edges[:, 1]]
+            values = weights[edges[internal, 0], edges[internal, 1]]
+            score = float(np.cumsum(values)[-1]) if values.size else 0.0
+            if score > best_score:
+                best_score = score
+                best_subset = [int(q) for q in np.flatnonzero(in_subset)]
+        return best_subset
+
+    # -- reference scorer ----------------------------------------------------
+
+    @staticmethod
+    def _rank_physical_reference(
+        size: int, device: CouplingMap, noise_model: NoiseModel
+    ) -> List[int]:
+        """The pre-vectorization scorer (Python loops), kept as parity oracle."""
+        subset = NoiseAwareLayout._best_subset(size, device, noise_model)
+        subset_set = set(subset)
+        # Rank physical qubits by the total fidelity of their couplings
+        # inside the chosen subset.
+        quality = {
+            qubit: sum(
+                noise_model.fidelity(qubit, neighbor)
+                for neighbor in device.neighbors(qubit)
+                if neighbor in subset_set
+            )
+            for qubit in subset
+        }
+        return sorted(subset, key=lambda q: (-quality[q], q))
 
     @staticmethod
     def _best_subset(size: int, device: CouplingMap, noise_model: NoiseModel) -> List[int]:

@@ -1,0 +1,173 @@
+"""Sharded checkpoint/resume: manifest identity, shard IO, sweep parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_sweep, run_sweep_sharded, sweep_spec_digest
+from repro.runtime.checkpoint import (
+    SHARD_MAGIC,
+    CheckpointMismatch,
+    SweepCheckpoint,
+)
+from repro.transpiler.target import Target
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture
+def target():
+    return Target.from_names("Corral1,1", "siswap", scale="small")
+
+
+class TestSweepCheckpoint:
+    def test_initialize_writes_manifest(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "run")
+        assert not checkpoint.exists()
+        checkpoint.initialize("abc123", total_points=10, shard_points=4)
+        assert checkpoint.exists()
+        assert checkpoint.num_shards == 3  # ceil(10 / 4)
+        assert checkpoint.manifest["spec_digest"] == "abc123"
+
+    def test_reinitialize_same_spec_is_accepted(self, tmp_path):
+        SweepCheckpoint(tmp_path).initialize("abc", 10, 4)
+        again = SweepCheckpoint(tmp_path).initialize("abc", 10, 4)
+        assert again.num_shards == 3
+
+    @pytest.mark.parametrize(
+        "digest, total, shard",
+        [("other", 10, 4), ("abc", 11, 4), ("abc", 10, 5)],
+    )
+    def test_initialize_rejects_different_spec(self, tmp_path, digest, total, shard):
+        SweepCheckpoint(tmp_path).initialize("abc", 10, 4)
+        with pytest.raises(CheckpointMismatch):
+            SweepCheckpoint(tmp_path).initialize(digest, total, shard)
+
+    def test_unreadable_manifest_counts_as_mismatch(self, tmp_path):
+        SweepCheckpoint(tmp_path).initialize("abc", 10, 4)
+        (tmp_path / "manifest.json").write_bytes(b"{corrupt")
+        with pytest.raises(CheckpointMismatch):
+            SweepCheckpoint(tmp_path).initialize("abc", 10, 4)
+
+    def test_store_and_load_shard_roundtrip(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path).initialize("abc", 6, 2)
+        records = [{"point": index} for index in range(2)]
+        checkpoint.store_shard(1, records)
+        assert checkpoint.completed_shards() == {1}
+        assert checkpoint.load_shard(1) == records
+        assert checkpoint.load_shard(0) is None
+
+    def test_corrupt_shard_reads_as_missing(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path).initialize("abc", 4, 2)
+        checkpoint.store_shard(0, [{"point": 0}])
+        path = tmp_path / "shard-00000.rsd"
+        path.write_bytes(SHARD_MAGIC + b"garbage that is not zlib")
+        assert checkpoint.load_shard(0) is None
+        path.write_bytes(b"WRONGMAGIC")
+        assert checkpoint.load_shard(0) is None
+
+    def test_clear_removes_manifest_and_shards(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path).initialize("abc", 4, 2)
+        checkpoint.store_shard(0, [1, 2])
+        checkpoint.clear()
+        assert not checkpoint.exists()
+        assert checkpoint.completed_shards() == set()
+
+
+class TestSpecDigest:
+    def test_digest_is_stable_and_spec_sensitive(self, target):
+        base = sweep_spec_digest(["GHZ"], [4, 6], [target], 0, None, None, 1)
+        assert base == sweep_spec_digest(["GHZ"], [4, 6], [target], 0, None, None, 1)
+        assert base != sweep_spec_digest(["GHZ"], [4, 5], [target], 0, None, None, 1)
+        assert base != sweep_spec_digest(["GHZ"], [4, 6], [target], 7, None, None, 1)
+        assert base != sweep_spec_digest(
+            ["GHZ"], [4, 6], [target], 0, "dense", None, 1
+        )
+
+
+class TestRunSweepSharded:
+    def test_matches_run_sweep_record_for_record(self, tmp_path, target):
+        sharded = run_sweep_sharded(
+            ["GHZ"], [4, 5, 6], [target], tmp_path / "ckpt", shard_points=2
+        )
+        direct = run_sweep(["GHZ"], [4, 5, 6], [target])
+        assert [r.as_dict() for r in sharded.records] == [
+            r.as_dict() for r in direct.records
+        ]
+
+    def test_resume_restores_all_shards(self, tmp_path, target):
+        statuses = []
+
+        def watch(index, total, status, points):
+            statuses.append(status)
+
+        first = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [target],
+            tmp_path,
+            shard_points=2,
+            shard_progress=watch,
+        )
+        assert statuses == ["computed", "computed"]
+        statuses.clear()
+        second = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [target],
+            tmp_path,
+            shard_points=2,
+            shard_progress=watch,
+        )
+        assert statuses == ["restored", "restored"]
+        assert [r.as_dict() for r in second.records] == [
+            r.as_dict() for r in first.records
+        ]
+
+    def test_missing_shard_is_the_only_one_recomputed(self, tmp_path, target):
+        run_sweep_sharded(["GHZ"], [4, 5, 6], [target], tmp_path, shard_points=1)
+        (tmp_path / "shard-00001.rsd").unlink()
+        statuses = {}
+
+        def watch(index, total, status, points):
+            statuses[index] = status
+
+        run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [target],
+            tmp_path,
+            shard_points=1,
+            shard_progress=watch,
+        )
+        assert statuses == {0: "restored", 1: "computed", 2: "restored"}
+
+    def test_no_resume_refuses_existing_checkpoint(self, tmp_path, target):
+        run_sweep_sharded(["GHZ"], [4], [target], tmp_path, shard_points=2)
+        with pytest.raises(CheckpointMismatch):
+            run_sweep_sharded(
+                ["GHZ"], [4], [target], tmp_path, shard_points=2, resume=False
+            )
+
+    def test_different_spec_refuses_same_directory(self, tmp_path, target):
+        run_sweep_sharded(["GHZ"], [4], [target], tmp_path, shard_points=2)
+        with pytest.raises(CheckpointMismatch):
+            run_sweep_sharded(["GHZ"], [5], [target], tmp_path, shard_points=2)
+
+    def test_wrong_length_shard_is_recomputed(self, tmp_path, target):
+        run_sweep_sharded(["GHZ"], [4, 5], [target], tmp_path, shard_points=2)
+        # Truncate shard 0 to a single record: plausible file, wrong length.
+        checkpoint = SweepCheckpoint(tmp_path)
+        records = checkpoint.load_shard(0)
+        checkpoint.store_shard(0, records[:1])
+        statuses = []
+        result = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5],
+            [target],
+            tmp_path,
+            shard_points=2,
+            shard_progress=lambda i, n, status, k: statuses.append(status),
+        )
+        assert statuses == ["computed"]
+        assert len(result.records) == 2

@@ -1,0 +1,150 @@
+"""Crash recovery: a SIGKILLed sweep resumes, recomputing only what died.
+
+The checkpoint layer's whole reason to exist is the process that never
+got to exit cleanly.  These tests kill a real sweep subprocess mid-flight
+(after its first shard is durable) and assert the resume path — both the
+library call and the ``repro sweep --resume`` CLI — restores the finished
+shards and recomputes exactly the missing ones.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import run_sweep, run_sweep_sharded
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.transpiler.target import Target
+
+pytestmark = pytest.mark.fast
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Target construction identical to ``repro sweep --topologies Corral1,1``.
+_TARGET_EXPR = (
+    'Target.from_names("Corral1,1", "siswap", scale="small", '
+    'name="Corral1,1-siswap")'
+)
+
+_KILL_SCRIPT = f"""
+import os, signal
+from repro.core.pipeline import run_sweep_sharded
+from repro.transpiler.target import Target
+
+def die_after_first_shard(index, total, status, points):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+run_sweep_sharded(
+    ["GHZ"], [4, 5, 6], [{_TARGET_EXPR}], {{checkpoint_dir!r}},
+    shard_points=1, shard_progress=die_after_first_shard,
+)
+"""
+
+
+def _run_sweep_to_death(checkpoint_dir: Path) -> subprocess.CompletedProcess:
+    """Run a sharded sweep in a subprocess that SIGKILLs itself after
+    its first shard has been persisted."""
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    env.pop("REPRO_CACHE_DIR", None)
+    return subprocess.run(
+        [sys.executable, "-c", _KILL_SCRIPT.format(checkpoint_dir=str(checkpoint_dir))],
+        env=env,
+        capture_output=True,
+        timeout=120,
+    )
+
+
+def _target() -> Target:
+    return Target.from_names(
+        "Corral1,1", "siswap", scale="small", name="Corral1,1-siswap"
+    )
+
+
+class TestSigkillResume:
+    def test_killed_sweep_leaves_a_partial_checkpoint(self, tmp_path):
+        process = _run_sweep_to_death(tmp_path / "ckpt")
+        assert process.returncode == -signal.SIGKILL
+        checkpoint = SweepCheckpoint(tmp_path / "ckpt")
+        assert checkpoint.exists()
+        # The progress callback fires after the shard hits disk, so the
+        # first shard is durable and the other two never happened.
+        assert checkpoint.completed_shards() == {0}
+
+    def test_resume_recomputes_only_the_missing_shards(self, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        process = _run_sweep_to_death(checkpoint_dir)
+        assert process.returncode == -signal.SIGKILL
+        statuses = {}
+        result = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [_target()],
+            checkpoint_dir,
+            shard_points=1,
+            shard_progress=lambda i, n, status, k: statuses.setdefault(i, status),
+        )
+        assert statuses == {0: "restored", 1: "computed", 2: "computed"}
+        direct = run_sweep(["GHZ"], [4, 5, 6], [_target()])
+        assert [r.as_dict() for r in result.records] == [
+            r.as_dict() for r in direct.records
+        ]
+
+    def test_cli_resume_after_kill(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpt"
+        process = _run_sweep_to_death(checkpoint_dir)
+        assert process.returncode == -signal.SIGKILL
+        exit_code = main(
+            [
+                "sweep",
+                "--checkpoint-dir",
+                str(checkpoint_dir),
+                "--resume",
+                "--shard-points",
+                "1",
+                "--workloads",
+                "GHZ",
+                "--sizes",
+                "4",
+                "5",
+                "6",
+                "--topologies",
+                "Corral1,1",
+                "--seed",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "shard 1/3: restored (1 points)" in captured.err
+        assert "shard 2/3: computed (1 points)" in captured.err
+        assert "sweep complete: 3 points (1 shards restored, 2 computed)" in (
+            captured.out
+        )
+
+    def test_cli_without_resume_refuses_the_partial_checkpoint(self, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        _run_sweep_to_death(checkpoint_dir)
+        with pytest.raises(SystemExit, match="repro sweep:"):
+            main(
+                [
+                    "sweep",
+                    "--checkpoint-dir",
+                    str(checkpoint_dir),
+                    "--workloads",
+                    "GHZ",
+                    "--sizes",
+                    "4",
+                    "5",
+                    "6",
+                    "--topologies",
+                    "Corral1,1",
+                    "--seed",
+                    "0",
+                ]
+            )

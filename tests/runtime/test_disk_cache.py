@@ -65,28 +65,30 @@ class TestPersistentResultCache:
         assert stats.disk_misses == 1
         assert stats.hit_rate == 0.0
 
-    def test_truncated_file_is_a_miss_not_a_crash(self, tmp_path, record):
+    def test_truncated_segment_tail_is_a_miss_not_a_crash(self, tmp_path, record):
         cache = PersistentResultCache(tmp_path)
         cache.put("key", record)
-        (path,) = tmp_path.glob("*.rpc")
-        path.write_bytes(path.read_bytes()[:-7])
+        (path,) = tmp_path.glob("seg-*.rps")
+        path.write_bytes(path.read_bytes()[:-7])  # a killed writer's torn frame
         fresh = PersistentResultCache(tmp_path)
         assert fresh.get("key") is None
-        assert not path.exists()  # corrupt record removed so the slot heals
+        # Compaction physically heals the torn tail (drops the segment).
+        fresh.gc(compact=True)
+        assert not path.exists()
 
-    def test_garbage_file_is_a_miss(self, tmp_path, record):
+    def test_garbage_segment_is_a_miss(self, tmp_path, record):
         cache = PersistentResultCache(tmp_path)
         cache.put("key", record)
-        (path,) = tmp_path.glob("*.rpc")
-        path.write_bytes(b"not a cache record at all")
+        (path,) = tmp_path.glob("seg-*.rps")
+        path.write_bytes(b"not a cache segment at all")
         assert PersistentResultCache(tmp_path).get("key") is None
 
-    def test_valid_header_corrupt_payload_is_a_miss(self, tmp_path, record):
+    def test_valid_frame_corrupt_payload_is_a_miss(self, tmp_path, record):
         cache = PersistentResultCache(tmp_path)
         cache.put("key", record)
-        (path,) = tmp_path.glob("*.rpc")
+        (path,) = tmp_path.glob("seg-*.rps")
         blob = bytearray(path.read_bytes())
-        blob[-5] ^= 0xFF  # flip a payload byte; zlib/pickle must reject it
+        blob[-5] ^= 0xFF  # flip a payload byte; the frame CRC must reject it
         path.write_bytes(bytes(blob))
         assert PersistentResultCache(tmp_path).get("key") is None
 
@@ -133,14 +135,77 @@ class TestPersistentResultCache:
             point_cache_key("GHZ", 6, target, 1, "dense", "sabre")
         )
 
-    def test_record_format_is_compressed_pickle(self, tmp_path, record):
+    def test_segment_format_is_framed_compressed_pickle(self, tmp_path, record):
+        from repro.runtime.disk_cache import _FRAME, SEGMENT_MAGIC
+
         PersistentResultCache(tmp_path).put("key", record)
-        (path,) = tmp_path.glob("*.rpc")
+        (path,) = tmp_path.glob("seg-*.rps")
         blob = path.read_bytes()
-        assert blob.startswith(b"RPRC1\n")
-        payload = blob[len(b"RPRC1\n") + 8 :]
+        assert blob.startswith(SEGMENT_MAGIC)
+        magic, digest, _mtime, length, crc = _FRAME.unpack_from(
+            blob, len(SEGMENT_MAGIC)
+        )
+        assert magic == b"RF"
+        assert digest.hex() == key_digest("key")
+        payload = blob[len(SEGMENT_MAGIC) + _FRAME.size :]
+        assert len(payload) == length
+        assert zlib.crc32(payload) == crc
         restored = pickle.loads(zlib.decompress(payload))
         assert restored.as_dict() == record.as_dict()
+
+    def test_many_records_share_one_segment_file(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        for index in range(50):
+            cache.put(("key", index), record)
+        assert len(list(tmp_path.glob("seg-*.rps"))) == 1
+        assert cache.disk_entries() == 50
+
+    def test_segments_rotate_at_the_size_bound(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path, segment_max_bytes=4096)
+        for index in range(50):
+            cache.put(("key", index), record)
+        segments = list(tmp_path.glob("seg-*.rps"))
+        assert len(segments) > 1
+        # Every sealed (rotated-away) segment carries a sidecar index.
+        sidecars = list(tmp_path.glob("seg-*.rpi"))
+        assert len(sidecars) == len(segments) - 1
+        fresh = PersistentResultCache(tmp_path)
+        assert fresh.disk_entries() == 50
+        assert fresh.get(("key", 17)) is not None
+
+    def test_close_seals_the_active_segment(self, tmp_path, record):
+        cache = PersistentResultCache(tmp_path)
+        cache.put("key", record)
+        assert list(tmp_path.glob("seg-*.rpi")) == []
+        cache.close()
+        assert len(list(tmp_path.glob("seg-*.rpi"))) == 1
+        assert PersistentResultCache(tmp_path).get("key") is not None
+
+    def test_legacy_record_files_stay_readable(self, tmp_path, record):
+        import struct
+
+        payload = zlib.compress(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        legacy = tmp_path / f"{key_digest('key')}.rpc"
+        legacy.write_bytes(b"RPRC1\n" + struct.pack(">Q", len(payload)) + payload)
+        fresh = PersistentResultCache(tmp_path)
+        cached = fresh.get("key")
+        assert cached is not None
+        assert cached.as_dict() == record.as_dict()
+        assert fresh.stats().disk_hits == 1
+
+    def test_gc_compaction_migrates_legacy_records_into_segments(
+        self, tmp_path, record
+    ):
+        import struct
+
+        payload = zlib.compress(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        legacy = tmp_path / f"{key_digest('key')}.rpc"
+        legacy.write_bytes(b"RPRC1\n" + struct.pack(">Q", len(payload)) + payload)
+        cache = PersistentResultCache(tmp_path)
+        report = cache.gc(compact=True)
+        assert not legacy.exists()
+        assert report.segments_written == 1
+        assert cache.get("key") is not None  # served from the new segment
 
 
 class TestResolveResultCache:

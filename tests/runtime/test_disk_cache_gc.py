@@ -5,12 +5,16 @@ oldest-first down to the budget.  Two invariants matter more than the
 policies themselves: records written during the *current run* are never
 evicted out from under the sweep that produced them, and a GC'd record
 degrades to a clean miss (recompute-and-heal), never an error.
+
+Records live inside packed segment files and carry their write time in
+the frame header, so tests age records by patching ``time.time`` around
+the write, not by backdating files.
 """
 
 from __future__ import annotations
 
-import os
 import time
+from unittest.mock import patch
 
 import pytest
 
@@ -21,32 +25,32 @@ from repro.runtime import (
     collect_garbage,
     max_bytes_from_env,
     resolve_result_cache,
+    segment_stats,
 )
 
 
-def _backdate(path, seconds: float) -> None:
-    stamp = time.time() - seconds
-    os.utime(path, (stamp, stamp))
+def _fill(cache_dir, keys, payload="x" * 200, age_seconds=0.0):
+    """Write records through a throwaway instance (a *previous* run).
 
-
-def _fill(cache_dir, keys, payload="x" * 200):
-    """Write records through a throwaway instance (a *previous* run)."""
-    cache = PersistentResultCache(cache_dir)
-    for key in keys:
-        cache.put(key, {"key": key, "payload": payload})
-    return sorted(cache_dir.glob("*.rpc"), key=lambda p: p.name)
+    ``age_seconds`` backdates the frame mtimes, simulating records written
+    that long ago.
+    """
+    with patch("time.time", return_value=time.time() - age_seconds):
+        cache = PersistentResultCache(cache_dir)
+        for key in keys:
+            cache.put(key, {"key": key, "payload": payload})
+        cache.close()
 
 
 class TestAgePolicy:
     def test_expired_records_removed_fresh_kept(self, tmp_path):
-        old_key, new_key = "old", "new"
-        _fill(tmp_path, [old_key, new_key])
-        old_path = PersistentResultCache(tmp_path)._path(old_key)
-        _backdate(old_path, 7200)
+        _fill(tmp_path, ["old"], age_seconds=7200)
+        _fill(tmp_path, ["new"])
         report = collect_garbage(tmp_path, max_age_seconds=3600)
         assert report.removed == 1
-        assert not old_path.exists()
-        assert PersistentResultCache(tmp_path).get(new_key) is not None
+        fresh = PersistentResultCache(tmp_path)
+        assert fresh.get("old") is None
+        assert fresh.get("new") is not None
 
     def test_no_policy_removes_nothing(self, tmp_path):
         _fill(tmp_path, ["a", "b"])
@@ -58,16 +62,16 @@ class TestAgePolicy:
 
 class TestSizePolicy:
     def test_evicts_oldest_first_down_to_budget(self, tmp_path):
-        cache = PersistentResultCache(tmp_path)
         for index, key in enumerate(("first", "second", "third")):
-            cache.put(key, {"payload": "x" * 300, "key": key})
-            _backdate(cache._path(key), 300 - 100 * index)
-        sizes = {key: cache._path(key).stat().st_size for key in ("first", "second", "third")}
-        budget = sizes["third"] + sizes["second"]
-        report = collect_garbage(tmp_path, max_bytes=budget)
+            _fill(tmp_path, [key], age_seconds=300 - 100 * index)
+        stats = segment_stats(tmp_path)
+        assert stats.live_records == 3
+        # One byte under the total forces exactly one eviction — and the
+        # eviction order must pick the oldest record.
+        report = collect_garbage(tmp_path, max_bytes=stats.live_bytes - 1)
         assert report.removed == 1
-        assert not cache._path("first").exists()  # oldest evicted
         fresh = PersistentResultCache(tmp_path)
+        assert fresh.get("first") is None  # oldest evicted
         assert fresh.get("second") is not None
         assert fresh.get("third") is not None
 
@@ -76,7 +80,7 @@ class TestSizePolicy:
         report = collect_garbage(tmp_path, max_bytes=0)
         assert report.removed == 3
         assert report.kept == 0
-        assert list(tmp_path.glob("*.rpc")) == []
+        assert list(tmp_path.glob("seg-*.rps")) == []
 
     def test_missing_directory_is_harmless(self, tmp_path):
         report = collect_garbage(tmp_path / "never-created", max_bytes=0)
@@ -85,20 +89,17 @@ class TestSizePolicy:
 
 class TestCurrentRunProtection:
     def test_gc_never_evicts_records_written_this_run(self, tmp_path):
-        stale_paths = _fill(tmp_path, ["stale-1", "stale-2"])
-        for path in stale_paths:
-            _backdate(path, 7200)
+        _fill(tmp_path, ["stale-1", "stale-2"], age_seconds=7200)
         cache = PersistentResultCache(tmp_path)
         cache.put("fresh", {"payload": "y" * 500})
         report = cache.gc(max_bytes=0, max_age_seconds=1)
         assert report.protected == 1
         assert report.removed == 2
-        assert cache._path("fresh").exists()
+        assert cache.get("stale-1") is None
         assert PersistentResultCache(tmp_path).get("fresh") is not None
 
     def test_constructor_policy_runs_gc_before_any_write(self, tmp_path):
-        for path in _fill(tmp_path, ["stale-1", "stale-2", "stale-3"]):
-            _backdate(path, 7200)
+        _fill(tmp_path, ["stale-1", "stale-2", "stale-3"])
         cache = PersistentResultCache(tmp_path, max_bytes=0)
         assert cache.disk_entries() == 0
         # ... and the bound instance still works normally afterwards.
@@ -109,6 +110,7 @@ class TestCurrentRunProtection:
         """A record persisted by a pool worker counts as written this run."""
         worker_twin = PersistentResultCache(tmp_path)
         worker_twin.put("worker-key", {"value": 7})  # the worker's disk write
+        worker_twin.close()
         parent = PersistentResultCache(tmp_path)
         parent.put_local("worker-key", {"value": 7})  # the parent's absorb step
         report = parent.gc(max_bytes=0)
@@ -119,6 +121,7 @@ class TestCurrentRunProtection:
     def test_gcd_entry_is_a_miss_then_heals(self, tmp_path):
         writer = PersistentResultCache(tmp_path)
         writer.put("key", {"value": 41})
+        writer.close()
         # A *different* run's GC may evict it (no protection across runs).
         collect_garbage(tmp_path, max_bytes=0)
         reader = PersistentResultCache(tmp_path)
@@ -129,10 +132,33 @@ class TestCurrentRunProtection:
         assert PersistentResultCache(tmp_path).get("key") == {"value": 42}
 
 
+class TestCompaction:
+    def test_superseded_duplicates_are_dead_bytes_until_compaction(self, tmp_path):
+        _fill(tmp_path, ["key"], payload="old" * 100, age_seconds=60)
+        _fill(tmp_path, ["key"], payload="new" * 100)
+        stats = segment_stats(tmp_path)
+        assert stats.live_records == 1
+        assert stats.dead_bytes > 0
+        report = collect_garbage(tmp_path, compact=True)
+        assert report.removed == 0
+        assert report.segments_written >= 1
+        after = segment_stats(tmp_path)
+        assert after.dead_bytes == 0
+        assert PersistentResultCache(tmp_path).get("key")["payload"] == "new" * 100
+
+    def test_compaction_consolidates_many_segments(self, tmp_path):
+        for key in ("a", "b", "c", "d"):
+            _fill(tmp_path, [key])
+        assert len(list(tmp_path.glob("seg-*.rps"))) == 4
+        collect_garbage(tmp_path, compact=True)
+        assert len(list(tmp_path.glob("seg-*.rps"))) == 1
+        fresh = PersistentResultCache(tmp_path)
+        assert all(fresh.get(key) is not None for key in ("a", "b", "c", "d"))
+
+
 class TestResolutionAndEnv:
     def test_env_budget_applies_on_resolution(self, tmp_path, monkeypatch):
-        for path in _fill(tmp_path, ["a", "b"]):
-            _backdate(path, 60)
+        _fill(tmp_path, ["a", "b"], age_seconds=60)
         monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
         assert max_bytes_from_env() == 0
         cache = resolve_result_cache(cache_dir=tmp_path)
@@ -146,33 +172,39 @@ class TestResolutionAndEnv:
 
 class TestCliCacheCommands:
     def test_cache_gc_verb(self, tmp_path, capsys):
-        for path in _fill(tmp_path, ["a", "b"]):
-            _backdate(path, 7200)
+        _fill(tmp_path, ["a", "b"], age_seconds=7200)
         code = main(
             ["cache", "gc", "--cache-dir", str(tmp_path), "--max-age-hours", "1"]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "removed 2/2 records" in out
-        assert list(tmp_path.glob("*.rpc")) == []
+        assert list(tmp_path.glob("seg-*.rps")) == []
+
+    def test_cache_gc_without_policy_compacts(self, tmp_path, capsys):
+        for key in ("a", "b"):
+            _fill(tmp_path, [key])
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 segments into 1" in out
+        assert len(list(tmp_path.glob("seg-*.rps"))) == 1
 
     def test_cache_info_verb(self, tmp_path, capsys):
         _fill(tmp_path, ["a", "b", "c"])
         assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
-        assert "3 records" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "live records: 3" in out
+        assert "segments: 1" in out
 
     def test_cache_info_is_read_only(self, tmp_path):
         """Inspection must not unlink even hour-stale writer staging files."""
         _fill(tmp_path, ["a"])
         staging = tmp_path / "deadbeef0000.tmp"
         staging.write_bytes(b"slow writer's live staging file")
-        _backdate(staging, 7200)
+        before = sorted(path.name for path in tmp_path.iterdir())
         assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
         assert staging.exists()
-
-    def test_cache_gc_requires_a_policy(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["cache", "gc", "--cache-dir", str(tmp_path)])
+        assert sorted(path.name for path in tmp_path.iterdir()) == before
 
     def test_cache_gc_requires_a_directory(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

@@ -16,6 +16,7 @@ either way (a RuntimeWarning marks the fallback).
 
 from __future__ import annotations
 
+import multiprocessing
 import warnings
 
 from repro.runtime import ExperimentRunner, PersistentResultCache
@@ -115,6 +116,58 @@ class TestWorkerSharedCache:
         assert stats.disk_hits == len(unique)
 
 
+def _append_records(cache_dir: str, worker_id: int, count: int, barrier) -> None:
+    """One writer process: append ``count`` records through its own handle."""
+    cache = PersistentResultCache(cache_dir, segment_max_bytes=4096)
+    barrier.wait()  # maximize overlap between the writers
+    for index in range(count):
+        cache.put(("stress", worker_id, index), {"worker": worker_id, "index": index})
+    cache.close()
+
+
+class TestConcurrentSegmentAppend:
+    """Many processes appending packed segments to one directory at once."""
+
+    WRITERS = 4
+    RECORDS = 25
+
+    def _hammer(self, tmp_path):
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(self.WRITERS)
+        processes = [
+            context.Process(
+                target=_append_records,
+                args=(str(tmp_path), worker_id, self.RECORDS, barrier),
+            )
+            for worker_id in range(self.WRITERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+    def test_no_lost_or_corrupt_records_across_processes(self, tmp_path):
+        self._hammer(tmp_path)
+        reader = PersistentResultCache(tmp_path)
+        for worker_id in range(self.WRITERS):
+            for index in range(self.RECORDS):
+                assert reader.probe_disk(("stress", worker_id, index)) == (
+                    {"worker": worker_id, "index": index}
+                )
+        assert reader.disk_entries() == self.WRITERS * self.RECORDS
+
+    def test_compaction_after_the_stampede_keeps_everything(self, tmp_path):
+        self._hammer(tmp_path)
+        cache = PersistentResultCache(tmp_path)
+        report = cache.gc(compact=True)
+        assert report.kept == self.WRITERS * self.RECORDS
+        fresh = PersistentResultCache(tmp_path)
+        for worker_id in range(self.WRITERS):
+            for index in range(self.RECORDS):
+                assert fresh.probe_disk(("stress", worker_id, index)) is not None
+
+
 class TestWorkerCacheInternals:
     def test_initializer_and_wrapper_round_trip(self, tmp_path):
         """The worker-side path, driven in-process for determinism."""
@@ -137,9 +190,15 @@ class TestWorkerCacheInternals:
         assert (outcome, value) == ("computed", _weigh("token", 3))
 
     def test_worker_spec_never_carries_gc_policy(self, tmp_path):
-        cache = PersistentResultCache(tmp_path, maxsize=32, max_bytes=10_000)
+        cache = PersistentResultCache(
+            tmp_path, maxsize=32, max_bytes=10_000, segment_max_bytes=1 << 20
+        )
         spec = cache.worker_spec()
-        assert spec == {"cache_dir": str(tmp_path), "maxsize": 32}
+        assert spec == {
+            "cache_dir": str(tmp_path),
+            "maxsize": 32,
+            "segment_max_bytes": 1 << 20,
+        }
 
     def test_note_worker_hit_promotes_and_counts(self, tmp_path):
         cache = PersistentResultCache(tmp_path)

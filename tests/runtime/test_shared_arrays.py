@@ -1,0 +1,118 @@
+"""Shared read-only arrays: registry, worker attachment, fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import ExperimentRunner
+from repro.runtime.shared import (
+    SharedArraySpec,
+    get_shared_array,
+    register_shared_arrays,
+    share_arrays,
+    shared_array_names,
+)
+
+
+def _sum_shared(name: str, row: int) -> float:
+    """Task function: fold one row of a shared array (runs in workers)."""
+    return float(get_shared_array(name)[row].sum())
+
+
+class TestRegistry:
+    def test_parent_serves_its_own_copy(self):
+        matrix = np.arange(12, dtype=np.float64).reshape(3, 4)
+        bundle = share_arrays({"parent-copy": matrix})
+        try:
+            view = get_shared_array("parent-copy")
+            assert np.array_equal(view, matrix)
+            assert not view.flags.writeable
+            assert "parent-copy" in shared_array_names()
+        finally:
+            bundle.close()
+
+    def test_unknown_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            get_shared_array("never-published")
+
+    def test_payload_fallback_spec_roundtrips(self):
+        import pickle
+
+        matrix = np.eye(5)
+        spec = SharedArraySpec(
+            name="pickled-only",
+            shape=matrix.shape,
+            dtype=str(matrix.dtype),
+            payload=pickle.dumps(matrix),
+        )
+        register_shared_arrays([spec])
+        view = get_shared_array("pickled-only")
+        assert np.array_equal(view, matrix)
+        assert not view.flags.writeable
+
+    def test_attachment_survives_after_bundle_close_via_payload(self):
+        """A worker attaching after the parent unlinked falls back cleanly."""
+        import pickle
+
+        matrix = np.ones((4, 4))
+        bundle = share_arrays({"short-lived": matrix})
+        (spec,) = bundle.specs
+        bundle.close()  # unlink before any attachment
+        degraded = SharedArraySpec(
+            name="short-lived-degraded",
+            shape=spec.shape,
+            dtype=spec.dtype,
+            block=spec.block,  # now dangling
+            payload=pickle.dumps(matrix),
+        )
+        register_shared_arrays([degraded])
+        assert np.array_equal(get_shared_array("short-lived-degraded"), matrix)
+
+
+class TestRunnerIntegration:
+    def test_workers_read_shared_arrays(self):
+        matrix = np.arange(20, dtype=np.float64).reshape(4, 5)
+        runner = ExperimentRunner(parallel=True, max_workers=2)
+        try:
+            runner.share_arrays({"distances": matrix})
+            results = runner.map(
+                _sum_shared, [("distances", row) for row in range(4)]
+            )
+            assert results == [float(matrix[row].sum()) for row in range(4)]
+        finally:
+            runner.close()
+
+    def test_share_arrays_discards_a_running_pool(self):
+        runner = ExperimentRunner(parallel=True, max_workers=2)
+        try:
+            runner.map(_sum_shared_noop, [(1,), (2,)])
+            assert runner.pool_alive
+            runner.share_arrays({"late": np.zeros(3)})
+            assert not runner.pool_alive  # next map starts a seeded pool
+            results = runner.map(_sum_shared, [("late", 0)])
+            assert results == [0.0]
+        finally:
+            runner.close()
+
+    def test_serial_runner_serves_shared_arrays_too(self):
+        matrix = np.full((2, 2), 7.0)
+        runner = ExperimentRunner(parallel=False, max_workers=1)
+        try:
+            runner.share_arrays({"serial": matrix})
+            assert runner.map(_sum_shared, [("serial", 1)]) == [14.0]
+        finally:
+            runner.close()
+
+    def test_close_releases_the_bundle(self):
+        runner = ExperimentRunner(parallel=False, max_workers=1)
+        runner.share_arrays({"released": np.zeros(2)})
+        bundle = runner._shared_arrays
+        runner.close()
+        assert runner._shared_arrays is None
+        assert bundle._blocks == []
+
+
+def _sum_shared_noop(value: int) -> int:
+    """Trivial pool-warming task."""
+    return value

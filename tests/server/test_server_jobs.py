@@ -76,7 +76,7 @@ def test_parse_transpile_rejects_oversized_batch():
 
 
 def test_parse_sweep_grid_matches_canonical_order():
-    grid, chunk_size = parse_sweep_request(
+    request = parse_sweep_request(
         {
             "workloads": ["GHZ", "QuantumVolume"],
             "sizes": [4, 6],
@@ -84,7 +84,9 @@ def test_parse_sweep_grid_matches_canonical_order():
             "chunk_size": 3,
         }
     )
-    assert chunk_size == 3
+    grid = request.specs
+    assert request.chunk_size == 3
+    assert request.run_id is None
     target = Target.from_names("Corral1,1", "siswap", scale="small")
     expected = sweep_grid(["GHZ", "QuantumVolume"], [4, 6], [target])
     assert [(spec.workload, spec.size) for spec in grid] == [

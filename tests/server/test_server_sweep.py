@@ -72,3 +72,83 @@ def test_sweep_shares_cache_with_transpile(client):
     # served from the cache rather than recomputed.
     assert result["cache"]["computed"] == 0
     assert result["cache"]["hits"] == 1
+
+
+class TestCheckpointedSweep:
+    def test_run_id_streams_shard_lines(self, client):
+        events = []
+        result = client.sweep(
+            ["GHZ"],
+            [4, 5, 6],
+            TARGETS,
+            on_progress=events.append,
+            run_id="run-a",
+            shard_points=2,
+        )
+        assert result["type"] == "result"
+        assert result["count"] == 3
+        assert result["computed"] == 3
+        assert events[0] == {
+            "type": "start",
+            "total": 3,
+            "run_id": "run-a",
+            "shards": 2,
+        }
+        shard_lines = [e for e in events if e["type"] == "shard"]
+        assert [e["shard"] for e in shard_lines] == [1, 2]
+        assert all(e["status"] == "computed" for e in shard_lines)
+        assert [e["points"] for e in shard_lines] == [2, 1]
+
+    def test_repost_restores_from_checkpoint(self, client):
+        cold = client.sweep(
+            ["GHZ"], [4, 5], TARGETS, run_id="run-b", shard_points=1
+        )
+        assert cold["computed"] == 2
+        events = []
+        warm = client.sweep(
+            ["GHZ"],
+            [4, 5],
+            TARGETS,
+            on_progress=events.append,
+            run_id="run-b",
+            shard_points=1,
+        )
+        assert warm["computed"] == 0
+        statuses = [e["status"] for e in events if e["type"] == "shard"]
+        assert statuses == ["restored", "restored"]
+        assert warm["records"] == cold["records"]
+
+    def test_checkpoints_live_under_the_cache_dir(self, client, live_server):
+        client.sweep(["GHZ"], [4], TARGETS, run_id="run-c", shard_points=1)
+        cache_dir = live_server.server.runner.result_cache.cache_dir
+        checkpoint = cache_dir / "checkpoints" / "run-c"
+        assert (checkpoint / "manifest.json").is_file()
+        assert sorted(p.name for p in checkpoint.glob("shard-*.rsd")) == [
+            "shard-00000.rsd"
+        ]
+
+    def test_different_spec_same_run_id_is_refused(self, client):
+        client.sweep(["GHZ"], [4], TARGETS, run_id="run-d")
+        with pytest.raises(ServeError):
+            client.sweep(["GHZ"], [5], TARGETS, run_id="run-d")
+
+    @pytest.mark.parametrize("run_id", ["", "../escape", "a/b", "x" * 65])
+    def test_bad_run_id_is_400(self, client, run_id):
+        with pytest.raises(ServeError) as excinfo:
+            client.sweep(["GHZ"], [4], TARGETS, run_id=run_id)
+        assert excinfo.value.status == 400
+
+    def test_shard_points_without_run_id_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.sweep(["GHZ"], [4], TARGETS, shard_points=2)
+        assert excinfo.value.status == 400
+
+    def test_run_id_without_persistent_cache_is_400(self):
+        from repro.server import ServeClient, ServerHandle
+
+        with ServerHandle(port=0, parallel=False) as handle:
+            bare = ServeClient(port=handle.port, timeout=30.0)
+            with pytest.raises(ServeError) as excinfo:
+                bare.sweep(["GHZ"], [4], TARGETS, run_id="run-e")
+            assert excinfo.value.status == 400
+            assert "persistent cache" in str(excinfo.value)

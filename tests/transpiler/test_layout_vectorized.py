@@ -132,6 +132,80 @@ class TestInteractionLayoutEngineParity:
             InteractionGraphLayout(TOPOLOGIES["line"], engine="fast")
 
 
+class TestNoiseAwareLayoutEngineParity:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_identical_layout_random_noise(self, topology, seed):
+        from repro.core.noise import NoiseModel
+        from repro.transpiler import NoiseAwareLayout
+
+        coupling_map = TOPOLOGIES[topology]
+        noise = NoiseModel.random(coupling_map, seed=seed)
+        circuit = quantum_volume_circuit(min(10, coupling_map.num_qubits), seed=seed)
+        vector, _ = _layout(
+            NoiseAwareLayout, coupling_map, circuit, "vector", noise_model=noise
+        )
+        reference, _ = _layout(
+            NoiseAwareLayout, coupling_map, circuit, "reference", noise_model=noise
+        )
+        assert vector == reference
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_identical_layout_uniform_noise(self, topology):
+        """Uniform fidelity makes every score tie: tie-breaks must agree."""
+        from repro.core.noise import NoiseModel
+        from repro.transpiler import NoiseAwareLayout
+
+        coupling_map = TOPOLOGIES[topology]
+        noise = NoiseModel.uniform()
+        circuit = quantum_volume_circuit(min(9, coupling_map.num_qubits), seed=2)
+        vector, _ = _layout(
+            NoiseAwareLayout, coupling_map, circuit, "vector", noise_model=noise
+        )
+        reference, _ = _layout(
+            NoiseAwareLayout, coupling_map, circuit, "reference", noise_model=noise
+        )
+        assert vector == reference
+
+    @pytest.mark.parametrize("size", [1, 4, 9, 14])
+    def test_best_subset_engines_agree(self, size):
+        from repro.core.noise import NoiseModel
+        from repro.transpiler import NoiseAwareLayout
+
+        coupling_map = TOPOLOGIES["ring"]
+        noise = NoiseModel.random(coupling_map, seed=7)
+        weights = noise.fidelity_matrix(coupling_map)
+        assert NoiseAwareLayout._best_subset_vector(size, coupling_map, weights) == (
+            NoiseAwareLayout._best_subset(size, coupling_map, noise)
+        )
+
+    def test_downstream_routing_identical(self):
+        """The engines must agree all the way through the routed circuit."""
+        from repro.core.noise import NoiseModel
+        from repro.transpiler import NoiseAwareLayout, NoiseAwareRouting
+
+        coupling_map = TOPOLOGIES["lattice"]
+        noise = NoiseModel.random(coupling_map, seed=9)
+        circuit = quantum_volume_circuit(10, seed=9)
+        outputs = {}
+        for engine in ("vector", "reference"):
+            _, properties = _layout(
+                NoiseAwareLayout, coupling_map, circuit, engine, noise_model=noise
+            )
+            routed = NoiseAwareRouting(coupling_map, seed=9).run(circuit, properties)
+            outputs[engine] = (
+                [(inst.name, inst.qubits, inst.induced) for inst in routed],
+                properties["routing_swaps"],
+            )
+        assert outputs["vector"] == outputs["reference"]
+
+    def test_unknown_engine_rejected(self):
+        from repro.transpiler import NoiseAwareLayout
+
+        with pytest.raises(ValueError, match="engine"):
+            NoiseAwareLayout(TOPOLOGIES["line"], engine="turbo")
+
+
 class TestDensestSubsetEngines:
     @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
     def test_engines_agree_for_every_size(self, topology):
