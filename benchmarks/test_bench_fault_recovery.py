@@ -1,0 +1,83 @@
+"""Benchmark: recovery overhead of a worker crash mid-sweep.
+
+The fault-tolerant execution layer promises that losing a pool worker
+costs only the in-flight work plus one pool rebuild — not a serial
+rerun of the whole map.  This benchmark times the same 16-task fan-out
+twice on a 2-worker pool: crash-free, then with one injected worker
+crash (``crash@5``, one-shot via a state directory so the rebuilt
+worker does not refire it).  The faulted run must finish within 1.5x
+the crash-free wall-clock, and both runs must return identical results.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime import ExperimentRunner, FailurePolicy, FaultPlan
+
+TASKS = 16
+WORKERS = 2
+TASK_SECONDS = 0.15
+RECOVERY_BUDGET_RATIO = 1.5
+
+
+def _simulated_point(index: int, seconds: float) -> int:
+    """A deterministic stand-in for one transpile: sleep, then answer."""
+    time.sleep(seconds)
+    return index * 3
+
+
+def _run_map(fault_plan=None) -> tuple:
+    runner = ExperimentRunner(
+        parallel=True,
+        max_workers=WORKERS,
+        failure_policy=FailurePolicy(),
+        fault_plan=fault_plan,
+    )
+    try:
+        start = time.perf_counter()
+        results = runner.map(
+            _simulated_point, [(index, TASK_SECONDS) for index in range(TASKS)]
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        runner.close()
+    return results, elapsed, runner.fault_stats
+
+
+def test_bench_fault_recovery_overhead(benchmark, emit, tmp_path):
+    expected = [index * 3 for index in range(TASKS)]
+
+    # Crash-free reference on the identical grid and pool shape.
+    baseline_results, baseline_seconds, _ = _run_map()
+    assert baseline_results == expected
+
+    def faulted_run():
+        # A fresh state dir per round: the crash fires exactly once per run.
+        state_dir = tmp_path / f"fault-state-{time.monotonic_ns()}"
+        plan = FaultPlan.parse(f"crash@5;state={state_dir}")
+        return _run_map(fault_plan=plan)
+
+    results, faulted_seconds, stats = benchmark.pedantic(
+        faulted_run, rounds=1, iterations=1
+    )
+    assert results == expected
+    assert stats.pool_rebuilds >= 1, "the injected crash never fired"
+    assert not stats.quarantined
+
+    ratio = faulted_seconds / max(baseline_seconds, 1e-9)
+    emit(
+        benchmark,
+        "Worker-crash recovery overhead (16 tasks, 2 workers, 1 crash)",
+        {
+            "baseline_seconds": round(baseline_seconds, 4),
+            "faulted_seconds": round(faulted_seconds, 4),
+            "ratio": round(ratio, 3),
+            "budget_ratio": RECOVERY_BUDGET_RATIO,
+            "pool_rebuilds": stats.pool_rebuilds,
+        },
+    )
+    assert ratio < RECOVERY_BUDGET_RATIO, (
+        f"crash recovery cost {ratio:.2f}x the crash-free run "
+        f"(budget {RECOVERY_BUDGET_RATIO}x)"
+    )

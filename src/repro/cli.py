@@ -67,12 +67,15 @@ from repro.experiments.swap_study import (
 from repro.qasm import circuit_to_qasm
 from repro.runtime import (
     ExperimentRunner,
+    FailurePolicy,
+    FaultPlan,
     PersistentResultCache,
     cache_dir_from_env,
     collect_garbage,
     max_bytes_from_env,
     resolve_result_cache,
     segment_stats,
+    verify_cache,
 )
 from repro.snailsim import render_ascii_chevron
 from repro.transpiler import (
@@ -121,14 +124,56 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         "processes (REPRO_CACHE_DIR sets the default); repeated runs "
         "skip transpilation for every point already on disk",
     )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a parallel task that runs longer than this "
+        "(default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch a failed/hung parallel task up to N times with "
+        "exponential backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--on-poison",
+        choices=("quarantine", "raise", "skip"),
+        default=None,
+        help="what to do with a task that repeatedly crashes its worker: "
+        "quarantine it (probe in isolation, then continue without it — "
+        "the default), raise, or skip without probing",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan for chaos drills, e.g. "
+        "'crash@3;hang@5=0.4;state=/tmp/faults' "
+        "(REPRO_FAULT_PLAN sets the default; see docs/robustness.md)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     """Build the experiment runner the parsed runtime options describe.
 
     The runner is remembered on the namespace so that :func:`main` can
-    report cache statistics once the command has finished.
+    report cache and fault statistics once the command has finished.
     """
+    failure_policy = None
+    if any(
+        getattr(args, name, None) is not None
+        for name in ("task_timeout", "max_retries", "on_poison")
+    ):
+        failure_policy = FailurePolicy(
+            task_timeout=getattr(args, "task_timeout", None),
+            max_retries=getattr(args, "max_retries", None) or 0,
+            on_poison=getattr(args, "on_poison", None) or "quarantine",
+        )
     runner = ExperimentRunner(
         parallel=getattr(args, "parallel", None),
         max_workers=getattr(args, "workers", None),
@@ -136,6 +181,8 @@ def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
             cache_dir=getattr(args, "cache_dir", None),
             no_cache=getattr(args, "no_cache", False),
         ),
+        failure_policy=failure_policy,
+        fault_plan=FaultPlan.parse(getattr(args, "inject_faults", None)),
     )
     args._runner = runner
     return runner
@@ -152,6 +199,14 @@ def _cache_report(args: argparse.Namespace) -> Optional[str]:
         f"{stats.hits} memory hits, {stats.disk_hits} disk hits, "
         f"{stats.computed} transpiled"
     )
+
+
+def _fault_report(args: argparse.Namespace) -> Optional[str]:
+    """One status line about absorbed failures, if any occurred."""
+    runner = getattr(args, "_runner", None)
+    if runner is None or not runner.fault_stats:
+        return None
+    return runner.fault_stats.describe()
 
 
 def _add_common_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -264,6 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="cache directory to inspect (REPRO_CACHE_DIR sets the default)",
+    )
+    cache_verify = cache_commands.add_parser(
+        "verify",
+        help="audit every segment frame, sidecar index and legacy record "
+        "(CRC validation); exits non-zero on unrepaired corruption",
+    )
+    cache_verify.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory to audit (REPRO_CACHE_DIR sets the default)",
+    )
+    cache_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite damaged segments keeping only their valid frames "
+        "(dropped records heal as cache misses) and rebuild stale indexes",
     )
 
     serve = commands.add_parser(
@@ -549,6 +620,19 @@ def _command_cache(args: argparse.Namespace) -> str:
             state = "no cache directory" if not resolved.is_dir() else "empty cache"
             return f"result cache [{resolved}]: {state} (0 records)"
         return f"result cache [{resolved}]:\n{report.describe()}"
+    if args.cache_command == "verify":
+        resolved = Path(directory).expanduser().resolve()
+        if not resolved.is_dir():
+            return f"cache verify [{resolved}]: no cache directory"
+        # Without --repair this is a pure read-only audit (safe beside
+        # readers); with it, damaged segments are rewritten like GC does.
+        report = verify_cache(resolved, repair=args.repair)
+        body = f"cache verify [{resolved}]:\n{report.describe()}"
+        if not report.clean and not args.repair:
+            raise SystemExit(
+                body + "\nrun again with --repair to drop the corrupt frames"
+            )
+        return body
     max_bytes = args.max_bytes if args.max_bytes is not None else max_bytes_from_env()
     max_age = None if args.max_age_hours is None else args.max_age_hours * 3600.0
     # Without an eviction policy `cache gc` is still useful: it compacts
@@ -574,7 +658,7 @@ def _command_sweep(args: argparse.Namespace) -> str:
     statuses = {"restored": 0, "computed": 0}
 
     def _shard_progress(index: int, total: int, status: str, points: int) -> None:
-        statuses[status] += 1
+        statuses[status] = statuses.get(status, 0) + 1
         print(
             f"shard {index + 1}/{total}: {status} ({points} points)",
             file=sys.stderr,
@@ -600,11 +684,24 @@ def _command_sweep(args: argparse.Namespace) -> str:
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(sweep_to_csv(result))
-    return (
+    extras = ""
+    if statuses.get("retried"):
+        extras += f", {statuses['retried']} retried"
+    if result.failed_points:
+        extras += f", {len(result.failed_points)} failed"
+    body = (
         f"sweep complete: {len(result)} points "
         f"({statuses['restored']} shards restored, "
-        f"{statuses['computed']} computed) [{args.checkpoint_dir}]"
+        f"{statuses['computed']} computed{extras}) [{args.checkpoint_dir}]"
     )
+    if result.failed_points:
+        labels = "; ".join(str(point.get("label")) for point in result.failed_points)
+        body += (
+            f"\nfailed points (quarantined): {labels}"
+            f"\nrecorded in {args.checkpoint_dir}/failures.json"
+            " -- rerun with --resume to retry them"
+        )
+    return body
 
 
 def _command_serve(args: argparse.Namespace) -> str:
@@ -671,6 +768,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cache_line = _cache_report(args)
     if cache_line is not None:
         print(cache_line, file=sys.stderr)
+    fault_line = _fault_report(args)
+    if fault_line is not None:
+        print(fault_line, file=sys.stderr)
     return 0
 
 

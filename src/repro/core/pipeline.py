@@ -26,9 +26,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class SweepResult:
-    """A flat collection of per-point metrics with grouping helpers."""
+    """A flat collection of per-point metrics with grouping helpers.
+
+    ``failed_points`` names the points that were quarantined/skipped by
+    the runner's failure policy instead of producing a record (each entry
+    at least carries a ``label``); a fault-free sweep leaves it empty.
+    """
 
     records: List[TranspileMetrics] = field(default_factory=list)
+    failed_points: List[Dict[str, object]] = field(default_factory=list)
 
     def add(self, metrics: TranspileMetrics) -> None:
         """Append one measurement."""
@@ -182,10 +188,14 @@ def run_sweep(
             for w, s, t in points
         ]
     result = SweepResult()
-    for record in runner.map(
-        run_point, tasks, keys=keys, labels=labels, progress=progress
-    ):
-        result.add(record)
+    records = runner.map(run_point, tasks, keys=keys, labels=labels, progress=progress)
+    for label, record in zip(labels, records):
+        if record is None:
+            # Quarantined under the runner's failure policy: the sweep
+            # completes without the point instead of dying with it.
+            result.failed_points.append({"label": label})
+        else:
+            result.add(record)
     return result
 
 
@@ -259,7 +269,8 @@ def run_sweep_sharded(
         shard_progress: optional callable invoked as
             ``shard_progress(index, num_shards, status, points)`` after
             each shard, with ``status`` one of ``"restored"`` /
-            ``"computed"``.
+            ``"computed"`` / ``"retried"`` (a restored shard whose
+            recorded failed points were recomputed).
         (The remaining arguments match :func:`run_sweep`.)
 
     Raises:
@@ -295,10 +306,31 @@ def run_sweep_sharded(
         from repro.runtime.runner import serial_runner
 
         runner = serial_runner()
+    def _map_points(chunk_points):
+        labels = [f"{w}-{s} on {t.name}" for w, s, t in chunk_points]
+        tasks = [
+            (w, s, t, seed, layout_method, routing_method, optimization_level)
+            for w, s, t in chunk_points
+        ]
+        keys = None
+        if runner.result_cache is not None:
+            from repro.runtime.cache import point_cache_key
+
+            keys = [
+                point_cache_key(
+                    w, s, t, seed, layout_method, routing_method, optimization_level
+                )
+                for w, s, t in chunk_points
+            ]
+        return runner.map(
+            run_point, tasks, keys=keys, labels=labels, progress=progress
+        )
+
     completed = checkpoint.completed_shards() if resume else set()
     result = SweepResult()
     for index in range(checkpoint.num_shards):
-        chunk = points[index * shard_points : (index + 1) * shard_points]
+        base = index * shard_points
+        chunk = points[base : base + shard_points]
         records = None
         if index in completed:
             records = checkpoint.load_shard(index)
@@ -307,28 +339,40 @@ def run_sweep_sharded(
         status = "restored"
         if records is None:
             status = "computed"
-            labels = [f"{w}-{s} on {t.name}" for w, s, t in chunk]
-            tasks = [
-                (w, s, t, seed, layout_method, routing_method, optimization_level)
-                for w, s, t in chunk
-            ]
-            keys = None
-            if runner.result_cache is not None:
-                from repro.runtime.cache import point_cache_key
-
-                keys = [
-                    point_cache_key(
-                        w, s, t, seed, layout_method, routing_method,
-                        optimization_level,
-                    )
-                    for w, s, t in chunk
-                ]
-            records = runner.map(
-                run_point, tasks, keys=keys, labels=labels, progress=progress
-            )
+            records = _map_points(chunk)
             checkpoint.store_shard(index, records)
-        for record in records:
-            result.add(record)
+        elif any(record is None for record in records):
+            # A restored shard with quarantined holes: the successful
+            # points survive untouched, only the recorded failed points
+            # are retried.
+            status = "retried"
+            holes = [pos for pos, record in enumerate(records) if record is None]
+            retried = _map_points([chunk[pos] for pos in holes])
+            for pos, record in zip(holes, retried):
+                records[pos] = record
+            checkpoint.store_shard(index, records)
+        if status != "restored":
+            failures = {
+                base + pos: {
+                    "shard": index,
+                    "label": f"{chunk[pos][0]}-{chunk[pos][1]} on {chunk[pos][2].name}",
+                    "reason": "quarantined by the failure policy",
+                }
+                for pos, record in enumerate(records)
+                if record is None
+            }
+            checkpoint.update_failures(base, base + len(chunk), failures)
+        for pos, record in enumerate(records):
+            if record is None:
+                result.failed_points.append(
+                    {
+                        "point": base + pos,
+                        "shard": index,
+                        "label": f"{chunk[pos][0]}-{chunk[pos][1]} on {chunk[pos][2].name}",
+                    }
+                )
+            else:
+                result.add(record)
         if shard_progress is not None:
             shard_progress(index, checkpoint.num_shards, status, len(chunk))
     return result

@@ -15,7 +15,16 @@ This package is the execution seam between the experiment drivers in
 * :func:`point_seed` — deterministic derived seeding that is stable across
   worker processes (unlike the salted builtin ``hash``), for callers that
   want per-point seeds; the built-in drivers deliberately keep the paper's
-  shared-seed convention.
+  shared-seed convention;
+* :class:`FailurePolicy` / :class:`FaultStats` — retry, per-task timeout
+  and poison-task quarantine for the parallel path, with the absorbed
+  failures tallied on :attr:`ExperimentRunner.fault_stats`;
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic fault
+  injection (``REPRO_FAULT_PLAN`` / ``repro sweep --inject-faults``) so
+  every recovery path is exercised reproducibly;
+* :func:`verify_cache` — full-directory CRC/index audit of a persistent
+  cache (``repro cache verify``), with ``repair=True`` dropping the
+  corrupt frames.
 
 Usage::
 
@@ -45,11 +54,23 @@ from repro.runtime.disk_cache import (
     max_bytes_from_env,
     resolve_result_cache,
     segment_stats,
+    verify_cache,
+)
+from repro.runtime.disk_cache import VerifyReport
+from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    write_corrupt_frame,
 )
 from repro.runtime.runner import (
     PARALLEL_ENV,
     WORKERS_ENV,
     ExperimentRunner,
+    FailurePolicy,
+    FaultStats,
+    PoisonTaskError,
     default_worker_count,
     parallel_enabled_by_env,
     point_seed,
@@ -73,9 +94,19 @@ __all__ = [
     "max_bytes_from_env",
     "resolve_result_cache",
     "segment_stats",
+    "verify_cache",
+    "VerifyReport",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "write_corrupt_frame",
     "PARALLEL_ENV",
     "WORKERS_ENV",
     "ExperimentRunner",
+    "FailurePolicy",
+    "FaultStats",
+    "PoisonTaskError",
     "default_worker_count",
     "parallel_enabled_by_env",
     "point_seed",

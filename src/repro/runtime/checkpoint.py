@@ -13,6 +13,12 @@ slices of the canonical point order — in a checkpoint directory:
   (temp file + rename), so a crash mid-write leaves either the previous
   state or the complete shard — never a torn file.  A corrupt or
   unreadable shard reads as "not computed" and is simply recomputed.
+* ``failures.json`` records the points that were quarantined/skipped
+  under the runner's :class:`~repro.runtime.runner.FailurePolicy` —
+  a stored shard may contain ``None`` holes at exactly those points, so
+  partial shard progress survives while the failures stay on the books.
+  A ``--resume`` retries precisely the recorded failed points (and any
+  lost shards), clearing entries as they recover.
 
 The sharding is deterministic: shard ``i`` covers points
 ``[i * shard_points, (i + 1) * shard_points)`` of the canonical sweep
@@ -42,6 +48,8 @@ SHARD_MAGIC = b"RPSD1\n"
 MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
+
+_FAILURES_NAME = "failures.json"
 
 
 class CheckpointMismatch(RuntimeError):
@@ -183,9 +191,55 @@ class SweepCheckpoint:
         )
         self._write_atomic(self._shard_path(index), blob)
 
+    def failed_points(self) -> Dict[int, Dict]:
+        """Recorded failed/quarantined points: global point index → details.
+
+        Each detail dict carries at least ``shard`` and ``label``; an
+        unreadable failures file reads as "no failures on record" (the
+        shard holes themselves still force a recompute on resume).
+        """
+        try:
+            data = json.loads((self._dir / _FAILURES_NAME).read_text("utf-8"))
+            points = data.get("points", {})
+            return {int(index): dict(info) for index, info in points.items()}
+        except (OSError, ValueError, AttributeError, TypeError):
+            return {}
+
+    def update_failures(self, start: int, stop: int, entries: Dict[int, Dict]) -> None:
+        """Replace the recorded failures in global range ``[start, stop)``.
+
+        Called after a shard in that range is (re)computed: points that
+        recovered drop off the books automatically because they are no
+        longer in ``entries``.  The file is removed once nothing is left,
+        so a clean checkpoint carries no failure sidecar at all.
+        """
+        current = self.failed_points()
+        merged = {
+            index: info
+            for index, info in current.items()
+            if not start <= index < stop
+        }
+        merged.update({int(index): dict(info) for index, info in entries.items()})
+        path = self._dir / _FAILURES_NAME
+        if not merged:
+            if current:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return
+        blob = json.dumps(
+            {
+                "version": 1,
+                "points": {str(index): merged[index] for index in sorted(merged)},
+            },
+            indent=2,
+        ).encode("utf-8")
+        self._write_atomic(path, blob)
+
     def clear(self) -> None:
         """Remove the manifest and every shard (a fresh-start reset)."""
-        for pattern in ("shard-*.rsd", "*.tmp", _MANIFEST_NAME):
+        for pattern in ("shard-*.rsd", "*.tmp", _MANIFEST_NAME, _FAILURES_NAME):
             for path in self._dir.glob(pattern):
                 try:
                     path.unlink()

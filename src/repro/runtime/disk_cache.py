@@ -626,6 +626,186 @@ def collect_garbage(
     )
 
 
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of an integrity scan over a cache directory (``cache verify``).
+
+    ``clean`` is the verdict: True when every frame's CRC matches, every
+    segment parses end to end, every sidecar index agrees with its
+    segment and every legacy file decodes.
+    """
+
+    segments: int  #: packed segment files scanned
+    frames_ok: int  #: frames whose payload CRC validated
+    frames_corrupt: int  #: frames whose payload failed its CRC
+    torn_segments: int  #: segments with a torn or unparseable tail
+    torn_bytes: int  #: bytes past the last well-formed frame
+    sidecars: int  #: sidecar index files present
+    sidecars_stale: int  #: sidecars disagreeing with their segment's frames
+    legacy_ok: int  #: legacy one-file-per-record entries that decoded
+    legacy_corrupt: int  #: legacy entries that failed to decode
+    repaired_segments: int = 0  #: damaged segments rewritten (``--repair``)
+    dropped_frames: int = 0  #: corrupt frames dropped by the repair
+
+    @property
+    def clean(self) -> bool:
+        """True when the scan found no corruption at all."""
+        return not (
+            self.frames_corrupt
+            or self.torn_segments
+            or self.sidecars_stale
+            or self.legacy_corrupt
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary (the CLI ``cache verify`` body)."""
+        lines = [
+            f"segments: {self.segments} ({self.frames_ok} frames ok, "
+            f"{self.frames_corrupt} corrupt, {self.torn_segments} torn "
+            f"tails / {human_bytes(self.torn_bytes)})",
+            f"sidecar indexes: {self.sidecars} ({self.sidecars_stale} stale)",
+        ]
+        if self.legacy_ok or self.legacy_corrupt:
+            lines.append(
+                f"legacy records: {self.legacy_ok} ok, "
+                f"{self.legacy_corrupt} corrupt"
+            )
+        if self.repaired_segments or self.dropped_frames:
+            lines.append(
+                f"repaired: {self.repaired_segments} segments rewritten, "
+                f"{self.dropped_frames} corrupt frames dropped"
+            )
+        lines.append("verdict: " + ("clean" if self.clean else "CORRUPT"))
+        return "\n".join(lines)
+
+
+def verify_cache(
+    cache_dir: Union[str, Path],
+    repair: bool = False,
+    segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+) -> VerifyReport:
+    """Validate every frame, sidecar index and legacy record in a cache dir.
+
+    Unlike the lazy read path (which drops a corrupt frame only when its
+    key happens to be requested) this walks the whole directory: every
+    segment is re-parsed from byte zero — deliberately ignoring sidecar
+    indexes, which are themselves being audited — and every payload's
+    CRC-32 is recomputed.  Without ``repair`` the scan is strictly
+    read-only.  With ``repair=True`` damaged segments are rewritten
+    keeping only their valid frames (corrupt frames and torn tails are
+    dropped — those records heal as cache misses), stale sidecars are
+    rebuilt, and undecodable legacy files are deleted.
+
+    Like GC, repair assumes no concurrent writer shares the directory.
+    The counters in the returned :class:`VerifyReport` always describe
+    the state *found*, not the state after repair.
+    """
+    directory = Path(cache_dir)
+    writer = _SegmentWriter(directory, segment_max_bytes) if repair else None
+    segments = 0
+    frames_ok = 0
+    frames_corrupt = 0
+    torn_segments = 0
+    torn_bytes = 0
+    sidecars = 0
+    sidecars_stale = 0
+    repaired_segments = 0
+    dropped_frames = 0
+    for segment in _segment_paths(directory):
+        try:
+            size = segment.stat().st_size
+        except OSError:
+            continue
+        segments += 1
+        records, end, clean_tail = _scan_segment(segment, 0, size)
+        torn = max(0, size - end)
+        good: List[Tuple[_SegmentRecord, bytes]] = []
+        bad = 0
+        try:
+            with open(segment, "rb") as stream:
+                for record in records:
+                    stream.seek(record.offset)
+                    payload = stream.read(record.length)
+                    if (
+                        len(payload) != record.length
+                        or zlib.crc32(payload) != record.crc
+                    ):
+                        bad += 1
+                    else:
+                        good.append((record, payload))
+        except OSError:
+            continue
+        frames_ok += len(good)
+        frames_corrupt += bad
+        damaged = bad > 0 or not clean_tail or torn > 0
+        if not clean_tail or torn > 0:
+            torn_segments += 1
+            torn_bytes += torn
+        sidecar = _sidecar_for(segment)
+        sidecar_stale = False
+        if sidecar.is_file():
+            sidecars += 1
+            indexed = _read_sidecar(sidecar)
+            expected = [
+                (r.digest, r.offset, r.length, r.mtime, r.crc) for r in records
+            ]
+            actual = (
+                None
+                if indexed is None
+                else [(r.digest, r.offset, r.length, r.mtime, r.crc) for r in indexed]
+            )
+            if actual != expected:
+                sidecars_stale += 1
+                sidecar_stale = True
+        if writer is not None and damaged:
+            for record, payload in good:
+                writer.append(record.digest, payload, record.mtime, record.crc)
+            for path in (segment, sidecar):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            repaired_segments += 1
+            dropped_frames += bad
+        elif writer is not None and sidecar_stale:
+            _atomic_write(directory, sidecar, _sidecar_blob(records))
+    legacy_ok = 0
+    legacy_corrupt = 0
+    for path in directory.glob(f"*{_LEGACY_SUFFIX}"):
+        payload = _read_legacy_payload(path)
+        decoded = False
+        if payload is not None:
+            try:
+                zlib.decompress(payload)
+                decoded = True
+            except zlib.error:
+                decoded = False
+        if decoded:
+            legacy_ok += 1
+        else:
+            legacy_corrupt += 1
+            if repair:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+    if writer is not None:
+        writer.seal()
+    return VerifyReport(
+        segments=segments,
+        frames_ok=frames_ok,
+        frames_corrupt=frames_corrupt,
+        torn_segments=torn_segments,
+        torn_bytes=torn_bytes,
+        sidecars=sidecars,
+        sidecars_stale=sidecars_stale,
+        legacy_ok=legacy_ok,
+        legacy_corrupt=legacy_corrupt,
+        repaired_segments=repaired_segments,
+        dropped_frames=dropped_frames,
+    )
+
+
 def _read_legacy_payload(path: Path) -> Optional[bytes]:
     """The compressed payload inside a legacy record file, or ``None``."""
     try:

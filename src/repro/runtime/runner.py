@@ -18,6 +18,25 @@ backends) — and the runner never changes results, only wall-clock.
 invocations (unlike the salted builtin ``hash``), so fan-out stays
 deterministic; no built-in driver uses it, by design.
 
+Failure handling
+----------------
+
+A long parallel ``map`` treats worker death, hangs and flaky task
+exceptions as events to recover from, not reasons to start over.  The
+knobs live in :class:`FailurePolicy`: on ``BrokenProcessPool`` the
+runner rebuilds the pool and re-dispatches *only* the unfinished tasks
+(results already collected are kept); a task that exceeds
+``task_timeout`` has its pool killed and is retried; a task exception is
+retried up to ``max_retries`` times with exponential backoff and
+deterministic jitter.  When crashes keep coming, the runner attributes
+the poison task by probing each unfinished task in an isolated
+single-worker pool, then applies ``on_poison``: ``"quarantine"``
+(default) records the task in :class:`FaultStats` and yields ``None``
+for it, ``"raise"`` raises :class:`PoisonTaskError`, ``"skip"`` records
+it without the isolated probe.  Everything that happened is tallied in
+:attr:`ExperimentRunner.fault_stats`.  Deterministic fault *injection*
+for exercising these paths lives in :mod:`repro.runtime.faults`.
+
 Worker-shared cache protocol
 ----------------------------
 
@@ -45,6 +64,12 @@ zero recomputes.  Every dispatched task reports back an
   execution (the serial twin finishing a ``peek_memory`` with
   :meth:`~repro.runtime.disk_cache.PersistentResultCache.probe_disk`);
   nothing is left to record.
+* ``"uncached"`` — the worker computed the value but could not open the
+  shared cache directory; the parent persists the value itself, emits a
+  one-time :class:`RuntimeWarning` and counts the event in
+  :class:`FaultStats`;
+* ``"failed"`` — the task was quarantined/skipped under the failure
+  policy; its result is ``None`` and nothing touches the cache.
 
 The bookkeeping keeps the ``computed == misses - disk_hits`` invariant of
 :class:`~repro.linalg.cache.CacheStats` intact whichever process did the
@@ -55,11 +80,17 @@ warm runs.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.runtime.faults import FaultInjector, FaultPlan, write_corrupt_frame
 
 #: Environment knobs: REPRO_PARALLEL=1 turns fan-out on by default,
 #: REPRO_WORKERS caps the pool size.
@@ -105,6 +136,116 @@ def point_seed(base_seed: int, *parts: Any) -> int:
     return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
 
 
+# -- failure policy & accounting ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a parallel ``map`` responds to worker death, hangs and errors.
+
+    Args:
+        task_timeout: seconds a dispatched task may run before its pool
+            is killed and the task is treated as hung (``None`` = wait
+            forever, the historical behaviour).
+        max_retries: how many times a failed/hung task is re-dispatched
+            before the failure is final.
+        backoff_base: first retry delay in seconds; doubles per attempt.
+        backoff_max: upper bound on any single retry delay.
+        max_pool_rebuilds: pool crashes tolerated per ``map`` before the
+            runner stops re-dispatching blindly and attributes the
+            poison task via isolated probes.
+        on_poison: what to do with an attributed poison task —
+            ``"quarantine"`` (isolated probe, then record + ``None``
+            result), ``"raise"`` (:class:`PoisonTaskError`), or
+            ``"skip"`` (record + ``None`` result, no probe).
+        probe_timeout: seconds the isolated single-worker probe may run.
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    max_pool_rebuilds: int = 3
+    on_poison: str = "quarantine"
+    probe_timeout: float = 60.0
+
+    def __post_init__(self):
+        if self.on_poison not in ("quarantine", "raise", "skip"):
+            raise ValueError(
+                f"on_poison must be 'quarantine', 'raise' or 'skip', "
+                f"got {self.on_poison!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+
+
+@dataclass
+class FaultStats:
+    """Tally of failure events absorbed by a runner (across ``map`` calls).
+
+    ``quarantined`` holds a human-readable entry per task that was given
+    up on (its label plus why); everything else is a counter.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    uncached_tasks: int = 0
+    quarantined: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.pool_rebuilds
+            or self.uncached_tasks
+            or self.quarantined
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (used by the server's metrics payload)."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "uncached_tasks": self.uncached_tasks,
+            "quarantined": list(self.quarantined),
+        }
+
+    def describe(self) -> str:
+        """One-line summary for CLI reports (empty string when clean)."""
+        if not self:
+            return ""
+        parts = []
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.uncached_tasks:
+            parts.append(f"{self.uncached_tasks} uncached worker tasks")
+        if self.quarantined:
+            parts.append(
+                f"{len(self.quarantined)} quarantined: "
+                + "; ".join(self.quarantined)
+            )
+        return "faults: " + ", ".join(parts)
+
+
+class PoisonTaskError(RuntimeError):
+    """A task repeatedly killed/hung its worker under ``on_poison="raise"``."""
+
+    def __init__(self, label: str, reason: str):
+        super().__init__(f"poison task {label}: {reason}")
+        self.label = label
+        self.reason = reason
+
+
 # -- worker-side shared disk cache --------------------------------------------
 #
 # When the runner's result cache is disk-backed, every pool worker opens its
@@ -117,43 +258,83 @@ def point_seed(base_seed: int, *parts: Any) -> int:
 #: Per-worker-process cache instance, set by the pool initializer.
 _WORKER_CACHE: Optional[Any] = None
 
+#: True in a worker whose cache initializer failed — reported back to the
+#: parent per task via the ``uncached`` outcome tag so the degradation is
+#: visible instead of silent.
+_WORKER_CACHE_FAILED = False
+
+#: Per-worker-process fault injector (None = no plan), plus a resolved
+#: flag so workers without an initializer lazily consult REPRO_FAULT_PLAN.
+_WORKER_INJECTOR: Optional[FaultInjector] = None
+_WORKER_INJECTOR_RESOLVED = False
+
 #: Result tags of one dispatched task (the first tuple element returned by
-#: :func:`_call_with_worker_cache` and the serial twin):
+#: :func:`_run_task` and the serial twin):
 #: ``computed`` — parent must store the value in both tiers;
 #: ``stored`` — worker computed *and* persisted it (parent warms its LRU);
 #: ``shared`` — worker served it from the shared cache (a worker disk hit);
-#: ``cached`` — the parent's own cache served it during serial execution.
+#: ``cached`` — the parent's own cache served it during serial execution;
+#: ``uncached`` — the worker's cache is broken, the parent must persist it;
+#: ``failed`` — the task was quarantined; its result slot is ``None``.
 TASK_COMPUTED = "computed"
 TASK_STORED = "stored"
 TASK_SHARED = "shared"
 TASK_CACHED = "cached"
+TASK_UNCACHED = "uncached"
+TASK_FAILED = "failed"
 
 
 def _init_worker_cache(spec: dict) -> None:
-    """Pool initializer: open this worker's view of the shared cache dir."""
-    global _WORKER_CACHE
+    """Pool initializer: open this worker's view of the shared cache dir.
+
+    A failure leaves the worker uncached but *visible*: the sentinel flag
+    makes every result from this worker carry the ``uncached`` tag, which
+    the parent converts into a one-time RuntimeWarning and a
+    :class:`FaultStats` count instead of silently losing cache coverage.
+    """
+    global _WORKER_CACHE, _WORKER_CACHE_FAILED
     from repro.runtime.disk_cache import PersistentResultCache
 
     try:
         _WORKER_CACHE = PersistentResultCache(**spec)
-    except Exception:  # pragma: no cover - unwritable dir in a worker
+    except Exception:
         _WORKER_CACHE = None
+        _WORKER_CACHE_FAILED = True
 
 
-def _init_worker(cache_spec: Optional[dict], array_specs: Optional[list]) -> None:
-    """Pool initializer: wire up the shared cache and shared arrays.
+def _init_worker(
+    cache_spec: Optional[dict],
+    array_specs: Optional[list],
+    plan_spec: Optional[str] = None,
+) -> None:
+    """Pool initializer: wire up the shared cache, arrays and fault plan.
 
     Runs once per worker *process*, and the pool outlives individual
     ``map`` calls — so the cache handle (warm LRU + open segment index)
     and the attached arrays stay hot across every stage a multi-stage
     driver fans out.
     """
+    global _WORKER_INJECTOR, _WORKER_INJECTOR_RESOLVED
     if cache_spec is not None:
         _init_worker_cache(cache_spec)
     if array_specs:
         from repro.runtime.shared import register_shared_arrays
 
         register_shared_arrays(array_specs)
+    if plan_spec is not None:
+        plan = FaultPlan.parse(plan_spec)
+        _WORKER_INJECTOR = None if plan is None else FaultInjector(plan)
+        _WORKER_INJECTOR_RESOLVED = True
+
+
+def _worker_injector() -> Optional[FaultInjector]:
+    """This process's injector, lazily resolved from REPRO_FAULT_PLAN."""
+    global _WORKER_INJECTOR, _WORKER_INJECTOR_RESOLVED
+    if not _WORKER_INJECTOR_RESOLVED:
+        plan = FaultPlan.from_env()
+        _WORKER_INJECTOR = None if plan is None else FaultInjector(plan)
+        _WORKER_INJECTOR_RESOLVED = True
+    return _WORKER_INJECTOR
 
 
 def _call_with_worker_cache(fn: Callable[..., Any], key: Hashable, task: Tuple):
@@ -165,9 +346,36 @@ def _call_with_worker_cache(fn: Callable[..., Any], key: Hashable, task: Tuple):
             return (TASK_SHARED, cached)
     value = fn(*task)
     if cache is None:
+        if key is not None and _WORKER_CACHE_FAILED:
+            return (TASK_UNCACHED, value)
         return (TASK_COMPUTED, value)
     cache.put(key, value)
     return (TASK_STORED, value)
+
+
+def _run_task(
+    fn: Callable[..., Any], key: Optional[Hashable], task: Tuple, ordinal: int
+):
+    """Worker-side task wrapper: fault injection + shared-cache protocol.
+
+    ``ordinal`` is the task's dispatch ordinal (stable across retries and
+    pool rebuilds), which is what a :class:`~repro.runtime.faults.FaultPlan`
+    schedules against.  A claimed ``corrupt`` fault skips the cache read,
+    appends a bad-CRC frame for the key, and reports ``stored`` so the
+    parent does not paper over the damage with a good frame.
+    """
+    injector = _worker_injector()
+    corrupt = injector.fire(ordinal) if injector is not None else False
+    if corrupt and key is not None:
+        cache = _WORKER_CACHE
+        value = fn(*task)
+        if cache is not None:
+            write_corrupt_frame(cache.cache_dir, key)
+            return (TASK_STORED, value)
+        return (TASK_COMPUTED, value)
+    if key is None:
+        return (TASK_COMPUTED, fn(*task))
+    return _call_with_worker_cache(fn, key, task)
 
 
 class ExperimentRunner:
@@ -183,6 +391,17 @@ class ExperimentRunner:
             task when the caller supplies cache keys; ``None`` disables
             caching.
         progress: optional callable invoked with a status string per task.
+        failure_policy: retry/timeout/quarantine behaviour for the
+            parallel path (default :class:`FailurePolicy`, which matches
+            the historical semantics except that a broken pool now
+            re-dispatches unfinished work instead of rerunning everything
+            serially).
+        fault_plan: deterministic fault-injection schedule; ``None``
+            defers to the ``REPRO_FAULT_PLAN`` environment variable
+            (normally unset — injection is for tests and chaos drills).
+        start_method: multiprocessing start method for the pool
+            (``"fork"``/``"spawn"``/``"forkserver"``); ``None`` uses the
+            platform default.
     """
 
     def __init__(
@@ -191,6 +410,9 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         result_cache: Optional[Any] = None,
         progress: Optional[Callable[[str], None]] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        start_method: Optional[str] = None,
     ):
         self._parallel = parallel_enabled_by_env() if parallel is None else bool(parallel)
         self._max_workers = (
@@ -200,6 +422,19 @@ class ExperimentRunner:
             raise ValueError("max_workers must be at least 1")
         self._result_cache = result_cache
         self._progress = progress
+        self._failure_policy = (
+            FailurePolicy() if failure_policy is None else failure_policy
+        )
+        self._fault_plan = FaultPlan.from_env() if fault_plan is None else fault_plan
+        self._start_method = start_method
+        self._fault_stats = FaultStats()
+        self._serial_injector_instance: Optional[FaultInjector] = None
+        self._warned_uncached = False
+        # Dispatch ordinals are assigned per dispatched task across the
+        # runner's lifetime (cache hits resolved by the parent are never
+        # dispatched) and stay stable across retries/pool rebuilds — they
+        # are the coordinate system fault plans schedule against.
+        self._dispatched = 0
         # The worker pool is created lazily on the first parallel map() and
         # reused by later calls, so multi-stage drivers pay the process
         # spawn / interpreter import cost once per runner, not per stage —
@@ -226,9 +461,24 @@ class ExperimentRunner:
         return self._result_cache
 
     @property
+    def failure_policy(self) -> FailurePolicy:
+        """The failure policy applied to parallel execution."""
+        return self._failure_policy
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Failure events absorbed so far (accumulates across ``map``)."""
+        return self._fault_stats
+
+    @property
     def pool_alive(self) -> bool:
         """True while a worker pool is up (persisting across ``map`` calls)."""
         return self._pool is not None
+
+    @property
+    def pool_broken(self) -> bool:
+        """True when the current pool has lost a worker and cannot execute."""
+        return self._pool is not None and bool(getattr(self._pool, "_broken", False))
 
     # -- shared read-only arrays --------------------------------------------
 
@@ -250,6 +500,33 @@ class ExperimentRunner:
         self._shared_arrays = share_arrays(arrays)
 
     # -- lifecycle ----------------------------------------------------------
+
+    def ensure_pool(self) -> bool:
+        """Start (or replace a broken) worker pool ahead of need.
+
+        Returns True when a live pool is up afterwards; False for serial
+        runners or when pool creation is impossible in this environment.
+        """
+        if not self._parallel:
+            return False
+        if self.pool_broken:
+            self._kill_pool()
+        if self._pool is None:
+            try:
+                self._pool = self._create_pool()
+            except (OSError, PermissionError, ImportError):
+                return False
+        return True
+
+    def restart_pool(self) -> bool:
+        """Tear down any current pool and start a fresh one.
+
+        Returns True when a live pool is up afterwards (False for serial
+        runners).  This is the self-healing hook the server's job loop
+        uses when it finds the pool dead between requests.
+        """
+        self._kill_pool()
+        return self.ensure_pool()
 
     def close(self) -> None:
         """Shut the worker pool down and release any shared-memory arrays
@@ -274,8 +551,31 @@ class ExperimentRunner:
 
     def _discard_pool(self, wait: bool) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=wait, cancel_futures=True)
+            pool = self._pool
             self._pool = None
+            if wait and getattr(pool, "_broken", False):
+                # Waiting on a broken pool can deadlock on dead workers.
+                wait = False
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down without waiting, terminating stuck workers.
+
+        ``shutdown(wait=False)`` alone leaves a *hung* worker running (and
+        holding its pipe) forever; terminating the processes afterwards is
+        what actually reclaims the workers after a timeout or crash.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-reaped process
+                pass
 
     # -- execution ----------------------------------------------------------
 
@@ -301,7 +601,9 @@ class ExperimentRunner:
 
         Returns:
             One result per task, in task order, mixing cached and computed
-            values transparently.
+            values transparently.  A task quarantined/skipped under the
+            failure policy yields ``None`` (and an entry in
+            :attr:`fault_stats`).
         """
         tasks = list(tasks)
         progress = progress if progress is not None else self._progress
@@ -330,20 +632,36 @@ class ExperimentRunner:
         if pending:
             pending_labels = None if labels is None else [labels[i] for i in pending]
             pending_keys = [keys[i] for i in pending] if share else None
+            base = self._dispatched
+            self._dispatched += len(pending)
+            ordinals = list(range(base, base + len(pending)))
             outcomes = self._execute(
-                [tasks[i] for i in pending], fn, pending_labels, progress, pending_keys
+                [tasks[i] for i in pending],
+                fn,
+                pending_labels,
+                progress,
+                pending_keys,
+                ordinals,
             )
             for index, (outcome, value) in zip(pending, outcomes):
+                if outcome == TASK_FAILED:
+                    results[index] = None
+                    continue
                 results[index] = value
                 if cache is not None and keys is not None:
                     if outcome == TASK_SHARED:
                         cache.note_worker_hit(keys[index], value)
                     elif outcome == TASK_STORED:
                         cache.put_local(keys[index], value)
+                    elif outcome == TASK_UNCACHED:
+                        self._note_uncached_worker()
+                        cache.put(keys[index], value)
                     elif outcome == TASK_COMPUTED:
                         cache.put(keys[index], value)
                     # TASK_CACHED: the parent cache served (and counted) it
                     # during serial execution; nothing left to record.
+                elif outcome == TASK_UNCACHED:  # pragma: no cover - defensive
+                    self._note_uncached_worker()
         return results
 
     # -- internals ----------------------------------------------------------
@@ -356,6 +674,42 @@ class ExperimentRunner:
     ) -> None:
         if progress is not None and labels is not None:
             progress(labels[position])
+
+    def _note_uncached_worker(self) -> None:
+        """Count (and warn once about) a worker running without its cache."""
+        self._fault_stats.uncached_tasks += 1
+        if not self._warned_uncached:
+            self._warned_uncached = True
+            warnings.warn(
+                "a pool worker failed to open the shared result cache; "
+                "its results are being persisted by the parent instead "
+                "(cache coverage is degraded, not lost)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _task_label(
+        self, labels: Optional[Sequence[str]], position: int, ordinal: int
+    ) -> str:
+        if labels is not None:
+            return labels[position]
+        return f"task {ordinal}"
+
+    def _serial_injector(self) -> Optional[FaultInjector]:
+        """The parent-process injector used by serial execution paths."""
+        if self._fault_plan is None:
+            return None
+        if self._serial_injector_instance is None:
+            self._serial_injector_instance = FaultInjector(self._fault_plan)
+        return self._serial_injector_instance
+
+    def _backoff_delay(self, attempt: int, ordinal: int) -> float:
+        """Retry delay: exponential in ``attempt`` with deterministic jitter."""
+        policy = self._failure_policy
+        base = policy.backoff_base * (2 ** max(0, attempt - 1))
+        token = hashlib.sha256(f"retry-jitter|{ordinal}|{attempt}".encode()).digest()
+        jitter = 0.5 + int.from_bytes(token[:4], "big") / 2**32
+        return min(policy.backoff_max, base * jitter)
 
     def _shares_cache_with_workers(
         self, keys: Optional[Sequence[Hashable]], task_count: int
@@ -373,21 +727,28 @@ class ExperimentRunner:
             and min(self._max_workers, task_count) > 1
         )
 
-    def _create_pool(self) -> ProcessPoolExecutor:
-        """Build the worker pool, wiring up the shared cache dir and any
-        shared read-only arrays."""
+    def _build_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        """Build a pool wiring up the cache dir, shared arrays and fault plan."""
         spec = getattr(self._result_cache, "worker_spec", None)
         cache_spec = None if spec is None else spec()
         array_specs = (
             None if self._shared_arrays is None else self._shared_arrays.specs
         )
-        if cache_spec is None and array_specs is None:
-            return ProcessPoolExecutor(max_workers=self._max_workers)
+        plan_spec = None if self._fault_plan is None else self._fault_plan.spec
+        kwargs: Dict[str, Any] = {"max_workers": max_workers}
+        if self._start_method is not None:
+            kwargs["mp_context"] = multiprocessing.get_context(self._start_method)
+        if cache_spec is None and array_specs is None and plan_spec is None:
+            return ProcessPoolExecutor(**kwargs)
         return ProcessPoolExecutor(
-            max_workers=self._max_workers,
             initializer=_init_worker,
-            initargs=(cache_spec, array_specs),
+            initargs=(cache_spec, array_specs, plan_spec),
+            **kwargs,
         )
+
+    def _create_pool(self) -> ProcessPoolExecutor:
+        """Build the runner's shared worker pool."""
+        return self._build_pool(self._max_workers)
 
     def _execute(
         self,
@@ -396,6 +757,7 @@ class ExperimentRunner:
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
         keys: Optional[Sequence[Hashable]] = None,
+        ordinals: Optional[Sequence[int]] = None,
     ) -> List[Tuple[str, Any]]:
         """Run the pending tasks, returning ``(outcome, value)`` pairs.
 
@@ -404,62 +766,317 @@ class ExperimentRunner:
         parent cache's disk tier itself so a pool failure never recomputes
         a record that is already on disk.
         """
+        if ordinals is None:
+            ordinals = list(range(len(tasks)))
         workers = min(self._max_workers, len(tasks))
         if not self._parallel or workers <= 1 or len(tasks) <= 1:
-            return self._execute_serial(tasks, fn, labels, progress, keys)
-        # Only pool-infrastructure failures fall back to the serial twin:
-        # pool/worker creation (no fork or POSIX semaphores in restricted
-        # sandboxes) and a broken pool at collection time.  Exceptions
-        # raised by the task function itself propagate unchanged.
-        try:
-            if self._pool is None:
-                self._pool = self._create_pool()
-            pool = self._pool
-        except (OSError, PermissionError, ImportError) as error:
-            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
-        futures = []
-        try:
-            for position, task in enumerate(tasks):
-                self._announce(progress, labels, position)
-                if keys is not None:
-                    futures.append(
-                        pool.submit(_call_with_worker_cache, fn, keys[position], task)
-                    )
-                else:
-                    futures.append(pool.submit(fn, *task))
-        except (OSError, PermissionError, ImportError) as error:
-            self._discard_pool(wait=False)
-            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
-        try:
-            collected = [future.result() for future in futures]
-        except BrokenProcessPool as error:
-            self._discard_pool(wait=False)
-            return self._serial_fallback(tasks, fn, labels, progress, keys, error)
-        except BaseException:
-            # A task raised (or the caller interrupted): stop the pending
-            # work so stragglers don't keep burning CPU, keep the pool.
-            for future in futures:
-                future.cancel()
-            raise
-        if keys is not None:
-            return collected
-        return [(TASK_COMPUTED, value) for value in collected]
+            return self._execute_serial(tasks, fn, labels, progress, keys, ordinals)
+        return self._execute_parallel(tasks, fn, labels, progress, keys, ordinals)
 
-    def _serial_fallback(
+    def _execute_parallel(
         self,
         tasks: Sequence[Tuple],
         fn: Callable[..., Any],
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
         keys: Optional[Sequence[Hashable]],
+        ordinals: Sequence[int],
+    ) -> List[Tuple[str, Any]]:
+        """Dispatch rounds with crash/hang/retry recovery.
+
+        Each round submits every still-unfinished task to the (possibly
+        rebuilt) pool and collects in submission order.  Results already
+        collected are never recomputed: a ``BrokenProcessPool`` or a hang
+        only costs the in-flight work.  Only pool-*creation* failures (no
+        fork/semaphores in restricted sandboxes) complete serially, and
+        then only for the unfinished remainder.
+        """
+        policy = self._failure_policy
+        total = len(tasks)
+        outcomes: List[Optional[Tuple[str, Any]]] = [None] * total
+        attempts = [0] * total
+        rebuilds = 0
+        retry_delay = 0.0
+        while True:
+            unfinished = [p for p in range(total) if outcomes[p] is None]
+            if not unfinished:
+                return outcomes  # type: ignore[return-value]
+            if retry_delay > 0.0:
+                time.sleep(retry_delay)
+                retry_delay = 0.0
+            if self.pool_broken:
+                self._kill_pool()
+            try:
+                if self._pool is None:
+                    self._pool = self._create_pool()
+                pool = self._pool
+            except (OSError, PermissionError, ImportError) as error:
+                return self._serial_completion(
+                    tasks, fn, labels, progress, keys, ordinals, outcomes, error
+                )
+            futures: Dict[int, Any] = {}
+            crashed = False
+            try:
+                for position in unfinished:
+                    self._announce(progress, labels, position)
+                    key = None if keys is None else keys[position]
+                    futures[position] = pool.submit(
+                        _run_task, fn, key, tasks[position], ordinals[position]
+                    )
+            except BrokenProcessPool:
+                crashed = True
+            except (OSError, PermissionError, ImportError) as error:
+                self._kill_pool()
+                self._harvest(futures, outcomes)
+                return self._serial_completion(
+                    tasks, fn, labels, progress, keys, ordinals, outcomes, error
+                )
+            hung: Optional[int] = None
+            failure: Optional[BaseException] = None
+            if not crashed:
+                for position in unfinished:
+                    future = futures.get(position)
+                    if future is None:  # pragma: no cover - defensive
+                        continue
+                    error: Optional[BaseException] = None
+                    try:
+                        outcomes[position] = future.result(timeout=policy.task_timeout)
+                        continue
+                    except BrokenProcessPool:
+                        crashed = True
+                        break
+                    except FuturesTimeout:
+                        # Python 3.11 aliases concurrent.futures.TimeoutError
+                        # to the builtin: only an *unfinished* future means
+                        # the wait timed out (a hang); a finished one means
+                        # the task itself raised a TimeoutError.
+                        if not future.done():
+                            hung = position
+                            break
+                        error = future.exception()
+                    except (KeyboardInterrupt, SystemExit):
+                        for live in futures.values():
+                            live.cancel()
+                        raise
+                    except BaseException as task_error:
+                        error = task_error
+                    if error is None:
+                        # Completed between the timeout and the done()
+                        # check; _harvest collects it below.
+                        continue
+                    # The task itself raised: retry if budget remains,
+                    # otherwise this is the map's failure.
+                    if attempts[position] < policy.max_retries:
+                        attempts[position] += 1
+                        self._fault_stats.retries += 1
+                        retry_delay = max(
+                            retry_delay,
+                            self._backoff_delay(attempts[position], ordinals[position]),
+                        )
+                    else:
+                        failure = error
+                        break
+            self._harvest(futures, outcomes)
+            if failure is not None:
+                for live in futures.values():
+                    live.cancel()
+                raise failure
+            if hung is not None:
+                self._fault_stats.timeouts += 1
+                self._kill_pool()
+                if attempts[hung] < policy.max_retries:
+                    attempts[hung] += 1
+                    self._fault_stats.retries += 1
+                    retry_delay = max(
+                        retry_delay,
+                        self._backoff_delay(attempts[hung], ordinals[hung]),
+                    )
+                else:
+                    self._settle_poison(
+                        hung,
+                        tasks,
+                        fn,
+                        labels,
+                        keys,
+                        ordinals,
+                        outcomes,
+                        f"hung past the {policy.task_timeout}s task timeout",
+                    )
+                continue
+            if crashed:
+                self._fault_stats.pool_rebuilds += 1
+                rebuilds += 1
+                self._kill_pool()
+                if rebuilds > policy.max_pool_rebuilds:
+                    # Blind re-dispatch has not converged: attribute the
+                    # poison task(s) by probing each survivor in isolation.
+                    self._attribute_poison(
+                        tasks, fn, labels, keys, ordinals, outcomes
+                    )
+
+    def _harvest(
+        self,
+        futures: Dict[int, Any],
+        outcomes: List[Optional[Tuple[str, Any]]],
+    ) -> None:
+        """Fold successfully finished futures into ``outcomes``.
+
+        After a crash or hang-kill, work that *did* complete in other
+        workers is kept — that is what makes recovery cost only the
+        in-flight tasks instead of the whole map.
+        """
+        for position, future in futures.items():
+            if outcomes[position] is not None:
+                continue
+            if future.done() and not future.cancelled() and future.exception() is None:
+                outcomes[position] = future.result()
+
+    def _settle_poison(
+        self,
+        position: int,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        keys: Optional[Sequence[Hashable]],
+        ordinals: Sequence[int],
+        outcomes: List[Optional[Tuple[str, Any]]],
+        reason: str,
+    ) -> None:
+        """Apply ``on_poison`` to one attributed poison task."""
+        policy = self._failure_policy
+        label = self._task_label(labels, position, ordinals[position])
+        if policy.on_poison == "raise":
+            raise PoisonTaskError(label, reason)
+        if policy.on_poison == "quarantine":
+            key = None if keys is None else keys[position]
+            status, outcome = self._probe_isolated(
+                fn, tasks[position], key, ordinals[position]
+            )
+            if status == "ok":
+                outcomes[position] = outcome
+                return
+            reason = f"{reason}; isolated probe {status}"
+        outcomes[position] = (TASK_FAILED, None)
+        self._fault_stats.quarantined.append(f"{label} ({reason})")
+
+    def _attribute_poison(
+        self,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        keys: Optional[Sequence[Hashable]],
+        ordinals: Sequence[int],
+        outcomes: List[Optional[Tuple[str, Any]]],
+    ) -> None:
+        """Probe every unfinished task in isolation after repeated crashes.
+
+        Tasks that survive their probe keep their result; tasks that
+        crash or hang it are the attributed poison and get the
+        ``on_poison`` treatment.
+        """
+        policy = self._failure_policy
+        for position in range(len(tasks)):
+            if outcomes[position] is not None:
+                continue
+            label = self._task_label(labels, position, ordinals[position])
+            if policy.on_poison == "skip":
+                outcomes[position] = (TASK_FAILED, None)
+                self._fault_stats.quarantined.append(
+                    f"{label} (skipped after repeated pool crashes)"
+                )
+                continue
+            key = None if keys is None else keys[position]
+            status, outcome = self._probe_isolated(
+                fn, tasks[position], key, ordinals[position]
+            )
+            if status == "ok":
+                outcomes[position] = outcome
+                continue
+            if policy.on_poison == "raise":
+                raise PoisonTaskError(
+                    label, f"{status} in an isolated single-worker probe"
+                )
+            outcomes[position] = (TASK_FAILED, None)
+            self._fault_stats.quarantined.append(
+                f"{label} ({status} in an isolated single-worker probe)"
+            )
+
+    def _probe_isolated(
+        self,
+        fn: Callable[..., Any],
+        task: Tuple,
+        key: Optional[Hashable],
+        ordinal: int,
+    ) -> Tuple[str, Optional[Tuple[str, Any]]]:
+        """Run one suspect task in a fresh single-worker pool.
+
+        Returns ``("ok", outcome)``, ``("crashed", None)`` or
+        ``("hung", None)``; an exception raised by the task itself
+        propagates unchanged.  The probe pool is torn down afterwards so
+        a hung probe cannot leak a worker.
+        """
+        policy = self._failure_policy
+        try:
+            probe = self._build_pool(max_workers=1)
+        except (OSError, PermissionError, ImportError):
+            # No subprocess available: probe in-process (a crash fault
+            # here would take the parent down, but environments without
+            # subprocesses cannot crash workers either).
+            try:
+                return ("ok", _run_task(fn, key, task, ordinal))
+            except BrokenProcessPool:  # pragma: no cover - defensive
+                return ("crashed", None)
+        try:
+            future = probe.submit(_run_task, fn, key, task, ordinal)
+            try:
+                return ("ok", future.result(timeout=policy.probe_timeout))
+            except BrokenProcessPool:
+                return ("crashed", None)
+            except FuturesTimeout:
+                if future.done():
+                    error = future.exception()
+                    if error is not None:
+                        raise error
+                    return ("ok", future.result())  # pragma: no cover
+                return ("hung", None)
+        finally:
+            processes = list((getattr(probe, "_processes", None) or {}).values())
+            probe.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already reaped
+                    pass
+
+    def _serial_completion(
+        self,
+        tasks: Sequence[Tuple],
+        fn: Callable[..., Any],
+        labels: Optional[Sequence[str]],
+        progress: Optional[Callable[[str], None]],
+        keys: Optional[Sequence[Hashable]],
+        ordinals: Sequence[int],
+        outcomes: List[Optional[Tuple[str, Any]]],
         error: BaseException,
     ) -> List[Tuple[str, Any]]:
+        """Finish the unfinished tasks serially (pool unavailable)."""
         warnings.warn(
-            f"process pool unavailable ({error}); running serially",
+            f"process pool unavailable ({error}); completing serially",
             RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
-        return self._execute_serial(tasks, fn, labels, progress, keys)
+        unfinished = [p for p in range(len(tasks)) if outcomes[p] is None]
+        serial = self._execute_serial(
+            [tasks[p] for p in unfinished],
+            fn,
+            None if labels is None else [labels[p] for p in unfinished],
+            progress,
+            None if keys is None else [keys[p] for p in unfinished],
+            [ordinals[p] for p in unfinished],
+        )
+        for position, outcome in zip(unfinished, serial):
+            outcomes[position] = outcome
+        return outcomes  # type: ignore[return-value]
 
     def _execute_serial(
         self,
@@ -468,11 +1085,20 @@ class ExperimentRunner:
         labels: Optional[Sequence[str]],
         progress: Optional[Callable[[str], None]],
         keys: Optional[Sequence[Hashable]] = None,
+        ordinals: Optional[Sequence[int]] = None,
     ) -> List[Tuple[str, Any]]:
+        """The serial twin.  Fault injection fires in-process here (a
+        ``crash`` fault exits *this* process — exactly what a durable
+        checkpoint must survive); the failure policy's retry/quarantine
+        machinery applies only to the parallel path."""
+        injector = self._serial_injector()
         results: List[Tuple[str, Any]] = []
         for position, task in enumerate(tasks):
             self._announce(progress, labels, position)
-            if keys is not None:
+            corrupt = False
+            if injector is not None and ordinals is not None:
+                corrupt = injector.fire(ordinals[position])
+            if keys is not None and not corrupt:
                 # The parent only peeked its memory tier before dispatch;
                 # finish the lookup against the disk tier here (counter
                 # semantics identical to a full fall-through get()).
@@ -480,7 +1106,14 @@ class ExperimentRunner:
                 if cached is not None:
                     results.append((TASK_CACHED, cached))
                     continue
-            results.append((TASK_COMPUTED, fn(*task)))
+            value = fn(*task)
+            if corrupt and keys is not None:
+                cache_dir = getattr(self._result_cache, "cache_dir", None)
+                if cache_dir is not None:
+                    write_corrupt_frame(cache_dir, keys[position])
+                    results.append((TASK_STORED, value))
+                    continue
+            results.append((TASK_COMPUTED, value))
         return results
 
 

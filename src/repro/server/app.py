@@ -27,6 +27,12 @@ Design notes:
 * **Shutdown** — SIGINT/SIGTERM (or ``POST /v1/shutdown``) drain:
   accepting stops, queued and in-flight jobs finish, their responses are
   delivered, then the pool and cache close.
+* **Resilience** — a dead or broken worker pool never takes the server
+  down: the dispatcher restarts it before the next job, ``/v1/health``
+  reports ``degraded`` (with a ``pool`` sub-object) until it is healed,
+  503 responses carry ``Retry-After``, and requests may set
+  ``deadline_s`` to receive 504 instead of waiting indefinitely.  See
+  ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -71,6 +77,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Sentinel closing a streaming response's line queue.
@@ -88,6 +95,14 @@ def _json_default(value: Any):
 def _encode_json(payload: Any) -> bytes:
     """One compact JSON line (newline-terminated) as bytes."""
     return (json.dumps(payload, default=_json_default) + "\n").encode("utf-8")
+
+
+def _error_headers(error: "jobs.RequestError") -> Optional[Dict[str, str]]:
+    """Extra response headers for an error (``Retry-After`` when advised)."""
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is None:
+        return None
+    return {"Retry-After": f"{max(1, round(retry_after))}"}
 
 
 def _warm_task(index: int) -> int:
@@ -164,7 +179,9 @@ class ReproServer:
         self._responses: Dict[int, int] = {}
         self._jobs_completed = 0
         self._jobs_failed = 0
+        self._jobs_expired = 0
         self._points_completed = 0
+        self._pool_restarts = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -274,11 +291,23 @@ class ReproServer:
     # -- dispatcher ----------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
-        """Drain the job queue FIFO; one job at a time owns the runner."""
+        """Drain the job queue FIFO; one job at a time owns the runner.
+
+        Before each job the loop checks the resident pool: a pool whose
+        worker died between requests (SIGKILL, OOM) is torn down and
+        restarted here — off the event loop — so the job runs against a
+        live pool instead of failing with ``BrokenProcessPool``.
+        """
         loop = asyncio.get_running_loop()
         while True:
             job = await self._queue.get()
             try:
+                if self._runner.parallel and self._runner.pool_broken:
+                    healed = await loop.run_in_executor(
+                        None, self._runner.restart_pool
+                    )
+                    if healed:
+                        self._pool_restarts += 1
                 await job.run(loop)
             finally:
                 self._queue.task_done()
@@ -292,7 +321,9 @@ class ReproServer:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
             raise jobs.RequestError(
-                f"request queue full ({self._queue_size} pending)", status=503
+                f"request queue full ({self._queue_size} pending)",
+                status=503,
+                retry_after=1.0,
             ) from None
         return job
 
@@ -366,12 +397,15 @@ class ReproServer:
         writer: asyncio.StreamWriter,
         status: int,
         payload: Any,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = _encode_json(payload)
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -408,7 +442,9 @@ class ReproServer:
         try:
             request = await self._read_request(reader)
         except jobs.RequestError as error:
-            await self._write_response(writer, error.status, {"error": str(error)})
+            await self._write_response(
+                writer, error.status, {"error": str(error)}, _error_headers(error)
+            )
             return
         if request is None:
             return
@@ -441,7 +477,9 @@ class ReproServer:
                     writer, 404, {"error": f"unknown endpoint {path!r}"}
                 )
         except jobs.RequestError as error:
-            await self._write_response(writer, error.status, {"error": str(error)})
+            await self._write_response(
+                writer, error.status, {"error": str(error)}, _error_headers(error)
+            )
         except Exception as error:  # defensive: a bug answers 500, not a hang
             await self._write_response(
                 writer, 500, {"error": f"{type(error).__name__}: {error}"}
@@ -460,15 +498,35 @@ class ReproServer:
 
     # -- endpoint payloads ---------------------------------------------------
 
-    def _health_payload(self) -> Dict[str, Any]:
+    def _pool_payload(self) -> Optional[Dict[str, Any]]:
+        """Pool liveness sub-object for health/metrics (``None`` if serial)."""
+        if not self._runner.parallel:
+            return None
         return {
-            "status": "draining" if self._draining else "ok",
+            "alive": self._runner.pool_alive,
+            "broken": self._runner.pool_broken,
+            "restarts": self._pool_restarts,
+        }
+
+    def _health_payload(self) -> Dict[str, Any]:
+        if self._draining:
+            status = "draining"
+        elif self._runner.pool_broken:
+            # A worker died and the pool has not been rebuilt yet; the
+            # dispatcher heals it before the next job, so the server is
+            # degraded, not down.
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "queue_capacity": self._queue_size,
             "parallel": self._runner.parallel,
             "workers": self._runner.max_workers,
             "auth": self._token is not None,
+            "pool": self._pool_payload(),
         }
 
     def _metrics_payload(self) -> Dict[str, Any]:
@@ -481,8 +539,14 @@ class ReproServer:
             "started_at_unix": round(self._started_wall, 3),
             "requests": dict(self._requests),
             "responses": {str(code): count for code, count in self._responses.items()},
-            "jobs": {"completed": self._jobs_completed, "failed": self._jobs_failed},
+            "jobs": {
+                "completed": self._jobs_completed,
+                "failed": self._jobs_failed,
+                "expired": self._jobs_expired,
+            },
             "points_completed": self._points_completed,
+            "pool": self._pool_payload(),
+            "faults": self._runner.fault_stats.as_dict(),
             "queue": {
                 "depth": self._queue.qsize() if self._queue is not None else 0,
                 "capacity": self._queue_size,
@@ -492,12 +556,24 @@ class ReproServer:
         }
 
     async def _handle_transpile(self, writer: asyncio.StreamWriter, body: bytes) -> None:
-        specs = jobs.parse_transpile_request(self._parse_body(body))
+        parsed = self._parse_body(body)
+        deadline = jobs.pop_deadline(parsed)
+        specs = jobs.parse_transpile_request(parsed)
         job = self._submit(
             functools.partial(jobs.run_transpile_job, specs, self._runner)
         )
         try:
-            payload = await job.future
+            if deadline is None:
+                payload = await job.future
+            else:
+                payload = await asyncio.wait_for(job.future, deadline)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future; the worker thread finishes the
+            # job anyway (warming the cache), but this client stops waiting.
+            self._jobs_expired += 1
+            raise jobs.RequestError(
+                f"deadline of {deadline:g}s exceeded", status=504, retry_after=1.0
+            ) from None
         except Exception as error:
             self._jobs_failed += 1
             raise jobs.RequestError(
@@ -519,7 +595,9 @@ class ReproServer:
         return cache.cache_dir / "checkpoints" / run_id
 
     async def _handle_sweep(self, writer: asyncio.StreamWriter, body: bytes) -> None:
-        request = jobs.parse_sweep_request(self._parse_body(body))
+        parsed = self._parse_body(body)
+        deadline = jobs.pop_deadline(parsed)
+        request = jobs.parse_sweep_request(parsed)
         if request.run_id is not None:
             checkpoint_dir = self._checkpoint_dir(request.run_id)
         loop = asyncio.get_running_loop()
@@ -547,14 +625,43 @@ class ReproServer:
                 loop.call_soon_threadsafe(lines.put_nowait, _STREAM_DONE)
 
         job = self._submit(_work)
+        deadline_at = None if deadline is None else loop.time() + deadline
         await self._write_stream_head(writer)
+        expired = False
         while True:
-            line = await lines.get()
+            if deadline_at is None:
+                line = await lines.get()
+            else:
+                try:
+                    line = await asyncio.wait_for(
+                        lines.get(), max(0.0, deadline_at - loop.time())
+                    )
+                except asyncio.TimeoutError:
+                    # The stream head is already on the wire, so the 504
+                    # equivalent is an in-band error line; the job future
+                    # is cancelled so its eventual result is discarded.
+                    job.future.cancel()
+                    self._jobs_expired += 1
+                    expired = True
+                    await self._write_stream_line(
+                        writer,
+                        {
+                            "type": "error",
+                            "status": 504,
+                            "error": f"deadline of {deadline:g}s exceeded",
+                        },
+                    )
+                    break
             if line is _STREAM_DONE:
                 break
             await self._write_stream_line(writer, line)
         await self._finish_stream(writer)
-        completed = await job.future
+        if expired:
+            return
+        try:
+            completed = await job.future
+        except asyncio.CancelledError:  # pragma: no cover - drain race
+            completed = None
         if completed is None:
             self._jobs_failed += 1
         else:

@@ -39,11 +39,19 @@ DEFAULT_CHUNK_SIZE = 16
 
 
 class RequestError(Exception):
-    """A request payload the server must reject with a 4xx response."""
+    """A request the server must reject with a non-2xx response.
 
-    def __init__(self, message: str, status: int = 400):
+    ``retry_after`` (seconds) is surfaced as a ``Retry-After`` response
+    header, telling well-behaved clients when a 503/504 is worth
+    retrying.
+    """
+
+    def __init__(
+        self, message: str, status: int = 400, retry_after: Optional[float] = None
+    ):
         super().__init__(message)
         self.status = int(status)
+        self.retry_after = None if retry_after is None else float(retry_after)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -57,6 +65,26 @@ def _as_int(value: Any, field: str) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
         raise RequestError(f"{field!r} must be an integer, got {value!r}")
     return value
+
+
+def pop_deadline(payload: Any) -> Optional[float]:
+    """Remove and validate an optional ``deadline_s`` field from a payload.
+
+    Every work-submitting endpoint accepts ``deadline_s``: the seconds the
+    client is willing to wait before the server answers 504 instead.  The
+    field is popped *before* the endpoint-specific parser runs, so the
+    single-point ``/v1/transpile`` form (payload *is* the point) stays
+    valid.  Returns ``None`` when absent.
+    """
+    if not isinstance(payload, dict) or "deadline_s" not in payload:
+        return None
+    value = payload.pop("deadline_s")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"'deadline_s' must be a number, got {value!r}")
+    deadline = float(value)
+    if deadline <= 0:
+        raise RequestError("'deadline_s' must be positive")
+    return deadline
 
 
 @dataclass(frozen=True)
@@ -377,7 +405,17 @@ def execute_points(specs: Sequence[PointSpec], runner: Any) -> List[Dict[str, An
             )
             for spec, target in zip(specs, targets)
         ]
-    return [metrics.as_dict() for metrics in runner.map(run_point, tasks, keys=keys)]
+    records = runner.map(run_point, tasks, keys=keys)
+    for spec, metrics in zip(specs, records):
+        if metrics is None:
+            # The runner's failure policy quarantined this point; answer a
+            # clean failure instead of an AttributeError on None.
+            raise RuntimeError(
+                f"point {spec.workload}-{spec.size} on "
+                f"{spec.topology}-{spec.basis} was quarantined by the "
+                "failure policy"
+            )
+    return [metrics.as_dict() for metrics in records]
 
 
 def run_transpile_job(specs: Sequence[PointSpec], runner: Any) -> Dict[str, Any]:
@@ -463,7 +501,9 @@ def run_sweep_checkpoint_job(
 
     def _shard_progress(index: int, shards: int, status: str, points: int) -> None:
         nonlocal computed_points
-        if status == "computed":
+        # "retried" shards (previously failed points recomputed) count as
+        # computed work too; only fully "restored" shards are free.
+        if status in ("computed", "retried"):
             computed_points += points
         emit(
             {
@@ -504,6 +544,7 @@ def run_sweep_checkpoint_job(
             "records": result.as_dicts(),
             "count": len(result),
             "computed": computed_points,
+            "failed_points": list(result.failed_points),
             "elapsed_seconds": round(time.perf_counter() - start, 6),
             "cache": stats_delta(before, stats_snapshot(cache)),
         }

@@ -1,0 +1,149 @@
+"""Failure-aware sweeps: quarantined points are recorded and retried.
+
+The acceptance scenario of the fault-tolerant execution layer: under an
+injected always-crash fault one sweep point is quarantined while the
+rest of its shard completes; the failed point lands in
+``failures.json`` with its shard, label and reason; and a ``--resume``
+run retries *exactly* the recorded failures — producing a result
+identical, record for record, to a never-faulted sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import run_sweep, run_sweep_sharded
+from repro.runtime import ExperimentRunner, FailurePolicy, FaultPlan
+from repro.runtime.checkpoint import SweepCheckpoint
+from repro.transpiler.target import Target
+
+pytestmark = pytest.mark.chaos
+
+
+def _target() -> Target:
+    return Target.from_names(
+        "Corral1,1", "siswap", scale="small", name="Corral1,1-siswap"
+    )
+
+
+def _poisoned_runner() -> ExperimentRunner:
+    """A parallel runner whose second dispatched task always crashes."""
+    return ExperimentRunner(
+        parallel=True,
+        max_workers=2,
+        failure_policy=FailurePolicy(max_pool_rebuilds=1),
+        fault_plan=FaultPlan.parse("crash@1x*"),
+    )
+
+
+def _poisoned_sweep(checkpoint_dir, statuses=None):
+    runner = _poisoned_runner()
+    try:
+        result = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [_target()],
+            checkpoint_dir,
+            shard_points=3,
+            shard_progress=(
+                None
+                if statuses is None
+                else lambda i, n, s, k: statuses.setdefault(i, s)
+            ),
+            runner=runner,
+        )
+    finally:
+        runner.close()
+    return result, runner
+
+
+class TestFailureRecording:
+    def test_quarantined_point_is_recorded_not_fatal(self, tmp_path):
+        result, runner = _poisoned_sweep(tmp_path / "ckpt")
+        # The other points of the shard completed.
+        assert len(result) == 2
+        assert len(result.failed_points) == 1
+        entry = result.failed_points[0]
+        assert entry["point"] == 1
+        assert entry["label"] == "GHZ-5 on Corral1,1-siswap"
+        assert runner.fault_stats.quarantined
+
+    def test_failures_json_names_shard_label_and_reason(self, tmp_path):
+        _poisoned_sweep(tmp_path / "ckpt")
+        failed = SweepCheckpoint(tmp_path / "ckpt").failed_points()
+        assert list(failed) == [1]
+        assert failed[1]["shard"] == 0
+        assert failed[1]["label"] == "GHZ-5 on Corral1,1-siswap"
+        assert "quarantined" in failed[1]["reason"]
+
+    def test_resume_retries_exactly_the_failed_points(self, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        _poisoned_sweep(checkpoint_dir)
+        statuses = {}
+        result = run_sweep_sharded(
+            ["GHZ"],
+            [4, 5, 6],
+            [_target()],
+            checkpoint_dir,
+            shard_points=3,
+            shard_progress=lambda i, n, s, k: statuses.setdefault(i, s),
+        )
+        # The shard holds two finished points; only the hole is recomputed.
+        assert statuses == {0: "retried"}
+        assert len(result) == 3
+        assert not result.failed_points
+        assert SweepCheckpoint(checkpoint_dir).failed_points() == {}
+        direct = run_sweep(["GHZ"], [4, 5, 6], [_target()])
+        assert [r.as_dict() for r in result.records] == [
+            r.as_dict() for r in direct.records
+        ]
+
+    def test_recovered_failures_are_cleared_from_disk(self, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        _poisoned_sweep(checkpoint_dir)
+        checkpoint = SweepCheckpoint(checkpoint_dir)
+        assert checkpoint.failed_points()
+        run_sweep_sharded(
+            ["GHZ"], [4, 5, 6], [_target()], checkpoint_dir, shard_points=3
+        )
+        assert checkpoint.failed_points() == {}
+        # The file itself is gone once every failure is recovered.
+        assert not (checkpoint_dir / "failures.json").exists()
+
+
+class TestFailureCli:
+    def test_cli_reports_and_resume_retries(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpt"
+        args = [
+            "sweep",
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+            "--shard-points",
+            "3",
+            "--workloads",
+            "GHZ",
+            "--sizes",
+            "4",
+            "5",
+            "6",
+            "--topologies",
+            "Corral1,1",
+            "--parallel",
+            "--workers",
+            "2",
+        ]
+        exit_code = main(args + ["--inject-faults", "crash@1x*"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "failed points (quarantined): GHZ-5 on Corral1,1-siswap" in captured.out
+        assert "rerun with --resume" in captured.out
+        assert "quarantined: GHZ-5 on Corral1,1-siswap" in captured.err
+
+        exit_code = main(args + ["--resume"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "shard 1/1: retried (3 points)" in captured.err
+        assert "sweep complete: 3 points" in captured.out
+        assert "failed" not in captured.out

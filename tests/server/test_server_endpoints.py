@@ -60,7 +60,7 @@ def test_metrics_counters_accumulate(client):
     assert metrics["requests"]["/v1/transpile"] == 1
     assert metrics["requests"]["/v1/health"] >= 1
     assert metrics["responses"]["200"] >= 2
-    assert metrics["jobs"] == {"completed": 1, "failed": 0}
+    assert metrics["jobs"] == {"completed": 1, "failed": 0, "expired": 0}
     assert metrics["points_completed"] == 1
     cache = metrics["cache"]
     assert cache["computed"] == cache["misses"] - cache["disk_hits"]

@@ -1,0 +1,197 @@
+"""Server resilience: pool self-healing, deadlines and retry hints.
+
+The compilation server must degrade, never die, when its worker pool is
+killed out from under it: ``/v1/health`` flips to ``degraded``, the
+dispatcher rebuilds the pool before the next job, and the health flips
+back.  Clients get actionable failure semantics — ``deadline_s``
+converts an over-budget wait into a 504, 503s carry ``Retry-After``,
+and :class:`~repro.server.client.ServeClient` retries transient
+refusals/503s with capped backoff.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.server import ServeClient, ServeError, ServerHandle
+from repro.server import jobs
+
+pytestmark = [pytest.mark.fast, pytest.mark.chaos]
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestPoolSelfHealing:
+    def test_killed_worker_degrades_then_heals(self, tmp_path):
+        handle = ServerHandle(
+            port=0,
+            parallel=True,
+            workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            warmup=True,
+        ).start()
+        try:
+            client = ServeClient(port=handle.port, timeout=120.0)
+            runner = handle.server.runner
+            assert runner.pool_alive
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["pool"] == {"alive": True, "broken": False, "restarts": 0}
+
+            # SIGKILL one resident worker; the executor notices and marks
+            # the pool broken without any job in flight.
+            victim = next(iter(runner._pool._processes.values()))
+            os.kill(victim.pid, signal.SIGKILL)
+            assert _wait_for(lambda: runner.pool_broken)
+            assert client.health()["status"] == "degraded"
+
+            # The next job heals the pool instead of answering 500.
+            response = client.transpile({"workload": "GHZ", "size": 4})
+            assert response["count"] == 1
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["pool"]["broken"] is False
+            assert client.metrics()["pool"]["restarts"] == 1
+        finally:
+            handle.stop()
+
+    def test_metrics_expose_fault_stats(self, tmp_path):
+        with ServerHandle(
+            port=0, parallel=False, cache_dir=str(tmp_path / "cache")
+        ) as handle:
+            metrics = ServeClient(port=handle.port).metrics()
+            assert metrics["faults"] == {
+                "retries": 0,
+                "timeouts": 0,
+                "pool_rebuilds": 0,
+                "uncached_tasks": 0,
+                "quarantined": [],
+            }
+            assert metrics["pool"] is None  # serial server has no pool
+
+
+class TestDeadlines:
+    def test_transpile_deadline_answers_504(self, monkeypatch):
+        def slow_job(specs, runner):
+            time.sleep(5.0)
+            return {"results": [], "count": 0, "elapsed_seconds": 0.0, "cache": None}
+
+        monkeypatch.setattr(jobs, "run_transpile_job", slow_job)
+        with ServerHandle(port=0, parallel=False, no_cache=True) as handle:
+            client = ServeClient(port=handle.port, timeout=30.0)
+            start = time.perf_counter()
+            with pytest.raises(ServeError) as excinfo:
+                client.transpile({"workload": "GHZ", "size": 4}, deadline_s=0.3)
+            assert excinfo.value.status == 504
+            assert excinfo.value.retry_after is not None
+            assert time.perf_counter() - start < 4.0
+
+    def test_sweep_deadline_surfaces_as_stream_error(self, monkeypatch):
+        def slow_sweep(specs, chunk_size, runner, emit):
+            emit({"type": "start", "total": len(specs), "chunks": 1})
+            time.sleep(5.0)
+            emit({"type": "result", "records": [], "count": 0})
+            return 0
+
+        monkeypatch.setattr(jobs, "run_sweep_job", slow_sweep)
+        with ServerHandle(port=0, parallel=False, no_cache=True) as handle:
+            client = ServeClient(port=handle.port, timeout=30.0)
+            with pytest.raises(ServeError) as excinfo:
+                client.sweep(
+                    ["GHZ"],
+                    [4],
+                    [{"topology": "Corral1,1"}],
+                    deadline_s=0.3,
+                )
+            assert excinfo.value.status == 504
+            assert "deadline" in str(excinfo.value)
+
+    def test_invalid_deadline_is_400(self):
+        with ServerHandle(port=0, parallel=False, no_cache=True) as handle:
+            client = ServeClient(port=handle.port)
+            with pytest.raises(ServeError) as excinfo:
+                client.transpile({"workload": "GHZ", "size": 4}, deadline_s=-1)
+            assert excinfo.value.status == 400
+
+
+class TestRetryAfter:
+    def test_queue_full_503_carries_retry_after(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_job(specs, runner):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"results": [], "count": 0, "elapsed_seconds": 0.0, "cache": None}
+
+        monkeypatch.setattr(jobs, "run_transpile_job", blocking_job)
+        with ServerHandle(port=0, parallel=False, no_cache=True, queue_size=1) as handle:
+            point = {"workload": "GHZ", "size": 4}
+            outcomes = {}
+
+            def post(name):
+                client = ServeClient(port=handle.port, timeout=60.0)
+                try:
+                    outcomes[name] = client.transpile(point)
+                except ServeError as error:
+                    outcomes[name] = error
+
+            first = threading.Thread(target=post, args=("first",))
+            first.start()
+            assert started.wait(timeout=30)
+            second = threading.Thread(target=post, args=("second",))
+            second.start()
+            probe = ServeClient(port=handle.port, timeout=10.0)
+            assert _wait_for(lambda: probe.health()["queue_depth"] >= 1)
+
+            # retries=0 exposes the raw 503 instead of waiting it out.
+            overflow = ServeClient(port=handle.port, timeout=10.0, retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                overflow.transpile(point)
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after == 1.0
+
+            release.set()
+            first.join(timeout=30)
+            second.join(timeout=30)
+            assert outcomes["first"]["count"] == 0
+            assert outcomes["second"]["count"] == 0
+
+
+class TestClientRetries:
+    def test_refused_connections_are_retried(self, tmp_path):
+        with ServerHandle(
+            port=0, parallel=False, cache_dir=str(tmp_path / "cache")
+        ) as handle:
+            client = ServeClient(
+                port=handle.port, timeout=30.0, retries=2, retry_backoff=0.01
+            )
+            attempts = {"n": 0}
+            real_open = client._open
+
+            def flaky_open(method, path, payload=None):
+                attempts["n"] += 1
+                if attempts["n"] <= 2:
+                    raise ConnectionRefusedError("simulated restart window")
+                return real_open(method, path, payload)
+
+            client._open = flaky_open
+            assert client.health()["status"] == "ok"
+            assert attempts["n"] == 3
+
+    def test_retries_exhausted_raises_the_refusal(self):
+        client = ServeClient(port=1, timeout=1.0, retries=1, retry_backoff=0.01)
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
