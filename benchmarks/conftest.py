@@ -14,6 +14,7 @@ and attached to each benchmark's ``extra_info`` so they also appear in
 from __future__ import annotations
 
 import json
+import platform
 import sys
 from pathlib import Path
 
@@ -21,6 +22,33 @@ import pytest
 
 
 _BENCHMARK_DIR = Path(__file__).resolve().parent
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp run provenance into the ``--benchmark-json`` artifact.
+
+    ``repro bench record`` / ``scripts/bench_compare.py`` read this
+    ``repro_run_meta`` block (git SHA, host tag, run timestamp) so every
+    recorded trajectory point and every written baseline says which
+    commit on which machine produced it.  The same fields are mirrored
+    into each benchmark's ``extra_info`` for consumers that only look at
+    per-benchmark entries.  The timestamp reuses pytest-benchmark's own
+    ``datetime`` field — no second clock reading, so artifact and meta
+    can never disagree about when the run happened.
+    """
+    from repro.bench.artifact import current_git_sha
+
+    meta = {
+        "git_sha": current_git_sha(cwd=_BENCHMARK_DIR),
+        "host": platform.node() or None,
+        "timestamp": output_json.get("datetime"),
+    }
+    output_json["repro_run_meta"] = meta
+    for bench in output_json.get("benchmarks", []):
+        extra = bench.setdefault("extra_info", {})
+        extra.setdefault("git_sha", meta["git_sha"])
+        extra.setdefault("host", meta["host"])
+        extra.setdefault("timestamp", meta["timestamp"])
 
 
 def pytest_collection_modifyitems(items):

@@ -1,14 +1,27 @@
 #!/usr/bin/env python
 """Compare a pytest-benchmark JSON artifact against a committed baseline.
 
+This script is a thin wrapper over :mod:`repro.bench.compare` — the same
+comparison core behind ``repro bench compare`` / ``repro bench check``
+and the CI gate — so the tolerance-band bucketing and the strict-mode
+rules live in exactly one place.
+
 CI runs the smoke benchmarks with ``--benchmark-json BENCH_smoke.json``;
 this script diffs the per-benchmark mean times against the baseline
 committed at ``benchmarks/baselines/smoke.json`` and reports anything
 slower than the tolerance band.  Machine-to-machine variance makes
 absolute times meaningless across runners, so the default mode only
-*warns* (exit code 0; the CI step additionally sets
-``continue-on-error``) — pass ``--strict`` to turn regressions into a
-non-zero exit for local A/B runs on one machine.
+*warns* — pass ``--strict`` to turn gate violations into a non-zero
+exit for local A/B runs on one machine.
+
+Exit-code contract::
+
+    0   no gate violated (or violations in non-strict mode)
+    1   --strict and: a regression beyond tolerance, a baseline
+        benchmark missing from the artifact ("gone" — deleted or
+        renamed, i.e. silently out of coverage), or an empty
+        current∩baseline overlap (a vacuous comparison)
+    2   malformed artifact/baseline (the error names the entry)
 
 Usage::
 
@@ -20,49 +33,21 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / (
-    "benchmarks/baselines/smoke.json"
-)
+_REPO_ROOT = Path(__file__).resolve().parents[1]
 
+try:
+    from repro.bench.compare import run_compare
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.bench.compare import run_compare
 
-def load_means(path: Path) -> dict:
-    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
-    data = json.loads(path.read_text("utf-8"))
-    return {
-        entry["name"]: float(entry["stats"]["mean"])
-        for entry in data.get("benchmarks", [])
-    }
+from repro.bench.artifact import load_means  # noqa: F401  (back-compat re-export)
+from repro.bench.compare import compare  # noqa: F401  (back-compat re-export)
 
-
-def compare(current: dict, baseline: dict, tolerance: float):
-    """Split benchmarks into (regressions, improvements, steady, new, gone)."""
-    regressions, improvements, steady = [], [], []
-    for name in sorted(current):
-        if name not in baseline:
-            continue
-        ratio = current[name] / max(baseline[name], 1e-12)
-        row = (name, baseline[name], current[name], ratio)
-        if ratio > 1.0 + tolerance:
-            regressions.append(row)
-        elif ratio < 1.0 - tolerance:
-            improvements.append(row)
-        else:
-            steady.append(row)
-    new = sorted(set(current) - set(baseline))
-    gone = sorted(set(baseline) - set(current))
-    return regressions, improvements, steady, new, gone
-
-
-def _print_rows(label: str, rows) -> None:
-    if not rows:
-        return
-    print(f"{label}:")
-    for name, base, mean, ratio in rows:
-        print(f"  {name}: {base:.4f}s -> {mean:.4f}s ({ratio:.2f}x)")
+DEFAULT_BASELINE = _REPO_ROOT / "benchmarks/baselines/smoke.json"
 
 
 def main(argv=None) -> int:
@@ -84,56 +69,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit non-zero when regressions exceed the tolerance "
-        "(default: warn only)",
+        help="exit non-zero on regressions beyond tolerance, on baseline "
+        "benchmarks missing from the artifact, and on an empty "
+        "current/baseline overlap (default: warn only)",
     )
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="overwrite the baseline with the artifact's means and exit",
+        help="overwrite the baseline with the artifact's means (recording "
+        "git SHA, date and round counts) and exit",
     )
     args = parser.parse_args(argv)
 
-    current = load_means(args.artifact)
-    if args.write_baseline:
-        args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(
-            json.dumps({"benchmarks": [
-                {"name": name, "stats": {"mean": mean}}
-                for name, mean in sorted(current.items())
-            ]}, indent=2) + "\n",
-            "utf-8",
-        )
-        print(f"baseline written: {args.baseline} ({len(current)} benchmarks)")
-        return 0
-
-    if not args.baseline.is_file():
-        print(f"no baseline at {args.baseline} — nothing to compare")
-        return 0
-    baseline = load_means(args.baseline)
-    regressions, improvements, steady, new, gone = compare(
-        current, baseline, args.tolerance
+    return run_compare(
+        args.artifact,
+        args.baseline,
+        tolerance=args.tolerance,
+        strict=args.strict,
+        write_baseline_instead=args.write_baseline,
     )
-
-    print(
-        f"benchmark comparison: {args.artifact.name} vs {args.baseline.name} "
-        f"(tolerance ±{args.tolerance:.0%})"
-    )
-    _print_rows("REGRESSIONS (slower than tolerance)", regressions)
-    _print_rows("improvements", improvements)
-    _print_rows("within tolerance", steady)
-    if new:
-        print("new benchmarks (no baseline entry): " + ", ".join(new))
-    if gone:
-        print("missing benchmarks (in baseline only): " + ", ".join(gone))
-    if regressions:
-        print(
-            f"WARNING: {len(regressions)} benchmark(s) regressed beyond "
-            f"{args.tolerance:.0%}"
-        )
-        return 1 if args.strict else 0
-    print("no regressions beyond tolerance")
-    return 0
 
 
 if __name__ == "__main__":

@@ -4,8 +4,9 @@
 Runs ``ruff check`` (configured in ``pyproject.toml``) when ruff is
 installed — that is what CI does after ``pip install ruff`` — plus a
 stricter docstring pass (the pydocstyle ``D1xx`` "missing docstring"
-subset) scoped to the packages whose inter-process protocols live in
-prose: ``repro.runtime`` and ``repro.server``.  In offline environments
+subset) scoped to the packages whose inter-process protocols and
+on-disk formats live in prose: ``repro.runtime``, ``repro.server`` and
+``repro.bench``.  In offline environments
 without ruff it falls back to byte-compiling every Python tree, which
 still catches syntax errors, so the gate always has teeth and
 ``python scripts/lint.py`` passes or fails for the same code everywhere.
@@ -24,7 +25,7 @@ TARGETS = ("src", "tests", "benchmarks", "examples", "scripts")
 #: Packages where every public module/class/function/method must carry a
 #: docstring (ruff pydocstyle D100-D104 + D106; magic methods and
 #: ``__init__`` are documented via their class docstrings instead).
-DOCSTRING_TARGETS = ("src/repro/runtime", "src/repro/server")
+DOCSTRING_TARGETS = ("src/repro/runtime", "src/repro/server", "src/repro/bench")
 DOCSTRING_RULES = "D100,D101,D102,D103,D104,D106"
 
 

@@ -25,6 +25,8 @@ The library is organised bottom-up:
   fan-out with ordered collection plus per-point result caching.
 * :mod:`repro.experiments` — one entry point per paper table / figure plus
   the extension studies.
+* :mod:`repro.bench` — benchmark trajectory history, comparison core and
+  regression gates behind ``repro bench`` and ``scripts/bench_compare.py``.
 
 Quick start::
 

@@ -16,6 +16,9 @@ Usage (after ``pip install -e .``)::
     python -m repro run QuantumVolume 12 --topology corral-1-1 --basis sqiswap --level 2
     python -m repro cache gc --cache-dir .repro-cache --max-bytes 100000000
     python -m repro serve --port 8537 --workers 4 --cache-dir .repro-cache
+    python -m repro bench record BENCH_smoke.json  # append run to bench history
+    python -m repro bench report --markdown        # trajectory table
+    python -m repro bench check --tolerance 0.25   # regression gate (exit 1)
 
 Every sub-command prints a text report; ``--csv PATH`` additionally writes
 the raw data for external plotting.  Experiment commands accept
@@ -337,6 +340,93 @@ def build_parser() -> argparse.ArgumentParser:
         "(dropped records heal as cache misses) and rebuild stale indexes",
     )
 
+    bench = commands.add_parser(
+        "bench",
+        help="record, report and gate on benchmark trajectories "
+        "(BENCH_*.json history)",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_history_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--history-dir",
+            default=None,
+            help="bench-history directory (REPRO_BENCH_HISTORY sets the "
+            "default; falls back to ./.repro-bench-history)",
+        )
+
+    bench_record = bench_commands.add_parser(
+        "record",
+        help="append a pytest-benchmark artifact to the per-benchmark history",
+    )
+    bench_record.add_argument("artifact", type=Path, help="BENCH_*.json to record")
+    _add_history_dir(bench_record)
+    bench_record.add_argument(
+        "--sha", default=None, help="git SHA to tag the run with "
+        "(default: the artifact's own provenance, then the checkout)"
+    )
+    bench_record.add_argument(
+        "--timestamp", default=None,
+        help="run timestamp to record (default: the artifact's datetime field)",
+    )
+    bench_record.add_argument(
+        "--host", default=None,
+        help="host tag to record (default: the artifact's machine_info node)",
+    )
+
+    bench_report = bench_commands.add_parser(
+        "report", help="render the per-benchmark trajectory table"
+    )
+    _add_history_dir(bench_report)
+    bench_report.add_argument(
+        "--markdown", action="store_true", help="emit a markdown table"
+    )
+    bench_report.add_argument(
+        "--window", type=_positive_int, default=5,
+        help="rolling-median window for the delta column (default: 5)",
+    )
+
+    bench_check = bench_commands.add_parser(
+        "check",
+        help="gate the newest recorded run against the rolling baseline "
+        "(non-zero exit on regression or vanished benchmarks)",
+    )
+    _add_history_dir(bench_check)
+    bench_check.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown vs the rolling median "
+        "(default: 0.25 — the history is same-host, so tighter than the "
+        "cross-machine bench_compare default)",
+    )
+    bench_check.add_argument(
+        "--window", type=_positive_int, default=5,
+        help="rolling-baseline window: median of the last N prior entries "
+        "per benchmark (default: 5)",
+    )
+
+    bench_compare_parser = bench_commands.add_parser(
+        "compare",
+        help="one-shot artifact-vs-baseline diff (same core as "
+        "scripts/bench_compare.py)",
+    )
+    bench_compare_parser.add_argument("artifact", type=Path)
+    bench_compare_parser.add_argument(
+        "--baseline", type=Path,
+        default=Path("benchmarks/baselines/smoke.json"),
+        help="baseline JSON (default: benchmarks/baselines/smoke.json)",
+    )
+    bench_compare_parser.add_argument("--tolerance", type=float, default=0.5)
+    bench_compare_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on regressions, vanished benchmarks or an "
+        "empty current∩baseline overlap",
+    )
+    bench_compare_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="overwrite the baseline with the artifact's means (plus git "
+        "SHA / date / rounds provenance) and exit",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="run the persistent compilation server (warm pool + resident cache)",
@@ -643,6 +733,92 @@ def _command_cache(args: argparse.Namespace) -> str:
     return f"cache gc [{directory}]: {report.describe()}"
 
 
+def _command_bench(args: argparse.Namespace) -> str:
+    # Imported lazily like the server: the bench verbs are tooling around
+    # the benchmark harness and pull in nothing the hot paths need.
+    from repro.bench import (
+        DEFAULT_HISTORY_DIR,
+        BenchHistory,
+        MalformedArtifactError,
+        format_comparison,
+        format_report,
+        history_dir_from_env,
+        run_compare,
+    )
+
+    if args.bench_command == "compare":
+        # The one-shot diff shares its whole flow (and exit-code contract)
+        # with scripts/bench_compare.py via run_compare.
+        code = run_compare(
+            args.artifact,
+            args.baseline,
+            tolerance=args.tolerance,
+            strict=args.strict,
+            write_baseline_instead=args.write_baseline,
+        )
+        if code:
+            raise SystemExit(code)
+        return ""
+
+    directory = (
+        args.history_dir
+        if args.history_dir is not None
+        else (history_dir_from_env() or DEFAULT_HISTORY_DIR)
+    )
+    history = BenchHistory(directory)
+
+    if args.bench_command == "record":
+        try:
+            manifest = history.record(
+                args.artifact,
+                git_sha=args.sha,
+                timestamp=args.timestamp,
+                host=args.host,
+            )
+        except MalformedArtifactError as error:
+            print(f"repro bench record: {error}", file=sys.stderr)
+            raise SystemExit(2) from error
+        sha = (manifest.get("git_sha") or "unknown")[:12]
+        return (
+            f"recorded run #{manifest['run']}: {manifest['benchmarks']} "
+            f"benchmark(s) from {args.artifact.name} "
+            f"(sha={sha} host={manifest.get('host') or 'unknown'}) "
+            f"-> {history.root}"
+        )
+
+    if args.bench_command == "report":
+        return format_report(history, markdown=args.markdown, window=args.window)
+
+    # bench check: gate the newest run against the rolling baseline.
+    check = history.check(tolerance=args.tolerance, window=args.window)
+    lines = [
+        f"bench check [{history.root}]: window={check.window}, "
+        f"tolerance ±{args.tolerance:.0%}"
+    ]
+    lines.extend(check.notes)
+    if check.comparison is not None:
+        latest = check.latest_run or {}
+        sha = (latest.get("git_sha") or "unknown")[:12]
+        lines.append(
+            format_comparison(
+                check.comparison,
+                current_label=f"run #{latest.get('run', '?')} (sha={sha})",
+                baseline_label=f"rolling median of last {check.window} runs",
+            )
+        )
+    if check.insufficient:
+        lines.append(
+            "first-seen benchmarks (no prior series, not gated): "
+            + ", ".join(check.insufficient)
+        )
+    body = "\n".join(lines)
+    if check.failed:
+        raise SystemExit(
+            body + "\nbench check FAILED: " + "; ".join(check.violations)
+        )
+    return body
+
+
 def _command_sweep(args: argparse.Namespace) -> str:
     from repro.runtime.checkpoint import CheckpointMismatch
 
@@ -752,6 +928,7 @@ _COMMANDS = {
     "schedule": _command_schedule,
     "reliability": _command_reliability,
     "qasm": _command_qasm,
+    "bench": _command_bench,
     "cache": _command_cache,
     "sweep": _command_sweep,
     "serve": _command_serve,

@@ -1,0 +1,50 @@
+"""Shared fixtures for the bench-observability suite."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_artifact(tmp_path):
+    """Factory writing pytest-benchmark-style JSON artifacts to tmp_path.
+
+    ``make_artifact({"test_a": 0.5}, name="BENCH_one.json", sha="abc")``
+    returns the written path.  ``rounds``/``sha``/``host``/``datetime``
+    shape the stock pytest-benchmark fields; ``extra`` merges arbitrary
+    keys into the top-level object (e.g. a ``repro_run_meta`` block).
+    """
+
+    def _make(
+        means,
+        *,
+        name="BENCH_test.json",
+        rounds=None,
+        sha=None,
+        host="ci-host",
+        datetime="2026-08-08T00:00:00",
+        extra=None,
+    ) -> Path:
+        benchmarks = []
+        for bench_name, mean in means.items():
+            stats = {"mean": mean}
+            if rounds and bench_name in rounds:
+                stats["rounds"] = rounds[bench_name]
+            benchmarks.append({"name": bench_name, "stats": stats})
+        payload = {
+            "machine_info": {"node": host},
+            "datetime": datetime,
+            "benchmarks": benchmarks,
+        }
+        if sha is not None:
+            payload["commit_info"] = {"id": sha}
+        if extra:
+            payload.update(extra)
+        path = tmp_path / name
+        path.write_text(json.dumps(payload, indent=2), "utf-8")
+        return path
+
+    return _make

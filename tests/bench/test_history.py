@@ -1,0 +1,155 @@
+"""The append-only history store and its rolling regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BenchHistory, read_artifact
+from repro.bench.history import RUNS_FILE, SERIES_SUFFIX, series_filename
+
+
+class TestRecord:
+    def test_record_appends_runs_and_series(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        artifact = make_artifact({"a": 1.0, "b": 2.0}, sha="sha-one")
+        first = history.record(artifact)
+        second = history.record(artifact)
+        assert (first["run"], second["run"]) == (1, 2)
+        runs = history.runs()
+        assert [run["run"] for run in runs] == [1, 2]
+        assert runs[0]["git_sha"] == "sha-one"
+        assert runs[0]["benchmarks"] == 2
+        assert history.names() == ["a", "b"]
+        series = history.series("a")
+        assert [entry.run for entry in series] == [1, 2]
+        assert all(entry.mean == 1.0 for entry in series)
+
+    def test_explicit_metadata_wins_over_artifact(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        artifact = make_artifact({"a": 1.0}, sha="artifact-sha", host="artifact-host")
+        manifest = history.record(
+            artifact, git_sha="cli-sha", timestamp="2026-02-02", host="cli-host"
+        )
+        assert manifest["git_sha"] == "cli-sha"
+        assert manifest["timestamp"] == "2026-02-02"
+        assert manifest["host"] == "cli-host"
+        entry = history.series("a")[0]
+        assert entry.git_sha == "cli-sha" and entry.host == "cli-host"
+
+    def test_rounds_recorded(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        history.record(make_artifact({"a": 1.0}, rounds={"a": 4}))
+        assert history.series("a")[0].rounds == 4
+
+    def test_series_files_are_append_only_jsonl(self, make_artifact, tmp_path):
+        root = tmp_path / "hist"
+        history = BenchHistory(root)
+        artifact = read_artifact(make_artifact({"a": 1.0}))
+        history.record(artifact)
+        history.record(artifact)
+        path = root / series_filename("a")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] == "a" for line in lines)
+
+    def test_slug_collisions_get_distinct_files(self):
+        # Two names differing only in slug-hostile characters share a slug
+        # but never a file (content digest in the filename).
+        name_a, name_b = "test[x/y]", "test[x:y]"
+        assert series_filename(name_a) != series_filename(name_b)
+        assert series_filename(name_a).endswith(SERIES_SUFFIX)
+
+    def test_torn_tail_line_is_skipped(self, make_artifact, tmp_path):
+        root = tmp_path / "hist"
+        history = BenchHistory(root)
+        history.record(make_artifact({"a": 1.0}))
+        path = root / series_filename("a")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run": 2, "name": "a", "mea')  # killed mid-write
+        assert [entry.run for entry in history.series("a")] == [1]
+        # ... and the next record still lands cleanly after the torn line.
+        history.record(make_artifact({"a": 1.5}))
+        assert [entry.run for entry in history.series("a")] == [1, 2]
+
+
+class TestRollingBaseline:
+    def test_median_over_window(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        for mean in (1.0, 3.0, 2.0):
+            history.record(make_artifact({"a": mean}))
+        baseline = history.rolling_baseline(window=5)
+        assert baseline["a"] == pytest.approx(2.0)
+
+    def test_before_run_excludes_the_newest(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        for mean in (1.0, 1.0, 100.0):
+            history.record(make_artifact({"a": mean}))
+        baseline = history.rolling_baseline(window=5, before_run=3)
+        assert baseline["a"] == pytest.approx(1.0)
+
+    def test_window_truncates_old_entries(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        for mean in (100.0, 100.0, 1.0, 1.0, 1.0):
+            history.record(make_artifact({"a": mean}))
+        assert history.rolling_baseline(window=3)["a"] == pytest.approx(1.0)
+
+
+class TestCheck:
+    def test_empty_history_passes_with_note(self, tmp_path):
+        check = BenchHistory(tmp_path / "none").check()
+        assert not check.failed
+        assert any("no recorded runs" in note for note in check.notes)
+
+    def test_single_run_passes_with_note(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        history.record(make_artifact({"a": 1.0}))
+        check = history.check()
+        assert not check.failed
+        assert any("only one recorded run" in note for note in check.notes)
+
+    def test_steady_series_passes(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        for mean in (1.0, 1.02, 0.98):
+            history.record(make_artifact({"a": mean}))
+        check = history.check(tolerance=0.25)
+        assert not check.failed
+        assert check.comparison.steady
+
+    def test_synthetic_regression_fails(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        history.record(make_artifact({"a": 1.0}))
+        history.record(make_artifact({"a": 1.0}))
+        history.record(make_artifact({"a": 2.0}))  # 2x the rolling median
+        check = history.check(tolerance=0.25)
+        assert check.failed
+        assert [row[0] for row in check.comparison.regressions] == ["a"]
+
+    def test_vanished_benchmark_fails(self, make_artifact, tmp_path):
+        history = BenchHistory(tmp_path / "hist")
+        history.record(make_artifact({"a": 1.0, "b": 1.0}))
+        history.record(make_artifact({"a": 1.0, "b": 1.0}))
+        history.record(make_artifact({"a": 1.0}))  # b silently left coverage
+        check = history.check(tolerance=0.25)
+        assert check.failed
+        assert check.comparison.gone == ["b"]
+
+    def test_first_seen_benchmark_is_insufficient_not_failed(
+        self, make_artifact, tmp_path
+    ):
+        history = BenchHistory(tmp_path / "hist")
+        history.record(make_artifact({"a": 1.0}))
+        history.record(make_artifact({"a": 1.0, "brand_new": 9.0}))
+        check = history.check(tolerance=0.25)
+        assert not check.failed
+        assert check.insufficient == ["brand_new"]
+
+    def test_manifest_survives_torn_runs_line(self, make_artifact, tmp_path):
+        root = tmp_path / "hist"
+        history = BenchHistory(root)
+        history.record(make_artifact({"a": 1.0}))
+        with open(root / RUNS_FILE, "a", encoding="utf-8") as handle:
+            handle.write('{"run": 2, "git_')
+        history.record(make_artifact({"a": 1.0}))
+        assert [run["run"] for run in history.runs()] == [1, 2]

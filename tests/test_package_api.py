@@ -29,6 +29,7 @@ class TestPublicAPI:
             "repro.core",
             "repro.experiments",
             "repro.visualization",
+            "repro.bench",
             "repro.cli",
         ):
             assert importlib.import_module(module) is not None
